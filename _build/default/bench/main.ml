@@ -1,0 +1,95 @@
+(* Benchmark harness: regenerates every table and figure of the paper,
+   and measures the simulation cost of each experiment with Bechamel.
+
+   Part 1 (Bechamel): one [Test.make] per table/figure, run on a reduced
+   workload so the measurement loop can iterate; reports wall-clock per
+   regeneration via the monotonic clock and OLS analysis.
+
+   Part 2 (regeneration): prints every table and figure at full scale —
+   this is the output to compare against the paper, e.g.
+
+     dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+   Environment:
+     MDA_BENCH_SCALE        workload scale for part 2 (default 1.0)
+     MDA_BENCH_QUOTA_MS     Bechamel time quota per test (default 1000)
+     MDA_BENCH_SKIP_MEASURE=1   skip part 1 *)
+
+open Bechamel
+open Bechamel.Toolkit
+module H = Mda_harness
+
+let experiments :
+    (string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) list =
+  [ ("table1", H.Table1.run);
+    ("table2", H.Table2.run);
+    ("table3", H.Table3.run);
+    ("table4", H.Table4.run);
+    ("fig1", H.Fig1.run);
+    ("fig10", H.Fig10.run);
+    ("fig11", H.Fig11.run);
+    ("fig12", H.Fig12.run);
+    ("fig13", H.Fig13.run);
+    ("fig14", H.Fig14.run);
+    ("fig15", H.Fig15.run);
+    ("fig16", H.Fig16.run);
+    ("sharedlib", H.Sharedlib.run);
+    ("ablate-trapcost", H.Ablation.trap_cost);
+    ("ablate-chaining", H.Ablation.chaining);
+    ("ablate-flush", H.Ablation.flush) ]
+
+(* Reduced workload for the measurement loop: three representative
+   benchmarks (low / highest / biased MDA ratio) at 2% volume. *)
+let measure_opts =
+  { H.Experiment.scale = 0.02; benchmarks = [ "164.gzip"; "410.bwaves"; "188.ammp" ] }
+
+let tests =
+  List.map
+    (fun ((name, run) : string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) ->
+      Test.make ~name (Staged.stage (fun () -> ignore (run ~opts:measure_opts ()))))
+    experiments
+
+let run_measurements () =
+  let quota_ms =
+    match Sys.getenv_opt "MDA_BENCH_QUOTA_MS" with
+    | Some s -> float_of_string s
+    | None -> 1000.
+  in
+  let cfg = Benchmark.cfg ~quota:(Time.millisecond quota_ms) ~kde:None () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf
+    "== Bechamel: wall-clock per experiment regeneration (scale %.2f, %d benchmarks) ==\n%!"
+    measure_opts.H.Experiment.scale
+    (List.length measure_opts.H.Experiment.benchmarks);
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name res ->
+          match Analyze.OLS.estimates res with
+          | Some [ est ] -> Printf.printf "  %-24s %10.2f ms/run\n%!" name (est /. 1e6)
+          | _ -> Printf.printf "  %-24s (no estimate)\n%!" name)
+        results)
+    tests;
+  print_newline ()
+
+let () =
+  let scale =
+    match Sys.getenv_opt "MDA_BENCH_SCALE" with
+    | Some s -> float_of_string s
+    | None -> 1.0
+  in
+  (match Sys.getenv_opt "MDA_BENCH_SKIP_MEASURE" with
+  | Some "1" -> ()
+  | _ -> run_measurements ());
+  Printf.printf "== Regenerating all tables and figures (scale %.2f) ==\n\n%!" scale;
+  let opts = { H.Experiment.default_options with H.Experiment.scale } in
+  List.iter
+    (fun ((_, run) : string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) ->
+      let rendered = run ~opts () in
+      print_string (H.Experiment.render rendered);
+      print_newline ())
+    experiments

@@ -1,0 +1,377 @@
+(* mdabench: regenerate every table and figure of the paper, run single
+   benchmarks under any mechanism, and inspect workloads.
+
+   Examples:
+     mdabench table1
+     mdabench fig16 --scale 0.5
+     mdabench run 410.bwaves --mechanism eh
+     mdabench all --csv-dir results/
+     mdabench list *)
+
+open Cmdliner
+module H = Mda_harness
+module Bt = Mda_bt
+module W = Mda_workloads
+
+let experiments :
+    (string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) list =
+  [ ("table1", H.Table1.run);
+    ("sharedlib", H.Sharedlib.run);
+    ("ablate-trapcost", H.Ablation.trap_cost);
+    ("ablate-chaining", H.Ablation.chaining);
+    ("ablate-flush", H.Ablation.flush);
+    ("table2", H.Table2.run);
+    ("table3", H.Table3.run);
+    ("table4", H.Table4.run);
+    ("fig1", H.Fig1.run);
+    ("fig10", H.Fig10.run);
+    ("fig11", H.Fig11.run);
+    ("fig12", H.Fig12.run);
+    ("fig13", H.Fig13.run);
+    ("fig14", H.Fig14.run);
+    ("fig15", H.Fig15.run);
+    ("fig16", H.Fig16.run) ]
+
+(* --- common options ---------------------------------------------------- *)
+
+let scale_arg =
+  let doc = "Workload volume multiplier (1.0 = ~300k memory references per benchmark)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let benchmarks_arg =
+  let doc = "Comma-separated benchmark subset (defaults to the paper's 21 selected)." in
+  Arg.(value & opt (some string) None & info [ "benchmarks" ] ~docv:"NAMES" ~doc)
+
+let csv_dir_arg =
+  let doc = "Also write each experiment's rows as CSV into this directory." in
+  Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+
+let opts_of ~scale ~benchmarks =
+  let base = H.Experiment.default_options in
+  let benchmarks =
+    match benchmarks with
+    | None -> base.H.Experiment.benchmarks
+    | Some s -> String.split_on_char ',' s |> List.map String.trim
+  in
+  { H.Experiment.scale; benchmarks }
+
+let write_csv dir name rendered =
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (H.Experiment.to_csv rendered);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run_experiment name scale benchmarks csv_dir =
+  match List.assoc_opt name experiments with
+  | None ->
+    Printf.eprintf "unknown experiment %s\n" name;
+    1
+  | Some f ->
+    let opts = opts_of ~scale ~benchmarks in
+    let rendered = f ~opts () in
+    print_string (H.Experiment.render rendered);
+    (match csv_dir with Some d -> write_csv d name rendered | None -> ());
+    0
+
+(* --- per-experiment commands ------------------------------------------ *)
+
+let experiment_cmd (exp_name, _) =
+  let doc = Printf.sprintf "Regenerate the paper's %s." exp_name in
+  let run scale benchmarks csv_dir = run_experiment exp_name scale benchmarks csv_dir in
+  let term = Term.(const run $ scale_arg $ benchmarks_arg $ csv_dir_arg) in
+  Cmd.v (Cmd.info exp_name ~doc) term
+
+let all_cmd =
+  let doc = "Regenerate every table and figure." in
+  let run scale benchmarks csv_dir =
+    List.fold_left
+      (fun acc (name, _) ->
+        let rc = run_experiment name scale benchmarks csv_dir in
+        print_newline ();
+        max acc rc)
+      0 experiments
+  in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ scale_arg $ benchmarks_arg $ csv_dir_arg)
+
+(* --- run a single benchmark under one mechanism ------------------------ *)
+
+let mechanism_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "direct" -> Ok `Direct
+    | "static" -> Ok `Static
+    | "dynamic" -> Ok `Dynamic
+    | "eh" -> Ok `Eh
+    | "eh+rearrange" -> Ok `Eh_rearrange
+    | "dpeh" -> Ok `Dpeh
+    | "interp" -> Ok `Interp
+    | "native" -> Ok `Native
+    | _ -> Error (`Msg (Printf.sprintf "unknown mechanism %S" s))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with
+      | `Direct -> "direct" | `Static -> "static" | `Dynamic -> "dynamic"
+      | `Eh -> "eh" | `Eh_rearrange -> "eh+rearrange" | `Dpeh -> "dpeh"
+      | `Interp -> "interp" | `Native -> "native")
+  in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let doc = "Run one benchmark under one mechanism and print its statistics." in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves")
+  in
+  let mech_arg =
+    Arg.(
+      value
+      & opt mechanism_conv `Eh
+      & info [ "m"; "mechanism" ] ~docv:"MECH"
+          ~doc:"direct | static | dynamic | eh | eh+rearrange | dpeh | interp | native")
+  in
+  let threshold_arg =
+    Arg.(value & opt int 50 & info [ "threshold" ] ~docv:"N" ~doc:"heating threshold")
+  in
+  let run name mech scale threshold =
+    let stats =
+      match mech with
+      | `Interp | `Native ->
+        let s, _ = H.Experiment.run_interp ~scale ~native:(mech = `Native) name in
+        s
+      | _ ->
+        let mechanism =
+          match mech with
+          | `Direct -> Bt.Mechanism.Direct
+          | `Static ->
+            Bt.Mechanism.Static_profiling (H.Experiment.train_summary ~scale name)
+          | `Dynamic -> Bt.Mechanism.Dynamic_profiling { threshold }
+          | `Eh -> Bt.Mechanism.Exception_handling { rearrange = false }
+          | `Eh_rearrange -> Bt.Mechanism.Exception_handling { rearrange = true }
+          | `Dpeh ->
+            Bt.Mechanism.Dpeh { threshold; retranslate = Some 4; multiversion = true }
+          | `Interp | `Native -> assert false
+        in
+        H.Experiment.run_mechanism ~scale ~mechanism name
+    in
+    Format.printf "%a@." Bt.Run_stats.pp stats;
+    0
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg)
+
+let trace_cmd =
+  let doc = "Trace BT events (translations, traps, patches, chains) of a run." in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves")
+  in
+  let mech_arg =
+    Arg.(
+      value
+      & opt mechanism_conv `Eh
+      & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc:"mechanism to trace")
+  in
+  let limit_arg =
+    Arg.(value & opt int 60 & info [ "limit" ] ~docv:"N" ~doc:"max events to print")
+  in
+  let run name mech scale limit =
+    let mechanism =
+      match mech with
+      | `Direct -> Bt.Mechanism.Direct
+      | `Static -> Bt.Mechanism.Static_profiling (H.Experiment.train_summary ~scale name)
+      | `Dynamic -> Bt.Mechanism.Dynamic_profiling { threshold = 50 }
+      | `Eh -> Bt.Mechanism.Exception_handling { rearrange = false }
+      | `Eh_rearrange -> Bt.Mechanism.Exception_handling { rearrange = true }
+      | `Dpeh | `Interp | `Native ->
+        Bt.Mechanism.Dpeh { threshold = 50; retranslate = Some 4; multiversion = true }
+    in
+    let w = W.Workload.instantiate ~scale name in
+    let mem = W.Workload.fresh_memory w in
+    let printed = ref 0 and counts = Hashtbl.create 8 in
+    let kind_of = function
+      | Bt.Runtime.Ev_translate _ -> "translate"
+      | Ev_trap _ -> "trap"
+      | Ev_patch _ -> "patch"
+      | Ev_os_fixup _ -> "os-fixup"
+      | Ev_chain _ -> "chain"
+      | Ev_rearrange _ -> "rearrange"
+      | Ev_retranslate _ -> "retranslate"
+    in
+    let on_event ev =
+      let k = kind_of ev in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k));
+      if !printed < limit then begin
+        incr printed;
+        Format.printf "%a@." Bt.Runtime.pp_event ev
+      end
+      else if !printed = limit then begin
+        incr printed;
+        Format.printf "... (suppressing further events)@."
+      end
+    in
+    let config =
+      { (Bt.Runtime.default_config mechanism) with on_event = Some on_event }
+    in
+    let t = Bt.Runtime.create ~config ~mem () in
+    let stats = Bt.Runtime.run t ~entry:(W.Workload.entry w) in
+    Format.printf "@.event totals:@.";
+    Hashtbl.iter (fun k n -> Format.printf "  %-12s %d@." k n) counts;
+    Format.printf "@.%a@." Bt.Run_stats.pp stats;
+    0
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ bench_arg $ mech_arg $ scale_arg $ limit_arg)
+
+let list_cmd =
+  let doc = "List the modelled benchmarks (Table I rows)." in
+  let run () =
+    List.iter
+      (fun name ->
+        let row = W.Spec.find name in
+        Printf.printf "%-16s %-9s NMI=%-5d ratio=%5.2f%% %s\n" name
+          (W.Spec.suite_name row.W.Spec.suite)
+          row.W.Spec.nmi
+          (row.W.Spec.ratio *. 100.)
+          (if W.Spec.is_selected name then "[selected]" else ""))
+      W.Spec.all_names;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let info_cmd =
+  let doc = "Describe how a benchmark is synthesized (groups, behaviours, volumes)." in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves")
+  in
+  let run name scale =
+    let row = W.Spec.find name in
+    let w = W.Workload.instantiate ~scale name in
+    Printf.printf "%s (%s)
+" name (W.Spec.suite_name row.W.Spec.suite);
+    Printf.printf "paper: NMI %d, MDAs %s, ratio %.2f%%
+" row.W.Spec.nmi
+      (Mda_util.Stats.sci_notation row.W.Spec.mdas)
+      (row.W.Spec.ratio *. 100.);
+    Printf.printf "synthesized: %d refs, %d MDAs expected (scale %.2f)
+
+"
+      (W.Workload.expected_refs w) (W.Workload.expected_mdas w) scale;
+    Printf.printf "%-14s %-6s %-6s %-6s %-6s %-10s %s
+" "group" "sites" "execs"
+      "width" "bloat" "placement" "behaviour";
+    List.iter
+      (fun ((g : W.Gen.group), _) ->
+        let behaviour =
+          match g.behavior with
+          | W.Gen.Aligned -> "aligned"
+          | W.Gen.Misaligned -> "always misaligned"
+          | W.Gen.Late { onset } -> Printf.sprintf "misaligns after %d execs" onset
+          | W.Gen.Input_dep -> "misaligned on ref input only"
+          | W.Gen.Mixed { period } ->
+            Printf.sprintf "misaligned %d/%d of executions" (period - 1) period
+          | W.Gen.Rare { period } -> Printf.sprintf "misaligned 1/%d of executions" period
+        in
+        Printf.printf "%-14s %-6d %-6d %-6d %-6d %-10s %s%s
+" g.W.Gen.label g.sites
+          g.execs g.width g.bloat
+          (if g.lib then "shared-lib" else "app")
+          behaviour
+          (if g.via_call then " [via call]" else ""))
+      w.W.Workload.program.W.Gen.groups;
+    0
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ bench_arg $ scale_arg)
+
+let disasm_cmd =
+  let doc = "Show the synthesized guest program of a benchmark." in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 470.lbm")
+  in
+  let limit_arg =
+    Arg.(value & opt int 80 & info [ "limit" ] ~docv:"N" ~doc:"max instructions to print")
+  in
+  let run name scale limit =
+    let w = W.Workload.instantiate ~scale name in
+    let p = w.W.Workload.program.W.Gen.asm_program in
+    let n = Array.length p.Mda_guest.Asm.insns in
+    Printf.printf "%s: %d guest instructions, %d bytes\n" name n
+      (Bytes.length p.Mda_guest.Asm.image);
+    Array.iteri
+      (fun i insn ->
+        if i < limit then
+          Format.printf "%#8x:  %a@." p.Mda_guest.Asm.offsets.(i) Mda_guest.Pretty.pp_insn
+            insn)
+      p.Mda_guest.Asm.insns;
+    if n > limit then Printf.printf "... (%d more)\n" (n - limit);
+    0
+  in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ bench_arg $ scale_arg $ limit_arg)
+
+let disasm_host_cmd =
+  let doc =
+    "Translate a benchmark's first blocks and show the generated host (alphalite) code."
+  in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 470.lbm")
+  in
+  let limit_arg =
+    Arg.(value & opt int 60 & info [ "limit" ] ~docv:"N" ~doc:"max host instructions")
+  in
+  let policy_arg =
+    let policy_conv =
+      Arg.conv
+        ( (function
+          | "normal" -> Ok Bt.Translate.Normal
+          | "seq" -> Ok Bt.Translate.Seq_always
+          | "multi" -> Ok Bt.Translate.Multi
+          | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))),
+          fun fmt p ->
+            Format.pp_print_string fmt
+              (match p with
+              | Bt.Translate.Normal -> "normal"
+              | Seq_always -> "seq"
+              | Multi -> "multi") )
+    in
+    Arg.(
+      value & opt policy_conv Bt.Translate.Normal
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"normal | seq | multi")
+  in
+  let run name scale limit policy =
+    let w = W.Workload.instantiate ~scale name in
+    let mem = W.Workload.fresh_memory w in
+    let cache = Bt.Code_cache.create () in
+    (match Bt.Block.discover mem ~pc:(W.Workload.entry w) with
+    | Error e -> Format.printf "block discovery failed: %a@." Bt.Block.pp_error e
+    | Ok block ->
+      let entry = Bt.Translate.translate ~cache ~block ~policy_of:(fun _ -> policy) in
+      Format.printf "block %#x: %d guest insns -> %d host insns (entry %d)@.@."
+        block.Bt.Block.start (Bt.Block.length block)
+        (Bt.Code_cache.length cache) entry;
+      Format.printf "guest:@.";
+      Array.iteri
+        (fun i insn ->
+          Format.printf "  %#8x:  %a@." block.Bt.Block.addrs.(i) Mda_guest.Pretty.pp_insn
+            insn)
+        block.Bt.Block.insns;
+      Format.printf "@.host (with encoded words):@.";
+      for pc = 0 to min (limit - 1) (Bt.Code_cache.length cache - 1) do
+        let insn = Bt.Code_cache.fetch cache pc in
+        let word = Mda_host.Encode.encode ~pc insn in
+        Format.printf "  %6d:  %08x  %a@." pc word Mda_host.Pretty.pp_insn insn
+      done;
+      if Bt.Code_cache.length cache > limit then
+        Format.printf "  ... (%d more)@." (Bt.Code_cache.length cache - limit));
+    0
+  in
+  Cmd.v (Cmd.info "disasm-host" ~doc)
+    Term.(const run $ bench_arg $ scale_arg $ limit_arg $ policy_arg)
+
+let () =
+  let doc = "reproduction of the CGO'09 MDA-handling evaluation" in
+  let info = Cmd.info "mdabench" ~version:"1.0.0" ~doc in
+  let cmds =
+    List.map experiment_cmd experiments
+    @ [ all_cmd; run_cmd; trace_cmd; list_cmd; info_cmd; disasm_cmd; disasm_host_cmd ]
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

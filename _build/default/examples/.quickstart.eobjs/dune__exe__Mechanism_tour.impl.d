@@ -1,0 +1,1 @@
+examples/mechanism_tour.ml: Array Format Int64 List Mda_bt Mda_harness Mda_util Mda_workloads Sys

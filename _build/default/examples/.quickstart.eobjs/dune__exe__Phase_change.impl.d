@@ -1,0 +1,1 @@
+examples/phase_change.ml: Format Int64 Mda_bt Mda_guest Mda_machine Mda_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Mda_bt Mda_guest Mda_machine

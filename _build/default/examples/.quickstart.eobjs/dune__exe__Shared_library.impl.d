@@ -1,0 +1,1 @@
+examples/shared_library.ml: Format Int64 Mda_bt Mda_guest Mda_machine Mda_util

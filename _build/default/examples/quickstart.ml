@@ -1,0 +1,60 @@
+(* Quickstart: build a tiny guest program, run it through the DBT with
+   the exception-handling MDA mechanism, and watch a misaligned access
+   get trapped, patched, and then run at full speed.
+
+     dune exec examples/quickstart.exe *)
+
+module G = Mda_guest
+module GI = Mda_guest.Isa
+module Machine = Mda_machine
+module Bt = Mda_bt
+
+let () =
+  (* 1. Write a guest (x86lite) program with the assembler: a loop that
+     sums a 4-byte field at a *misaligned* address 1000 times. *)
+  let data = Bt.Layout.data_base in
+  let misaligned_cell = data + 2 (* 2 mod 4: every 4-byte access traps on Alpha *) in
+  let asm = G.Asm.create () in
+  let open G.Asm in
+  movi asm GI.ESP Bt.Layout.stack_top;
+  movi asm GI.EDI 0; (* accumulator *)
+  movi asm GI.ECX 1000; (* loop counter *)
+  let top = fresh_label asm in
+  jmp asm top;
+  bind asm top;
+  movi asm GI.EBX misaligned_cell;
+  load asm ~dst:GI.EAX ~src:(GI.addr_base GI.EBX) ~size:GI.S4 ();
+  binop asm GI.Add GI.EDI (GI.Reg GI.EAX);
+  addi asm GI.ECX (-1);
+  cmpi asm GI.ECX 0;
+  jcc asm GI.Gt top;
+  store asm ~src:GI.EDI ~dst:(GI.addr_base ~disp:16 GI.EBX) ~size:GI.S4 ();
+  halt asm;
+  let program = assemble ~base:Bt.Layout.guest_code_base asm in
+
+  Format.printf "Guest program (%d instructions):@." (Array.length program.G.Asm.insns);
+  Format.printf "%a@." G.Pretty.pp_program program;
+
+  (* 2. Load it into simulated memory and put a value at the misaligned
+     address. *)
+  let mem = Machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
+  Machine.Memory.load_image mem ~addr:program.G.Asm.base program.G.Asm.image;
+  Machine.Memory.write mem ~addr:misaligned_cell ~size:4 7L;
+
+  (* 3. Run it under the DBT with the paper's exception-handling
+     mechanism: the first misaligned access raises an alignment trap; the
+     handler generates the ldq_u/extll/extlh MDA sequence in the code
+     cache and patches the faulting slot into a branch to it. *)
+  let config =
+    Bt.Runtime.default_config (Bt.Mechanism.Exception_handling { rearrange = false })
+  in
+  let t = Bt.Runtime.create ~config ~mem () in
+  let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
+
+  Format.printf "@.Run statistics:@.%a@." Bt.Run_stats.pp stats;
+  Format.printf "@.Result: sum = %Ld (expected %d)@."
+    (Machine.Memory.read mem ~addr:(misaligned_cell + 16) ~size:4)
+    (7 * 1000);
+  Format.printf
+    "Note the single alignment trap: the handler patched the load once;@.\
+     the remaining 999 iterations executed the MDA code sequence directly.@."

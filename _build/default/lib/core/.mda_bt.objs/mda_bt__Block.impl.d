@@ -1,0 +1,1 @@
+lib/core/block.ml: Array Format List Mda_guest Mda_machine

@@ -1,0 +1,1 @@
+lib/core/block.mli: Format Mda_guest Mda_machine

@@ -1,0 +1,1 @@
+lib/core/code_cache.ml: Array Hashtbl List Mda_host Mda_machine Printf

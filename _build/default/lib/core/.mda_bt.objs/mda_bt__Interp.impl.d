@@ -1,0 +1,1 @@
+lib/core/interp.ml: Array Bits Block Int32 Int64 Mda_guest Mda_host Mda_machine Mda_util Printf

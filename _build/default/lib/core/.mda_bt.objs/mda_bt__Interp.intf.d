@@ -1,0 +1,1 @@
+lib/core/interp.mli: Block Mda_guest Mda_machine

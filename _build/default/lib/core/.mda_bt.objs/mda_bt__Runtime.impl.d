@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Block Code_cache Format Hashtbl Int64 Interp Layout List Mda_guest Mda_host Mda_machine Mechanism Printf Profile Run_stats Translate

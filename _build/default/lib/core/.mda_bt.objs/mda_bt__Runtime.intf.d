@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Block Code_cache Format Hashtbl Interp Mda_machine Mechanism Profile Run_stats

@@ -1,0 +1,1 @@
+lib/core/translate.ml: Array Block Code_cache Hashtbl Int32 List Mda_guest Mda_host Printf

@@ -1,0 +1,1 @@
+lib/core/translate.mli: Block Code_cache

@@ -1,0 +1,65 @@
+(* Guest basic-block discovery.
+
+   DigitalBridge executes and translates at basic-block granularity
+   (Section V-B); a block runs from a join-free entry point to the first
+   control transfer. Instructions are decoded straight out of simulated
+   memory, where the encoded guest image was loaded. *)
+
+module G = Mda_guest
+
+type t = {
+  start : int; (* guest address of the first instruction *)
+  insns : G.Isa.insn array;
+  addrs : int array; (* guest address of each instruction *)
+  next : int; (* guest address immediately after the block *)
+}
+
+type error =
+  | Decode_failed of G.Decode.error
+  | Too_long of { start : int; limit : int }
+
+let pp_error fmt = function
+  | Decode_failed e -> G.Decode.pp_error fmt e
+  | Too_long { start; limit } ->
+    Format.fprintf fmt "block at %#x exceeds %d instructions without a branch" start
+      limit
+
+(* [discover mem ~pc] decodes the basic block starting at guest address
+   [pc]. [max_insns] guards against runaway decoding through data. *)
+let discover ?(max_insns = 4096) mem ~pc =
+  let bytes = Mda_machine.Memory.raw mem in
+  let rec go pos acc_i acc_a n =
+    if n >= max_insns then Error (Too_long { start = pc; limit = max_insns })
+    else
+      match G.Decode.decode bytes ~pos with
+      | Error e -> Error (Decode_failed e)
+      | Ok (insn, next_pos) ->
+        let acc_i = insn :: acc_i and acc_a = pos :: acc_a in
+        if G.Isa.is_block_end insn then
+          Ok
+            { start = pc;
+              insns = Array.of_list (List.rev acc_i);
+              addrs = Array.of_list (List.rev acc_a);
+              next = next_pos }
+        else go next_pos acc_i acc_a (n + 1)
+  in
+  go pc [] [] 0
+
+let length t = Array.length t.insns
+
+(* Guest address of the instruction following instruction [i] — the
+   return address for a call ending the block, or the fall-through of a
+   conditional branch. *)
+let addr_after t i = if i + 1 < Array.length t.addrs then t.addrs.(i + 1) else t.next
+
+(* Static memory-reference instructions of the block, with their guest
+   addresses: what the profiler keys on. *)
+let mem_sites t =
+  let out = ref [] in
+  Array.iteri
+    (fun i insn ->
+      match G.Isa.memory_access insn with
+      | Some (kind, size) -> out := (t.addrs.(i), kind, size) :: !out
+      | None -> ())
+    t.insns;
+  List.rev !out

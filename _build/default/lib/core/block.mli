@@ -1,0 +1,31 @@
+(** Guest basic-block discovery. DigitalBridge executes and translates
+    at basic-block granularity: a block runs from an entry point to the
+    first control transfer, decoded in place from simulated memory. *)
+
+type t = {
+  start : int; (** guest address of the first instruction *)
+  insns : Mda_guest.Isa.insn array;
+  addrs : int array; (** guest address of each instruction *)
+  next : int; (** guest address immediately after the block *)
+}
+
+type error =
+  | Decode_failed of Mda_guest.Decode.error
+  | Too_long of { start : int; limit : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Decode the block starting at guest address [pc]; [max_insns]
+    (default 4096) guards against decoding through data. *)
+val discover : ?max_insns:int -> Mda_machine.Memory.t -> pc:int -> (t, error) result
+
+val length : t -> int
+
+(** Address of the instruction after instruction [i] — the return
+    address of a block-ending call, or a conditional branch's
+    fall-through. *)
+val addr_after : t -> int -> int
+
+(** The block's static memory-reference instructions:
+    [(guest address, direction, width)]. *)
+val mem_sites : t -> (int * [ `Load | `Store ] * Mda_guest.Isa.size) list

@@ -1,0 +1,77 @@
+(** The translated-code cache: host instructions in a growable store,
+    plus the side tables a patching DBT needs — host-pc → faulting-site
+    descriptions for the misalignment handler, and per-block records
+    (entry points, chained in-edges, patch/trap accounting for the
+    rearrangement and retranslation policies).
+
+    Patching rewrites one slot, the simulated equivalent of overwriting
+    one instruction word in a real code cache. *)
+
+module H = Mda_host.Isa
+
+(** What the trap handler needs to regenerate a faulting access as an
+    MDA sequence. [op.base]/[op.disp] name live host state at the
+    faulting pc. *)
+type site = {
+  guest_addr : int;
+  block_start : int;
+  op : Mda_host.Mda_seq.mem_op;
+}
+
+(** Per-guest-block bookkeeping. *)
+type block_rec = {
+  start : int;
+  mutable entry : int option; (** host entry pc of the current translation *)
+  mutable host_range : (int * int) option;
+  mutable execs : int; (** phase-1 (interpreted) executions *)
+  mutable traps : int; (** misalignment exceptions in translated code *)
+  mutable patched : (int, unit) Hashtbl.t; (** guest addrs patched *)
+  mutable known_mda : (int, unit) Hashtbl.t; (** profile ∪ patched *)
+  mutable in_chains : int list; (** host pcs chained to [entry] *)
+  mutable dirty_rearrange : bool;
+  mutable want_retrans : bool;
+  mutable retrans_count : int;
+}
+
+type t = {
+  mutable code : H.insn array;
+  mutable len : int;
+  sites : (int, site) Hashtbl.t;
+  blocks : (int, block_rec) Hashtbl.t;
+  mutable patches : int; (** slots rewritten, for statistics *)
+}
+
+val create : ?initial:int -> unit -> t
+
+val length : t -> int
+
+(** Append instructions; returns the pc of the first. *)
+val emit : t -> H.insn list -> int
+
+(** Raises {!Mda_machine.Cpu.Fatal} out of range (a wild branch). *)
+val fetch : t -> int -> H.insn
+
+(** Rewrite one slot. *)
+val patch : t -> int -> H.insn -> unit
+
+val insn_at : t -> int -> H.insn option
+
+val register_site : t -> pc:int -> site -> unit
+
+val find_site : t -> int -> site option
+
+val remove_sites_in : t -> int * int -> unit
+
+(** Find-or-create the record for the guest block at [start]. *)
+val block : t -> int -> block_rec
+
+val find_block : t -> int -> block_rec option
+
+(** Drop a block's translation: re-patch every chained in-edge with
+    [repatch pc], remove its sites, clear its entry. The stale code is
+    abandoned in place, as real code caches do until a flush. *)
+val invalidate : t -> block_rec -> repatch:(int -> H.insn) -> unit
+
+val iter_blocks : t -> (block_rec -> unit) -> unit
+
+val num_blocks : t -> int

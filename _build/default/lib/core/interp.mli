@@ -1,0 +1,46 @@
+(** The guest (x86lite) interpreter — phase 1 of the two-phase
+    translator, and, in [Native] mode, a stand-in for running the binary
+    on real X86 hardware (Table I, Figure 1).
+
+    Guest architectural state lives inside the host CPU's register file
+    using the translator's register convention, making the
+    interpreter↔translated-code context switch free and keeping the two
+    execution engines comparable: differential tests require identical
+    final state from both. The guest ISA permits MDAs, so the
+    interpreter never traps — it reports every access to [on_mem]; in
+    [Native] mode a misaligned access pays the hardware split-access
+    penalty instead. *)
+
+type mode =
+  | Interpreted of { profile : bool }
+      (** BT phase 1; [profile] charges light-instrumentation cost *)
+  | Native (** direct execution on an MDA-tolerant x86 machine *)
+
+(** One data-memory reference, as seen by the profiler. *)
+type mem_event = {
+  guest_addr : int; (** static instruction address *)
+  ea : int; (** effective address *)
+  size : int;
+  aligned : bool;
+  kind : [ `Load | `Store ];
+}
+
+type outcome = Fallthrough of int | Halted
+
+exception Guest_fault of string
+
+(** Execute [block] once against the CPU's registers and memory,
+    reporting each data reference to [on_mem]. *)
+val exec_block :
+  Mda_machine.Cpu.t -> mode -> Block.t -> on_mem:(mem_event -> unit) -> outcome
+
+(** Pieces of the semantics exposed for testing. *)
+
+(** Does the condition hold over the CPU's current flag state (R10-R12)? *)
+val cond_holds : Mda_machine.Cpu.t -> Mda_guest.Isa.cond -> bool
+
+(** 32-bit ALU semantics (results follow the longword convention). *)
+val binop_result : Mda_guest.Isa.binop -> int64 -> int64 -> int64
+
+(** Effective address of a guest memory operand, mod 2^32. *)
+val eff_addr : Mda_machine.Cpu.t -> Mda_guest.Isa.addr -> int

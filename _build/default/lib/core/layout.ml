@@ -1,0 +1,26 @@
+(* Simulated address-space layout.
+
+   The reproduction uses a single flat address space shared by guest and
+   host (as in FX!32-style same-process migration): the guest image, its
+   stack and data live in simulated memory; the code cache's instructions
+   are held out-of-band (an OCaml array — see {!Code_cache}) but occupy a
+   simulated address range so the I-cache sees translated code compete
+   with itself and with nothing else, like a real code cache would. *)
+
+let mem_size = 0x0080_0000 (* 8 MiB of simulated guest memory *)
+
+(* Guest program image. *)
+let guest_code_base = 0x0000_1000
+
+(* Guest stack, growing down. 8-byte aligned like a real loader would. *)
+let stack_top = 0x000F_F000
+
+(* Guest data segment: heap-like region handed to workload generators. *)
+let data_base = 0x0010_0000
+
+let data_limit = mem_size
+
+(* Simulated byte address of code-cache slot 0 (4 bytes per insn).
+   Deliberately outside [mem_size]: translated code is not guest-visible
+   data, it only has an address so the I-cache can model locality. *)
+let code_cache_base = 0x0100_0000

@@ -1,0 +1,20 @@
+(** Simulated address-space layout: a single flat space shared by guest
+    and host (FX!32-style same-process migration). *)
+
+(** Total simulated guest memory (bytes). *)
+val mem_size : int
+
+(** Load address of the guest program image. *)
+val guest_code_base : int
+
+(** Initial guest stack pointer (stack grows down). *)
+val stack_top : int
+
+(** Guest data segment handed to workload generators. *)
+val data_base : int
+
+val data_limit : int
+
+(** Simulated byte address of code-cache slot 0 (4 bytes per host
+    instruction); gives translated code I-cache presence. *)
+val code_cache_base : int

@@ -1,0 +1,68 @@
+(* The MDA handling mechanisms under evaluation (paper Sections III–IV,
+   Table II).
+
+   Each value selects how the translator treats guest memory operations
+   and what the misalignment exception handler does:
+
+   - [Direct] (QEMU): every non-byte memory op becomes an MDA code
+     sequence at first translation; traps never occur.
+   - [Static_profiling] (FX!32): sites that misaligned during a prior
+     train-input run get MDA sequences; anything else that traps is fixed
+     up by the OS handler, every single time.
+   - [Dynamic_profiling] (IA-32 EL): phase-1 interpretation profiles
+     alignment up to [threshold] executions per block; translation then
+     plants MDA sequences at observed sites. Later MDAs trap to the OS
+     fixup handler forever.
+   - [Exception_handling] (this paper): translate everything as aligned;
+     the handler patches a faulting slot into a branch to a freshly
+     generated MDA sequence on its *first* trap. With [rearrange], a
+     patched block is rebuilt with the sequences inline at its next entry
+     to restore I-cache locality (Figure 6).
+   - [Dpeh]: dynamic profiling at a low threshold + exception-handler
+     patching for the leftovers (Figure 4); optional block
+     [retranslate]-after-N-traps (Figure 7) and [multiversion] code for
+     sites with mixed alignment behaviour (Figure 8). *)
+
+type t =
+  | Direct
+  | Static_profiling of Profile.summary
+  | Dynamic_profiling of { threshold : int }
+  | Exception_handling of { rearrange : bool }
+  | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
+
+let name = function
+  | Direct -> "direct"
+  | Static_profiling _ -> "static-profiling"
+  | Dynamic_profiling { threshold } -> Printf.sprintf "dynamic-profiling(th=%d)" threshold
+  | Exception_handling { rearrange } ->
+    if rearrange then "exception-handling+rearrange" else "exception-handling"
+  | Dpeh { threshold; retranslate; multiversion } ->
+    Printf.sprintf "dpeh(th=%d%s%s)" threshold
+      (match retranslate with Some r -> Printf.sprintf ",retrans=%d" r | None -> "")
+      (if multiversion then ",mv" else "")
+
+(* DigitalBridge's default heating threshold: every mechanism that lives
+   inside the two-phase framework interprets a block this many times
+   before translating it (the knob Figure 10 sweeps). *)
+let default_heating = 50
+
+(* Phase-1 (interpreted) executions before a block is translated. All
+   mechanisms are evaluated inside the same two-phase DigitalBridge
+   framework (paper Section V-B), so all share the system's heating
+   threshold; they differ only in the MDA translation policy and in
+   whether phase 1 carries alignment-profiling instrumentation. *)
+let heating_threshold = function
+  | Direct | Static_profiling _ | Exception_handling _ -> default_heating
+  | Dynamic_profiling { threshold } -> threshold
+  | Dpeh { threshold; _ } -> threshold
+
+(* Does phase 1 carry alignment-profiling instrumentation? *)
+let profiles_alignment = function
+  | Dynamic_profiling _ | Dpeh _ -> true
+  | Direct | Static_profiling _ | Exception_handling _ -> false
+
+(* Does the misalignment handler patch the code cache (Retry), or is the
+   access fixed up by the OS on every occurrence (Emulate)? *)
+let patches_on_trap = function
+  | Exception_handling _ | Dpeh _ -> true
+  | Direct | Static_profiling _ | Dynamic_profiling _ -> false

@@ -1,0 +1,28 @@
+(** The MDA handling mechanisms under evaluation (paper Sections III–IV,
+    Table II): QEMU-style direct translation, FX!32-style static
+    profiling, IA-32 EL-style dynamic profiling, the paper's
+    exception-handling mechanism (optionally with code rearrangement),
+    and DPEH with optional retranslation and multi-version code. *)
+
+type t =
+  | Direct
+  | Static_profiling of Profile.summary
+  | Dynamic_profiling of { threshold : int }
+  | Exception_handling of { rearrange : bool }
+  | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
+
+val name : t -> string
+
+(** DigitalBridge's default heating threshold (50): every mechanism that
+    lives inside the two-phase framework shares it. *)
+val default_heating : int
+
+(** Phase-1 (interpreted) executions before a block is translated. *)
+val heating_threshold : t -> int
+
+(** Does phase 1 carry alignment-profiling instrumentation? *)
+val profiles_alignment : t -> bool
+
+(** Does the misalignment handler patch the code cache ([Retry]) rather
+    than fix the access up on every occurrence ([Emulate])? *)
+val patches_on_trap : t -> bool

@@ -1,0 +1,48 @@
+(** MDA profiling state, keyed by static guest instruction address.
+    Shared by the phase-1 interpreter (dynamic profiling), the static
+    mechanism (a full train-input run produces a {!summary}), and the
+    Figure-15 alignment-bias analysis. *)
+
+type site = { mutable refs : int; mutable mdas : int }
+
+type t
+
+val create : unit -> t
+
+val record : t -> guest_addr:int -> aligned:bool -> unit
+
+val find : t -> int -> site option
+
+(** Did the instruction ever perform an MDA? (The paper's dynamic
+    profiling plants an MDA sequence "if the instruction has performed
+    MDA once during the profiling stage".) *)
+val is_mda_site : t -> int -> bool
+
+val mda_ratio : t -> int -> float
+
+(** (total refs, total MDAs) over all sites. *)
+val totals : t -> int * int
+
+(** Static instructions with at least one MDA — Table I's NMI column. *)
+val nmi : t -> int
+
+(** Figure-15 misaligned-ratio classes. *)
+type bias_class = Lt_half | Eq_half | Gt_half | Always
+
+val classify_site : site -> bias_class
+
+(** (<50%, =50%, >50%, =100%) site counts among MDA instructions. *)
+val bias_histogram : t -> int * int * int * int
+
+(** Immutable MDA-site set: what a static (train-input) profile ships. *)
+type summary
+
+val summarize : t -> summary
+
+val summary_mem : summary -> int -> bool
+
+val summary_size : summary -> int
+
+val empty_summary : unit -> summary
+
+val iter_sites : t -> (int -> site -> unit) -> unit

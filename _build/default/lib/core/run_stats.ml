@@ -1,0 +1,43 @@
+(* Aggregate statistics of one benchmark run under one mechanism.
+   [cycles] is the simulated-runtime metric every figure of the paper is
+   built from; the rest feed the tables and sanity checks. *)
+
+type t = {
+  mechanism : string;
+  cycles : int64;
+  guest_insns : int64; (* dynamic guest instructions (interpreted + translated) *)
+  interp_insns : int64; (* of which executed by the phase-1 interpreter *)
+  host_insns : int64; (* host instructions retired by translated code *)
+  memrefs : int64; (* ground-truth guest data references seen by the interpreter *)
+  mdas : int64; (* of which misaligned (interpreter-observed) *)
+  traps : int64; (* misalignment exceptions taken in translated code *)
+  patches : int; (* code-cache slots rewritten by the handler *)
+  translations : int;
+  retranslations : int;
+  rearrangements : int;
+  chains : int;
+  blocks : int; (* distinct guest blocks discovered *)
+  code_len : int; (* code-cache size, in host instructions *)
+  icache_misses : int; (* L1 I-cache misses (code-locality signal) *)
+  dcache_misses : int;
+}
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>mechanism        %s@,cycles           %s@,guest insns      %s@,\
+     interp insns     %s@,host insns       %s@,memrefs (interp) %s@,\
+     MDAs (interp)    %s@,align traps      %s@,patches          %d@,\
+     translations     %d@,retranslations   %d@,rearrangements   %d@,\
+     chains           %d@,blocks           %d@,code cache insns %d@]"
+    t.mechanism
+    (Mda_util.Stats.with_commas t.cycles)
+    (Mda_util.Stats.with_commas t.guest_insns)
+    (Mda_util.Stats.with_commas t.interp_insns)
+    (Mda_util.Stats.with_commas t.host_insns)
+    (Mda_util.Stats.with_commas t.memrefs)
+    (Mda_util.Stats.with_commas t.mdas)
+    (Mda_util.Stats.with_commas t.traps)
+    t.patches t.translations t.retranslations t.rearrangements t.chains t.blocks
+    t.code_len;
+  Format.fprintf fmt "@.icache misses    %d@.dcache misses    %d" t.icache_misses
+    t.dcache_misses

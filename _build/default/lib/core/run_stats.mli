@@ -1,0 +1,29 @@
+(** Aggregate statistics of one benchmark run under one mechanism.
+    [cycles] is the simulated-runtime metric every figure is built
+    from. *)
+
+type t = {
+  mechanism : string;
+  cycles : int64;
+  guest_insns : int64;
+      (** dynamic guest instructions; the translated-code share is
+          estimated from the average expansion ratio (chained execution
+          never returns to the dispatcher to be counted exactly) *)
+  interp_insns : int64; (** executed by the phase-1 interpreter *)
+  host_insns : int64; (** host instructions retired by translated code *)
+  memrefs : int64; (** interpreter-observed guest data references *)
+  mdas : int64; (** of which misaligned *)
+  traps : int64; (** misalignment exceptions in translated code *)
+  patches : int; (** slots rewritten by the trap handler *)
+  translations : int;
+  retranslations : int;
+  rearrangements : int;
+  chains : int;
+  blocks : int;
+  code_len : int; (** code-cache size, in host instructions *)
+  icache_misses : int; (** L1 I-cache misses (the code-locality signal
+                           behind Figure 11) *)
+  dcache_misses : int;
+}
+
+val pp : Format.formatter -> t -> unit

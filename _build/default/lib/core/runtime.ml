@@ -1,0 +1,455 @@
+(* The DigitalBridge-style DBT runtime (paper Figure 4/9).
+
+   Drives the whole system: dispatches on guest pc, interprets cold
+   blocks (phase 1, optionally profiling alignment), translates hot
+   blocks, runs translated code on the host CPU, chains block exits,
+   and services misalignment exceptions according to the active
+   mechanism — OS-style fixup (Emulate) or patch-and-retry with MDA
+   code sequences, plus the deferred rearrangement and retranslation
+   policies. *)
+
+module G = Mda_guest
+module H = Mda_host.Isa
+module Machine = Mda_machine
+module Seq = Mda_host.Mda_seq
+
+(* What retranslation invalidates: the faulting block only (this BT's
+   policy, Section IV-C) or the whole code cache (Dynamo's flush
+   policy, which the paper contrasts it with). *)
+type flush_policy = Block_granularity | Full_flush
+
+(* BT-level events, for tracing and debugging. Guest addresses identify
+   blocks; host pcs identify code-cache locations. *)
+type event =
+  | Ev_translate of { block : int; entry : int; host_len : int }
+  | Ev_trap of { host_pc : int; guest_addr : int; ea : int }
+  | Ev_patch of { host_pc : int; guest_addr : int; seq_at : int }
+  | Ev_os_fixup of { host_pc : int; ea : int }
+  | Ev_chain of { at : int; target_block : int }
+  | Ev_rearrange of { block : int; entry : int }
+  | Ev_retranslate of { block : int }
+
+let pp_event fmt = function
+  | Ev_translate { block; entry; host_len } ->
+    Format.fprintf fmt "translate  block %#x -> entry %d (%d host insns)" block entry
+      host_len
+  | Ev_trap { host_pc; guest_addr; ea } ->
+    Format.fprintf fmt "trap       host pc %d (guest %#x) on address %#x" host_pc
+      guest_addr ea
+  | Ev_patch { host_pc; guest_addr; seq_at } ->
+    Format.fprintf fmt "patch      host pc %d (guest %#x) -> MDA sequence at %d" host_pc
+      guest_addr seq_at
+  | Ev_os_fixup { host_pc; ea } ->
+    Format.fprintf fmt "os-fixup   host pc %d on address %#x" host_pc ea
+  | Ev_chain { at; target_block } ->
+    Format.fprintf fmt "chain      exit at %d -> block %#x" at target_block
+  | Ev_rearrange { block; entry } ->
+    Format.fprintf fmt "rearrange  block %#x -> new entry %d" block entry
+  | Ev_retranslate { block } ->
+    Format.fprintf fmt "retranslate block %#x (invalidate + re-profile)" block
+
+type config = {
+  mechanism : Mechanism.t;
+  cost : Machine.Cost_model.t;
+  fuel : int; (* bound on host instructions, guards against runaway code *)
+  max_guest_insns : int64; (* stop the run after this many guest insns *)
+  chaining : bool; (* link translated block exits directly (standard) *)
+  flush_policy : flush_policy;
+  on_event : (event -> unit) option; (* tracing hook *)
+}
+
+let default_config mechanism =
+  { mechanism;
+    cost = Machine.Cost_model.default;
+    fuel = 2_000_000_000;
+    max_guest_insns = Int64.max_int;
+    chaining = true;
+    flush_policy = Block_granularity;
+    on_event = None }
+
+type t = {
+  cpu : Machine.Cpu.t;
+  cache : Code_cache.t;
+  profile : Profile.t;
+  config : config;
+  blocks_decoded : (int, Block.t) Hashtbl.t;
+  mutable guest_insns : int64; (* interpreted, exactly counted *)
+  mutable interp_insns : int64;
+  mutable memrefs : int64;
+  mutable mdas : int64;
+  mutable translations : int;
+  mutable retranslations : int;
+  mutable rearrangements : int;
+  mutable chains : int;
+  mutable handler_patches : int; (* faulting slots rewritten by the handler *)
+  mutable fuel_left : int;
+  (* Σ guest/host lengths over translations, to estimate how many guest
+     instructions the translated code retired (chained block execution
+     never returns to the dispatcher, so it cannot be counted exactly). *)
+  mutable translated_guest_len : int;
+  mutable translated_host_len : int;
+}
+
+let create ?(config = default_config (Mechanism.Exception_handling { rearrange = false }))
+    ~mem () =
+  let hier = Machine.Hierarchy.create config.cost in
+  let cpu =
+    Machine.Cpu.create ~code_base:Layout.code_cache_base ~mem ~hier ~cost:config.cost ()
+  in
+  { cpu;
+    cache = Code_cache.create ();
+    profile = Profile.create ();
+    config;
+    blocks_decoded = Hashtbl.create 256;
+    guest_insns = 0L;
+    interp_insns = 0L;
+    memrefs = 0L;
+    mdas = 0L;
+    translations = 0;
+    retranslations = 0;
+    rearrangements = 0;
+    chains = 0;
+    handler_patches = 0;
+    fuel_left = config.fuel;
+    translated_guest_len = 0;
+    translated_host_len = 0 }
+
+exception Runtime_error of string
+
+let emit_event t ev =
+  match t.config.on_event with Some f -> f ev | None -> ()
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* --- block lookup ----------------------------------------------------- *)
+
+let block_of t pc =
+  match Hashtbl.find_opt t.blocks_decoded pc with
+  | Some b -> b
+  | None -> begin
+    match Block.discover t.cpu.Machine.Cpu.mem ~pc with
+    | Ok b ->
+      Hashtbl.replace t.blocks_decoded pc b;
+      b
+    | Error e -> fail "%s" (Format.asprintf "%a" Block.pp_error e)
+  end
+
+(* --- translation policies -------------------------------------------- *)
+
+(* Mixed-alignment site: the Figure-8 multi-version candidate. *)
+let is_mixed t addr =
+  match Profile.find t.profile addr with
+  | Some s when s.refs >= 8 && s.mdas > 0 && s.mdas < s.refs ->
+    let r = float_of_int s.mdas /. float_of_int s.refs in
+    (* two versions pay off only when enough executions take the cheap
+       aligned path to amortize the alignment test (Section IV-D) *)
+    r >= 0.05 && r <= 0.6
+  | _ -> false
+
+let policy_for t (brec : Code_cache.block_rec) : int -> Translate.policy =
+ fun addr ->
+  match t.config.mechanism with
+  | Direct -> Seq_always
+  | Static_profiling summary ->
+    if Profile.summary_mem summary addr then Seq_always else Normal
+  | Dynamic_profiling _ ->
+    if Profile.is_mda_site t.profile addr then Seq_always else Normal
+  | Exception_handling _ ->
+    (* initial translation: all aligned; after rearrangement the patched
+       sites come back inline *)
+    if Hashtbl.mem brec.patched addr then Seq_always else Normal
+  | Dpeh { multiversion; _ } ->
+    if multiversion && is_mixed t addr then Multi
+    else if Hashtbl.mem brec.known_mda addr || Profile.is_mda_site t.profile addr then
+      Seq_always
+    else Normal
+
+(* --- misalignment exception handler ----------------------------------- *)
+
+let install_handler t =
+  Machine.Cpu.set_handler t.cpu (fun ~pc ~addr insn ->
+      let _ = insn in
+      if not (Mechanism.patches_on_trap t.config.mechanism) then begin
+        emit_event t (Ev_os_fixup { host_pc = pc; ea = addr });
+        Machine.Cpu.Emulate
+      end
+      else
+        match Code_cache.find_site t.cache pc with
+        | None ->
+          (* An access with no site record (e.g. inside an MDA sequence —
+             impossible — or a stale mapping): fall back to OS fixup. *)
+          Machine.Cpu.Emulate
+        | Some site ->
+          (* Generate the MDA code sequence in the code cache and patch
+             the faulting slot into a branch to it (paper Figure 5). *)
+          emit_event t (Ev_trap { host_pc = pc; guest_addr = site.guest_addr; ea = addr });
+          let seq = Seq.emit site.op @ [ H.Br { ra = H.r31; target = pc + 1 } ] in
+          let seq_start = Code_cache.emit t.cache seq in
+          Code_cache.patch t.cache pc (H.Br { ra = H.r31; target = seq_start });
+          emit_event t
+            (Ev_patch { host_pc = pc; guest_addr = site.guest_addr; seq_at = seq_start });
+          t.handler_patches <- t.handler_patches + 1;
+          Machine.Cpu.charge t.cpu t.config.cost.patch;
+          let brec = Code_cache.block t.cache site.block_start in
+          Hashtbl.replace brec.patched site.guest_addr ();
+          Hashtbl.replace brec.known_mda site.guest_addr ();
+          brec.traps <- brec.traps + 1;
+          (match t.config.mechanism with
+          | Exception_handling { rearrange = true } -> brec.dirty_rearrange <- true
+          | Dpeh { retranslate = Some limit; _ } ->
+            if brec.traps >= limit then brec.want_retrans <- true
+          | _ -> ());
+          (* A block scheduled for rebuilding must be unlinked from its
+             callers, or chained execution would never return control to
+             the dispatcher that performs the rebuild. *)
+          if brec.dirty_rearrange || brec.want_retrans then begin
+            List.iter
+              (fun at ->
+                Code_cache.patch t.cache at (H.Monitor (Next_guest brec.start)))
+              brec.in_chains;
+            brec.in_chains <- []
+          end;
+          Machine.Cpu.Retry)
+
+(* --- translation ------------------------------------------------------ *)
+
+let invalidate_block t (brec : Code_cache.block_rec) =
+  Code_cache.invalidate t.cache brec ~repatch:(fun _ ->
+      H.Monitor (Next_guest brec.start));
+  Machine.Cpu.charge t.cpu t.config.cost.invalidate_block
+
+let translate_block ?(charge = true) t (brec : Code_cache.block_rec) =
+  let block = block_of t brec.start in
+  let entry = Translate.translate ~cache:t.cache ~block ~policy_of:(policy_for t brec) in
+  let hi = Code_cache.length t.cache in
+  brec.entry <- Some entry;
+  brec.host_range <- Some (entry, hi);
+  t.translations <- t.translations + 1;
+  t.translated_guest_len <- t.translated_guest_len + Block.length block;
+  t.translated_host_len <- t.translated_host_len + (hi - entry);
+  if charge then
+    Machine.Cpu.charge t.cpu (t.config.cost.translate_guest_insn * Block.length block);
+  emit_event t (Ev_translate { block = brec.start; entry; host_len = hi - entry });
+  entry
+
+(* Deferred code rearrangement: rebuild the block with its patched MDA
+   sequences inline (Figure 6). Repositioning copies and re-links already
+   translated code, so it costs relocation work per host instruction
+   moved, not a fresh translation. *)
+let rearrange_block t (brec : Code_cache.block_rec) =
+  invalidate_block t brec;
+  let entry = translate_block ~charge:false t brec in
+  (match brec.host_range with
+  | Some (lo, hi) -> Machine.Cpu.charge t.cpu (t.config.cost.reloc_insn * (hi - lo))
+  | None -> ());
+  brec.dirty_rearrange <- false;
+  t.rearrangements <- t.rearrangements + 1;
+  emit_event t (Ev_rearrange { block = brec.start; entry });
+  entry
+
+(* Deferred retranslation (Figure 7): invalidate and restart the block's
+   dynamic-profiling-and-translation process. Under [Full_flush] (the
+   Dynamo policy the paper contrasts with), every translated block is
+   dropped, not just the offender. *)
+let retranslate_block t (brec : Code_cache.block_rec) =
+  (match t.config.flush_policy with
+  | Block_granularity -> invalidate_block t brec
+  | Full_flush ->
+    Code_cache.iter_blocks t.cache (fun b ->
+        if b.entry <> None then begin
+          invalidate_block t b;
+          b.execs <- 0
+        end);
+    Machine.Hierarchy.invalidate_code t.cpu.Machine.Cpu.hier);
+  brec.execs <- 0;
+  brec.traps <- 0;
+  brec.want_retrans <- false;
+  brec.retrans_count <- brec.retrans_count + 1;
+  t.retranslations <- t.retranslations + 1;
+  emit_event t (Ev_retranslate { block = brec.start })
+
+(* --- execution -------------------------------------------------------- *)
+
+let interp_block t pc =
+  let block = block_of t pc in
+  let mech = t.config.mechanism in
+  let profiling = Mechanism.profiles_alignment mech in
+  let on_mem (ev : Interp.mem_event) =
+    t.memrefs <- Int64.add t.memrefs 1L;
+    if not ev.aligned then t.mdas <- Int64.add t.mdas 1L;
+    if profiling then Profile.record t.profile ~guest_addr:ev.guest_addr ~aligned:ev.aligned
+  in
+  let n = Int64.of_int (Block.length block) in
+  t.guest_insns <- Int64.add t.guest_insns n;
+  t.interp_insns <- Int64.add t.interp_insns n;
+  Interp.exec_block t.cpu (Interpreted { profile = profiling }) block ~on_mem
+
+(* Chain an unchained Monitor exit into a direct branch when its target
+   is (still) translated. *)
+let maybe_chain t ~at ~target_pc =
+  if not t.config.chaining then ()
+  else
+  match Code_cache.insn_at t.cache at with
+  | Some (H.Monitor (Next_guest g)) when g = target_pc -> begin
+    match Code_cache.find_block t.cache target_pc with
+    | Some tb -> begin
+      match tb.entry with
+      | Some e when (not tb.dirty_rearrange) && not tb.want_retrans ->
+        Code_cache.patch t.cache at (H.Br { ra = H.r31; target = e });
+        tb.in_chains <- at :: tb.in_chains;
+        emit_event t (Ev_chain { at; target_block = target_pc });
+        t.chains <- t.chains + 1;
+        Machine.Cpu.charge t.cpu t.config.cost.chain_patch
+      | _ -> ()
+    end
+    | None -> ()
+  end
+  | _ -> ()
+
+let enter_translated t (brec : Code_cache.block_rec) entry =
+  ignore brec;
+  let fetch pc = Code_cache.fetch t.cache pc in
+  let before = t.cpu.Machine.Cpu.insns in
+  let exit_reason, at = Machine.Cpu.run t.cpu ~fetch ~entry ~fuel:t.fuel_left in
+  let executed = Int64.sub t.cpu.Machine.Cpu.insns before in
+  t.fuel_left <- t.fuel_left - Int64.to_int executed;
+  match exit_reason with
+  | Machine.Cpu.Exit_next_guest g ->
+    maybe_chain t ~at ~target_pc:g;
+    `Continue g
+  | Machine.Cpu.Exit_dyn_guest g -> `Continue g
+  | Machine.Cpu.Exit_halt -> `Halt
+
+let step t pc =
+  let brec = Code_cache.block t.cache pc in
+  if brec.want_retrans then retranslate_block t brec;
+  match brec.entry with
+  | Some _ when brec.dirty_rearrange ->
+    let entry = rearrange_block t brec in
+    enter_translated t brec entry
+  | Some entry -> enter_translated t brec entry
+  | None ->
+    let threshold = Mechanism.heating_threshold t.config.mechanism in
+    if brec.execs < threshold then begin
+      brec.execs <- brec.execs + 1;
+      match interp_block t pc with
+      | Interp.Fallthrough next -> `Continue next
+      | Interp.Halted -> `Halt
+    end
+    else begin
+      let entry = translate_block t brec in
+      enter_translated t brec entry
+    end
+
+(* Guest instructions retired by translated code, estimated from the
+   average expansion ratio (chained execution cannot be counted exactly —
+   see [translated_guest_len]). *)
+let translated_guest_estimate t =
+  if t.translated_host_len = 0 then 0L
+  else
+    Int64.of_float
+      (Int64.to_float t.cpu.Machine.Cpu.insns
+      *. (float_of_int t.translated_guest_len /. float_of_int t.translated_host_len))
+
+let total_guest_insns t = Int64.add t.guest_insns (translated_guest_estimate t)
+
+(* Pure-interpreter (or native-x86) execution of a whole guest program,
+   with full alignment profiling. This is the ground-truth engine behind
+   Table I ("how many MDAs does this program perform?"), Figure 15 (the
+   per-site alignment-bias histogram), the train-input runs that feed the
+   static-profiling mechanism, and — in [Native] mode — the
+   Figure-1 experiment of running the binary on MDA-tolerant X86
+   hardware. Returns the run statistics and the collected profile. *)
+let interpret_program ?(mode = Interp.Interpreted { profile = true })
+    ?(cost = Machine.Cost_model.default) ?(max_guest_insns = Int64.max_int) ~mem ~entry
+    () =
+  let hier = Machine.Hierarchy.create cost in
+  let cpu = Machine.Cpu.create ~code_base:Layout.code_cache_base ~mem ~hier ~cost () in
+  let profile = Profile.create () in
+  let blocks = Hashtbl.create 256 in
+  let block_at pc =
+    match Hashtbl.find_opt blocks pc with
+    | Some b -> b
+    | None -> begin
+      match Block.discover mem ~pc with
+      | Ok b ->
+        Hashtbl.replace blocks pc b;
+        b
+      | Error e -> fail "%s" (Format.asprintf "%a" Block.pp_error e)
+    end
+  in
+  let memrefs = ref 0L and mdas = ref 0L and guest_insns = ref 0L in
+  let on_mem (ev : Interp.mem_event) =
+    memrefs := Int64.add !memrefs 1L;
+    if not ev.aligned then mdas := Int64.add !mdas 1L;
+    Profile.record profile ~guest_addr:ev.guest_addr ~aligned:ev.aligned
+  in
+  let pc = ref entry in
+  let halted = ref false in
+  while (not !halted) && !guest_insns < max_guest_insns do
+    let block = block_at !pc in
+    guest_insns := Int64.add !guest_insns (Int64.of_int (Block.length block));
+    match Interp.exec_block cpu mode block ~on_mem with
+    | Interp.Fallthrough next -> pc := next
+    | Interp.Halted -> halted := true
+  done;
+  let stats : Run_stats.t =
+    { mechanism = (match mode with Interp.Native -> "native-x86" | _ -> "interpreter");
+      cycles = cpu.Machine.Cpu.cycles;
+      guest_insns = !guest_insns;
+      interp_insns = !guest_insns;
+      host_insns = 0L;
+      memrefs = !memrefs;
+      mdas = !mdas;
+      traps = 0L;
+      patches = 0;
+      translations = 0;
+      retranslations = 0;
+      rearrangements = 0;
+      chains = 0;
+      blocks = Hashtbl.length blocks;
+      code_len = 0;
+      icache_misses = 0;
+      dcache_misses =
+        (match Machine.Hierarchy.stats hier with
+        | _ :: ("l1d", _, m) :: _ -> m
+        | _ -> 0) }
+  in
+  (stats, profile)
+
+(* Run the guest program from [entry] to completion (guest Halt). *)
+let run t ~entry =
+  install_handler t;
+  let pc = ref entry in
+  let halted = ref false in
+  while (not !halted) && total_guest_insns t < t.config.max_guest_insns do
+    match step t !pc with
+    | `Continue next -> pc := next
+    | `Halt -> halted := true
+  done;
+  let stats : Run_stats.t =
+    { mechanism = Mechanism.name t.config.mechanism;
+      cycles = t.cpu.Machine.Cpu.cycles;
+      guest_insns = total_guest_insns t;
+      interp_insns = t.interp_insns;
+      host_insns = t.cpu.Machine.Cpu.insns;
+      memrefs = t.memrefs;
+      mdas = t.mdas;
+      traps = t.cpu.Machine.Cpu.align_traps;
+      patches = t.handler_patches;
+      translations = t.translations;
+      retranslations = t.retranslations;
+      rearrangements = t.rearrangements;
+      chains = t.chains;
+      blocks = Code_cache.num_blocks t.cache;
+      code_len = Code_cache.length t.cache;
+      icache_misses =
+        (match Machine.Hierarchy.stats t.cpu.Machine.Cpu.hier with
+        | ("l1i", _, m) :: _ -> m
+        | _ -> 0);
+      dcache_misses =
+        (match Machine.Hierarchy.stats t.cpu.Machine.Cpu.hier with
+        | _ :: ("l1d", _, m) :: _ -> m
+        | _ -> 0) }
+  in
+  stats

@@ -1,0 +1,79 @@
+(** The DigitalBridge-style DBT runtime (paper Figures 4 and 9).
+
+    Dispatches on guest pc, interprets cold blocks (phase 1, optionally
+    with alignment profiling), translates hot blocks, runs translated
+    code on the host CPU, chains block exits, and services misalignment
+    exceptions per the active mechanism — OS-style fixup, or
+    patch-and-retry with MDA code sequences plus the deferred
+    rearrangement and retranslation policies. *)
+
+(** What retranslation invalidates: the faulting block only (this BT's
+    policy) or the whole code cache (Dynamo's flush policy, contrasted
+    in the paper's Section IV-C). *)
+type flush_policy = Block_granularity | Full_flush
+
+(** BT-level events (translations, traps, patches, chains, rebuilds),
+    deliverable to a tracing hook via [config.on_event]. *)
+type event =
+  | Ev_translate of { block : int; entry : int; host_len : int }
+  | Ev_trap of { host_pc : int; guest_addr : int; ea : int }
+  | Ev_patch of { host_pc : int; guest_addr : int; seq_at : int }
+  | Ev_os_fixup of { host_pc : int; ea : int }
+  | Ev_chain of { at : int; target_block : int }
+  | Ev_rearrange of { block : int; entry : int }
+  | Ev_retranslate of { block : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+type config = {
+  mechanism : Mechanism.t;
+  cost : Mda_machine.Cost_model.t;
+  fuel : int; (** bound on host instructions (runaway-code guard) *)
+  max_guest_insns : int64; (** stop the run after this many guest insns *)
+  chaining : bool; (** link translated block exits directly (standard) *)
+  flush_policy : flush_policy;
+  on_event : (event -> unit) option; (** tracing hook *)
+}
+
+val default_config : Mechanism.t -> config
+
+type t = {
+  cpu : Mda_machine.Cpu.t;
+  cache : Code_cache.t;
+  profile : Profile.t;
+  config : config;
+  blocks_decoded : (int, Block.t) Hashtbl.t;
+  mutable guest_insns : int64;
+  mutable interp_insns : int64;
+  mutable memrefs : int64;
+  mutable mdas : int64;
+  mutable translations : int;
+  mutable retranslations : int;
+  mutable rearrangements : int;
+  mutable chains : int;
+  mutable handler_patches : int;
+  mutable fuel_left : int;
+  mutable translated_guest_len : int;
+  mutable translated_host_len : int;
+}
+
+(** Fresh runtime over [mem] (which must already hold the guest image). *)
+val create : ?config:config -> mem:Mda_machine.Memory.t -> unit -> t
+
+exception Runtime_error of string
+
+(** Pure-interpreter (or native-x86) execution of a whole program with
+    full alignment profiling: the ground-truth engine behind Table I,
+    Figure 15, train-input profiling runs, and (in [Native] mode)
+    Figure 1. *)
+val interpret_program :
+  ?mode:Interp.mode ->
+  ?cost:Mda_machine.Cost_model.t ->
+  ?max_guest_insns:int64 ->
+  mem:Mda_machine.Memory.t ->
+  entry:int ->
+  unit ->
+  Run_stats.t * Profile.t
+
+(** Run the guest program from [entry] to completion (guest Halt). *)
+val run : t -> entry:int -> Run_stats.t

@@ -1,0 +1,20 @@
+(** Guest→host code generation.
+
+    Translates one guest basic block into alphalite code in the code
+    cache, applying a per-instruction MDA policy decided by the active
+    mechanism. Flags are handled lazily as real DBT back ends do: only
+    [Cmp]/[Test] materialize the flag registers, so guest programs must
+    test conditions through them (as compiled code does). *)
+
+(** Per-memory-instruction policy:
+    - [Normal]: plain aligned access; a patch {!Code_cache.site} is
+      registered so a trap can rewrite it;
+    - [Seq_always]: inline MDA code sequence, never traps;
+    - [Multi]: alignment-tested two-version code (paper Figure 8). *)
+type policy = Normal | Seq_always | Multi
+
+(** [translate ~cache ~block ~policy_of] appends the translation to the
+    cache, registers its patch sites, and returns the entry pc.
+    [policy_of] maps a guest instruction address to its policy (byte
+    accesses are always [Normal]: they cannot trap). *)
+val translate : cache:Code_cache.t -> block:Block.t -> policy_of:(int -> policy) -> int

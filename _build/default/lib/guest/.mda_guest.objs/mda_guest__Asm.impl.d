@@ -1,0 +1,1 @@
+lib/guest/asm.ml: Array Bytes Encode Hashtbl Int32 Isa List Printf

@@ -1,0 +1,1 @@
+lib/guest/decode.ml: Bytes Char Encode Format Int32 Isa List Printf

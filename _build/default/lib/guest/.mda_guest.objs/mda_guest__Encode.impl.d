@@ -1,0 +1,1 @@
+lib/guest/encode.ml: Array Buffer Bytes Char Int32 Isa Printf

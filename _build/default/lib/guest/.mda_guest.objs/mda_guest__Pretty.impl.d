@@ -1,0 +1,1 @@
+lib/guest/pretty.ml: Array Asm Format Isa

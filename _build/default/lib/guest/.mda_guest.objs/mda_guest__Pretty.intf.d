@@ -1,0 +1,1 @@
+lib/guest/pretty.mli: Asm Format Isa

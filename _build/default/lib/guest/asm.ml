@@ -1,0 +1,157 @@
+(* Two-pass assembler / program builder for x86lite.
+
+   Workload generators build guest programs against symbolic labels; the
+   assembler lays instructions out, resolves labels to absolute guest
+   addresses, and produces both the instruction array and the encoded
+   byte image to be loaded into simulated memory. *)
+
+open Isa
+
+type label = int
+
+(* Branch instructions are built against labels and rewritten to absolute
+   addresses during assembly. *)
+type item =
+  | Raw of insn (* must not be a branch with a target *)
+  | Jmp_l of label
+  | Jcc_l of cond * label
+  | Call_l of label
+  | Bind of label
+
+type t = {
+  mutable items : item list; (* reversed *)
+  mutable next_label : int;
+  mutable count : int; (* number of instructions so far *)
+}
+
+let create () = { items = []; next_label = 0; count = 0 }
+
+let fresh_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let bind t l = t.items <- Bind l :: t.items
+
+let def_label t =
+  let l = fresh_label t in
+  bind t l;
+  l
+
+let push_item t it =
+  t.items <- it :: t.items;
+  match it with Bind _ -> () | _ -> t.count <- t.count + 1
+
+let insn t i =
+  (match i with
+  | Jmp _ | Jcc _ | Call _ ->
+    invalid_arg "Asm.insn: use jmp/jcc/call with labels for branches"
+  | _ -> ());
+  push_item t (Raw i)
+
+let jmp t l = push_item t (Jmp_l l)
+
+let jcc t cond l = push_item t (Jcc_l (cond, l))
+
+let call t l = push_item t (Call_l l)
+
+let ret t = insn t Ret
+
+let halt t = insn t Halt
+
+(* Convenience emitters used heavily by the workload generator. *)
+let load t ?(signed = false) ~dst ~src ~size () = insn t (Load { dst; src; size; signed })
+
+let store t ~src ~dst ~size () = insn t (Store { src; dst; size })
+
+let movi t dst imm = insn t (Mov_imm { dst; imm = Int32.of_int imm })
+
+let mov t dst src = insn t (Mov_reg { dst; src })
+
+let binop t op dst src = insn t (Binop { op; dst; src })
+
+let addi t dst imm = binop t Add dst (Imm (Int32.of_int imm))
+
+let cmp t a b = insn t (Cmp { a; b })
+
+let cmpi t a imm = cmp t a (Imm (Int32.of_int imm))
+
+let lea t dst src = insn t (Lea { dst; src })
+
+let rmw t ~op ~dst ~src ~size () = insn t (Rmw { op; dst; src; size })
+
+let num_insns t = t.count
+
+(* Placeholder target recognisable in assertion failures. *)
+let unresolved = 0xDEAD_BEEF
+
+type program = {
+  base : int; (* guest address of the first instruction *)
+  insns : insn array; (* resolved instructions in layout order *)
+  offsets : int array; (* byte offset of each instruction from [base] *)
+  image : Bytes.t; (* encoded bytes, to be loaded at [base] *)
+  label_addr : (label, int) Hashtbl.t;
+}
+
+let addr_of_label p l =
+  match Hashtbl.find_opt p.label_addr l with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Asm.addr_of_label: unbound label %d" l)
+
+let assemble ?(base = 0x1000) t =
+  let items = List.rev t.items in
+  (* Pass 1: layout. Branch encodings have fixed length regardless of the
+     target value, so we can encode with a placeholder to measure. *)
+  let proto = function
+    | Raw i -> i
+    | Jmp_l _ -> Jmp unresolved
+    | Jcc_l (c, _) -> Jcc { cond = c; target = unresolved }
+    | Call_l _ -> Call unresolved
+    | Bind _ -> assert false
+  in
+  let label_addr = Hashtbl.create 64 in
+  let pos = ref base in
+  let layout =
+    List.filter_map
+      (fun it ->
+        match it with
+        | Bind l ->
+          if Hashtbl.mem label_addr l then
+            invalid_arg (Printf.sprintf "Asm.assemble: label %d bound twice" l);
+          Hashtbl.replace label_addr l !pos;
+          None
+        | _ ->
+          let here = !pos in
+          pos := !pos + Encode.insn_length (proto it);
+          Some (here, it))
+      items
+  in
+  (* Pass 2: resolve labels and emit. *)
+  let resolve l =
+    match Hashtbl.find_opt label_addr l with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "Asm.assemble: unbound label %d" l)
+  in
+  let insns =
+    Array.of_list
+      (List.map
+         (fun (_, it) ->
+           match it with
+           | Raw i -> i
+           | Jmp_l l -> Jmp (resolve l)
+           | Jcc_l (c, l) -> Jcc { cond = c; target = resolve l }
+           | Call_l l -> Call (resolve l)
+           | Bind _ -> assert false)
+         layout)
+  in
+  let image, rel_offsets = Encode.encode_program insns in
+  let offsets = Array.map (fun o -> o + base) rel_offsets in
+  (* Cross-check pass-1 layout against the encoder. *)
+  List.iteri
+    (fun i (addr, _) ->
+      if offsets.(i) <> addr then
+        invalid_arg
+          (Printf.sprintf "Asm.assemble: layout mismatch at insn %d (%d <> %d)" i
+             offsets.(i) addr))
+    layout;
+  { base; insns; offsets; image; label_addr }

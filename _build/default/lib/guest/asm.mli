@@ -1,0 +1,78 @@
+(** Two-pass assembler / program builder for x86lite.
+
+    Build programs against symbolic labels; {!assemble} lays
+    instructions out, resolves labels to absolute guest addresses, and
+    produces both the instruction array and the encoded byte image. *)
+
+type t
+
+type label
+
+val create : unit -> t
+
+(** Allocate a label (unbound). *)
+val fresh_label : t -> label
+
+(** Bind a label at the current position. Binding the same label twice
+    is reported by {!assemble}. *)
+val bind : t -> label -> unit
+
+(** [def_label t] = fresh + bind here. *)
+val def_label : t -> label
+
+(** Append a non-branch instruction. Raises [Invalid_argument] for
+    [Jmp]/[Jcc]/[Call] — use the label-based emitters. *)
+val insn : t -> Isa.insn -> unit
+
+val jmp : t -> label -> unit
+
+val jcc : t -> Isa.cond -> label -> unit
+
+val call : t -> label -> unit
+
+val ret : t -> unit
+
+val halt : t -> unit
+
+(** Convenience emitters. *)
+
+val load : t -> ?signed:bool -> dst:Isa.reg -> src:Isa.addr -> size:Isa.size -> unit -> unit
+
+val store : t -> src:Isa.reg -> dst:Isa.addr -> size:Isa.size -> unit -> unit
+
+val movi : t -> Isa.reg -> int -> unit
+
+val mov : t -> Isa.reg -> Isa.reg -> unit
+
+val binop : t -> Isa.binop -> Isa.reg -> Isa.operand -> unit
+
+val addi : t -> Isa.reg -> int -> unit
+
+val cmp : t -> Isa.reg -> Isa.operand -> unit
+
+val cmpi : t -> Isa.reg -> int -> unit
+
+val lea : t -> Isa.reg -> Isa.addr -> unit
+
+val rmw : t -> op:Isa.binop -> dst:Isa.addr -> src:Isa.operand -> size:Isa.size -> unit -> unit
+
+(** Instructions emitted so far. *)
+val num_insns : t -> int
+
+(** An assembled program: resolved instructions, their guest addresses,
+    and the encoded image to load at [base]. *)
+type program = {
+  base : int;
+  insns : Isa.insn array;
+  offsets : int array;
+  image : Bytes.t;
+  label_addr : (label, int) Hashtbl.t;
+}
+
+(** Resolved address of a bound label. Raises on unbound labels. *)
+val addr_of_label : program -> label -> int
+
+(** [assemble ?base t] resolves labels and encodes (default base
+    0x1000). Raises [Invalid_argument] on unbound or doubly-bound
+    labels. *)
+val assemble : ?base:int -> t -> program

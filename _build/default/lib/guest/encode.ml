@@ -1,0 +1,159 @@
+(* Binary encoder for x86lite.
+
+   The encoding is a compact variable-length byte format (in the spirit of
+   real X86, though not its actual encoding): one opcode byte followed by
+   operand bytes.  Guest programs are stored in simulated memory in this
+   format and decoded back by the translator's front end, so the
+   encode/decode pair is exercised on every run.
+
+   Layout summary (LE multi-byte fields):
+     0x01 Load   dst|signed<<3, size_code, addr
+     0x02 Store  src, size_code, addr
+     0x03 MovImm dst, imm32
+     0x04 MovReg dst, src
+     0x05 Binop  op, dst, operand
+     0x06 Cmp    a, operand
+     0x07 Test   a, operand
+     0x08 Lea    dst, addr
+     0x09 Push   reg
+     0x0A Pop    reg
+     0x0B Jmp    target32
+     0x0C Jcc    cond, target32
+     0x0D Call   target32
+     0x0E Ret
+     0x0F Nop
+     0x10 Halt
+   addr    = flags(bit0 base, bit1 index, bits2-3 log2 scale),
+             [base], [index], disp32
+     operand = tag(0 reg | 1 imm), reg8 | imm32 *)
+
+open Isa
+
+let size_code = function S1 -> 0 | S2 -> 1 | S4 -> 2 | S8 -> 3
+
+let size_of_code = function
+  | 0 -> S1 | 1 -> S2 | 2 -> S4 | 3 -> S8
+  | n -> invalid_arg (Printf.sprintf "Encode.size_of_code: %d" n)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_i32 buf (v : int32) =
+  let v = Int32.to_int v land 0xFFFFFFFF in
+  add_u8 buf v;
+  add_u8 buf (v lsr 8);
+  add_u8 buf (v lsr 16);
+  add_u8 buf (v lsr 24)
+
+let add_u32 buf v =
+  add_u8 buf v;
+  add_u8 buf (v lsr 8);
+  add_u8 buf (v lsr 16);
+  add_u8 buf (v lsr 24)
+
+let scale_log2 = function
+  | 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3
+  | n -> invalid_arg (Printf.sprintf "Encode.scale_log2: %d" n)
+
+let add_addr buf { base; index; disp } =
+  let flags =
+    (match base with Some _ -> 1 | None -> 0)
+    lor (match index with Some _ -> 2 | None -> 0)
+    lor (match index with Some (_, s) -> scale_log2 s lsl 2 | None -> 0)
+  in
+  add_u8 buf flags;
+  (match base with Some r -> add_u8 buf (reg_index r) | None -> ());
+  (match index with Some (r, _) -> add_u8 buf (reg_index r) | None -> ());
+  add_i32 buf (Int32.of_int disp)
+
+let add_operand buf = function
+  | Reg r ->
+    add_u8 buf 0;
+    add_u8 buf (reg_index r)
+  | Imm i ->
+    add_u8 buf 1;
+    add_i32 buf i
+
+let emit buf insn =
+  match insn with
+  | Load { dst; src; size; signed } ->
+    add_u8 buf 0x01;
+    add_u8 buf (reg_index dst lor if signed then 0x08 else 0);
+    add_u8 buf (size_code size);
+    add_addr buf src
+  | Store { src; dst; size } ->
+    add_u8 buf 0x02;
+    add_u8 buf (reg_index src);
+    add_u8 buf (size_code size);
+    add_addr buf dst
+  | Mov_imm { dst; imm } ->
+    add_u8 buf 0x03;
+    add_u8 buf (reg_index dst);
+    add_i32 buf imm
+  | Mov_reg { dst; src } ->
+    add_u8 buf 0x04;
+    add_u8 buf (reg_index dst);
+    add_u8 buf (reg_index src)
+  | Binop { op; dst; src } ->
+    add_u8 buf 0x05;
+    add_u8 buf (binop_index op);
+    add_u8 buf (reg_index dst);
+    add_operand buf src
+  | Cmp { a; b } ->
+    add_u8 buf 0x06;
+    add_u8 buf (reg_index a);
+    add_operand buf b
+  | Test { a; b } ->
+    add_u8 buf 0x07;
+    add_u8 buf (reg_index a);
+    add_operand buf b
+  | Lea { dst; src } ->
+    add_u8 buf 0x08;
+    add_u8 buf (reg_index dst);
+    add_addr buf src
+  | Rmw { op; dst; src; size } ->
+    if not (rmw_op_ok op) then
+      invalid_arg (Printf.sprintf "Encode: %s is not a memory RMW op" (binop_name op));
+    if size = S8 then invalid_arg "Encode: no 8-byte RMW in 32-bit x86";
+    add_u8 buf 0x11;
+    add_u8 buf (binop_index op);
+    add_u8 buf (size_code size);
+    add_operand buf src;
+    add_addr buf dst
+  | Push r ->
+    add_u8 buf 0x09;
+    add_u8 buf (reg_index r)
+  | Pop r ->
+    add_u8 buf 0x0A;
+    add_u8 buf (reg_index r)
+  | Jmp t ->
+    add_u8 buf 0x0B;
+    add_u32 buf t
+  | Jcc { cond; target } ->
+    add_u8 buf 0x0C;
+    add_u8 buf (cond_index cond);
+    add_u32 buf target
+  | Call t ->
+    add_u8 buf 0x0D;
+    add_u32 buf t
+  | Ret -> add_u8 buf 0x0E
+  | Nop -> add_u8 buf 0x0F
+  | Halt -> add_u8 buf 0x10
+
+let encode insn =
+  let buf = Buffer.create 16 in
+  emit buf insn;
+  Buffer.to_bytes buf
+
+let insn_length insn = Bytes.length (encode insn)
+
+(* Encode a whole instruction sequence; returns the image and the byte
+   offset of each instruction within it. *)
+let encode_program insns =
+  let buf = Buffer.create (Array.length insns * 8) in
+  let offsets = Array.make (Array.length insns) 0 in
+  Array.iteri
+    (fun i insn ->
+      offsets.(i) <- Buffer.length buf;
+      emit buf insn)
+    insns;
+  (Buffer.to_bytes buf, offsets)

@@ -1,0 +1,52 @@
+(* AT&T-flavoured pretty printer for x86lite, used by tracing, examples,
+   and test failure messages. *)
+
+open Isa
+
+let pp_size fmt s =
+  Format.pp_print_char fmt (match s with S1 -> 'b' | S2 -> 'w' | S4 -> 'l' | S8 -> 'q')
+
+let pp_addr fmt { base; index; disp } =
+  if disp <> 0 || (base = None && index = None) then Format.fprintf fmt "%#x" disp;
+  match (base, index) with
+  | None, None -> ()
+  | Some b, None -> Format.fprintf fmt "(%s)" (reg_name b)
+  | Some b, Some (i, s) -> Format.fprintf fmt "(%s,%s,%d)" (reg_name b) (reg_name i) s
+  | None, Some (i, s) -> Format.fprintf fmt "(,%s,%d)" (reg_name i) s
+
+let pp_operand fmt = function
+  | Reg r -> Format.pp_print_string fmt (reg_name r)
+  | Imm i -> Format.fprintf fmt "$%ld" i
+
+let pp_insn fmt = function
+  | Load { dst; src; size; signed } ->
+    Format.fprintf fmt "mov%s%a %a, %s"
+      (if signed then "s" else "")
+      pp_size size pp_addr src (reg_name dst)
+  | Store { src; dst; size } ->
+    Format.fprintf fmt "mov%a %s, %a" pp_size size (reg_name src) pp_addr dst
+  | Mov_imm { dst; imm } -> Format.fprintf fmt "movl $%ld, %s" imm (reg_name dst)
+  | Mov_reg { dst; src } -> Format.fprintf fmt "movl %s, %s" (reg_name src) (reg_name dst)
+  | Binop { op; dst; src } ->
+    Format.fprintf fmt "%sl %a, %s" (binop_name op) pp_operand src (reg_name dst)
+  | Cmp { a; b } -> Format.fprintf fmt "cmpl %a, %s" pp_operand b (reg_name a)
+  | Test { a; b } -> Format.fprintf fmt "testl %a, %s" pp_operand b (reg_name a)
+  | Lea { dst; src } -> Format.fprintf fmt "leal %a, %s" pp_addr src (reg_name dst)
+  | Rmw { op; dst; src; size } ->
+    Format.fprintf fmt "%s%a %a, %a" (binop_name op) pp_size size pp_operand src
+      pp_addr dst
+  | Push r -> Format.fprintf fmt "pushl %s" (reg_name r)
+  | Pop r -> Format.fprintf fmt "popl %s" (reg_name r)
+  | Jmp t -> Format.fprintf fmt "jmp %#x" t
+  | Jcc { cond; target } -> Format.fprintf fmt "j%s %#x" (cond_name cond) target
+  | Call t -> Format.fprintf fmt "call %#x" t
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Halt -> Format.pp_print_string fmt "hlt"
+
+let insn_to_string i = Format.asprintf "%a" pp_insn i
+
+let pp_program fmt (p : Asm.program) =
+  Array.iteri
+    (fun i insn -> Format.fprintf fmt "%#8x:  %a@\n" p.Asm.offsets.(i) pp_insn insn)
+    p.Asm.insns

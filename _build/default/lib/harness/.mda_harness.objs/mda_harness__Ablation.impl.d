@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Experiment Int64 List Mda_bt Mda_guest Mda_machine Mda_util Mda_workloads Printf

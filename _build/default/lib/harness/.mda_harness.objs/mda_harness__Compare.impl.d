@@ -1,0 +1,1 @@
+lib/harness/compare.ml: Experiment List Mda_util

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Buffer Int64 List Mda_bt Mda_machine Mda_util Mda_workloads Printf

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Mda_bt Mda_util Mda_workloads

@@ -1,0 +1,1 @@
+lib/harness/fig10.ml: Array Experiment Hashtbl List Mda_bt Mda_util Printf

@@ -1,0 +1,1 @@
+lib/harness/fig11.ml: Compare Experiment Mda_bt

@@ -1,0 +1,1 @@
+lib/harness/fig13.ml: Compare Experiment Mda_bt

@@ -1,0 +1,1 @@
+lib/harness/fig14.ml: Compare Experiment Mda_bt

@@ -1,0 +1,1 @@
+lib/harness/fig15.ml: Array Experiment List Mda_bt Mda_util Printf

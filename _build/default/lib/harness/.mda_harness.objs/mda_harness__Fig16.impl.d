@@ -1,0 +1,1 @@
+lib/harness/fig16.ml: Array Experiment List Mda_bt Mda_util

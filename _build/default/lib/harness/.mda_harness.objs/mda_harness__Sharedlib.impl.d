@@ -1,0 +1,1 @@
+lib/harness/sharedlib.ml: Experiment List Mda_bt Mda_util Mda_workloads Printf

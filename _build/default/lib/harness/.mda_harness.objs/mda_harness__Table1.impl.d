@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Experiment Int64 List Mda_bt Mda_util Mda_workloads Printf

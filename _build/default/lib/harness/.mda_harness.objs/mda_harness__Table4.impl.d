@@ -1,0 +1,1 @@
+lib/harness/table4.ml: Experiment List Mda_bt Mda_util

@@ -1,0 +1,28 @@
+(* Generic two-mechanism comparison used by Figures 11-14: per benchmark,
+   the performance gain/loss of a candidate mechanism over a baseline
+   mechanism, plus the geometric-mean summary row. *)
+
+module T = Mda_util.Tabular
+
+let run ~title ~baseline ~candidate ?(notes = []) ~opts () =
+  let table =
+    T.create [| T.col "Benchmark"; T.col ~align:T.Right "gain/loss" |]
+  in
+  let norms = ref [] in
+  List.iter
+    (fun name ->
+      let b =
+        Experiment.cycles
+          (Experiment.run_mechanism ~scale:opts.Experiment.scale ~mechanism:baseline name)
+      in
+      let c =
+        Experiment.cycles
+          (Experiment.run_mechanism ~scale:opts.Experiment.scale ~mechanism:candidate name)
+      in
+      let g = Experiment.gain_pct ~baseline:b c in
+      norms := (b /. c) :: !norms;
+      T.add_row table [| name; Experiment.pct g |])
+    opts.Experiment.benchmarks;
+  let overall = (Experiment.geomean !norms -. 1.) *. 100. in
+  T.add_row table [| "geomean"; Experiment.pct overall |];
+  { Experiment.title; table; notes }

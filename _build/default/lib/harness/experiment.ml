@@ -1,0 +1,77 @@
+(* Shared machinery for the per-table/per-figure experiment runners.
+
+   Every experiment follows the paper's protocol (Section V/VI):
+   - workloads are the 21 selected benchmarks (significant MDA counts);
+   - each mechanism is configured at its best setting for the overall
+     comparison (static profiling = train-input profile; dynamic
+     profiling = heating threshold 50);
+   - results are normalized runtimes (cycles), so only ratios matter. *)
+
+module W = Mda_workloads
+module Bt = Mda_bt
+module Machine = Mda_machine
+
+type options = {
+  scale : float; (* workload volume multiplier *)
+  benchmarks : string list; (* defaults to the 21 selected *)
+}
+
+let default_options = { scale = 1.0; benchmarks = W.Spec.selected_names }
+
+(* Run one benchmark under one mechanism; fresh machine state per run, as
+   the paper measures whole executions. *)
+let run_mechanism ?(scale = 1.0) ?(input = W.Gen.Ref) ~mechanism name =
+  let w = W.Workload.instantiate ~scale ~input name in
+  let mem = W.Workload.fresh_memory w in
+  let config = Bt.Runtime.default_config mechanism in
+  let t = Bt.Runtime.create ~config ~mem () in
+  Bt.Runtime.run t ~entry:(W.Workload.entry w)
+
+(* Pure-interpreter ground-truth run (Table I, Figure 15, train profiles). *)
+let run_interp ?(scale = 1.0) ?(input = W.Gen.Ref) ?(native = false) name =
+  let w = W.Workload.instantiate ~scale ~input name in
+  let mem = W.Workload.fresh_memory w in
+  let mode = if native then Bt.Interp.Native else Bt.Interp.Interpreted { profile = true } in
+  Bt.Runtime.interpret_program ~mode ~mem ~entry:(W.Workload.entry w) ()
+
+(* Train-input profiling run: what FX!32-style static profiling ships. *)
+let train_summary ?(scale = 1.0) name =
+  let _, profile = run_interp ~scale ~input:W.Gen.Train name in
+  Bt.Profile.summarize profile
+
+(* Best configurations for the overall comparison (paper Section VI-C). *)
+let best_dynamic = Bt.Mechanism.Dynamic_profiling { threshold = 50 }
+
+let best_eh = Bt.Mechanism.Exception_handling { rearrange = false }
+
+let best_dpeh = Bt.Mechanism.Dpeh { threshold = 50; retranslate = Some 4; multiversion = true }
+
+let dpeh_plain = Bt.Mechanism.Dpeh { threshold = 50; retranslate = None; multiversion = false }
+
+let cycles (s : Bt.Run_stats.t) = Int64.to_float s.cycles
+
+(* Normalized runtime: value / baseline (paper convention: >1 is slower
+   than the baseline). *)
+let normalized ~baseline v = v /. baseline
+
+(* Signed performance gain of [v] over [baseline] in percent (positive =
+   faster), the paper's "performance gain/loss" convention. *)
+let gain_pct ~baseline v = (baseline /. v -. 1.0) *. 100.0
+
+let pct fmt_v = Printf.sprintf "%.1f%%" fmt_v
+
+let f2 v = Printf.sprintf "%.2f" v
+
+(* Geometric mean helper for the summary rows. *)
+let geomean = Mda_util.Stats.geomean
+
+type rendered = { title : string; table : Mda_util.Tabular.t; notes : string list }
+
+let render { title; table; notes } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  Buffer.add_string buf (Mda_util.Tabular.render table);
+  List.iter (fun n -> Buffer.add_string buf ("note: " ^ n ^ "\n")) notes;
+  Buffer.contents buf
+
+let to_csv { table; _ } = Mda_util.Tabular.to_csv table

@@ -1,0 +1,63 @@
+(** Shared machinery for the per-table/figure experiment runners:
+    workload execution under a mechanism, interpreter ground-truth runs,
+    the best-configuration constants of Section VI-C, normalization
+    helpers, and the rendered-output type every experiment returns. *)
+
+type options = {
+  scale : float; (** workload volume multiplier *)
+  benchmarks : string list; (** defaults to the paper's 21 selected *)
+}
+
+val default_options : options
+
+(** Run one benchmark under one mechanism on a fresh machine. *)
+val run_mechanism :
+  ?scale:float ->
+  ?input:Mda_workloads.Gen.input ->
+  mechanism:Mda_bt.Mechanism.t ->
+  string ->
+  Mda_bt.Run_stats.t
+
+(** Pure-interpreter ([native:false]) or native-x86 ground-truth run. *)
+val run_interp :
+  ?scale:float ->
+  ?input:Mda_workloads.Gen.input ->
+  ?native:bool ->
+  string ->
+  Mda_bt.Run_stats.t * Mda_bt.Profile.t
+
+(** Train-input profiling run: what FX!32-style static profiling ships. *)
+val train_summary : ?scale:float -> string -> Mda_bt.Profile.summary
+
+(** Best configurations for the overall comparison (Section VI-C). *)
+
+val best_dynamic : Mda_bt.Mechanism.t
+
+val best_eh : Mda_bt.Mechanism.t
+
+val best_dpeh : Mda_bt.Mechanism.t
+
+val dpeh_plain : Mda_bt.Mechanism.t
+
+val cycles : Mda_bt.Run_stats.t -> float
+
+(** [value / baseline]: the paper's normalized-runtime convention
+    (>1 is slower). *)
+val normalized : baseline:float -> float -> float
+
+(** Signed performance gain in percent (positive = faster), the paper's
+    gain/loss convention. *)
+val gain_pct : baseline:float -> float -> float
+
+val pct : float -> string
+
+val f2 : float -> string
+
+val geomean : float list -> float
+
+(** A rendered experiment: title, rows, free-form notes. *)
+type rendered = { title : string; table : Mda_util.Tabular.t; notes : string list }
+
+val render : rendered -> string
+
+val to_csv : rendered -> string

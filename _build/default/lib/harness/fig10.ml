@@ -1,0 +1,54 @@
+(* Figure 10: dynamic-profiling heating thresholds.
+
+   Runs the 21 selected benchmarks under the dynamic profiling mechanism
+   with TH in {10, 50, 500, 5000} and reports runtimes normalized to
+   TH=10 (the paper's baseline). Expected shape: TH=50 best overall;
+   TH=10 loses on programs whose MDAs begin after a short warm-up
+   (400.perlbench); very high thresholds drown in profiling overhead
+   (178.galgel, 164.gzip, 252.eon, 200.sixtrack, 465.tonto). *)
+
+module Bt = Mda_bt
+module T = Mda_util.Tabular
+
+let thresholds = [ 10; 50; 500; 5000 ]
+
+let run ?(opts = Experiment.default_options) () =
+  let table =
+    T.create
+      (Array.of_list
+         (T.col "Benchmark"
+         :: List.map (fun th -> T.col ~align:T.Right (Printf.sprintf "TH=%d" th))
+              thresholds))
+  in
+  let per_th = Hashtbl.create 8 in
+  List.iter (fun th -> Hashtbl.replace per_th th []) thresholds;
+  List.iter
+    (fun name ->
+      let cycles =
+        List.map
+          (fun th ->
+            ( th,
+              Experiment.cycles
+                (Experiment.run_mechanism ~scale:opts.Experiment.scale
+                   ~mechanism:(Bt.Mechanism.Dynamic_profiling { threshold = th })
+                   name) ))
+          thresholds
+      in
+      let base = List.assoc 10 cycles in
+      let cells =
+        List.map
+          (fun (th, c) ->
+            let n = Experiment.normalized ~baseline:base c in
+            Hashtbl.replace per_th th (n :: Hashtbl.find per_th th);
+            Experiment.f2 n)
+          cycles
+      in
+      T.add_row table (Array.of_list (name :: cells)))
+    opts.Experiment.benchmarks;
+  let geo =
+    List.map (fun th -> Experiment.f2 (Experiment.geomean (Hashtbl.find per_th th))) thresholds
+  in
+  T.add_row table (Array.of_list ("geomean" :: geo));
+  { Experiment.title = "Figure 10: runtime vs dynamic-profiling threshold (normalized to TH=10)";
+    table;
+    notes = [ "paper: TH=50 strikes the best balance; >500 adds little" ] }

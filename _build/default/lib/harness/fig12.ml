@@ -1,0 +1,11 @@
+(* Figure 12: DPEH (dynamic profiling + exception handling) vs plain
+   exception handling. The paper reports >8% gains for 464.h264ref,
+   471.omnetpp and 433.milc, ~2% overall — initial profiling catches many
+   MDA sites before they would have to be trap-patched one by one. *)
+
+let run ?(opts = Experiment.default_options) () =
+  Compare.run
+    ~title:"Figure 12: gain/loss of DPEH over exception handling"
+    ~baseline:Experiment.best_eh ~candidate:Experiment.dpeh_plain
+    ~notes:[ "paper: >8% for h264ref/omnetpp/milc; ~2% overall" ]
+    ~opts ()

@@ -1,0 +1,13 @@
+(* Figure 13: block retranslation (invalidate + re-profile + retranslate
+   after 4 misalignment exceptions in a block) on top of DPEH. The paper
+   finds significant benefit for a few benchmarks, slight degradation for
+   others, and no substantial overall effect. *)
+
+let run ?(opts = Experiment.default_options) () =
+  Compare.run
+    ~title:"Figure 13: gain/loss from retranslation (vs DPEH)"
+    ~baseline:Experiment.dpeh_plain
+    ~candidate:
+      (Mda_bt.Mechanism.Dpeh { threshold = 50; retranslate = Some 4; multiversion = false })
+    ~notes:[ "paper: mixed, overall benefit not substantial" ]
+    ~opts ()

@@ -1,0 +1,13 @@
+(* Figure 14: multi-version code (Figure 8) on top of DPEH: sites whose
+   profile shows mixed alignment get an alignment-tested fast path. The
+   paper reports up to 4.7%, ~1.1% average — most MDA instructions are
+   biased (Figure 15), so the multi-version dispatch rarely pays. *)
+
+let run ?(opts = Experiment.default_options) () =
+  Compare.run
+    ~title:"Figure 14: gain/loss from multi-version code (vs DPEH)"
+    ~baseline:Experiment.dpeh_plain
+    ~candidate:
+      (Mda_bt.Mechanism.Dpeh { threshold = 50; retranslate = None; multiversion = true })
+    ~notes:[ "paper: up to 4.7%; ~1.1% average" ]
+    ~opts ()

@@ -1,0 +1,60 @@
+(* Figure 16: overall comparison of the five mechanism families at their
+   best configurations, normalized to the exception-handling mechanism.
+
+   Expected shape (paper Section VI-C): Direct worst by far (~68% slower
+   than EH on average); Dynamic Profiling collapses on the Table-III
+   benchmarks (gzip, art, xalancbmk, bwaves, milc, povray); Static
+   Profiling collapses on the Table-IV benchmarks (eon, art, soplex);
+   DPEH is ~4.5% better than EH. *)
+
+module Bt = Mda_bt
+module T = Mda_util.Tabular
+
+let mechanisms ~train_profiles =
+  [ ("ExceptionHandling", fun _ -> Experiment.best_eh);
+    ("DPEH", fun _ -> Experiment.best_dpeh);
+    ("DynamicProfiling", fun _ -> Experiment.best_dynamic);
+    ( "StaticProfiling",
+      fun name -> Bt.Mechanism.Static_profiling (List.assoc name train_profiles) );
+    ("Direct", fun _ -> Bt.Mechanism.Direct) ]
+
+let run ?(opts = Experiment.default_options) () =
+  let scale = opts.Experiment.scale in
+  let train_profiles =
+    List.map (fun name -> (name, Experiment.train_summary ~scale name)) opts.benchmarks
+  in
+  let mechs = mechanisms ~train_profiles in
+  let table =
+    T.create
+      (Array.of_list
+         (T.col "Benchmark" :: List.map (fun (n, _) -> T.col ~align:T.Right n) mechs))
+  in
+  let norms = List.map (fun (n, _) -> (n, ref [])) mechs in
+  List.iter
+    (fun name ->
+      let cycles =
+        List.map
+          (fun (label, mk) ->
+            (label, Experiment.cycles (Experiment.run_mechanism ~scale ~mechanism:(mk name) name)))
+          mechs
+      in
+      let base = List.assoc "ExceptionHandling" cycles in
+      let cells =
+        List.map
+          (fun (label, c) ->
+            let n = Experiment.normalized ~baseline:base c in
+            let acc = List.assoc label norms in
+            acc := n :: !acc;
+            Experiment.f2 n)
+          cycles
+      in
+      T.add_row table (Array.of_list (name :: cells)))
+    opts.benchmarks;
+  let geo = List.map (fun (label, _) -> Experiment.geomean !(List.assoc label norms)) mechs in
+  T.add_row table
+    (Array.of_list ("geomean" :: List.map Experiment.f2 geo));
+  { Experiment.title =
+      "Figure 16: runtime by mechanism, normalized to Exception Handling";
+    table;
+    notes =
+      [ "paper geomeans vs EH: DPEH 0.955, Dynamic 1.16, Static 1.10, Direct 1.68" ] }

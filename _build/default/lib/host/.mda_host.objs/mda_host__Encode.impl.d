@@ -1,0 +1,1 @@
+lib/host/encode.ml: Format Isa Printf

@@ -1,0 +1,1 @@
+lib/host/encode.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/host/mda_seq.ml: Isa List Printf

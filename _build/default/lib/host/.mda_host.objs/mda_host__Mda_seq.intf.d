@@ -1,0 +1,1 @@
+lib/host/mda_seq.mli: Isa

@@ -1,0 +1,1 @@
+lib/host/pretty.ml: Array Format Isa

@@ -1,0 +1,1 @@
+lib/host/pretty.mli: Format Isa

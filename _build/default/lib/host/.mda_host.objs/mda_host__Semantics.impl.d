@@ -1,0 +1,1 @@
+lib/host/semantics.ml: Bits Int64 Isa Mda_util Printf

@@ -1,0 +1,181 @@
+(* 32-bit word encoder for alphalite, in the style of real Alpha encodings
+   (6-bit opcode, 5-bit register fields, 16-bit memory displacements,
+   21-bit branch displacements).
+
+   The simulated code cache executes instruction values directly — patching
+   rewrites array slots, as the real system rewrites words — but the
+   encoder defines the authoritative size of translated code (4 bytes per
+   instruction) for the I-cache model, and the encode/decode round trip is
+   property-tested to keep the ISA definition honest.
+
+   Branch displacements are pc-relative in instruction units, relative to
+   the updated pc (pc+1), exactly as on Alpha. *)
+
+open Isa
+
+exception Unencodable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unencodable s)) fmt
+
+let bytes_per_insn = 4
+
+let check_field name v bits =
+  if v < 0 || v >= 1 lsl bits then fail "%s out of range: %d (%d bits)" name v bits
+
+let check_signed name v bits =
+  let lo = -(1 lsl (bits - 1)) and hi = (1 lsl (bits - 1)) - 1 in
+  if v < lo || v > hi then fail "%s out of range: %d (%d-bit signed)" name v bits
+
+(* Memory format: [op:6][ra:5][rb:5][disp:16]. *)
+let mem_word op ra rb disp =
+  check_field "opcode" op 6;
+  check_field "ra" ra 5;
+  check_field "rb" rb 5;
+  check_signed "disp" disp 16;
+  (op lsl 26) lor (ra lsl 21) lor (rb lsl 16) lor (disp land 0xFFFF)
+
+(* Operate format: [op:6][ra:5][rb/lit:8][islit:1][func:7][rc:5]. *)
+let opr_word op ra operand func rc =
+  check_field "opcode" op 6;
+  check_field "ra" ra 5;
+  check_field "func" func 7;
+  check_field "rc" rc 5;
+  let rb_field, islit =
+    match operand with
+    | Rb r ->
+      check_field "rb" r 5;
+      (r, 0)
+    | Lit v ->
+      check_field "lit" v 8;
+      (v, 1)
+  in
+  (op lsl 26) lor (ra lsl 21) lor (rb_field lsl 13) lor (islit lsl 12) lor (func lsl 5)
+  lor rc
+
+(* Branch format: [op:6][ra:5][disp:21], displacement relative to pc+1. *)
+let br_word op ra ~pc ~target =
+  check_field "opcode" op 6;
+  check_field "ra" ra 5;
+  let disp = target - (pc + 1) in
+  check_signed "branch disp" disp 21;
+  (op lsl 26) lor (ra lsl 21) lor (disp land 0x1FFFFF)
+
+let oper_func (op : oper) =
+  match op with
+  | Addq -> 0 | Subq -> 1 | Mulq -> 2 | Addl -> 3 | Subl -> 4
+  | And -> 5 | Bis -> 6 | Xor -> 7 | Sll -> 8 | Srl -> 9 | Sra -> 10
+  | Cmpeq -> 11 | Cmplt -> 12 | Cmple -> 13 | Cmpult -> 14 | Cmpule -> 15
+  | Sextb -> 16 | Sextw -> 17
+
+let oper_of_func = function
+  | 0 -> Addq | 1 -> Subq | 2 -> Mulq | 3 -> Addl | 4 -> Subl
+  | 5 -> And | 6 -> Bis | 7 -> Xor | 8 -> Sll | 9 -> Srl | 10 -> Sra
+  | 11 -> Cmpeq | 12 -> Cmplt | 13 -> Cmple | 14 -> Cmpult | 15 -> Cmpule
+  | 16 -> Sextb | 17 -> Sextw
+  | f -> fail "bad operate func %d" f
+
+let bytem_func op width high =
+  let opbits = match op with Ext -> 0 | Ins -> 1 | Msk -> 2 in
+  let wbits = match width with 2 -> 0 | 4 -> 1 | 8 -> 2 | w -> fail "bad width %d" w in
+  (opbits lsl 3) lor (wbits lsl 1) lor if high then 1 else 0
+
+let bytem_of_func f =
+  let op = match f lsr 3 with 0 -> Ext | 1 -> Ins | 2 -> Msk | b -> fail "bad bytem op %d" b in
+  let width = match (f lsr 1) land 3 with 0 -> 2 | 1 -> 4 | 2 -> 8 | w -> fail "bad bytem width code %d" w in
+  (op, width, f land 1 = 1)
+
+let bcond_op (c : bcond) =
+  match c with
+  | Beq -> 0x21 | Bne -> 0x22 | Blt -> 0x23 | Ble -> 0x24 | Bgt -> 0x25 | Bge -> 0x26
+
+let bcond_of_op = function
+  | 0x21 -> Beq | 0x22 -> Bne | 0x23 -> Blt | 0x24 -> Ble | 0x25 -> Bgt | 0x26 -> Bge
+  | op -> fail "bad bcond opcode %#x" op
+
+(* Monitor format: [op:6][kind:2][payload:24]. Guest images are kept below
+   16 MiB so static guest targets fit the payload. *)
+let monitor_word kind payload =
+  check_field "monitor payload" payload 24;
+  (0x30 lsl 26) lor (kind lsl 24) lor payload
+
+(* [encode ~pc insn] produces the 32-bit word for [insn] at code-cache
+   index [pc]. Raises {!Unencodable} for out-of-range fields. *)
+let encode ~pc insn =
+  match insn with
+  | Ldbu { ra; rb; disp } -> mem_word 0x01 ra rb disp
+  | Ldwu { ra; rb; disp } -> mem_word 0x02 ra rb disp
+  | Ldl { ra; rb; disp } -> mem_word 0x03 ra rb disp
+  | Ldq { ra; rb; disp } -> mem_word 0x04 ra rb disp
+  | Ldq_u { ra; rb; disp } -> mem_word 0x05 ra rb disp
+  | Stb { ra; rb; disp } -> mem_word 0x06 ra rb disp
+  | Stw { ra; rb; disp } -> mem_word 0x07 ra rb disp
+  | Stl { ra; rb; disp } -> mem_word 0x08 ra rb disp
+  | Stq { ra; rb; disp } -> mem_word 0x09 ra rb disp
+  | Stq_u { ra; rb; disp } -> mem_word 0x0A ra rb disp
+  | Lda { ra; rb; disp } -> mem_word 0x0B ra rb disp
+  | Ldah { ra; rb; disp } -> mem_word 0x0C ra rb disp
+  | Opr { op; ra; rb; rc } -> opr_word 0x10 ra rb (oper_func op) rc
+  | Bytem { op; width; high; ra; rb; rc } ->
+    opr_word 0x11 ra rb (bytem_func op width high) rc
+  | Br { ra; target } -> br_word 0x20 ra ~pc ~target
+  | Bcond { cond; ra; target } -> br_word (bcond_op cond) ra ~pc ~target
+  | Jmp { ra; rb } -> mem_word 0x27 ra rb 0
+  | Monitor (Next_guest g) -> monitor_word 0 g
+  | Monitor (Dyn_guest r) -> monitor_word 1 r
+  | Monitor Prog_halt -> monitor_word 2 0
+  | Nop -> 0x3F lsl 26
+
+type error = { pc : int; word : int; reason : string }
+
+let pp_error fmt { pc; word; reason } =
+  Format.fprintf fmt "host decode error at pc %d (word %#010x): %s" pc word reason
+
+let sext v bits = if v land (1 lsl (bits - 1)) <> 0 then v - (1 lsl bits) else v
+
+(* [decode ~pc word] is the inverse of [encode ~pc]. *)
+let decode ~pc word =
+  try
+    let op = (word lsr 26) land 0x3F in
+    let ra = (word lsr 21) land 0x1F in
+    let rb_mem = (word lsr 16) land 0x1F in
+    let disp16 = sext (word land 0xFFFF) 16 in
+    let mem f = Ok (f ~ra ~rb:rb_mem ~disp:disp16) in
+    let operand =
+      if (word lsr 12) land 1 = 1 then Lit ((word lsr 13) land 0xFF)
+      else Rb ((word lsr 13) land 0x1F)
+    in
+    let func = (word lsr 5) land 0x7F in
+    let rc = word land 0x1F in
+    let btarget = pc + 1 + sext (word land 0x1FFFFF) 21 in
+    match op with
+    | 0x01 -> mem (fun ~ra ~rb ~disp -> Ldbu { ra; rb; disp })
+    | 0x02 -> mem (fun ~ra ~rb ~disp -> Ldwu { ra; rb; disp })
+    | 0x03 -> mem (fun ~ra ~rb ~disp -> Ldl { ra; rb; disp })
+    | 0x04 -> mem (fun ~ra ~rb ~disp -> Ldq { ra; rb; disp })
+    | 0x05 -> mem (fun ~ra ~rb ~disp -> Ldq_u { ra; rb; disp })
+    | 0x06 -> mem (fun ~ra ~rb ~disp -> Stb { ra; rb; disp })
+    | 0x07 -> mem (fun ~ra ~rb ~disp -> Stw { ra; rb; disp })
+    | 0x08 -> mem (fun ~ra ~rb ~disp -> Stl { ra; rb; disp })
+    | 0x09 -> mem (fun ~ra ~rb ~disp -> Stq { ra; rb; disp })
+    | 0x0A -> mem (fun ~ra ~rb ~disp -> Stq_u { ra; rb; disp })
+    | 0x0B -> mem (fun ~ra ~rb ~disp -> Lda { ra; rb; disp })
+    | 0x0C -> mem (fun ~ra ~rb ~disp -> Ldah { ra; rb; disp })
+    | 0x10 -> Ok (Opr { op = oper_of_func func; ra; rb = operand; rc })
+    | 0x11 ->
+      let bop, width, high = bytem_of_func func in
+      Ok (Bytem { op = bop; width; high; ra; rb = operand; rc })
+    | 0x20 -> Ok (Br { ra; target = btarget })
+    | 0x21 | 0x22 | 0x23 | 0x24 | 0x25 | 0x26 ->
+      Ok (Bcond { cond = bcond_of_op op; ra; target = btarget })
+    | 0x27 -> Ok (Jmp { ra; rb = rb_mem })
+    | 0x30 -> begin
+      let payload = word land 0xFFFFFF in
+      match (word lsr 24) land 3 with
+      | 0 -> Ok (Monitor (Next_guest payload))
+      | 1 -> Ok (Monitor (Dyn_guest payload))
+      | 2 -> Ok (Monitor Prog_halt)
+      | k -> fail "bad monitor kind %d" k
+    end
+    | 0x3F -> Ok Nop
+    | op -> fail "bad opcode %#x" op
+  with Unencodable reason -> Error { pc; word; reason }

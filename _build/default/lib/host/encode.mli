@@ -1,0 +1,25 @@
+(** 32-bit word encoder/decoder for alphalite, in the style of the real
+    Alpha encodings (6-bit opcodes, 5-bit register fields, 16-bit memory
+    displacements, 21-bit pc-relative branch displacements).
+
+    The simulated code cache executes instruction values directly, but
+    this module defines the authoritative size of translated code (4
+    bytes per instruction) for the I-cache model, and the round trip is
+    property-tested to keep the ISA definition honest. *)
+
+exception Unencodable of string
+
+(** Size of every encoded instruction. *)
+val bytes_per_insn : int
+
+(** [encode ~pc insn] is the 32-bit word for [insn] at code-cache index
+    [pc] (branch displacements are relative to [pc+1]). Raises
+    {!Unencodable} when a field is out of range. *)
+val encode : pc:int -> Isa.insn -> int
+
+type error = { pc : int; word : int; reason : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Inverse of {!encode} at the same [pc]. *)
+val decode : pc:int -> int -> (Isa.insn, error) result

@@ -1,0 +1,103 @@
+(* The MDA code sequences: alignment-safe instruction sequences for
+   misaligned loads and stores, built from ldq_u/stq_u and the EXT/INS/MSK
+   byte-manipulation instructions.
+
+   These are the sequences from the paper's Figure 2 (loads) and the
+   standard Alpha unaligned-store idiom; they never raise alignment traps
+   for any effective address.  Every MDA handling mechanism in the BT —
+   direct, profiled, or patched-in by the exception handler — emits the
+   code produced here.
+
+   Temporaries follow the paper: R21.. are BT-reserved scratch registers.
+   The sequence for a 4-byte signed load "mov 0x2(%ebx), %eax" with
+   EBX→R2, EAX→R1 is exactly the paper's:
+
+     ldq_u R1, 2(R2)
+     ldq_u R21, 5(R2)
+     lda   R22, 2(R2)
+     extll R1, R22, R1
+     extlh R21, R22, R21
+     or    R21, R1, R1
+     addl  R31, R1, R1 *)
+
+open Isa
+
+(* Description of a single guest memory operation to be performed without
+   alignment traps. *)
+type mem_op = {
+  kind : [ `Load | `Store ];
+  data : reg; (* destination (load) or source (store) register *)
+  base : reg; (* register holding the base address *)
+  disp : int;
+  width : int; (* 2, 4 or 8; width-1 accesses never need a sequence *)
+  signed : bool; (* loads only: sign-extend the result *)
+}
+
+let check_width w =
+  if w <> 2 && w <> 4 && w <> 8 then
+    invalid_arg (Printf.sprintf "Mda_seq: width %d needs no MDA sequence" w)
+
+(* Temporaries, per the register convention in {!Isa}. *)
+let t0 = 21 (* second quadword / high part *)
+
+let t1 = 22 (* effective address *)
+
+let t2 = 23
+
+and t3 = 24
+
+and t4 = 25
+
+(* Unaligned load: 6 instructions, plus sign/zero fixup.
+
+   Note the same-register trick from the paper: the first ldq_u may target
+   the destination register itself because the EXT pair consumes it before
+   it is overwritten. *)
+let load ~dst ~base ~disp ~width ~signed =
+  check_width width;
+  (* If [dst] = [base], the first ldq_u would clobber the base before the
+     second one reads it; stage the low quad in a scratch register then. *)
+  let lo = if dst = base then t2 else dst in
+  let seq =
+    [ Ldq_u { ra = lo; rb = base; disp };
+      Ldq_u { ra = t0; rb = base; disp = disp + width - 1 };
+      Lda { ra = t1; rb = base; disp };
+      Bytem { op = Ext; width; high = false; ra = lo; rb = Rb t1; rc = lo };
+      Bytem { op = Ext; width; high = true; ra = t0; rb = Rb t1; rc = t0 };
+      Opr { op = Bis; ra = t0; rb = Rb lo; rc = dst } ]
+  in
+  let fixup =
+    if not signed then [] (* ext* already zero-extends *)
+    else
+      match width with
+      | 2 -> [ Opr { op = Sextw; ra = r31; rb = Rb dst; rc = dst } ]
+      | 4 -> [ Opr { op = Addl; ra = r31; rb = Rb dst; rc = dst } ]
+      | _ -> [] (* 8-byte loads are full-width already *)
+  in
+  seq @ fixup
+
+(* Unaligned store: the canonical 10-instruction idiom. The high quadword
+   is rewritten first so that a non-crossing access (both ldq_u hit the
+   same quad) is finalized by the low-quad store. *)
+let store ~src ~base ~disp ~width =
+  check_width width;
+  [ Lda { ra = t1; rb = base; disp };
+    Ldq_u { ra = t0; rb = t1; disp = width - 1 };
+    Ldq_u { ra = t2; rb = t1; disp = 0 };
+    Bytem { op = Ins; width; high = true; ra = src; rb = Rb t1; rc = t3 };
+    Bytem { op = Ins; width; high = false; ra = src; rb = Rb t1; rc = t4 };
+    Bytem { op = Msk; width; high = true; ra = t0; rb = Rb t1; rc = t0 };
+    Bytem { op = Msk; width; high = false; ra = t2; rb = Rb t1; rc = t2 };
+    Opr { op = Bis; ra = t0; rb = Rb t3; rc = t0 };
+    Opr { op = Bis; ra = t2; rb = Rb t4; rc = t2 };
+    Stq_u { ra = t0; rb = t1; disp = width - 1 };
+    Stq_u { ra = t2; rb = t1; disp = 0 } ]
+
+let emit (m : mem_op) =
+  match m.kind with
+  | `Load -> load ~dst:m.data ~base:m.base ~disp:m.disp ~width:m.width ~signed:m.signed
+  | `Store -> store ~src:m.data ~base:m.base ~disp:m.disp ~width:m.width
+
+(* Instruction counts, used by the cost discussions in the paper
+   (Section IV-D compares sequence lengths). *)
+let length (m : mem_op) = List.length (emit m)

@@ -1,0 +1,36 @@
+(** The MDA code sequences: alignment-safe instruction sequences for
+    misaligned loads and stores built from [ldq_u]/[stq_u] and the
+    EXT/INS/MSK instructions — the paper's Figure 2 (loads) and the
+    standard Alpha unaligned-store idiom. They never raise alignment
+    traps, for any effective address.
+
+    Every MDA handling mechanism emits code produced here: the direct
+    method and profile-guided translations inline it; the exception
+    handler generates it out-of-line and patches a branch to it. *)
+
+(** Description of one guest memory operation to perform without traps.
+    [base]+[disp] must name live host state at the site (the patcher
+    relies on address registers being intact at the faulting pc). *)
+type mem_op = {
+  kind : [ `Load | `Store ];
+  data : Isa.reg; (** destination (load) or source (store) *)
+  base : Isa.reg;
+  disp : int;
+  width : int; (** 2, 4 or 8 — byte accesses never need a sequence *)
+  signed : bool; (** loads: sign-extend the result *)
+}
+
+(** Unaligned load: 6 instructions plus sign-extension fixup (the
+    paper's 7-instruction Figure-2 sequence for a signed longword).
+    Safe when [dst] = [base]. Raises [Invalid_argument] on width 1. *)
+val load : dst:Isa.reg -> base:Isa.reg -> disp:int -> width:int -> signed:bool -> Isa.insn list
+
+(** Unaligned store: the canonical 11-instruction idiom (high quad
+    rewritten first so non-crossing accesses finalize correctly). *)
+val store : src:Isa.reg -> base:Isa.reg -> disp:int -> width:int -> Isa.insn list
+
+(** Emit the sequence for a {!mem_op}. *)
+val emit : mem_op -> Isa.insn list
+
+(** Sequence length in instructions (Section IV-D cost arguments). *)
+val length : mem_op -> int

@@ -1,0 +1,36 @@
+(** Pure value semantics of alphalite operate-format instructions,
+    following the Alpha Architecture Handbook. Kept separate from the
+    machine executor so tests can check the byte-manipulation group
+    against byte-level reference models. *)
+
+(** Shift helpers defined for any amount (|n| ≥ 64 yields 0); negative
+    amounts shift the other way. *)
+val u64_shift_left : int64 -> int -> int64
+
+val u64_shift_right : int64 -> int -> int64
+
+(** Semantics of an operate instruction on operand values. *)
+val oper : Isa.oper -> int64 -> int64 -> int64
+
+(** EXTxL: bytes of quad [a] from offset [b mod 8], zero-extended into
+    the low [width] bytes. *)
+val ext_low : width:int -> int64 -> int64 -> int64
+
+(** EXTxH: the continuation bytes from the following quad, positioned to
+    OR with {!ext_low}'s result; 0 when the access does not cross. *)
+val ext_high : width:int -> int64 -> int64 -> int64
+
+(** INSxL: low [width] bytes of [a] shifted to byte offset [b mod 8]. *)
+val ins_low : width:int -> int64 -> int64 -> int64
+
+(** INSxH: the bytes of [a] that spill into the following quad. *)
+val ins_high : width:int -> int64 -> int64 -> int64
+
+(** MSKxL: [a] with the field's in-quad bytes cleared. *)
+val msk_low : width:int -> int64 -> int64 -> int64
+
+(** MSKxH: [a] with the field's spill-over bytes cleared. *)
+val msk_high : width:int -> int64 -> int64 -> int64
+
+(** Dispatch over the six byte-manipulation forms. *)
+val bytemanip : Isa.bytemanip -> width:int -> high:bool -> int64 -> int64 -> int64

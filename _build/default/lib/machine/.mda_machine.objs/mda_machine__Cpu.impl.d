@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Bits Cost_model Hierarchy Int64 Mda_host Mda_util Memory Printf

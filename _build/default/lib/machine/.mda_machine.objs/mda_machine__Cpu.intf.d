@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Cost_model Hierarchy Mda_host Memory

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Bytes Char Int64 Printf

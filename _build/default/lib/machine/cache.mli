@@ -1,0 +1,29 @@
+(** Set-associative cache simulator with LRU replacement. Models the
+    evaluation machine's hierarchy so the paper's code-locality effects
+    (Figure 11) appear in cycle counts. *)
+
+type t
+
+(** [create ~size_bytes ~assoc ~line_bytes]. Sizes and line length must
+    be powers of two and consistent; raises [Invalid_argument]
+    otherwise. *)
+val create : size_bytes:int -> assoc:int -> line_bytes:int -> t
+
+val line_bytes : t -> int
+
+val sets : t -> int
+
+(** Touch the line containing [addr]; [true] on hit. Misses fill the
+    line, evicting the LRU way. *)
+val access : t -> int -> bool
+
+(** Addresses of the lines an access touches: one, or two when it
+    straddles a line boundary (the misaligned case). *)
+val lines_touched : t -> addr:int -> size:int -> int list
+
+val invalidate_all : t -> unit
+
+(** (hits, misses) since creation or the last {!reset_stats}. *)
+val stats : t -> int * int
+
+val reset_stats : t -> unit

@@ -1,0 +1,42 @@
+(** Cycle-accounting model.
+
+    The paper reports relative execution times on an Alpha ES40; the
+    reproduction replaces wall-clock with deterministic cycle counts, so
+    only the {e ratios} between these constants matter. The trap cost
+    follows the paper's citations (a misalignment trap costs "nearly 1K
+    cycles"); the rest follow common DBT folklore and one calibration
+    pass against the paper's Figure-16 geometric means (documented in
+    EXPERIMENTS.md). *)
+
+type t = {
+  base_insn : int; (** issue cost of any host instruction *)
+  l1_miss : int; (** L1 miss, L2 hit *)
+  l2_miss : int; (** L2 miss, memory access *)
+  align_trap : int; (** OS trap + signal delivery for one MDA *)
+  interp_guest_insn : int; (** interpreter loop, per guest instruction *)
+  interp_profile : int; (** extra per memory ref when profiling alignment *)
+  translate_guest_insn : int; (** translator cost per guest instruction *)
+  patch : int; (** handler: emit MDA sequence + patch branch *)
+  invalidate_block : int; (** retranslation: unlink and free a block *)
+  reloc_insn : int; (** code rearrangement, per host instruction moved *)
+  split_access : int; (** native-x86 hardware split (line-crossing) access *)
+  taken_branch : int; (** pipeline redirect on a taken branch/jump *)
+  monitor_exit : int; (** context switch translated-code → BT monitor *)
+  chain_patch : int; (** rewriting one block-exit stub into a branch *)
+}
+
+val default : t
+
+(** Cache geometry parameters. *)
+type cache_geometry = {
+  l1_size : int;
+  l1_assoc : int;
+  l1_line : int;
+  l2_size : int;
+  l2_assoc : int;
+  l2_line : int;
+}
+
+(** The evaluation machine of the paper's Section V-A: split 64 KB 2-way
+    L1 caches, 2 MB direct-mapped L2, 64-byte lines. *)
+val es40_caches : cache_geometry

@@ -1,0 +1,64 @@
+(** The alphalite host CPU.
+
+    Executes translated code out of the BT's code cache (via a fetch
+    callback, because the cache grows and is patched {e while the CPU
+    runs}), charges cycles per the cost model and cache hierarchy, and
+    delivers misaligned-access traps to the registered handler — the
+    simulated OS trap/signal path. *)
+
+(** Why [run] returned. *)
+type exit_reason =
+  | Exit_next_guest of int
+  | Exit_dyn_guest of int (** guest address read from the register *)
+  | Exit_halt
+
+(** Handler verdict for a misalignment trap: [Emulate] — the CPU
+    performs the access byte-wise on the handler's behalf (OS fixup) and
+    continues after the instruction; [Retry] — the handler rewrote the
+    code cache, re-fetch the same pc. *)
+type trap_action = Emulate | Retry
+
+(** Unrecoverable simulation error (e.g. an unhandled trap). *)
+exception Fatal of string
+
+exception Out_of_fuel
+
+type t = {
+  regs : int64 array;
+  mem : Memory.t;
+  hier : Hierarchy.t;
+  cost : Cost_model.t;
+  code_base : int; (** simulated address of code-cache slot 0 *)
+  mutable cycles : int64;
+  mutable insns : int64;
+  mutable mem_ops : int64;
+  mutable align_traps : int64;
+  mutable handler : (pc:int -> addr:int -> Mda_host.Isa.insn -> trap_action) option;
+}
+
+val create :
+  ?code_base:int -> mem:Memory.t -> hier:Hierarchy.t -> cost:Cost_model.t -> unit -> t
+
+(** Register the misalignment handler (the BT runtime's entry point). *)
+val set_handler : t -> (pc:int -> addr:int -> Mda_host.Isa.insn -> trap_action) -> unit
+
+val clear_handler : t -> unit
+
+(** Architectural register access; R31 is hardwired to zero. *)
+val get : t -> Mda_host.Isa.reg -> int64
+
+val set : t -> Mda_host.Isa.reg -> int64 -> unit
+
+(** Add stall/overhead cycles (used by the BT runtime to charge
+    translation, patching, etc.). *)
+val charge : t -> int -> unit
+
+(** [run t ~fetch ~entry ~fuel] executes from code-cache index [entry]
+    until a [Monitor] instruction, returning the exit reason and the
+    index of the [Monitor] that fired (the chaining site). [fuel] bounds
+    the instruction count ({!Out_of_fuel} beyond it); traps without a
+    handler raise {!Fatal}. *)
+val run :
+  t -> fetch:(int -> Mda_host.Isa.insn) -> entry:int -> fuel:int -> exit_reason * int
+
+val reset_counters : t -> unit

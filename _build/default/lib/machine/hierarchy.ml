@@ -1,0 +1,53 @@
+(* Two-level cache hierarchy with cycle accounting.
+
+   Every simulated memory touch (data access or instruction fetch) goes
+   through here; the return value is the number of *stall* cycles to add
+   on top of the instruction's base cost. *)
+
+type t = {
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  cost : Cost_model.t;
+}
+
+let create ?(geometry = Cost_model.es40_caches) cost =
+  { l1i = Cache.create ~size_bytes:geometry.l1_size ~assoc:geometry.l1_assoc
+            ~line_bytes:geometry.l1_line;
+    l1d = Cache.create ~size_bytes:geometry.l1_size ~assoc:geometry.l1_assoc
+            ~line_bytes:geometry.l1_line;
+    l2 = Cache.create ~size_bytes:geometry.l2_size ~assoc:geometry.l2_assoc
+           ~line_bytes:geometry.l2_line;
+    cost }
+
+let access_through t l1 addr =
+  if Cache.access l1 addr then 0
+  else if Cache.access t.l2 addr then t.cost.Cost_model.l1_miss
+  else t.cost.Cost_model.l2_miss
+
+(* [access_data t ~addr ~size] charges for every cache line the access
+   touches — a line-crossing (misaligned) access costs two line lookups,
+   which is how the native-x86 split-access penalty arises. *)
+let access_data t ~addr ~size =
+  List.fold_left
+    (fun acc line_addr -> acc + access_through t t.l1d line_addr)
+    0
+    (Cache.lines_touched t.l1d ~addr ~size)
+
+let access_code t ~addr = access_through t t.l1i addr
+
+(* Number of data lines an access touches (1 or 2). *)
+let data_lines t ~addr ~size = List.length (Cache.lines_touched t.l1d ~addr ~size)
+
+let invalidate_code t = Cache.invalidate_all t.l1i
+
+let stats t =
+  let i_h, i_m = Cache.stats t.l1i in
+  let d_h, d_m = Cache.stats t.l1d in
+  let l2_h, l2_m = Cache.stats t.l2 in
+  [ ("l1i", i_h, i_m); ("l1d", d_h, d_m); ("l2", l2_h, l2_m) ]
+
+let reset_stats t =
+  Cache.reset_stats t.l1i;
+  Cache.reset_stats t.l1d;
+  Cache.reset_stats t.l2

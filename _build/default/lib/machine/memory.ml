@@ -1,0 +1,65 @@
+(* Flat byte-addressable simulated memory.
+
+   Storage is alignment-agnostic — whether a misaligned access traps is an
+   ISA property, enforced by the executing CPU (the x86lite guest allows
+   MDAs; alphalite raises alignment traps for non-byte aligned ops).
+   Little-endian, like both X86 and Alpha. *)
+
+type t = { data : Bytes.t }
+
+exception Out_of_bounds of { addr : int; size : int; limit : int }
+
+let create ~size_bytes =
+  if size_bytes <= 0 then invalid_arg "Memory.create: non-positive size";
+  { data = Bytes.make size_bytes '\000' }
+
+let size t = Bytes.length t.data
+
+let check t addr size =
+  if addr < 0 || size < 0 || addr + size > Bytes.length t.data then
+    raise (Out_of_bounds { addr; size; limit = Bytes.length t.data })
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let write_u8 t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+(* [read t ~addr ~size] returns the little-endian value of [size] bytes
+   (1/2/4/8), zero-extended into an int64. *)
+let read t ~addr ~size =
+  check t addr size;
+  match size with
+  | 1 -> Int64.of_int (Char.code (Bytes.unsafe_get t.data addr))
+  | 2 ->
+    (* unaligned_* Bytes accessors handle any byte offset *)
+    Int64.of_int (Bytes.get_uint16_le t.data addr)
+  | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.data addr)) 0xFFFFFFFFL
+  | 8 -> Bytes.get_int64_le t.data addr
+  | n -> invalid_arg (Printf.sprintf "Memory.read: size %d" n)
+
+let write t ~addr ~size v =
+  check t addr size;
+  match size with
+  | 1 -> Bytes.unsafe_set t.data addr (Char.unsafe_chr (Int64.to_int v land 0xFF))
+  | 2 -> Bytes.set_uint16_le t.data addr (Int64.to_int v land 0xFFFF)
+  | 4 -> Bytes.set_int32_le t.data addr (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le t.data addr v
+  | n -> invalid_arg (Printf.sprintf "Memory.write: size %d" n)
+
+(* Direct view of the backing store. Used by the BT front end to decode
+   guest instructions in place (decoder positions are absolute simulated
+   addresses); mutating it bypasses bounds accounting — treat as
+   read-only. *)
+let raw t = t.data
+
+(* Load a byte image (e.g. an encoded guest program) at [addr]. *)
+let load_image t ~addr image =
+  check t addr (Bytes.length image);
+  Bytes.blit image 0 t.data addr (Bytes.length image)
+
+let blit_zero t ~addr ~len =
+  check t addr len;
+  Bytes.fill t.data addr len '\000'

@@ -1,0 +1,32 @@
+(** Flat byte-addressable simulated memory, little-endian.
+
+    Storage is alignment-agnostic: whether a misaligned access traps is
+    an ISA property enforced by the executing CPU, not by memory. *)
+
+type t
+
+exception Out_of_bounds of { addr : int; size : int; limit : int }
+
+(** Fresh zeroed memory. Raises on non-positive sizes. *)
+val create : size_bytes:int -> t
+
+val size : t -> int
+
+val read_u8 : t -> int -> int
+
+val write_u8 : t -> int -> int -> unit
+
+(** [read t ~addr ~size] is the little-endian value of [size] bytes
+    (1/2/4/8), zero-extended. Any byte alignment is accepted. *)
+val read : t -> addr:int -> size:int -> int64
+
+val write : t -> addr:int -> size:int -> int64 -> unit
+
+(** Raw view of the backing store, for in-place decoding of guest
+    images. Treat as read-only. *)
+val raw : t -> Bytes.t
+
+(** Copy a byte image (e.g. an encoded guest program) to [addr]. *)
+val load_image : t -> addr:int -> Bytes.t -> unit
+
+val blit_zero : t -> addr:int -> len:int -> unit

@@ -1,0 +1,1 @@
+lib/util/stats.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/util/tabular.ml: Array Buffer List Printf String

@@ -1,0 +1,54 @@
+(* Bit-level helpers shared by both simulated ISAs.
+
+   All architectural values are carried as OCaml [int64] regardless of the
+   access size; these helpers mask, sign-extend, and test alignment the way
+   the hardware would. *)
+
+let mask_of_size = function
+  | 1 -> 0xFFL
+  | 2 -> 0xFFFFL
+  | 4 -> 0xFFFFFFFFL
+  | 8 -> -1L
+  | n -> invalid_arg (Printf.sprintf "Bits.mask_of_size: %d" n)
+
+let truncate ~size v = Int64.logand v (mask_of_size size)
+
+let sign_extend ~size v =
+  match size with
+  | 1 -> Int64.of_int (Int64.to_int (truncate ~size:1 v) land 0xFF |> fun x -> if x >= 0x80 then x - 0x100 else x)
+  | 2 -> Int64.of_int (Int64.to_int (truncate ~size:2 v) land 0xFFFF |> fun x -> if x >= 0x8000 then x - 0x10000 else x)
+  | 4 ->
+    let v = truncate ~size:4 v in
+    if Int64.logand v 0x80000000L <> 0L then Int64.logor v 0xFFFFFFFF00000000L else v
+  | 8 -> v
+  | n -> invalid_arg (Printf.sprintf "Bits.sign_extend: %d" n)
+
+let is_aligned ~size addr =
+  match size with
+  | 1 -> true
+  | 2 | 4 | 8 -> Int64.rem addr (Int64.of_int size) = 0L
+  | n -> invalid_arg (Printf.sprintf "Bits.is_aligned: %d" n)
+
+let align_down ~size addr =
+  Int64.logand addr (Int64.lognot (Int64.of_int (size - 1)))
+
+let align_up ~size addr =
+  align_down ~size (Int64.add addr (Int64.of_int (size - 1)))
+
+(* Byte [i] (0 = least significant) of a 64-bit value. *)
+let byte_of v i = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)
+
+(* Build a little-endian value from a byte list, byte 0 first. *)
+let of_bytes bytes =
+  List.fold_left
+    (fun (acc, i) b ->
+      (Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0xFF)) (8 * i)), i + 1))
+    (0L, 0) bytes
+  |> fst
+
+(* Low 32 bits as a signed OCaml int (safe on 64-bit hosts). *)
+let to_int32_signed v = Int64.to_int (sign_extend ~size:4 v)
+
+let popcount v =
+  let rec go v acc = if v = 0L then acc else go (Int64.logand v (Int64.sub v 1L)) (acc + 1) in
+  go v 0

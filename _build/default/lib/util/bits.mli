@@ -1,0 +1,32 @@
+(** Bit-twiddling helpers shared by the guest and host ISA simulators.
+    Values are carried as [int64]; [size] is the access width in bytes
+    (1, 2, 4 or 8). *)
+
+(** All-ones mask for a byte width. Raises on widths other than 1/2/4/8. *)
+val mask_of_size : int -> int64
+
+(** Keep only the low [size] bytes. *)
+val truncate : size:int -> int64 -> int64
+
+(** Sign-extend the low [size] bytes to 64 bits. *)
+val sign_extend : size:int -> int64 -> int64
+
+(** Natural-boundary alignment test: byte accesses are always aligned. *)
+val is_aligned : size:int -> int64 -> bool
+
+(** Round down / up to a multiple of [size]. *)
+val align_down : size:int -> int64 -> int64
+
+val align_up : size:int -> int64 -> int64
+
+(** [byte_of v i] extracts byte [i] (0 = least significant). *)
+val byte_of : int64 -> int -> int
+
+(** Assemble a little-endian value, byte 0 first. *)
+val of_bytes : int list -> int64
+
+(** Low 32 bits, sign-extended, as an OCaml [int]. *)
+val to_int32_signed : int64 -> int
+
+(** Number of set bits. *)
+val popcount : int64 -> int

@@ -1,0 +1,87 @@
+(* Deterministic pseudo-random number generation for workload synthesis.
+
+   All experiment randomness flows through this module so that runs are
+   reproducible: the same (benchmark, input-set) seed always produces the
+   same guest program, the same data layout, and therefore the same cycle
+   counts.  The generator is splitmix64 (Steele, Lea & Flood, OOPSLA'14),
+   which is tiny, fast, and passes BigCrush when used as a stream. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* One splitmix64 step: advance the state by the golden gamma and mix. *)
+let next_u64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Derive an independent generator; used to give each benchmark phase its
+   own stream so adding a phase does not perturb the others. *)
+let split t =
+  let seed = next_u64 t in
+  create (Int64.mul seed 0xDA942042E4DD58B5L)
+
+let of_string s =
+  (* FNV-1a over the bytes, folded into a 64-bit seed. *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  create !h
+
+(* Uniform int in [0, bound). Uses the high bits, which are the best mixed. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let u = Int64.shift_right_logical (next_u64 t) 1 in
+  Int64.to_int (Int64.rem u (Int64.of_int bound))
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+(* Uniform float in [0, 1). 53 random bits scaled down. *)
+let float t =
+  let u = Int64.shift_right_logical (next_u64 t) 11 in
+  Int64.to_float u *. (1.0 /. 9007199254740992.0)
+
+let bool t p = float t < p
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Sample an index from unnormalized weights. *)
+let weighted t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.weighted: weights sum to zero";
+  let x = float t *. total in
+  let acc = ref 0.0 in
+  let res = ref (Array.length weights - 1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         acc := !acc +. w;
+         if x < !acc then begin
+           res := i;
+           raise Exit
+         end)
+       weights
+   with Exit -> ());
+  !res

@@ -1,0 +1,45 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every source of randomness in the reproduction (program synthesis,
+    data-layout choices, phase scheduling) draws from this module so that
+    experiments are bit-for-bit reproducible from a seed. *)
+
+type t
+
+(** [create seed] returns a fresh generator. *)
+val create : int64 -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [of_string s] seeds a generator from a string (FNV-1a hash). *)
+val of_string : string -> t
+
+(** [next_u64 t] returns the next 64 pseudo-random bits. *)
+val next_u64 : t -> int64
+
+(** [split t] derives an independent generator from [t]'s stream. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in the inclusive range [lo, hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] is [true] with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [choice t arr] picks a uniform element. Raises on empty array. *)
+val choice : t -> 'a array -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [weighted t ws] samples an index with probability proportional to
+    [ws.(i)]. Raises if the weights sum to zero or less. *)
+val weighted : t -> float array -> int

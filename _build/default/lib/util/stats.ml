@@ -1,0 +1,83 @@
+(* Small numeric helpers used by the experiment harness.  The paper reports
+   geometric means of normalized runtimes, so [geomean] is the workhorse. *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+          else acc +. log x)
+        0.0 xs
+    in
+    exp (sum_logs /. n)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+    let arr = Array.of_list xs in
+    Array.sort compare arr;
+    let n = Array.length arr in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then arr.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (arr.(lo) *. (1.0 -. frac)) +. (arr.(hi) *. frac)
+    end
+
+(* Ratio rendering: the paper writes speedups as signed percentages
+   ("+11%", "-2%") relative to a baseline. *)
+let pct_change ~baseline ~value =
+  if baseline = 0.0 then invalid_arg "Stats.pct_change: zero baseline";
+  (value -. baseline) /. baseline *. 100.0
+
+(* Speedup of [value] relative to [baseline] when both are runtimes:
+   positive means [value] is faster. *)
+let speedup_pct ~baseline ~value =
+  if value = 0.0 then invalid_arg "Stats.speedup_pct: zero value";
+  (baseline /. value -. 1.0) *. 100.0
+
+(* Human-readable big numbers, matching the paper's "3.22E+09" style. *)
+let sci_notation x =
+  if x = 0.0 then "0"
+  else if Float.abs x < 100_000.0 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2E" x
+
+let with_commas n =
+  let s = Printf.sprintf "%Ld" n in
+  let neg = String.length s > 0 && s.[0] = '-' in
+  let digits = if neg then String.sub s 1 (String.length s - 1) else s in
+  let len = String.length digits in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    digits;
+  (if neg then "-" else "") ^ Buffer.contents buf

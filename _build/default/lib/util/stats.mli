@@ -1,0 +1,31 @@
+(** Numeric helpers for the experiment harness. *)
+
+(** Arithmetic mean; [nan] on the empty list. *)
+val mean : float list -> float
+
+(** Geometric mean; raises [Invalid_argument] on non-positive values,
+    [nan] on the empty list. The paper's summary metric. *)
+val geomean : float list -> float
+
+(** Sample standard deviation (n-1 denominator); 0 for lists of length
+    less than 2. *)
+val stddev : float list -> float
+
+(** [min_max xs] returns [(min, max)]. Raises on the empty list. *)
+val min_max : float list -> float * float
+
+(** [percentile p xs] with linear interpolation, [p] in [0, 100]. *)
+val percentile : float -> float list -> float
+
+(** [(value - baseline) / baseline * 100]. *)
+val pct_change : baseline:float -> value:float -> float
+
+(** [(baseline / value - 1) * 100]: positive when [value] is the faster
+    runtime. *)
+val speedup_pct : baseline:float -> value:float -> float
+
+(** Paper-style scientific notation for large counts ("3.22E+09"). *)
+val sci_notation : float -> string
+
+(** 1,234,567-style rendering of an int64. *)
+val with_commas : int64 -> string

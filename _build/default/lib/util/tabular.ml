@@ -1,0 +1,79 @@
+(* Plain-text and CSV rendering of experiment tables.
+
+   The harness regenerates every table and figure of the paper as rows of
+   cells; this module lays them out with aligned columns for the terminal
+   and emits CSV for downstream plotting. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+type t = { columns : column array; mutable rows : string array list }
+
+let create columns =
+  if Array.length columns = 0 then invalid_arg "Tabular.create: no columns";
+  { columns; rows = [] }
+
+let col ?(align = Left) title = { title; align }
+
+let add_row t cells =
+  if Array.length cells <> Array.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Tabular.add_row: expected %d cells, got %d"
+         (Array.length t.columns) (Array.length cells));
+  t.rows <- cells :: t.rows
+
+let rows t = List.rev t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let ncols = Array.length t.columns in
+  let widths = Array.map (fun c -> String.length c.title) t.columns in
+  List.iter
+    (fun row ->
+      Array.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    (rows t);
+  let buf = Buffer.create 1024 in
+  let emit_row cells =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad t.columns.(i).align widths.(i) cells.(i))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (Array.map (fun c -> c.title) t.columns);
+  let rule = Array.map (fun w -> String.make w '-') widths in
+  emit_row rule;
+  List.iter emit_row (rows t);
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let emit cells =
+    Buffer.add_string buf
+      (String.concat "," (Array.to_list (Array.map csv_escape cells)));
+    Buffer.add_char buf '\n'
+  in
+  emit (Array.map (fun c -> c.title) t.columns);
+  List.iter emit (rows t);
+  Buffer.contents buf

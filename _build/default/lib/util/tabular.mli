@@ -1,0 +1,25 @@
+(** Aligned plain-text and CSV table rendering for experiment output. *)
+
+type align = Left | Right
+
+type column
+
+type t
+
+(** [col ?align title] describes one column (default left-aligned). *)
+val col : ?align:align -> string -> column
+
+(** [create columns] starts an empty table. Raises on zero columns. *)
+val create : column array -> t
+
+(** [add_row t cells] appends a row; cell count must match the columns. *)
+val add_row : t -> string array -> unit
+
+(** Rows in insertion order. *)
+val rows : t -> string array list
+
+(** Terminal rendering with aligned columns and a header rule. *)
+val render : t -> string
+
+(** RFC-4180-style CSV (quotes fields containing commas/quotes/newlines). *)
+val to_csv : t -> string

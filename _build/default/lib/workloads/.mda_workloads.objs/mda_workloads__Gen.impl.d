@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Int32 Int64 List Mda_bt Mda_guest Mda_machine Option Printf

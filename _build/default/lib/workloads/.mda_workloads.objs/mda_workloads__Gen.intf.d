@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Mda_guest Mda_machine

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Float Gen List Mda_bt Mda_machine Printf Spec

@@ -1,0 +1,1 @@
+test/test_bt.ml: Alcotest Format Int64 List Mda_bt Mda_guest Mda_machine Mda_util Printf String

@@ -1,0 +1,1 @@
+test/test_bt_units.ml: Alcotest Array Hashtbl List Mda_bt Mda_guest Mda_host Mda_machine

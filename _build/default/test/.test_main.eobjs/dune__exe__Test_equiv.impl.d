@@ -1,0 +1,1 @@
+test/test_equiv.ml: Array Int32 Int64 List Mda_bt Mda_guest Mda_machine Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_guest.ml: Alcotest Array Bytes Gen Int32 List Mda_guest Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array List Mda_harness Mda_util Mda_workloads String

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Array Bytes Int64 List Mda_host Mda_machine Mda_util Printf QCheck QCheck_alcotest

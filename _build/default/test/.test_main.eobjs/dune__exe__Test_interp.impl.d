@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Int32 Int64 List Mda_bt Mda_guest Mda_host Mda_machine Mda_util Printf

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bytes Char Int64 List Mda_host Mda_machine Mda_util Printf

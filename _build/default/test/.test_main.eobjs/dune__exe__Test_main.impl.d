@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_bt Test_bt_units Test_equiv Test_guest Test_harness Test_host Test_interp Test_machine Test_models Test_runtime Test_util Test_workloads

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Bytes Char Gen Int64 List Mda_bt Mda_machine Mda_workloads Printf QCheck QCheck_alcotest

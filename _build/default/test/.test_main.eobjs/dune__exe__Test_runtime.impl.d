@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Mda_bt Mda_guest Mda_machine Printf

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Fun Gen Int64 List Mda_util QCheck QCheck_alcotest Rng Stats String Tabular

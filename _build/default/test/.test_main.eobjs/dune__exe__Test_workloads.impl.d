@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Int64 List Mda_bt Mda_guest Mda_workloads Printf

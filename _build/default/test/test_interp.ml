@@ -1,0 +1,265 @@
+(* Per-instruction semantics tests for the guest interpreter: every
+   x86lite instruction against hand-computed results, including the
+   32-bit value convention (sign-extended registers), flag behaviour,
+   and effective-address arithmetic. *)
+
+module G = Mda_guest
+module GI = Mda_guest.Isa
+module H = Mda_host.Isa
+module Machine = Mda_machine
+module Bt = Mda_bt
+
+let data = 0x2000
+
+(* Run a straight-line instruction list (plus Halt) through the
+   interpreter on a small machine; returns (cpu, mem). *)
+let run ?(setup = fun _ _ -> ()) insns =
+  let image, _ = G.Encode.encode_program (Array.of_list (insns @ [ GI.Halt ])) in
+  let mem = Machine.Memory.create ~size_bytes:65536 in
+  Machine.Memory.load_image mem ~addr:0x1000 image;
+  let cost = Machine.Cost_model.default in
+  let hier = Machine.Hierarchy.create cost in
+  let cpu = Machine.Cpu.create ~mem ~hier ~cost () in
+  Machine.Cpu.set cpu (GI.reg_index GI.ESP) 0xF000L;
+  setup cpu mem;
+  (match Bt.Block.discover mem ~pc:0x1000 with
+  | Error e -> Alcotest.failf "discover: %a" Bt.Block.pp_error e
+  | Ok block -> (
+    match
+      Bt.Interp.exec_block cpu (Interpreted { profile = false }) block
+        ~on_mem:(fun _ -> ())
+    with
+    | Bt.Interp.Halted -> ()
+    | Bt.Interp.Fallthrough _ -> Alcotest.fail "expected halt"));
+  (cpu, mem)
+
+let reg cpu r = Machine.Cpu.get cpu (GI.reg_index r)
+
+let check64 = Alcotest.(check int64)
+
+(* --- moves -------------------------------------------------------------- *)
+
+let test_mov_imm () =
+  let cpu, _ = run [ GI.Mov_imm { dst = GI.EAX; imm = -7l } ] in
+  check64 "negative imm sign-extended" (-7L) (reg cpu GI.EAX)
+
+let test_mov_reg () =
+  let cpu, _ =
+    run [ GI.Mov_imm { dst = GI.EBX; imm = 42l }; GI.Mov_reg { dst = GI.ECX; src = GI.EBX } ]
+  in
+  check64 "mov" 42L (reg cpu GI.ECX)
+
+(* --- loads: widths, sign, convention ------------------------------------ *)
+
+let setup_pattern _ mem =
+  Machine.Memory.write mem ~addr:data ~size:8 0xF1F2F3F48586878AL
+
+let load dst size signed disp =
+  GI.Load { dst; src = GI.addr_abs (data + disp); size; signed }
+
+let test_load_widths () =
+  let cpu, _ =
+    run ~setup:setup_pattern
+      [ load GI.EAX GI.S1 false 0;
+        load GI.EBX GI.S1 true 0;
+        load GI.ECX GI.S2 false 0;
+        load GI.EDX GI.S2 true 0;
+        load GI.ESI GI.S4 false 0;
+        load GI.EDI GI.S8 false 0 ]
+  in
+  check64 "byte zext" 0x8AL (reg cpu GI.EAX);
+  check64 "byte sext" (Int64.of_int (0x8A - 0x100)) (reg cpu GI.EBX);
+  check64 "word zext" 0x878AL (reg cpu GI.ECX);
+  check64 "word sext" (Int64.of_int (0x878A - 0x10000)) (reg cpu GI.EDX);
+  (* 32-bit loads always sign-extend (longword convention) *)
+  check64 "long convention" (Mda_util.Bits.sign_extend ~size:4 0x8586878AL) (reg cpu GI.ESI);
+  check64 "quad raw" 0xF1F2F3F48586878AL (reg cpu GI.EDI)
+
+let test_load_misaligned_value () =
+  (* a misaligned load reads exactly the bytes at the odd address *)
+  let cpu, _ = run ~setup:setup_pattern [ load GI.EAX GI.S2 false 1 ] in
+  check64 "bytes at odd address" 0x8687L (Int64.logand (reg cpu GI.EAX) 0xFFFFL);
+  let cpu2, _ = run ~setup:setup_pattern [ load GI.EAX GI.S4 false 3 ] in
+  check64 "4 bytes at +3" (Mda_util.Bits.sign_extend ~size:4 0xF2F3F485L) (reg cpu2 GI.EAX)
+
+(* --- stores -------------------------------------------------------------- *)
+
+let test_store_truncates () =
+  let cpu, mem =
+    run
+      [ GI.Mov_imm { dst = GI.EAX; imm = -2l };
+        GI.Store { src = GI.EAX; dst = GI.addr_abs data; size = GI.S2 } ]
+  in
+  ignore cpu;
+  check64 "low 2 bytes stored" 0xFFFEL (Machine.Memory.read mem ~addr:data ~size:2);
+  check64 "next byte untouched" 0L (Machine.Memory.read mem ~addr:(data + 2) ~size:1)
+
+(* --- effective addresses -------------------------------------------------- *)
+
+let test_addressing_modes () =
+  let setup cpu mem =
+    Machine.Cpu.set cpu (GI.reg_index GI.EBX) (Int64.of_int data);
+    Machine.Cpu.set cpu (GI.reg_index GI.ECX) 4L;
+    Machine.Memory.write mem ~addr:(data + 8) ~size:4 111L;
+    Machine.Memory.write mem ~addr:(data + 4 + (4 * 2)) ~size:4 222L
+  in
+  let cpu, _ =
+    run ~setup
+      [ GI.Load
+          { dst = GI.EAX; src = GI.addr_base ~disp:8 GI.EBX; size = GI.S4; signed = false };
+        GI.Load
+          { dst = GI.EDX;
+            src = GI.addr_indexed ~disp:4 ~base:GI.EBX ~index:GI.ECX ~scale:2 ();
+            size = GI.S4;
+            signed = false } ]
+  in
+  check64 "base+disp" 111L (reg cpu GI.EAX);
+  check64 "base+index*scale+disp" 222L (reg cpu GI.EDX)
+
+let test_lea () =
+  let setup cpu _ = Machine.Cpu.set cpu (GI.reg_index GI.EBX) 100L in
+  let cpu, _ =
+    run ~setup
+      [ GI.Lea
+          { dst = GI.EAX;
+            src = GI.addr_indexed ~disp:7 ~base:GI.EBX ~index:GI.EBX ~scale:4 () } ]
+  in
+  check64 "lea computes without memory" (Int64.of_int ((100 * 5) + 7)) (reg cpu GI.EAX)
+
+(* --- ALU ------------------------------------------------------------------ *)
+
+let binop_case op a b expect =
+  let cpu, _ =
+    run
+      [ GI.Mov_imm { dst = GI.EAX; imm = Int32.of_int a };
+        GI.Binop { op; dst = GI.EAX; src = GI.Imm (Int32.of_int b) } ]
+  in
+  check64
+    (Printf.sprintf "%s %d %d" (GI.binop_name op) a b)
+    expect (reg cpu GI.EAX)
+
+let test_binops () =
+  binop_case GI.Add 3 4 7L;
+  binop_case GI.Add 0x7FFFFFFF 1 (-2147483648L) (* 32-bit overflow wraps *);
+  binop_case GI.Sub 3 5 (-2L);
+  binop_case GI.And 0xFF 0x0F 0x0FL;
+  binop_case GI.Or 0xF0 0x0F 0xFFL;
+  binop_case GI.Xor 0xFF 0x0F 0xF0L;
+  binop_case GI.Imul 1000 (-3) (-3000L);
+  binop_case GI.Shl 1 31 (-2147483648L);
+  binop_case GI.Shl 1 33 2L (* count masked to 5 bits *);
+  binop_case GI.Shr (-1) 28 0xFL;
+  binop_case GI.Sar (-16) 2 (-4L)
+
+(* --- flags and conditions --------------------------------------------------- *)
+
+let cond_case ~a ~b cond expect =
+  (* run cmp then materialize the condition via the flag registers *)
+  let cpu, _ =
+    run
+      [ GI.Mov_imm { dst = GI.EAX; imm = Int32.of_int a };
+        GI.Cmp { a = GI.EAX; b = GI.Imm (Int32.of_int b) } ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d %s %d" a (GI.cond_name cond) b)
+    expect
+    (Bt.Interp.cond_holds cpu cond)
+
+let test_conditions () =
+  cond_case ~a:3 ~b:3 GI.Eq true;
+  cond_case ~a:3 ~b:4 GI.Eq false;
+  cond_case ~a:3 ~b:4 GI.Ne true;
+  cond_case ~a:(-1) ~b:0 GI.Lt true;
+  cond_case ~a:(-1) ~b:0 GI.Ult false (* unsigned: 0xFFFFFFFF > 0 *);
+  cond_case ~a:5 ~b:5 GI.Le true;
+  cond_case ~a:5 ~b:5 GI.Ge true;
+  cond_case ~a:6 ~b:5 GI.Gt true;
+  cond_case ~a:4 ~b:5 GI.Ule true
+
+let test_test_insn () =
+  let cpu, _ =
+    run
+      [ GI.Mov_imm { dst = GI.EAX; imm = 0x0Fl };
+        GI.Test { a = GI.EAX; b = GI.Imm 0xF0l } ]
+  in
+  Alcotest.(check bool) "test sets ZF on zero AND" true (Bt.Interp.cond_holds cpu GI.Eq)
+
+(* --- stack --------------------------------------------------------------- *)
+
+let test_push_pop () =
+  let cpu, mem =
+    run
+      [ GI.Mov_imm { dst = GI.EAX; imm = 77l };
+        GI.Push GI.EAX;
+        GI.Mov_imm { dst = GI.EAX; imm = 0l };
+        GI.Pop GI.EBX ]
+  in
+  check64 "popped value" 77L (reg cpu GI.EBX);
+  check64 "esp restored" 0xF000L (reg cpu GI.ESP);
+  check64 "stack slot written" 77L (Machine.Memory.read mem ~addr:(0xF000 - 4) ~size:4)
+
+(* --- rmw ------------------------------------------------------------------ *)
+
+let test_rmw_semantics () =
+  let setup _ mem = Machine.Memory.write mem ~addr:data ~size:4 10L in
+  let _, mem =
+    run ~setup
+      [ GI.Mov_imm { dst = GI.EDX; imm = 5l };
+        GI.Rmw { op = GI.Add; dst = GI.addr_abs data; src = GI.Reg GI.EDX; size = GI.S4 } ]
+  in
+  check64 "rmw add" 15L (Machine.Memory.read mem ~addr:data ~size:4)
+
+let test_rmw_sets_flags () =
+  let setup _ mem = Machine.Memory.write mem ~addr:data ~size:4 5L in
+  let cpu, _ =
+    run ~setup
+      [ GI.Rmw { op = GI.Sub; dst = GI.addr_abs data; src = GI.Imm 5l; size = GI.S4 } ]
+  in
+  Alcotest.(check bool) "zero result sets ZF" true (Bt.Interp.cond_holds cpu GI.Eq)
+
+(* --- memory events ---------------------------------------------------------- *)
+
+let test_mem_events () =
+  let image, _ =
+    G.Encode.encode_program
+      [| GI.Load { dst = GI.EAX; src = GI.addr_abs (data + 1); size = GI.S4; signed = false };
+         GI.Store { src = GI.EAX; dst = GI.addr_abs data; size = GI.S8 };
+         GI.Halt |]
+  in
+  let mem = Machine.Memory.create ~size_bytes:65536 in
+  Machine.Memory.load_image mem ~addr:0x1000 image;
+  let cost = Machine.Cost_model.default in
+  let cpu = Machine.Cpu.create ~mem ~hier:(Machine.Hierarchy.create cost) ~cost () in
+  let events = ref [] in
+  (match Bt.Block.discover mem ~pc:0x1000 with
+  | Ok block ->
+    ignore
+      (Bt.Interp.exec_block cpu (Interpreted { profile = false }) block
+         ~on_mem:(fun ev -> events := ev :: !events))
+  | Error e -> Alcotest.failf "discover: %a" Bt.Block.pp_error e);
+  match List.rev !events with
+  | [ e1; e2 ] ->
+    Alcotest.(check bool) "load event" true (e1.Bt.Interp.kind = `Load);
+    Alcotest.(check bool) "load misaligned" false e1.Bt.Interp.aligned;
+    Alcotest.(check int) "load ea" (data + 1) e1.Bt.Interp.ea;
+    Alcotest.(check int) "load size" 4 e1.Bt.Interp.size;
+    Alcotest.(check bool) "store event" true (e2.Bt.Interp.kind = `Store);
+    Alcotest.(check bool) "store aligned" true e2.Bt.Interp.aligned
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let suite =
+  [ ( "interp",
+      [ Alcotest.test_case "mov imm" `Quick test_mov_imm;
+        Alcotest.test_case "mov reg" `Quick test_mov_reg;
+        Alcotest.test_case "load widths and sign" `Quick test_load_widths;
+        Alcotest.test_case "misaligned load values" `Quick test_load_misaligned_value;
+        Alcotest.test_case "store truncates" `Quick test_store_truncates;
+        Alcotest.test_case "addressing modes" `Quick test_addressing_modes;
+        Alcotest.test_case "lea" `Quick test_lea;
+        Alcotest.test_case "binops" `Quick test_binops;
+        Alcotest.test_case "conditions" `Quick test_conditions;
+        Alcotest.test_case "test instruction" `Quick test_test_insn;
+        Alcotest.test_case "push/pop" `Quick test_push_pop;
+        Alcotest.test_case "rmw semantics" `Quick test_rmw_semantics;
+        Alcotest.test_case "rmw flags" `Quick test_rmw_sets_flags;
+        Alcotest.test_case "memory events" `Quick test_mem_events ] ) ]

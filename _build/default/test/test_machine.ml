@@ -1,0 +1,304 @@
+(* Tests for the machine simulator: memory, caches, hierarchy costs, and
+   the host CPU including alignment-trap delivery. *)
+
+module H = Mda_host.Isa
+module Machine = Mda_machine
+module Memory = Mda_machine.Memory
+module Cache = Mda_machine.Cache
+module Cpu = Mda_machine.Cpu
+module Cost = Mda_machine.Cost_model
+
+(* --- memory --------------------------------------------------------------- *)
+
+let test_memory_endianness () =
+  let m = Memory.create ~size_bytes:64 in
+  Memory.write m ~addr:0 ~size:4 0x11223344L;
+  Alcotest.(check int) "byte 0 is LSB" 0x44 (Memory.read_u8 m 0);
+  Alcotest.(check int) "byte 3 is MSB" 0x11 (Memory.read_u8 m 3)
+
+let test_memory_rw_roundtrip () =
+  let m = Memory.create ~size_bytes:64 in
+  List.iter
+    (fun (size, v) ->
+      Memory.write m ~addr:8 ~size v;
+      Alcotest.(check int64)
+        (Printf.sprintf "size %d" size)
+        (Mda_util.Bits.truncate ~size v)
+        (Memory.read m ~addr:8 ~size))
+    [ (1, 0xABL); (2, 0xBEEFL); (4, 0xDEADBEEFL); (8, 0x0102030405060708L) ]
+
+let test_memory_misaligned_rw () =
+  (* storage is alignment-agnostic: odd addresses work byte-exactly *)
+  let m = Memory.create ~size_bytes:64 in
+  Memory.write m ~addr:3 ~size:8 0x1122334455667788L;
+  Alcotest.(check int64) "misaligned quad" 0x1122334455667788L (Memory.read m ~addr:3 ~size:8);
+  Alcotest.(check int64) "overlapping long" 0x55667788L (Memory.read m ~addr:3 ~size:4)
+
+let test_memory_bounds () =
+  let m = Memory.create ~size_bytes:16 in
+  (try
+     ignore (Memory.read m ~addr:13 ~size:4);
+     Alcotest.fail "expected Out_of_bounds"
+   with Memory.Out_of_bounds { addr = 13; size = 4; limit = 16 } -> ());
+  try
+    ignore (Memory.read m ~addr:(-1) ~size:1);
+    Alcotest.fail "expected Out_of_bounds"
+  with Memory.Out_of_bounds _ -> ()
+
+let test_memory_load_image () =
+  let m = Memory.create ~size_bytes:64 in
+  Memory.load_image m ~addr:10 (Bytes.of_string "abc");
+  Alcotest.(check int) "a" (Char.code 'a') (Memory.read_u8 m 10);
+  Alcotest.(check int) "c" (Char.code 'c') (Memory.read_u8 m 12)
+
+(* --- cache ------------------------------------------------------------------ *)
+
+let test_cache_hit_after_miss () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  Alcotest.(check bool) "first access misses" false (Cache.access c 0);
+  Alcotest.(check bool) "second access hits" true (Cache.access c 0);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 64)
+
+let test_cache_lru_eviction () =
+  (* 1024 B, 2-way, 64 B lines -> 8 sets; lines mapping to set 0 are
+     multiples of 512 *)
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 512);
+  (* touch 0 so 512 is LRU *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1024);
+  (* evicts 512 *)
+  Alcotest.(check bool) "0 still cached" true (Cache.access c 0);
+  Alcotest.(check bool) "512 was evicted" false (Cache.access c 512)
+
+let test_cache_stats_and_invalidate () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  let hits, misses = Cache.stats c in
+  Alcotest.(check (pair int int)) "stats" (1, 1) (hits, misses);
+  Cache.invalidate_all c;
+  Alcotest.(check bool) "miss after invalidate" false (Cache.access c 0)
+
+let test_cache_lines_touched () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:64 in
+  Alcotest.(check int) "aligned access, one line" 1
+    (List.length (Cache.lines_touched c ~addr:0 ~size:8));
+  Alcotest.(check int) "straddling access, two lines" 2
+    (List.length (Cache.lines_touched c ~addr:60 ~size:8))
+
+let test_cache_validation () =
+  Alcotest.check_raises "non-power-of-two line"
+    (Invalid_argument "Cache.create: line_bytes (48) must be a power of two")
+    (fun () -> ignore (Cache.create ~size_bytes:1024 ~assoc:2 ~line_bytes:48))
+
+(* --- hierarchy ---------------------------------------------------------------- *)
+
+let test_hierarchy_costs () =
+  let cost = Cost.default in
+  let h = Mda_machine.Hierarchy.create cost in
+  (* cold: L1 miss and L2 miss *)
+  Alcotest.(check int) "cold access" cost.Cost.l2_miss
+    (Mda_machine.Hierarchy.access_data h ~addr:0 ~size:4);
+  Alcotest.(check int) "warm access free" 0
+    (Mda_machine.Hierarchy.access_data h ~addr:0 ~size:4);
+  (* line-crossing access touches two lines *)
+  Alcotest.(check int) "crossing adds a cold line" cost.Cost.l2_miss
+    (Mda_machine.Hierarchy.access_data h ~addr:62 ~size:4)
+
+(* --- cpu ------------------------------------------------------------------------ *)
+
+let mk_cpu () =
+  let cost = Cost.default in
+  let mem = Memory.create ~size_bytes:65536 in
+  let hier = Mda_machine.Hierarchy.create cost in
+  (Cpu.create ~mem ~hier ~cost (), mem)
+
+let run cpu code =
+  let arr = Array.of_list code in
+  Cpu.run cpu ~fetch:(fun pc -> arr.(pc)) ~entry:0 ~fuel:10_000
+
+let test_cpu_r31_hardwired () =
+  let cpu, _ = mk_cpu () in
+  Cpu.set cpu 31 42L;
+  Alcotest.(check int64) "r31 reads zero" 0L (Cpu.get cpu 31);
+  let _ =
+    run cpu [ H.Lda { ra = 31; rb = 31; disp = 7 }; H.Monitor H.Prog_halt ]
+  in
+  Alcotest.(check int64) "writes discarded" 0L (Cpu.get cpu 31)
+
+let test_cpu_lda_ldah () =
+  let cpu, _ = mk_cpu () in
+  let _ =
+    run cpu
+      [ H.Ldah { ra = 1; rb = 31; disp = 2 };
+        H.Lda { ra = 1; rb = 1; disp = -4 };
+        H.Monitor H.Prog_halt ]
+  in
+  Alcotest.(check int64) "ldah/lda pair" (Int64.of_int ((2 * 65536) - 4)) (Cpu.get cpu 1)
+
+let test_cpu_branches () =
+  let cpu, _ = mk_cpu () in
+  (* beq taken skips the poison write *)
+  let _ =
+    run cpu
+      [ H.Bcond { cond = H.Beq; ra = 31; target = 2 };
+        H.Lda { ra = 1; rb = 31; disp = 99 };
+        H.Monitor H.Prog_halt ]
+  in
+  Alcotest.(check int64) "branch taken" 0L (Cpu.get cpu 1);
+  let cpu2, _ = mk_cpu () in
+  Cpu.set cpu2 2 1L;
+  let _ =
+    run cpu2
+      [ H.Bcond { cond = H.Beq; ra = 2; target = 2 };
+        H.Lda { ra = 1; rb = 31; disp = 99 };
+        H.Monitor H.Prog_halt ]
+  in
+  Alcotest.(check int64) "branch not taken" 99L (Cpu.get cpu2 1)
+
+let test_cpu_br_sets_link () =
+  let cpu, _ = mk_cpu () in
+  let _ = run cpu [ H.Br { ra = 5; target = 1 }; H.Monitor H.Prog_halt ] in
+  Alcotest.(check int64) "link register" 1L (Cpu.get cpu 5)
+
+let test_cpu_jmp_indirect () =
+  let cpu, _ = mk_cpu () in
+  Cpu.set cpu 7 2L;
+  let _ =
+    run cpu
+      [ H.Jmp { ra = 5; rb = 7 };
+        H.Lda { ra = 1; rb = 31; disp = 99 };
+        H.Monitor H.Prog_halt ]
+  in
+  Alcotest.(check int64) "skipped poison" 0L (Cpu.get cpu 1);
+  Alcotest.(check int64) "link" 1L (Cpu.get cpu 5)
+
+let test_cpu_monitor_exits () =
+  let cpu, _ = mk_cpu () in
+  (match run cpu [ H.Monitor (H.Next_guest 0x42) ] with
+  | Cpu.Exit_next_guest g, at ->
+    Alcotest.(check int) "guest target" 0x42 g;
+    Alcotest.(check int) "exit pc" 0 at
+  | _ -> Alcotest.fail "expected next_guest");
+  let cpu, _ = mk_cpu () in
+  Cpu.set cpu 13 0x77L;
+  match run cpu [ H.Monitor (H.Dyn_guest 13) ] with
+  | Cpu.Exit_dyn_guest g, _ -> Alcotest.(check int) "dyn target" 0x77 g
+  | _ -> Alcotest.fail "expected dyn_guest"
+
+let test_cpu_alignment_trap_emulate () =
+  let cpu, mem = mk_cpu () in
+  Memory.write mem ~addr:1001 ~size:4 0xCAFEBABEL;
+  Cpu.set cpu 2 1001L;
+  let trapped = ref 0 in
+  Cpu.set_handler cpu (fun ~pc:_ ~addr insn ->
+      incr trapped;
+      Alcotest.(check int) "fault address" 1001 addr;
+      (match insn with H.Ldl _ -> () | _ -> Alcotest.fail "expected the ldl");
+      Cpu.Emulate);
+  let _ = run cpu [ H.Ldl { ra = 1; rb = 2; disp = 0 }; H.Monitor H.Prog_halt ] in
+  Alcotest.(check int) "one trap" 1 !trapped;
+  Alcotest.(check int64) "emulated value" (Mda_util.Bits.sign_extend ~size:4 0xCAFEBABEL)
+    (Cpu.get cpu 1);
+  Alcotest.(check int64) "trap counter" 1L cpu.Cpu.align_traps
+
+let test_cpu_alignment_trap_retry () =
+  (* Retry: handler rewrites the slot, CPU re-executes it. *)
+  let cpu, mem = mk_cpu () in
+  Memory.write mem ~addr:1001 ~size:4 0x1234L;
+  Cpu.set cpu 2 1001L;
+  let code = [| H.Ldl { ra = 1; rb = 2; disp = 0 }; H.Monitor H.Prog_halt |] in
+  Cpu.set_handler cpu (fun ~pc ~addr:_ _ ->
+      code.(pc) <- H.Ldbu { ra = 1; rb = 2; disp = 0 };
+      Cpu.Retry);
+  let _ = Cpu.run cpu ~fetch:(fun pc -> code.(pc)) ~entry:0 ~fuel:100 in
+  Alcotest.(check int64) "patched slot re-executed" 0x34L (Cpu.get cpu 1)
+
+let test_cpu_unhandled_trap_fatal () =
+  let cpu, _ = mk_cpu () in
+  Cpu.set cpu 2 1001L;
+  try
+    ignore (run cpu [ H.Stq { ra = 1; rb = 2; disp = 0 }; H.Monitor H.Prog_halt ]);
+    Alcotest.fail "expected Fatal"
+  with Cpu.Fatal _ -> ()
+
+let test_cpu_alignment_matrix () =
+  (* each restricted op traps exactly on misaligned addresses *)
+  let cases =
+    [ ((fun () -> H.Ldwu { ra = 1; rb = 2; disp = 0 }), 2);
+      ((fun () -> H.Ldl { ra = 1; rb = 2; disp = 0 }), 4);
+      ((fun () -> H.Ldq { ra = 1; rb = 2; disp = 0 }), 8);
+      ((fun () -> H.Stw { ra = 1; rb = 2; disp = 0 }), 2);
+      ((fun () -> H.Stl { ra = 1; rb = 2; disp = 0 }), 4);
+      ((fun () -> H.Stq { ra = 1; rb = 2; disp = 0 }), 8) ]
+  in
+  List.iter
+    (fun (mk, align) ->
+      for off = 0 to align - 1 do
+        let cpu, _ = mk_cpu () in
+        Cpu.set_handler cpu (fun ~pc:_ ~addr:_ _ -> Cpu.Emulate);
+        Cpu.set cpu 2 (Int64.of_int (4096 + off));
+        let _ = run cpu [ mk (); H.Monitor H.Prog_halt ] in
+        let expected = if off = 0 then 0L else 1L in
+        Alcotest.(check int64)
+          (Printf.sprintf "align %d offset %d" align off)
+          expected cpu.Cpu.align_traps
+      done)
+    cases
+
+let test_cpu_ldq_u_never_traps () =
+  for off = 0 to 7 do
+    let cpu, mem = mk_cpu () in
+    Memory.write mem ~addr:4096 ~size:8 0x8877665544332211L;
+    Cpu.set cpu 2 (Int64.of_int (4096 + off));
+    let _ = run cpu [ H.Ldq_u { ra = 1; rb = 2; disp = 0 }; H.Monitor H.Prog_halt ] in
+    Alcotest.(check int64) "no trap" 0L cpu.Cpu.align_traps;
+    Alcotest.(check int64) "enclosing quad" 0x8877665544332211L (Cpu.get cpu 1)
+  done
+
+let test_cpu_out_of_fuel () =
+  let cpu, _ = mk_cpu () in
+  try
+    ignore (run cpu [ H.Br { ra = 31; target = 0 } ]);
+    Alcotest.fail "expected Out_of_fuel"
+  with Cpu.Out_of_fuel -> ()
+
+let test_cpu_cycle_accounting () =
+  let cpu, _ = mk_cpu () in
+  let c0 = cpu.Cpu.cycles in
+  let _ = run cpu [ H.Nop; H.Nop; H.Monitor H.Prog_halt ] in
+  Alcotest.(check bool) "cycles advanced" true (cpu.Cpu.cycles > c0);
+  Alcotest.(check int64) "3 insns retired" 3L cpu.Cpu.insns
+
+let suite =
+  [ ( "machine.memory",
+      [ Alcotest.test_case "endianness" `Quick test_memory_endianness;
+        Alcotest.test_case "rw roundtrip" `Quick test_memory_rw_roundtrip;
+        Alcotest.test_case "misaligned rw" `Quick test_memory_misaligned_rw;
+        Alcotest.test_case "bounds" `Quick test_memory_bounds;
+        Alcotest.test_case "load image" `Quick test_memory_load_image ] );
+    ( "machine.cache",
+      [ Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "stats & invalidate" `Quick test_cache_stats_and_invalidate;
+        Alcotest.test_case "lines touched" `Quick test_cache_lines_touched;
+        Alcotest.test_case "validation" `Quick test_cache_validation ] );
+    ( "machine.hierarchy",
+      [ Alcotest.test_case "miss costs" `Quick test_hierarchy_costs ] );
+    ( "machine.cpu",
+      [ Alcotest.test_case "r31 hardwired" `Quick test_cpu_r31_hardwired;
+        Alcotest.test_case "lda/ldah" `Quick test_cpu_lda_ldah;
+        Alcotest.test_case "branches" `Quick test_cpu_branches;
+        Alcotest.test_case "br sets link" `Quick test_cpu_br_sets_link;
+        Alcotest.test_case "jmp indirect" `Quick test_cpu_jmp_indirect;
+        Alcotest.test_case "monitor exits" `Quick test_cpu_monitor_exits;
+        Alcotest.test_case "trap: emulate" `Quick test_cpu_alignment_trap_emulate;
+        Alcotest.test_case "trap: retry (patching)" `Quick test_cpu_alignment_trap_retry;
+        Alcotest.test_case "trap: unhandled is fatal" `Quick test_cpu_unhandled_trap_fatal;
+        Alcotest.test_case "alignment matrix" `Quick test_cpu_alignment_matrix;
+        Alcotest.test_case "ldq_u never traps" `Quick test_cpu_ldq_u_never_traps;
+        Alcotest.test_case "out of fuel" `Quick test_cpu_out_of_fuel;
+        Alcotest.test_case "cycle accounting" `Quick test_cpu_cycle_accounting ] ) ]

@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "mda_repro"
+    (List.concat
+       [ Test_util.suite;
+         Test_guest.suite;
+         Test_host.suite;
+         Test_machine.suite;
+         Test_interp.suite;
+         Test_runtime.suite;
+         Test_bt_units.suite;
+         Test_bt.suite;
+         Test_workloads.suite;
+         Test_equiv.suite;
+         Test_models.suite;
+         Test_harness.suite ])

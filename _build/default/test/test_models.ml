@@ -1,0 +1,183 @@
+(* Model-based property tests: the cache against a naive LRU reference
+   model, simulated memory against a plain byte-array model, and the
+   workload generator's layout invariants. *)
+
+module Machine = Mda_machine
+module W = Mda_workloads
+
+(* --- cache vs reference LRU model -------------------------------------- *)
+
+(* Reference: per set, an ordered list of tags (MRU first). *)
+module Ref_cache = struct
+  type t = { sets : int list array; assoc : int; line_bits : int; set_bits : int }
+
+  let create ~sets ~assoc ~line_bits =
+    { sets = Array.make sets []; assoc; line_bits; set_bits =
+        (let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in lg sets) }
+
+  let access t addr =
+    let line = addr lsr t.line_bits in
+    let set = line land ((1 lsl t.set_bits) - 1) in
+    let tag = line lsr t.set_bits in
+    let ways = t.sets.(set) in
+    let hit = List.mem tag ways in
+    let ways' = tag :: List.filter (fun w -> w <> tag) ways in
+    t.sets.(set) <- (if List.length ways' > t.assoc then List.filteri (fun i _ -> i < t.assoc) ways' else ways');
+    hit
+end
+
+let prop_cache_matches_model =
+  QCheck.Test.make ~name:"cache behaves as LRU reference model" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 400) (int_bound 4095))
+    (fun addrs ->
+      let c = Machine.Cache.create ~size_bytes:512 ~assoc:2 ~line_bytes:32 in
+      (* 512/32/2 = 8 sets *)
+      let m = Ref_cache.create ~sets:8 ~assoc:2 ~line_bits:5 in
+      List.for_all (fun a -> Machine.Cache.access c a = Ref_cache.access m a) addrs)
+
+(* --- memory vs byte-array model ------------------------------------------ *)
+
+type mem_op =
+  | W8 of int * int
+  | W of int * int * int64 (* size, addr, value *)
+  | R of int * int
+
+let gen_mem_op =
+  let open QCheck.Gen in
+  let addr = int_bound 200 in
+  oneof
+    [ map2 (fun a v -> W8 (a, v)) addr (int_bound 255);
+      (let* size = oneofl [ 1; 2; 4; 8 ] in
+       let* a = addr and* v = ui64 in
+       return (W (size, a, v)));
+      (let* size = oneofl [ 1; 2; 4; 8 ] in
+       let* a = addr in
+       return (R (size, a))) ]
+
+let prop_memory_matches_bytes =
+  QCheck.Test.make ~name:"memory behaves as plain byte array" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 100) (make gen_mem_op))
+    (fun ops ->
+      let m = Machine.Memory.create ~size_bytes:256 in
+      let b = Bytes.make 256 '\000' in
+      List.for_all
+        (fun op ->
+          match op with
+          | W8 (a, v) ->
+            Machine.Memory.write_u8 m a v;
+            Bytes.set b a (Char.chr v);
+            true
+          | W (size, a, v) ->
+            if a + size > 256 then true
+            else begin
+              Machine.Memory.write m ~addr:a ~size v;
+              (match size with
+              | 1 -> Bytes.set b a (Char.chr (Int64.to_int v land 0xFF))
+              | 2 -> Bytes.set_uint16_le b a (Int64.to_int v land 0xFFFF)
+              | 4 -> Bytes.set_int32_le b a (Int64.to_int32 v)
+              | _ -> Bytes.set_int64_le b a v);
+              true
+            end
+          | R (size, a) ->
+            if a + size > 256 then true
+            else begin
+              let got = Machine.Memory.read m ~addr:a ~size in
+              let expect =
+                match size with
+                | 1 -> Int64.of_int (Char.code (Bytes.get b a))
+                | 2 -> Int64.of_int (Bytes.get_uint16_le b a)
+                | 4 -> Int64.logand (Int64.of_int32 (Bytes.get_int32_le b a)) 0xFFFFFFFFL
+                | _ -> Bytes.get_int64_le b a
+              in
+              Int64.equal got expect
+            end)
+        ops)
+
+(* --- workload layout invariants -------------------------------------------- *)
+
+(* Every benchmark's data layout must have disjoint site cells/regions,
+   all inside the data segment. *)
+let test_layout_disjoint () =
+  List.iter
+    (fun name ->
+      let w = W.Workload.instantiate ~scale:0.1 name in
+      let intervals = ref [] in
+      List.iter
+        (fun ((g : W.Gen.group), sites) ->
+          List.iter
+            (fun (s : W.Gen.site_layout) ->
+              intervals := (s.cell, s.cell + 4) :: !intervals;
+              (* conservative region extent: what a striding site can reach *)
+              let extent =
+                match g.behavior with
+                | W.Gen.Mixed { period } ->
+                  (g.execs * W.Gen.mixed_stride ~width:g.width ~period) + g.width + 16
+                | _ -> g.width + 16
+              in
+              intervals := (s.region, s.region + extent) :: !intervals)
+            sites)
+        w.W.Workload.program.W.Gen.groups;
+      let sorted = List.sort compare !intervals in
+      let rec check = function
+        | (_, e1) :: ((s2, _) :: _ as rest) ->
+          if e1 > s2 then Alcotest.failf "%s: overlapping layout (%d > %d)" name e1 s2;
+          check rest
+        | _ -> ()
+      in
+      check sorted;
+      List.iter
+        (fun (s, e) ->
+          if s < Mda_bt.Layout.data_base || e > Mda_bt.Layout.data_limit then
+            Alcotest.failf "%s: layout outside data segment" name)
+        sorted)
+    W.Spec.selected_names
+
+(* Group count math: group_counts must equal the sum of site_counts plus
+   switch traffic, for every behaviour. *)
+let test_group_counts_consistent () =
+  let mk behavior execs =
+    { W.Gen.label = "t";
+      sites = 3;
+      execs;
+      width = 4;
+      mix = W.Gen.Alternate;
+      behavior;
+      bloat = 0;
+      lib = false;
+      via_call = false }
+  in
+  List.iter
+    (fun (behavior, execs, expect_mdas_per_site) ->
+      let g = mk behavior execs in
+      let _, mdas = W.Gen.group_counts g W.Gen.Ref in
+      Alcotest.(check int)
+        (Printf.sprintf "mdas for %d execs" execs)
+        (3 * expect_mdas_per_site) mdas)
+    [ (W.Gen.Aligned, 100, 0);
+      (W.Gen.Misaligned, 100, 100);
+      (W.Gen.Late { onset = 30 }, 100, 70);
+      (W.Gen.Late { onset = 200 }, 100, 0);
+      (W.Gen.Input_dep, 100, 100);
+      (W.Gen.Mixed { period = 2 }, 100, 50);
+      (W.Gen.Mixed { period = 4 }, 100, 75);
+      (W.Gen.Rare { period = 4 }, 100, 25) ];
+  (* train input: input-dependent sites are aligned *)
+  let _, mdas = W.Gen.group_counts (mk W.Gen.Input_dep 100) W.Gen.Train in
+  Alcotest.(check int) "train input: no MDAs" 0 mdas
+
+let test_mixed_stride_validation () =
+  Alcotest.(check int) "w4 p2" 2 (W.Gen.mixed_stride ~width:4 ~period:2);
+  Alcotest.(check int) "w8 p4" 2 (W.Gen.mixed_stride ~width:8 ~period:4);
+  Alcotest.check_raises "p3 invalid"
+    (Invalid_argument "Gen.mixed_stride: period 3 must divide width 4") (fun () ->
+      ignore (W.Gen.mixed_stride ~width:4 ~period:3))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_cache_matches_model; prop_memory_matches_bytes ]
+
+let suite =
+  [ ("models", qcheck_cases);
+    ( "workload.layout",
+      [ Alcotest.test_case "disjoint data layout" `Quick test_layout_disjoint;
+        Alcotest.test_case "group count math" `Quick test_group_counts_consistent;
+        Alcotest.test_case "mixed stride validation" `Quick test_mixed_stride_validation ] ) ]

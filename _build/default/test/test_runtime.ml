@@ -1,0 +1,187 @@
+(* Edge-case tests for the DBT runtime: failure injection (jumps into
+   garbage, fuel exhaustion), run bounds, state retention across
+   retranslation, and the chaining/flush knobs. *)
+
+module G = Mda_guest
+module GI = Mda_guest.Isa
+module Machine = Mda_machine
+module Bt = Mda_bt
+
+let data = Bt.Layout.data_base
+
+let load_program build =
+  let asm = G.Asm.create () in
+  G.Asm.movi asm GI.ESP Bt.Layout.stack_top;
+  build asm;
+  let program = G.Asm.assemble ~base:Bt.Layout.guest_code_base asm in
+  let mem = Machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
+  Machine.Memory.load_image mem ~addr:program.G.Asm.base program.G.Asm.image;
+  (program, mem)
+
+let counted_loop asm ~iters body =
+  let open G.Asm in
+  movi asm GI.ECX iters;
+  let top = fresh_label asm in
+  jmp asm top;
+  bind asm top;
+  body asm;
+  addi asm GI.ECX (-1);
+  cmpi asm GI.ECX 0;
+  jcc asm GI.Gt top
+
+(* --- failure injection ---------------------------------------------------- *)
+
+let test_jump_into_garbage () =
+  (* a computed jump into unencoded memory must surface as Runtime_error,
+     not a crash or a silent wrong result *)
+  let build asm =
+    let open G.Asm in
+    (* ret pops a bogus return address pointing at zeroed memory *)
+    movi asm GI.EAX 0x9000;
+    insn asm (GI.Push GI.EAX);
+    ret asm
+  in
+  let program, mem = load_program build in
+  let config =
+    Bt.Runtime.default_config (Bt.Mechanism.Exception_handling { rearrange = false })
+  in
+  let t = Bt.Runtime.create ~config ~mem () in
+  (try
+     ignore (Bt.Runtime.run t ~entry:program.G.Asm.base);
+     Alcotest.fail "expected Runtime_error"
+   with
+  | Bt.Runtime.Runtime_error _ -> ()
+  | Bt.Interp.Guest_fault _ -> ())
+
+let test_fuel_exhaustion () =
+  (* an infinite translated loop must hit the fuel bound *)
+  let build asm =
+    let open G.Asm in
+    let top = fresh_label asm in
+    jmp asm top;
+    bind asm top;
+    movi asm GI.EAX 1;
+    jmp asm top
+  in
+  let program, mem = load_program build in
+  let config =
+    { (Bt.Runtime.default_config Bt.Mechanism.Direct) with fuel = 10_000 }
+  in
+  let t = Bt.Runtime.create ~config ~mem () in
+  try
+    ignore (Bt.Runtime.run t ~entry:program.G.Asm.base);
+    Alcotest.fail "expected Out_of_fuel"
+  with Machine.Cpu.Out_of_fuel -> ()
+
+let test_max_guest_insns_bound () =
+  (* an infinite interpreted loop stops at the guest-instruction bound *)
+  let build asm =
+    let open G.Asm in
+    let top = fresh_label asm in
+    jmp asm top;
+    bind asm top;
+    movi asm GI.EAX 1;
+    jmp asm top
+  in
+  let program, mem = load_program build in
+  let config =
+    { (Bt.Runtime.default_config (Bt.Mechanism.Dynamic_profiling { threshold = max_int }))
+      with max_guest_insns = 5_000L
+    }
+  in
+  let t = Bt.Runtime.create ~config ~mem () in
+  let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
+  Alcotest.(check bool) "stopped near the bound" true
+    (stats.Bt.Run_stats.guest_insns >= 5_000L
+    && stats.Bt.Run_stats.guest_insns < 6_000L)
+
+(* --- knobs ------------------------------------------------------------------ *)
+
+let mech_eh = Bt.Mechanism.Exception_handling { rearrange = false }
+
+let run_cfg config build =
+  let program, mem = load_program build in
+  let t = Bt.Runtime.create ~config ~mem () in
+  (Bt.Runtime.run t ~entry:program.G.Asm.base, mem)
+
+let loop_build iters asm =
+  counted_loop asm ~iters (fun asm ->
+      G.Asm.movi asm GI.EBX (data + 2);
+      G.Asm.load asm ~dst:GI.EAX ~src:(GI.addr_base GI.EBX) ~size:GI.S4 ();
+      G.Asm.addi asm GI.EAX 1;
+      G.Asm.store asm ~src:GI.EAX ~dst:(GI.addr_base GI.EBX) ~size:GI.S4 ());
+  G.Asm.halt asm
+
+let test_chaining_off_still_correct () =
+  let on, mem_on = run_cfg (Bt.Runtime.default_config mech_eh) (loop_build 500) in
+  let off, mem_off =
+    run_cfg { (Bt.Runtime.default_config mech_eh) with chaining = false } (loop_build 500)
+  in
+  Alcotest.(check int64) "same result"
+    (Machine.Memory.read mem_on ~addr:(data + 2) ~size:4)
+    (Machine.Memory.read mem_off ~addr:(data + 2) ~size:4);
+  Alcotest.(check int) "no chains when off" 0 off.Bt.Run_stats.chains;
+  Alcotest.(check bool) "unchained is slower" true
+    (off.Bt.Run_stats.cycles > on.Bt.Run_stats.cycles)
+
+let test_full_flush_still_correct () =
+  let mech = Bt.Mechanism.Dpeh { threshold = 0; retranslate = Some 2; multiversion = false } in
+  let build asm =
+    counted_loop asm ~iters:300 (fun asm ->
+        for k = 0 to 3 do
+          G.Asm.movi asm GI.EBX (data + 2 + (k * 16));
+          G.Asm.rmw asm ~op:GI.Add ~dst:(GI.addr_base GI.EBX) ~src:(GI.Imm 1l)
+            ~size:GI.S4 ()
+        done);
+    G.Asm.halt asm
+  in
+  let block, mem_b = run_cfg (Bt.Runtime.default_config mech) build in
+  let full, mem_f =
+    run_cfg
+      { (Bt.Runtime.default_config mech) with flush_policy = Bt.Runtime.Full_flush }
+      build
+  in
+  Alcotest.(check bool) "both retranslate" true
+    (block.Bt.Run_stats.retranslations > 0 && full.Bt.Run_stats.retranslations > 0);
+  for k = 0 to 3 do
+    Alcotest.(check int64)
+      (Printf.sprintf "cell %d equal" k)
+      (Machine.Memory.read mem_b ~addr:(data + 2 + (k * 16)) ~size:4)
+      (Machine.Memory.read mem_f ~addr:(data + 2 + (k * 16)) ~size:4)
+  done
+
+(* --- statistics sanity -------------------------------------------------------- *)
+
+let test_cache_miss_stats_reported () =
+  let stats, _ = run_cfg (Bt.Runtime.default_config mech_eh) (loop_build 200) in
+  Alcotest.(check bool) "icache misses counted" true (stats.Bt.Run_stats.icache_misses > 0);
+  Alcotest.(check bool) "dcache misses counted" true (stats.Bt.Run_stats.dcache_misses > 0)
+
+let test_profile_survives_retranslation () =
+  (* after retranslation, the block's accumulated MDA knowledge must
+     yield an inline-seq translation: no further traps *)
+  let mech = Bt.Mechanism.Dpeh { threshold = 0; retranslate = Some 2; multiversion = false } in
+  let build asm =
+    counted_loop asm ~iters:2000 (fun asm ->
+        for k = 0 to 2 do
+          G.Asm.movi asm GI.EBX (data + 2 + (k * 16));
+          G.Asm.load asm ~dst:GI.EAX ~src:(GI.addr_base GI.EBX) ~size:GI.S4 ()
+        done);
+    G.Asm.halt asm
+  in
+  let stats, _ = run_cfg (Bt.Runtime.default_config mech) build in
+  Alcotest.(check bool) "retranslated" true (stats.Bt.Run_stats.retranslations > 0);
+  (* the three sites trap at most a handful of times in total: once each
+     before retranslation, maybe once more in the transition *)
+  Alcotest.(check bool) "traps bounded" true (stats.Bt.Run_stats.traps <= 6L)
+
+let suite =
+  [ ( "runtime.edges",
+      [ Alcotest.test_case "jump into garbage" `Quick test_jump_into_garbage;
+        Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+        Alcotest.test_case "guest-instruction bound" `Quick test_max_guest_insns_bound;
+        Alcotest.test_case "chaining off is correct" `Quick test_chaining_off_still_correct;
+        Alcotest.test_case "full flush is correct" `Quick test_full_flush_still_correct;
+        Alcotest.test_case "cache-miss stats" `Quick test_cache_miss_stats_reported;
+        Alcotest.test_case "profile survives retranslation" `Quick
+          test_profile_survives_retranslation ] ) ]
