@@ -1,0 +1,32 @@
+#!/bin/sh
+# Repository CI: full build, test suite, formatting (when available),
+# and an end-to-end smoke run of the static-analysis experiment.
+#
+#   ./bin/ci.sh
+#
+# Exits non-zero on the first failure.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt"
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed)"
+fi
+
+echo "== figsa smoke run (scale 0.05)"
+dune exec bin/mdabench.exe -- figsa --scale 0.05
+
+echo "== selfcheck smoke run"
+dune exec bin/mdabench.exe -- run 410.bwaves -m sa --scale 0.05 --selfcheck >/dev/null
+dune exec bin/mdabench.exe -- run 453.povray -m dpeh --scale 0.05 --selfcheck >/dev/null
+
+echo "CI OK"

@@ -13,24 +13,27 @@ module H = Mda_harness
 module Bt = Mda_bt
 module W = Mda_workloads
 
+(* (name, one-line description, runner); [mdabench list] and each
+   subcommand's --help show the descriptions *)
 let experiments :
-    (string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) list =
-  [ ("table1", H.Table1.run);
-    ("sharedlib", H.Sharedlib.run);
-    ("ablate-trapcost", H.Ablation.trap_cost);
-    ("ablate-chaining", H.Ablation.chaining);
-    ("ablate-flush", H.Ablation.flush);
-    ("table2", H.Table2.run);
-    ("table3", H.Table3.run);
-    ("table4", H.Table4.run);
-    ("fig1", H.Fig1.run);
-    ("fig10", H.Fig10.run);
-    ("fig11", H.Fig11.run);
-    ("fig12", H.Fig12.run);
-    ("fig13", H.Fig13.run);
-    ("fig14", H.Fig14.run);
-    ("fig15", H.Fig15.run);
-    ("fig16", H.Fig16.run) ]
+    (string * string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) list =
+  [ ("table1", "MDA counts and ratios of the SPEC benchmarks (Table I)", H.Table1.run);
+    ("sharedlib", "MDA attribution: application vs shared-library code (Section II)", H.Sharedlib.run);
+    ("ablate-trapcost", "Figure-16 geomeans vs misalignment-trap cost", H.Ablation.trap_cost);
+    ("ablate-chaining", "block chaining on/off under exception handling", H.Ablation.chaining);
+    ("ablate-flush", "retranslation flush policy: block vs full-cache", H.Ablation.flush);
+    ("table2", "mechanisms and their configuration choices (Table II)", H.Table2.run);
+    ("table3", "MDAs undetected by dynamic profiling (Table III)", H.Table3.run);
+    ("table4", "MDAs remaining with train-input profiles (Table IV)", H.Table4.run);
+    ("fig1", "native speedup from alignment-optimization flags (Figure 1)", H.Fig1.run);
+    ("fig10", "runtime vs dynamic-profiling threshold (Figure 10)", H.Fig10.run);
+    ("fig11", "gain/loss from code rearrangement (Figure 11)", H.Fig11.run);
+    ("fig12", "gain/loss of DPEH over exception handling (Figure 12)", H.Fig12.run);
+    ("fig13", "gain/loss from retranslation (Figure 13)", H.Fig13.run);
+    ("fig14", "gain/loss from multi-version code (Figure 14)", H.Fig14.run);
+    ("fig15", "MDA instructions by misaligned-ratio class (Figure 15)", H.Fig15.run);
+    ("fig16", "overall mechanism comparison, normalized to EH (Figure 16)", H.Fig16.run);
+    ("figsa", "static alignment analysis vs the paper's mechanisms (Figure SA)", H.Figsa.run) ]
 
 (* --- common options ---------------------------------------------------- *)
 
@@ -63,11 +66,11 @@ let write_csv dir name rendered =
   Printf.printf "wrote %s\n%!" path
 
 let run_experiment name scale benchmarks csv_dir =
-  match List.assoc_opt name experiments with
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
   | None ->
     Printf.eprintf "unknown experiment %s\n" name;
     1
-  | Some f ->
+  | Some (_, _, f) ->
     let opts = opts_of ~scale ~benchmarks in
     let rendered = f ~opts () in
     print_string (H.Experiment.render rendered);
@@ -76,8 +79,8 @@ let run_experiment name scale benchmarks csv_dir =
 
 (* --- per-experiment commands ------------------------------------------ *)
 
-let experiment_cmd (exp_name, _) =
-  let doc = Printf.sprintf "Regenerate the paper's %s." exp_name in
+let experiment_cmd (exp_name, desc, _) =
+  let doc = Printf.sprintf "Regenerate %s: %s." exp_name desc in
   let run scale benchmarks csv_dir = run_experiment exp_name scale benchmarks csv_dir in
   let term = Term.(const run $ scale_arg $ benchmarks_arg $ csv_dir_arg) in
   Cmd.v (Cmd.info exp_name ~doc) term
@@ -86,7 +89,7 @@ let all_cmd =
   let doc = "Regenerate every table and figure." in
   let run scale benchmarks csv_dir =
     List.fold_left
-      (fun acc (name, _) ->
+      (fun acc (name, _, _) ->
         let rc = run_experiment name scale benchmarks csv_dir in
         print_newline ();
         max acc rc)
@@ -106,6 +109,8 @@ let mechanism_conv =
     | "eh" -> Ok `Eh
     | "eh+rearrange" -> Ok `Eh_rearrange
     | "dpeh" -> Ok `Dpeh
+    | "sa" -> Ok `Sa
+    | "sa-seq" -> Ok `Sa_seq
     | "interp" -> Ok `Interp
     | "native" -> Ok `Native
     | _ -> Error (`Msg (Printf.sprintf "unknown mechanism %S" s))
@@ -115,9 +120,22 @@ let mechanism_conv =
       (match m with
       | `Direct -> "direct" | `Static -> "static" | `Dynamic -> "dynamic"
       | `Eh -> "eh" | `Eh_rearrange -> "eh+rearrange" | `Dpeh -> "dpeh"
+      | `Sa -> "sa" | `Sa_seq -> "sa-seq"
       | `Interp -> "interp" | `Native -> "native")
   in
   Arg.conv (parse, print)
+
+(* Instantiate a mechanism that needs per-benchmark preparation (train
+   profiles, static analysis). *)
+let make_mechanism ~scale ~threshold name = function
+  | `Direct -> Bt.Mechanism.Direct
+  | `Static -> Bt.Mechanism.Static_profiling (H.Experiment.train_summary ~scale name)
+  | `Dynamic -> Bt.Mechanism.Dynamic_profiling { threshold }
+  | `Eh -> Bt.Mechanism.Exception_handling { rearrange = false }
+  | `Eh_rearrange -> Bt.Mechanism.Exception_handling { rearrange = true }
+  | `Dpeh -> Bt.Mechanism.Dpeh { threshold; retranslate = Some 4; multiversion = true }
+  | `Sa -> H.Experiment.sa_mechanism ~scale ~unknown:Bt.Mechanism.Sa_fallback name
+  | `Sa_seq -> H.Experiment.sa_mechanism ~scale ~unknown:Bt.Mechanism.Sa_seq name
 
 let run_cmd =
   let doc = "Run one benchmark under one mechanism and print its statistics." in
@@ -129,37 +147,43 @@ let run_cmd =
       value
       & opt mechanism_conv `Eh
       & info [ "m"; "mechanism" ] ~docv:"MECH"
-          ~doc:"direct | static | dynamic | eh | eh+rearrange | dpeh | interp | native")
+          ~doc:
+            "direct | static | dynamic | eh | eh+rearrange | dpeh | sa | sa-seq | interp \
+             | native")
   in
   let threshold_arg =
     Arg.(value & opt int 50 & info [ "threshold" ] ~docv:"N" ~doc:"heating threshold")
   in
-  let run name mech scale threshold =
-    let stats =
-      match mech with
-      | `Interp | `Native ->
-        let s, _ = H.Experiment.run_interp ~scale ~native:(mech = `Native) name in
-        s
-      | _ ->
-        let mechanism =
-          match mech with
-          | `Direct -> Bt.Mechanism.Direct
-          | `Static ->
-            Bt.Mechanism.Static_profiling (H.Experiment.train_summary ~scale name)
-          | `Dynamic -> Bt.Mechanism.Dynamic_profiling { threshold }
-          | `Eh -> Bt.Mechanism.Exception_handling { rearrange = false }
-          | `Eh_rearrange -> Bt.Mechanism.Exception_handling { rearrange = true }
-          | `Dpeh ->
-            Bt.Mechanism.Dpeh { threshold; retranslate = Some 4; multiversion = true }
-          | `Interp | `Native -> assert false
-        in
-        H.Experiment.run_mechanism ~scale ~mechanism name
+  let selfcheck_arg =
+    let doc =
+      "After the run, validate the code cache with the DBT invariant checker (patch-site \
+       map, patched branches, chain edges, multi-version guards); non-zero exit on any \
+       violation."
     in
-    Format.printf "%a@." Bt.Run_stats.pp stats;
-    0
+    Arg.(value & flag & info [ "selfcheck" ] ~doc)
+  in
+  let run name mech scale threshold selfcheck =
+    match mech with
+    | `Interp | `Native ->
+      let s, _ = H.Experiment.run_interp ~scale ~native:(mech = `Native) name in
+      Format.printf "%a@." Bt.Run_stats.pp s;
+      if selfcheck then
+        Format.printf "selfcheck: nothing to check (no code cache in %s mode)@."
+          (if mech = `Native then "native" else "interpreter");
+      0
+    | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
+      let mechanism = make_mechanism ~scale ~threshold name m in
+      let stats, t = H.Experiment.run_mechanism_rt ~scale ~mechanism name in
+      Format.printf "%a@." Bt.Run_stats.pp stats;
+      if selfcheck then begin
+        let report = Mda_analysis.Check.run t.Bt.Runtime.cache in
+        Format.printf "%a@." Mda_analysis.Check.pp_report report;
+        if Mda_analysis.Check.ok report then 0 else 2
+      end
+      else 0
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg)
+    Term.(const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg $ selfcheck_arg)
 
 let trace_cmd =
   let doc = "Trace BT events (translations, traps, patches, chains) of a run." in
@@ -178,13 +202,10 @@ let trace_cmd =
   let run name mech scale limit =
     let mechanism =
       match mech with
-      | `Direct -> Bt.Mechanism.Direct
-      | `Static -> Bt.Mechanism.Static_profiling (H.Experiment.train_summary ~scale name)
-      | `Dynamic -> Bt.Mechanism.Dynamic_profiling { threshold = 50 }
-      | `Eh -> Bt.Mechanism.Exception_handling { rearrange = false }
-      | `Eh_rearrange -> Bt.Mechanism.Exception_handling { rearrange = true }
-      | `Dpeh | `Interp | `Native ->
+      | `Interp | `Native ->
         Bt.Mechanism.Dpeh { threshold = 50; retranslate = Some 4; multiversion = true }
+      | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
+        make_mechanism ~scale ~threshold:50 name m
     in
     let w = W.Workload.instantiate ~scale name in
     let mem = W.Workload.fresh_memory w in
@@ -224,12 +245,17 @@ let trace_cmd =
     Term.(const run $ bench_arg $ mech_arg $ scale_arg $ limit_arg)
 
 let list_cmd =
-  let doc = "List the modelled benchmarks (Table I rows)." in
+  let doc = "List the experiments and the modelled benchmarks (Table I rows)." in
   let run () =
+    Printf.printf "experiments:\n";
+    List.iter
+      (fun (name, desc, _) -> Printf.printf "  %-16s %s\n" name desc)
+      experiments;
+    Printf.printf "\nbenchmarks:\n";
     List.iter
       (fun name ->
         let row = W.Spec.find name in
-        Printf.printf "%-16s %-9s NMI=%-5d ratio=%5.2f%% %s\n" name
+        Printf.printf "  %-16s %-9s NMI=%-5d ratio=%5.2f%% %s\n" name
           (W.Spec.suite_name row.W.Spec.suite)
           row.W.Spec.nmi
           (row.W.Spec.ratio *. 100.)

@@ -1,0 +1,309 @@
+(* DBT invariant checker.
+
+   Validates the structural invariants of a {!Mda_bt.Code_cache.t}
+   after (or during) a run, independent of the runtime that built it:
+
+   1. The patch-site map is well-formed and injective: each registered
+      host pc carries exactly one site, lies inside the live host range
+      of a translated block, and no two sites share (block, guest
+      instruction, direction).
+   2. Every handler-patched site branches to a live MDA sequence: the
+      patched slot is [Br r31, seq]; the sequence contains unaligned
+      ([Ldq_u]/[Stq_u]) accesses and nothing that can raise an
+      alignment trap, and terminates with [Br r31, pc+1] back to the
+      instruction after the patched slot.
+   3. Block chaining has no dangling edges: every recorded in-chain
+      slot holds [Br r31, entry] of the (still live, clean) target
+      block.
+   4. Multi-version prologues guard both versions: every alignment test
+      the translator emits is followed by a conditional branch into an
+      in-range MDA path, with exactly one trapping access of the tested
+      width on the aligned path and a trap-free unaligned path.
+
+   The checker is pure inspection — it never mutates the cache — so it
+   can run after every mechanism (the [--selfcheck] flag and the
+   runtime test-suite do exactly that). *)
+
+module H = Mda_host.Isa
+module Cc = Mda_bt.Code_cache
+
+type violation = { check : string; host_pc : int; detail : string }
+
+type report = {
+  violations : violation list;
+  sites_checked : int;
+  patched_checked : int;
+  chains_checked : int;
+  guards_checked : int;
+}
+
+let ok r = r.violations = []
+
+(* How far a patched-site branch may reasonably land from its MDA
+   sequence terminator: the longest emitted sequence (8-byte unaligned
+   store) is well under this. *)
+let max_seq_len = 64
+
+let is_unaligned_access = function
+  | H.Ldq_u _ | H.Stq_u _ -> true
+  | _ -> false
+
+let in_range (lo, hi) pc = pc >= lo && pc < hi
+
+(* --- the four checks ---------------------------------------------------- *)
+
+let check_sites cache add =
+  let count = ref 0 in
+  let keys : (int * int * [ `Load | `Store ], int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun pc (_ : Cc.site) ->
+      incr count;
+      match Hashtbl.find_all cache.Cc.sites pc with
+      | [ site ] -> begin
+        if pc < 0 || pc >= Cc.length cache then
+          add { check = "site-map"; host_pc = pc; detail = "site pc outside the code store" };
+        (match Cc.find_block cache site.block_start with
+        | None ->
+          add { check = "site-map"; host_pc = pc; detail = "site names an unknown guest block" }
+        | Some brec -> begin
+          (match brec.entry with
+          | None ->
+            add
+              { check = "site-map";
+                host_pc = pc;
+                detail = "site survives in an invalidated block" }
+          | Some _ -> ());
+          match brec.host_range with
+          | Some range when in_range range pc -> ()
+          | _ ->
+            add
+              { check = "site-map";
+                host_pc = pc;
+                detail = "site pc outside its block's live host range" }
+        end);
+        let key = (site.block_start, site.guest_addr, site.op.kind) in
+        match Hashtbl.find_opt keys key with
+        | Some other ->
+          add
+            { check = "site-map";
+              host_pc = pc;
+              detail =
+                Printf.sprintf
+                  "duplicate site for guest %#x (%s) in block %#x, also at host pc %d"
+                  site.guest_addr
+                  (match site.op.kind with `Load -> "load" | `Store -> "store")
+                  site.block_start other }
+        | None -> Hashtbl.replace keys key pc
+      end
+      | _ ->
+        add
+          { check = "site-map";
+            host_pc = pc;
+            detail = "multiple site bindings for one host pc" })
+    cache.Cc.sites;
+  !count
+
+(* A registered site whose slot was rewritten to a branch is a
+   handler-patched site: validate the MDA sequence it targets. *)
+let check_patched cache add =
+  let count = ref 0 in
+  Hashtbl.iter
+    (fun pc (site : Cc.site) ->
+      match Cc.insn_at cache pc with
+      | Some (H.Br { ra; target }) ->
+        incr count;
+        if ra <> H.r31 then
+          add
+            { check = "patched-site";
+              host_pc = pc;
+              detail = "patched slot links a return address" };
+        if target < 0 || target >= Cc.length cache then
+          add { check = "patched-site"; host_pc = pc; detail = "patch branch out of bounds" }
+        else begin
+          (* walk the sequence to its terminator *)
+          let unaligned = ref 0 and trapping = ref 0 in
+          let rec walk at steps =
+            if steps > max_seq_len || at >= Cc.length cache then None
+            else
+              match Cc.fetch cache at with
+              | H.Br { ra; target = back } when ra = H.r31 -> Some back
+              | i ->
+                if is_unaligned_access i then incr unaligned;
+                if H.alignment_requirement i <> None then incr trapping;
+                walk (at + 1) (steps + 1)
+          in
+          match walk target 0 with
+          | None ->
+            add
+              { check = "patched-site";
+                host_pc = pc;
+                detail = "no terminating branch within the MDA sequence budget" }
+          | Some back ->
+            if back <> pc + 1 then
+              add
+                { check = "patched-site";
+                  host_pc = pc;
+                  detail =
+                    Printf.sprintf "sequence resumes at %d, expected %d" back (pc + 1) };
+            if !unaligned = 0 then
+              add
+                { check = "patched-site";
+                  host_pc = pc;
+                  detail = "MDA sequence contains no ldq_u/stq_u" };
+            if !trapping > 0 then
+              add
+                { check = "patched-site";
+                  host_pc = pc;
+                  detail = "MDA sequence contains an alignment-trapping access" }
+        end;
+        (match Cc.find_block cache site.block_start with
+        | Some brec when Hashtbl.mem brec.patched site.guest_addr -> ()
+        | Some _ ->
+          add
+            { check = "patched-site";
+              host_pc = pc;
+              detail =
+                Printf.sprintf "guest %#x patched but not recorded in its block"
+                  site.guest_addr }
+        | None -> () (* already reported by check_sites *))
+      | _ -> ())
+    cache.Cc.sites;
+  !count
+
+let check_chains cache add =
+  let count = ref 0 in
+  Cc.iter_blocks cache (fun brec ->
+      match brec.in_chains with
+      | [] -> ()
+      | chains -> begin
+        match brec.entry with
+        | None ->
+          add
+            { check = "chaining";
+              host_pc = brec.start;
+              detail = "invalidated block still has recorded in-chains" }
+        | Some entry ->
+          List.iter
+            (fun at ->
+              incr count;
+              match Cc.insn_at cache at with
+              | Some (H.Br { ra; target }) when ra = H.r31 && target = entry -> ()
+              | Some i ->
+                add
+                  { check = "chaining";
+                    host_pc = at;
+                    detail =
+                      Printf.sprintf "chained slot holds %s, expected br -> %d"
+                        (Mda_host.Pretty.insn_to_string i) entry }
+              | None ->
+                add { check = "chaining"; host_pc = at; detail = "chained slot out of bounds" })
+            chains
+      end)
+
+  ;
+  !count
+
+(* The translator's multi-version guard has a fixed shape ([lda sc_ea],
+   [and sc_ea, width-1, sc_val], [bne sc_val]); the scratch registers
+   make it unmistakable — guest code lives in R0..R7. *)
+let check_guards cache add =
+  let count = ref 0 in
+  Cc.iter_blocks cache (fun brec ->
+      match (brec.entry, brec.host_range) with
+      | Some _, Some ((lo, hi) as range) ->
+        for pc = lo to hi - 2 do
+          match (Cc.fetch cache pc, Cc.fetch cache (pc + 1)) with
+          | ( H.Opr { op = H.And; ra; rb = H.Lit mask; rc },
+              H.Bcond { cond = H.Bne; ra = ca; target = l_mda } )
+            when ra = H.scratch2 && rc = H.scratch0 && ca = rc
+                 && (mask = 1 || mask = 3 || mask = 7) -> begin
+            incr count;
+            let width = mask + 1 in
+            if not (in_range range l_mda) || l_mda <= pc + 1 then
+              add
+                { check = "multi-version";
+                  host_pc = pc;
+                  detail = "guard branches outside its block" }
+            else begin
+              (* aligned path: [pc+2, l_mda) ending in an unconditional
+                 skip over the MDA path *)
+              let aligned_accesses = ref 0 and l_next = ref (-1) in
+              for a = pc + 2 to l_mda - 1 do
+                match Cc.fetch cache a with
+                | H.Br { ra; target } when ra = H.r31 && a = l_mda - 1 -> l_next := target
+                | i -> (
+                  match H.alignment_requirement i with
+                  | Some (_, w) ->
+                    if w = width then incr aligned_accesses
+                    else
+                      add
+                        { check = "multi-version";
+                          host_pc = a;
+                          detail =
+                            Printf.sprintf
+                              "aligned version accesses %d bytes under a %d-byte guard" w
+                              width }
+                  | None -> ())
+              done;
+              if !aligned_accesses <> 1 then
+                add
+                  { check = "multi-version";
+                    host_pc = pc;
+                    detail =
+                      Printf.sprintf "aligned version has %d guarded accesses, expected 1"
+                        !aligned_accesses };
+              if !l_next < l_mda || not (in_range range (!l_next - 1)) then
+                add
+                  { check = "multi-version";
+                    host_pc = pc;
+                    detail = "aligned version does not skip over the MDA version" }
+              else begin
+                let unaligned = ref 0 and trapping = ref 0 in
+                for a = l_mda to !l_next - 1 do
+                  let i = Cc.fetch cache a in
+                  if is_unaligned_access i then incr unaligned;
+                  if H.alignment_requirement i <> None then incr trapping
+                done;
+                if !unaligned = 0 then
+                  add
+                    { check = "multi-version";
+                      host_pc = pc;
+                      detail = "MDA version contains no ldq_u/stq_u" };
+                if !trapping > 0 then
+                  add
+                    { check = "multi-version";
+                      host_pc = pc;
+                      detail = "MDA version contains an alignment-trapping access" }
+              end
+            end
+          end
+          | _ -> ()
+        done
+      | _ -> ());
+  !count
+
+let run (cache : Cc.t) =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let sites_checked = check_sites cache add in
+  let patched_checked = check_patched cache add in
+  let chains_checked = check_chains cache add in
+  let guards_checked = check_guards cache add in
+  { violations = List.rev !violations;
+    sites_checked;
+    patched_checked;
+    chains_checked;
+    guards_checked }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] host pc %d: %s" v.check v.host_pc v.detail
+
+let pp_report fmt r =
+  if ok r then
+    Format.fprintf fmt
+      "selfcheck OK: %d sites, %d patched sites, %d chain edges, %d multi-version guards"
+      r.sites_checked r.patched_checked r.chains_checked r.guards_checked
+  else begin
+    Format.fprintf fmt "selfcheck FAILED: %d violation(s)@," (List.length r.violations);
+    List.iter (fun v -> Format.fprintf fmt "  %a@," pp_violation v) r.violations
+  end

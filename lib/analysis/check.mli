@@ -1,0 +1,39 @@
+(** DBT invariant checker: structural validation of a translated-code
+    cache, independent of the runtime that built it.
+
+    Four invariant families are checked:
+    - {b site-map}: the patch-site map is well-formed and injective —
+      each registered host pc carries one site inside a live block's
+      host range, and no two sites share (block, guest instruction,
+      direction);
+    - {b patched-site}: every handler-patched slot is a [br r31] to a
+      live MDA sequence (contains [ldq_u]/[stq_u], contains nothing
+      that can raise an alignment trap, resumes at the slot after the
+      patch);
+    - {b chaining}: every recorded chain edge holds [br r31, entry] of
+      a live, clean target block;
+    - {b multi-version}: every alignment-test prologue guards exactly
+      one trapping access of the tested width on its aligned path and
+      branches to an in-range, trap-free MDA path.
+
+    The checker only inspects — it never mutates the cache — so it can
+    run after every mechanism ([mdabench run --selfcheck] and the
+    runtime test-suite do exactly that). *)
+
+type violation = { check : string; host_pc : int; detail : string }
+
+type report = {
+  violations : violation list;
+  sites_checked : int;
+  patched_checked : int;
+  chains_checked : int;
+  guards_checked : int;
+}
+
+val run : Mda_bt.Code_cache.t -> report
+
+val ok : report -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,335 @@
+(* Alignment-congruence dataflow analysis over x86lite programs.
+
+   Abstract interpretation of the guest binary before any execution:
+   blocks are discovered from the entry point exactly as the translator
+   discovers them ({!Mda_bt.Block.discover}), a register file of
+   {!Congruence} values is propagated to a fixpoint over the CFG, and
+   every static memory operand is classified [Align_aligned] /
+   [Align_misaligned] / [Align_unknown] from the abstract effective
+   address it is reached with.
+
+   Soundness contract (the property test_analysis checks with qcheck):
+   for any program whose indirect control flow is well-bracketed — every
+   Ret returns to the fall-through of some Call, the only indirect
+   transfers x86lite has — a site classified [Align_aligned] never
+   observes a misaligned effective address in the interpreter, and a
+   site classified [Align_misaligned] never observes an aligned one.
+   Programs that corrupt return addresses fall outside the contract;
+   even then the Static_analysis mechanism stays *correct* (a wrongly
+   "aligned" operand traps and is fixed up or patched at runtime), it
+   merely loses the static speed-up.
+
+   Interprocedural flow is over-approximated call-string-free: the
+   state after any Ret flows to every call fall-through discovered in
+   the program. Memory is not modelled — loaded values are Top — which
+   is what makes the analysis a *translation-time* pass: it needs the
+   program image only, no profile and no execution. *)
+
+module G = Mda_guest
+module GI = Mda_guest.Isa
+module C = Congruence
+module Bt = Mda_bt
+
+type cls = Bt.Mechanism.align_class
+
+(* One classified static memory operand. [ea] is the join of the
+   abstract effective addresses over every path reaching the
+   instruction. *)
+type site = {
+  addr : int; (* static guest instruction address *)
+  width : int;
+  kind : [ `Load | `Store | `Both ]; (* Both: Rmw's two halves *)
+  ea : C.t;
+  cls : cls;
+}
+
+type t = {
+  entry : int;
+  sites : (int, site) Hashtbl.t;
+  blocks : int; (* basic blocks discovered *)
+  iterations : int; (* block visits until the fixpoint *)
+  complete : bool;
+      (* false when discovery hit the block budget or undecodable code:
+         every classification is then degraded to unknown *)
+}
+
+(* --- abstract register file -------------------------------------------- *)
+
+let num_regs = Array.length GI.all_regs
+
+let rf_top () = Array.make num_regs C.top
+
+let rf_copy = Array.copy
+
+(* Join [src] into [dst]; returns whether [dst] grew. *)
+let rf_join_into ~dst ~src =
+  let changed = ref false in
+  for i = 0 to num_regs - 1 do
+    let j = C.join dst.(i) src.(i) in
+    if not (C.equal j dst.(i)) then begin
+      dst.(i) <- j;
+      changed := true
+    end
+  done;
+  !changed
+
+let get st r = st.(GI.reg_index r)
+
+let set st r v = st.(GI.reg_index r) <- v
+
+(* --- transfer ----------------------------------------------------------- *)
+
+let operand st = function
+  | GI.Reg r -> get st r
+  | GI.Imm i -> C.const (Int64.of_int (Int32.to_int i))
+
+(* Abstract effective address, mod 2^32 ({!Mda_bt.Interp.eff_addr}). *)
+let eff st ({ base; index; disp } : GI.addr) =
+  let b = match base with Some r -> get st r | None -> C.const 0L in
+  let i =
+    match index with
+    | Some (r, scale) -> C.mul_const (get st r) scale
+    | None -> C.const 0L
+  in
+  C.low32 (C.add (C.add b i) (C.const_int disp))
+
+let bump_esp st delta =
+  set st GI.ESP (C.low32 (C.add (get st GI.ESP) (C.const_int delta)))
+
+(* Abstract state update of one instruction (memory operands are
+   observed separately by the classification pass). Mirrors
+   {!Mda_bt.Interp.exec_block}; anything whose result the domain cannot
+   express havocs exactly {!GI.defs}. *)
+let step st (insn : GI.insn) =
+  match insn with
+  | GI.Load { dst; _ } -> set st dst C.top (* loaded values are unmodelled *)
+  | GI.Store _ -> ()
+  | GI.Mov_imm { dst; imm } -> set st dst (C.const (Int64.of_int (Int32.to_int imm)))
+  | GI.Mov_reg { dst; src } -> set st dst (get st src)
+  | GI.Binop { op; dst; src } -> set st dst (C.transfer op (get st dst) (operand st src))
+  | GI.Cmp _ | GI.Test _ -> ()
+  | GI.Lea { dst; src } -> set st dst (C.sext32 (eff st src))
+  | GI.Rmw _ -> ()
+  | GI.Push _ -> bump_esp st (-4)
+  | GI.Pop dst ->
+    set st dst C.top;
+    bump_esp st 4
+  | GI.Call _ -> bump_esp st (-4)
+  | GI.Ret -> bump_esp st 4
+  | GI.Jmp _ | GI.Jcc _ | GI.Nop | GI.Halt -> ()
+
+(* Effective address of the instruction's data access(es), in the
+   *pre*-state. x86lite's stack operations address through ESP. *)
+let access_ea st (insn : GI.insn) =
+  match insn with
+  | GI.Load { src; size; _ } -> Some (eff st src, GI.size_bytes size, `Load)
+  | GI.Store { dst; size; _ } -> Some (eff st dst, GI.size_bytes size, `Store)
+  | GI.Rmw { dst; size; _ } -> Some (eff st dst, GI.size_bytes size, `Both)
+  | GI.Push _ | GI.Call _ ->
+    Some (C.low32 (C.add (get st GI.ESP) (C.const_int (-4))), 4, `Store)
+  | GI.Pop _ | GI.Ret -> Some (C.low32 (get st GI.ESP), 4, `Load)
+  | _ -> None
+
+(* --- CFG fixpoint ------------------------------------------------------- *)
+
+type engine = {
+  mem : Mda_machine.Memory.t;
+  block_cache : (int, Bt.Block.t) Hashtbl.t;
+  in_states : (int, C.t array) Hashtbl.t; (* block start -> entry state *)
+  ret_sites : (int, unit) Hashtbl.t; (* call fall-through addresses *)
+  ret_blocks : (int, unit) Hashtbl.t; (* blocks ending in Ret *)
+  mutable queue : int list;
+  mutable queued : (int, unit) Hashtbl.t;
+  max_blocks : int;
+  mutable broken : bool; (* undecodable reachable code / budget blown *)
+  mutable visits : int;
+}
+
+let enqueue e b =
+  if not (Hashtbl.mem e.queued b) then begin
+    Hashtbl.replace e.queued b ();
+    e.queue <- b :: e.queue
+  end
+
+let dequeue e =
+  match e.queue with
+  | [] -> None
+  | b :: rest ->
+    e.queue <- rest;
+    Hashtbl.remove e.queued b;
+    Some b
+
+let block_at e pc =
+  match Hashtbl.find_opt e.block_cache pc with
+  | Some b -> Some b
+  | None ->
+    if Hashtbl.length e.block_cache >= e.max_blocks then begin
+      e.broken <- true;
+      None
+    end
+    else begin
+      match Bt.Block.discover e.mem ~pc with
+      | Ok b ->
+        Hashtbl.replace e.block_cache pc b;
+        Some b
+      | Error _ ->
+        e.broken <- true;
+        None
+    end
+
+(* Propagate [st] to the entry of block [target]. *)
+let flow e ~target st =
+  match Hashtbl.find_opt e.in_states target with
+  | None ->
+    Hashtbl.replace e.in_states target (rf_copy st);
+    enqueue e target
+  | Some cur -> if rf_join_into ~dst:cur ~src:st then enqueue e target
+
+(* Run the whole block's transfer from [st0] (copied); returns the
+   out-state and the terminator with its position. *)
+let run_block block st0 =
+  let st = rf_copy st0 in
+  let n = Array.length block.Bt.Block.insns in
+  for i = 0 to n - 2 do
+    step st block.Bt.Block.insns.(i)
+  done;
+  let last = block.Bt.Block.insns.(n - 1) in
+  (st, last)
+
+let successors e block st (last : GI.insn) =
+  match last with
+  | GI.Jmp t ->
+    step st last;
+    [ (t, st) ]
+  | GI.Jcc { target; _ } ->
+    step st last;
+    [ (target, st); (block.Bt.Block.next, st) ]
+  | GI.Call t ->
+    step st last;
+    let ret_site = block.Bt.Block.next in
+    if not (Hashtbl.mem e.ret_sites ret_site) then begin
+      Hashtbl.replace e.ret_sites ret_site ();
+      (* the new return site must receive every Ret's out-state *)
+      Hashtbl.iter (fun b () -> enqueue e b) e.ret_blocks
+    end;
+    [ (t, st) ]
+  | GI.Ret ->
+    step st last;
+    Hashtbl.replace e.ret_blocks block.Bt.Block.start ();
+    Hashtbl.fold (fun site () acc -> (site, st) :: acc) e.ret_sites []
+  | GI.Halt -> []
+  | _ ->
+    (* Block.discover only terminates blocks at control transfers *)
+    assert false
+
+let analyze ?(max_blocks = 65536) mem ~entry =
+  let e =
+    { mem;
+      block_cache = Hashtbl.create 256;
+      in_states = Hashtbl.create 256;
+      ret_sites = Hashtbl.create 32;
+      ret_blocks = Hashtbl.create 32;
+      queue = [];
+      queued = Hashtbl.create 256;
+      max_blocks;
+      broken = false;
+      visits = 0 }
+  in
+  Hashtbl.replace e.in_states entry (rf_top ());
+  enqueue e entry;
+  (* Fixpoint: finite lattice height bounds the visit count; the
+     visit budget is a pure safety net. *)
+  let max_visits = 64 * max_blocks in
+  let rec loop () =
+    match dequeue e with
+    | None -> ()
+    | Some pc ->
+      e.visits <- e.visits + 1;
+      if e.visits > max_visits then e.broken <- true
+      else begin
+        (match (block_at e pc, Hashtbl.find_opt e.in_states pc) with
+        | Some block, Some st0 ->
+          let st, last = run_block block st0 in
+          List.iter (fun (target, st) -> flow e ~target (rf_copy st)) (successors e block st last)
+        | _ -> ());
+        loop ()
+      end
+  in
+  loop ();
+  (* Classification pass over the converged states: join the abstract
+     effective address each memory operand is reached with. *)
+  let eas : (int, C.t * int * [ `Load | `Store | `Both ]) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun pc st0 ->
+      match Hashtbl.find_opt e.block_cache pc with
+      | None -> ()
+      | Some block ->
+        let st = rf_copy st0 in
+        Array.iteri
+          (fun i insn ->
+            (match access_ea st insn with
+            | Some (ea, width, kind) ->
+              let addr = block.Bt.Block.addrs.(i) in
+              let ea, kind =
+                match Hashtbl.find_opt eas addr with
+                | Some (prev, _, pk) -> (C.join prev ea, if pk = kind then pk else `Both)
+                | None -> (ea, kind)
+              in
+              Hashtbl.replace eas addr (ea, width, kind)
+            | None -> ());
+            step st insn)
+          block.Bt.Block.insns)
+    e.in_states;
+  let sites = Hashtbl.create (Hashtbl.length eas) in
+  Hashtbl.iter
+    (fun addr (ea, width, kind) ->
+      let cls =
+        if e.broken then Bt.Mechanism.Align_unknown else C.classify ~width ea
+      in
+      Hashtbl.replace sites addr { addr; width; kind; ea; cls })
+    eas;
+  { entry;
+    sites;
+    blocks = Hashtbl.length e.block_cache;
+    iterations = e.visits;
+    complete = not e.broken }
+
+(* --- results ------------------------------------------------------------ *)
+
+let classify t addr =
+  match Hashtbl.find_opt t.sites addr with
+  | Some s -> s.cls
+  | None -> Bt.Mechanism.Align_unknown
+
+let find_site t addr = Hashtbl.find_opt t.sites addr
+
+let iter_sites t f = Hashtbl.iter (fun _ s -> f s) t.sites
+
+(* Static census: how many memory-operand instructions land in each
+   class. *)
+let census t =
+  let al = ref 0 and mis = ref 0 and unk = ref 0 in
+  iter_sites t (fun s ->
+      match s.cls with
+      | Bt.Mechanism.Align_aligned -> incr al
+      | Bt.Mechanism.Align_misaligned -> incr mis
+      | Bt.Mechanism.Align_unknown -> incr unk);
+  (!al, !mis, !unk)
+
+(* Package the verdicts for the translator ({!Mda_bt.Mechanism}'s
+   [Static_analysis] mechanism). Unknown sites are left out — absence
+   already means unknown — so the summary stays proof-only. *)
+let summary t =
+  let classes = Hashtbl.create 256 in
+  if t.complete then
+    iter_sites t (fun s ->
+        match s.cls with
+        | Bt.Mechanism.Align_unknown -> ()
+        | c -> Hashtbl.replace classes s.addr c);
+  { Bt.Mechanism.classes }
+
+let pp_site fmt s =
+  Format.fprintf fmt "%#x: %s width=%d ea=%a -> %s" s.addr
+    (match s.kind with `Load -> "load" | `Store -> "store" | `Both -> "rmw")
+    s.width C.pp s.ea
+    (Bt.Mechanism.align_class_name s.cls)

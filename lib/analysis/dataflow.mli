@@ -1,0 +1,54 @@
+(** Alignment-congruence dataflow analysis over x86lite programs.
+
+    A translation-time abstract interpretation: basic blocks are
+    discovered from the entry point exactly as the translator discovers
+    them, a register file of {!Congruence} values is propagated to a
+    fixpoint over the CFG, and every static memory operand is
+    classified from the abstract effective address reaching it.
+
+    Needs the program image only — no profile, no execution — which is
+    what distinguishes the resulting [Static_analysis] mechanism from
+    the paper's profile-guided ones. *)
+
+(** One classified static memory operand. *)
+type site = {
+  addr : int;  (** static guest instruction address *)
+  width : int;
+  kind : [ `Load | `Store | `Both ];  (** [`Both]: read-modify-write *)
+  ea : Congruence.t;
+      (** join of the abstract effective addresses over all paths *)
+  cls : Mda_bt.Mechanism.align_class;
+}
+
+type t = {
+  entry : int;
+  sites : (int, site) Hashtbl.t;
+  blocks : int;  (** basic blocks discovered *)
+  iterations : int;  (** block visits until the fixpoint *)
+  complete : bool;
+      (** [false] when discovery hit the block budget or undecodable
+          reachable code: every classification then degrades to
+          unknown *)
+}
+
+(** Analyze the program whose image is in [mem], entered at [entry].
+    [max_blocks] (default 65536) bounds CFG discovery. *)
+val analyze : ?max_blocks:int -> Mda_machine.Memory.t -> entry:int -> t
+
+(** Verdict for the static memory operand at guest address [addr];
+    addresses the analysis never saw are [Align_unknown]. *)
+val classify : t -> int -> Mda_bt.Mechanism.align_class
+
+val find_site : t -> int -> site option
+
+val iter_sites : t -> (site -> unit) -> unit
+
+(** Static census [(aligned, misaligned, unknown)] over all sites. *)
+val census : t -> int * int * int
+
+(** Package the verdicts for {!Mda_bt.Mechanism.Static_analysis}.
+    Unknown sites are omitted (absence means unknown); an incomplete
+    analysis yields the empty — all-unknown — summary. *)
+val summary : t -> Mda_bt.Mechanism.sa_summary
+
+val pp_site : Format.formatter -> site -> unit

@@ -21,7 +21,48 @@
    - [Dpeh]: dynamic profiling at a low threshold + exception-handler
      patching for the leftovers (Figure 4); optional block
      [retranslate]-after-N-traps (Figure 7) and [multiversion] code for
-     sites with mixed alignment behaviour (Figure 8). *)
+     sites with mixed alignment behaviour (Figure 8).
+   - [Static_analysis]: a sixth, purely static point in the design
+     space (not in the paper): an alignment-congruence dataflow
+     analysis over the guest binary (see {!Mda_analysis.Dataflow})
+     proves, before any execution, that a memory operand is always
+     aligned, always misaligned, or unknown. Proven-misaligned sites
+     get MDA sequences, proven-aligned sites plain ops, and unknown
+     sites follow a configurable policy: emit the sequence defensively
+     ([Sa_seq], never traps) or translate aligned and let the
+     exception handler patch first-trap sites ([Sa_fallback], the
+     EH treatment). *)
+
+(* Verdict of the static alignment analysis for one memory operand
+   (keyed by static guest instruction address). [Align_aligned] and
+   [Align_misaligned] are *proofs* over every execution; [Align_unknown]
+   is the analysis declining to commit. *)
+type align_class = Align_aligned | Align_misaligned | Align_unknown
+
+let align_class_name = function
+  | Align_aligned -> "aligned"
+  | Align_misaligned -> "misaligned"
+  | Align_unknown -> "unknown"
+
+(* What the translator does with operands the analysis could not
+   classify. *)
+type sa_policy =
+  | Sa_seq (* direct method on unknowns: inline the MDA sequence *)
+  | Sa_fallback (* EH on unknowns: plain op, handler patches on first trap *)
+
+(* Immutable product of the static analysis, in the same shape as
+   {!Profile.summary}: guest instruction address -> verdict. Sites
+   absent from the map are [Align_unknown]. *)
+type sa_summary = { classes : (int, align_class) Hashtbl.t }
+
+let sa_classify summary addr =
+  match Hashtbl.find_opt summary.classes addr with
+  | Some c -> c
+  | None -> Align_unknown
+
+let sa_summary_size summary = Hashtbl.length summary.classes
+
+let empty_sa_summary () = { classes = Hashtbl.create 1 }
 
 type t =
   | Direct
@@ -29,6 +70,7 @@ type t =
   | Dynamic_profiling of { threshold : int }
   | Exception_handling of { rearrange : bool }
   | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
+  | Static_analysis of { summary : sa_summary; unknown : sa_policy }
 
 let name = function
   | Direct -> "direct"
@@ -40,6 +82,9 @@ let name = function
     Printf.sprintf "dpeh(th=%d%s%s)" threshold
       (match retranslate with Some r -> Printf.sprintf ",retrans=%d" r | None -> "")
       (if multiversion then ",mv" else "")
+  | Static_analysis { unknown; _ } ->
+    Printf.sprintf "static-analysis(unknown=%s)"
+      (match unknown with Sa_seq -> "seq" | Sa_fallback -> "eh")
 
 (* DigitalBridge's default heating threshold: every mechanism that lives
    inside the two-phase framework interprets a block this many times
@@ -52,17 +97,19 @@ let default_heating = 50
    threshold; they differ only in the MDA translation policy and in
    whether phase 1 carries alignment-profiling instrumentation. *)
 let heating_threshold = function
-  | Direct | Static_profiling _ | Exception_handling _ -> default_heating
+  | Direct | Static_profiling _ | Exception_handling _ | Static_analysis _ ->
+    default_heating
   | Dynamic_profiling { threshold } -> threshold
   | Dpeh { threshold; _ } -> threshold
 
 (* Does phase 1 carry alignment-profiling instrumentation? *)
 let profiles_alignment = function
   | Dynamic_profiling _ | Dpeh _ -> true
-  | Direct | Static_profiling _ | Exception_handling _ -> false
+  | Direct | Static_profiling _ | Exception_handling _ | Static_analysis _ -> false
 
 (* Does the misalignment handler patch the code cache (Retry), or is the
    access fixed up by the OS on every occurrence (Emulate)? *)
 let patches_on_trap = function
-  | Exception_handling _ | Dpeh _ -> true
-  | Direct | Static_profiling _ | Dynamic_profiling _ -> false
+  | Exception_handling _ | Dpeh _ | Static_analysis { unknown = Sa_fallback; _ } -> true
+  | Direct | Static_profiling _ | Dynamic_profiling _
+  | Static_analysis { unknown = Sa_seq; _ } -> false

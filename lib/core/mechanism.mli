@@ -2,7 +2,32 @@
     Table II): QEMU-style direct translation, FX!32-style static
     profiling, IA-32 EL-style dynamic profiling, the paper's
     exception-handling mechanism (optionally with code rearrangement),
-    and DPEH with optional retranslation and multi-version code. *)
+    DPEH with optional retranslation and multi-version code — plus a
+    sixth, purely static mechanism guided by the alignment-congruence
+    dataflow analysis of {!Mda_analysis.Dataflow}. *)
+
+(** Verdict of the static alignment analysis for one memory operand.
+    [Align_aligned] / [Align_misaligned] are proofs over every
+    execution; [Align_unknown] is the analysis declining to commit. *)
+type align_class = Align_aligned | Align_misaligned | Align_unknown
+
+val align_class_name : align_class -> string
+
+(** Translation policy for operands the analysis could not classify:
+    [Sa_seq] inlines the MDA sequence defensively (never traps);
+    [Sa_fallback] translates them aligned and lets the exception
+    handler patch first-trap sites. *)
+type sa_policy = Sa_seq | Sa_fallback
+
+(** Immutable product of the static analysis: guest instruction
+    address → verdict. Absent sites are [Align_unknown]. *)
+type sa_summary = { classes : (int, align_class) Hashtbl.t }
+
+val sa_classify : sa_summary -> int -> align_class
+
+val sa_summary_size : sa_summary -> int
+
+val empty_sa_summary : unit -> sa_summary
 
 type t =
   | Direct
@@ -10,6 +35,7 @@ type t =
   | Dynamic_profiling of { threshold : int }
   | Exception_handling of { rearrange : bool }
   | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
+  | Static_analysis of { summary : sa_summary; unknown : sa_policy }
 
 val name : t -> string
 

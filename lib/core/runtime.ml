@@ -163,6 +163,20 @@ let policy_for t (brec : Code_cache.block_rec) : int -> Translate.policy =
     else if Hashtbl.mem brec.known_mda addr || Profile.is_mda_site t.profile addr then
       Seq_always
     else Normal
+  | Static_analysis { summary; unknown } -> begin
+    (* SA-guided translation: trust the analysis's proofs, and treat
+       unclassified operands per the configured policy. A patched
+       unknown site comes back [Seq_always] so a rebuild (never
+       scheduled by this mechanism, but harmless) keeps the fix. *)
+    match Mechanism.sa_classify summary addr with
+    | Align_misaligned -> Seq_always
+    | Align_aligned -> Normal
+    | Align_unknown -> begin
+      match unknown with
+      | Sa_seq -> Seq_always
+      | Sa_fallback -> if Hashtbl.mem brec.patched addr then Seq_always else Normal
+    end
+  end
 
 (* --- misalignment exception handler ----------------------------------- *)
 

@@ -144,6 +144,40 @@ let rmw_op_ok = function
   | Add | Sub | And | Or | Xor -> true
   | Shl | Shr | Sar | Imul -> false
 
+(* Registers an addressing mode reads. *)
+let addr_regs { base; index; _ } =
+  let b = match base with Some r -> [ r ] | None -> [] in
+  match index with Some (r, _) -> r :: b | None -> b
+
+(* Registers written by an instruction (architectural state only; flags
+   are tracked separately). The static alignment analysis relies on this
+   to havoc exactly the registers an unmodelled instruction could
+   change, so it stays sound by construction as the ISA grows. *)
+let defs = function
+  | Load { dst; _ } | Mov_imm { dst; _ } | Mov_reg { dst; _ }
+  | Binop { dst; _ } | Lea { dst; _ } -> [ dst ]
+  | Pop dst -> [ dst; ESP ]
+  | Push _ | Call _ | Ret -> [ ESP ]
+  | Store _ | Cmp _ | Test _ | Rmw _ | Jmp _ | Jcc _ | Nop | Halt -> []
+
+(* Registers read by an instruction (operands, addressing modes and the
+   implicit stack pointer). *)
+let uses insn =
+  let of_operand = function Reg r -> [ r ] | Imm _ -> [] in
+  match insn with
+  | Load { src; _ } -> addr_regs src
+  | Store { src; dst; _ } -> src :: addr_regs dst
+  | Mov_imm _ -> []
+  | Mov_reg { src; _ } -> [ src ]
+  | Binop { dst; src; _ } -> dst :: of_operand src
+  | Cmp { a; b } | Test { a; b } -> a :: of_operand b
+  | Lea { src; _ } -> addr_regs src
+  | Rmw { dst; src; _ } -> addr_regs dst @ of_operand src
+  | Push r -> [ r; ESP ]
+  | Pop _ -> [ ESP ]
+  | Call _ | Ret -> [ ESP ]
+  | Jmp _ | Jcc _ | Nop | Halt -> []
+
 (* Instructions that can end a basic block. *)
 let is_block_end = function
   | Jmp _ | Jcc _ | Call _ | Ret | Halt -> true

@@ -114,6 +114,18 @@ val memory_accesses : insn -> ([ `Load | `Store ] * size) list
 (** Operations x86 supports as memory read-modify-writes. *)
 val rmw_op_ok : binop -> bool
 
+(** Registers an addressing mode reads. *)
+val addr_regs : addr -> reg list
+
+(** Registers written by an instruction (architectural state only;
+    flags are tracked separately). Static analyses use this to havoc
+    exactly what an unmodelled instruction could change. *)
+val defs : insn -> reg list
+
+(** Registers read (operands, addressing modes, the implicit stack
+    pointer). *)
+val uses : insn -> reg list
+
 (** Can this instruction terminate a basic block? *)
 val is_block_end : insn -> bool
 

@@ -19,13 +19,31 @@ type options = {
 let default_options = { scale = 1.0; benchmarks = W.Spec.selected_names }
 
 (* Run one benchmark under one mechanism; fresh machine state per run, as
-   the paper measures whole executions. *)
-let run_mechanism ?(scale = 1.0) ?(input = W.Gen.Ref) ~mechanism name =
+   the paper measures whole executions. The runtime is returned alongside
+   the statistics so callers can inspect the code cache afterwards (the
+   invariant checker does). *)
+let run_mechanism_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ~mechanism name =
   let w = W.Workload.instantiate ~scale ~input name in
   let mem = W.Workload.fresh_memory w in
   let config = Bt.Runtime.default_config mechanism in
   let t = Bt.Runtime.create ~config ~mem () in
-  Bt.Runtime.run t ~entry:(W.Workload.entry w)
+  let stats = Bt.Runtime.run t ~entry:(W.Workload.entry w) in
+  (stats, t)
+
+let run_mechanism ?scale ?input ~mechanism name =
+  fst (run_mechanism_rt ?scale ?input ~mechanism name)
+
+(* Static alignment analysis of a benchmark's program image — no
+   execution, no profile: what the translator gets to see. *)
+let sa_analyze ?(scale = 1.0) ?(input = W.Gen.Ref) name =
+  let w = W.Workload.instantiate ~scale ~input name in
+  let mem = W.Workload.fresh_memory w in
+  Mda_analysis.Dataflow.analyze mem ~entry:(W.Workload.entry w)
+
+(* The SA-guided mechanism at the given unknown-operand policy. *)
+let sa_mechanism ?scale ?input ?(unknown = Bt.Mechanism.Sa_fallback) name =
+  let a = sa_analyze ?scale ?input name in
+  Bt.Mechanism.Static_analysis { summary = Mda_analysis.Dataflow.summary a; unknown }
 
 (* Pure-interpreter ground-truth run (Table I, Figure 15, train profiles). *)
 let run_interp ?(scale = 1.0) ?(input = W.Gen.Ref) ?(native = false) name =

@@ -18,6 +18,30 @@ val run_mechanism :
   string ->
   Mda_bt.Run_stats.t
 
+(** Like {!run_mechanism}, also returning the runtime so the code cache
+    can be inspected afterwards (the {!Mda_analysis.Check} invariant
+    checker, [mdabench run --selfcheck]). *)
+val run_mechanism_rt :
+  ?scale:float ->
+  ?input:Mda_workloads.Gen.input ->
+  mechanism:Mda_bt.Mechanism.t ->
+  string ->
+  Mda_bt.Run_stats.t * Mda_bt.Runtime.t
+
+(** Static alignment analysis of a benchmark's program image — no
+    execution, no profile. *)
+val sa_analyze :
+  ?scale:float -> ?input:Mda_workloads.Gen.input -> string -> Mda_analysis.Dataflow.t
+
+(** The SA-guided mechanism for a benchmark, at the given
+    unknown-operand policy (default {!Mda_bt.Mechanism.Sa_fallback}). *)
+val sa_mechanism :
+  ?scale:float ->
+  ?input:Mda_workloads.Gen.input ->
+  ?unknown:Mda_bt.Mechanism.sa_policy ->
+  string ->
+  Mda_bt.Mechanism.t
+
 (** Pure-interpreter ([native:false]) or native-x86 ground-truth run. *)
 val run_interp :
   ?scale:float ->

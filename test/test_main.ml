@@ -7,6 +7,7 @@ let () =
          Test_machine.suite;
          Test_interp.suite;
          Test_runtime.suite;
+         Test_analysis.suite;
          Test_bt_units.suite;
          Test_bt.suite;
          Test_workloads.suite;

@@ -99,10 +99,22 @@ let test_max_guest_insns_bound () =
 
 let mech_eh = Bt.Mechanism.Exception_handling { rearrange = false }
 
-let run_cfg config build =
+(* Run to completion and return the runtime too, validating the code
+   cache with the DBT invariant checker on the way out: every mechanism
+   run in this suite must finish with the checker green. *)
+let run_cfg_rt config build =
   let program, mem = load_program build in
   let t = Bt.Runtime.create ~config ~mem () in
-  (Bt.Runtime.run t ~entry:program.G.Asm.base, mem)
+  let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
+  let report = Mda_analysis.Check.run t.Bt.Runtime.cache in
+  if not (Mda_analysis.Check.ok report) then
+    Alcotest.failf "invariant checker: %s"
+      (Format.asprintf "%a" Mda_analysis.Check.pp_report report);
+  (stats, mem, t)
+
+let run_cfg config build =
+  let stats, mem, _ = run_cfg_rt config build in
+  (stats, mem)
 
 let loop_build iters asm =
   counted_loop asm ~iters (fun asm ->
@@ -175,8 +187,83 @@ let test_profile_survives_retranslation () =
      before retranslation, maybe once more in the transition *)
   Alcotest.(check bool) "traps bounded" true (stats.Bt.Run_stats.traps <= 6L)
 
+(* --- DBT invariant checker ---------------------------------------------------- *)
+
+(* Every mechanism family finishes a patching-heavy run with the
+   invariant checker green (run_cfg_rt asserts it); the SA mechanisms
+   analyze the same program first. *)
+let test_selfcheck_every_mechanism () =
+  let build = loop_build 300 in
+  let sa unknown =
+    let program, mem = load_program build in
+    let a = Mda_analysis.Dataflow.analyze mem ~entry:program.G.Asm.base in
+    Bt.Mechanism.Static_analysis { summary = Mda_analysis.Dataflow.summary a; unknown }
+  in
+  List.iter
+    (fun mech ->
+      let stats, _, _ = run_cfg_rt (Bt.Runtime.default_config mech) build in
+      Alcotest.(check bool)
+        (Bt.Mechanism.name mech ^ " ran")
+        true
+        (stats.Bt.Run_stats.guest_insns > 0L))
+    [ Bt.Mechanism.Direct;
+      Bt.Mechanism.Exception_handling { rearrange = false };
+      Bt.Mechanism.Exception_handling { rearrange = true };
+      Bt.Mechanism.Dynamic_profiling { threshold = 50 };
+      Bt.Mechanism.Static_profiling (Bt.Profile.empty_summary ());
+      Bt.Mechanism.Dpeh { threshold = 0; retranslate = Some 2; multiversion = true };
+      sa Bt.Mechanism.Sa_fallback;
+      sa Bt.Mechanism.Sa_seq ]
+
+(* Seeded negative test: corrupt the patch bookkeeping of a finished EH
+   run and demand the checker notices both corruptions. *)
+let test_selfcheck_detects_corruption () =
+  let program, mem = load_program (loop_build 300) in
+  let config = Bt.Runtime.default_config mech_eh in
+  let t = Bt.Runtime.create ~config ~mem () in
+  let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
+  Alcotest.(check bool) "run patched something" true (stats.Bt.Run_stats.patches > 0);
+  let cache = t.Bt.Runtime.cache in
+  Alcotest.(check bool) "clean cache passes" true
+    (Mda_analysis.Check.ok (Mda_analysis.Check.run cache));
+  (* corruption 1: erase the patch records of every block — patched
+     branches are no longer accounted for *)
+  let saved = Hashtbl.create 8 in
+  Bt.Code_cache.iter_blocks cache (fun brec ->
+      Hashtbl.replace saved brec.Bt.Code_cache.start (Hashtbl.copy brec.patched);
+      Hashtbl.reset brec.patched);
+  let r1 = Mda_analysis.Check.run cache in
+  Alcotest.(check bool) "erased patch map detected" false (Mda_analysis.Check.ok r1);
+  Bt.Code_cache.iter_blocks cache (fun brec ->
+      match Hashtbl.find_opt saved brec.Bt.Code_cache.start with
+      | Some tbl -> Hashtbl.iter (fun k () -> Hashtbl.replace brec.patched k ()) tbl
+      | None -> ());
+  Alcotest.(check bool) "restored cache passes" true
+    (Mda_analysis.Check.ok (Mda_analysis.Check.run cache));
+  (* corruption 2: retarget one patched branch at the code store origin,
+     where no MDA sequence lives *)
+  let patched_pc =
+    Hashtbl.fold
+      (fun pc (_ : Bt.Code_cache.site) acc ->
+        match (acc, Bt.Code_cache.insn_at cache pc) with
+        | None, Some (Mda_host.Isa.Br _) -> Some pc
+        | acc, _ -> acc)
+      cache.Bt.Code_cache.sites None
+  in
+  match patched_pc with
+  | None -> Alcotest.fail "no patched site found"
+  | Some pc ->
+    Bt.Code_cache.patch cache pc (Mda_host.Isa.Br { ra = Mda_host.Isa.r31; target = 0 });
+    let r2 = Mda_analysis.Check.run cache in
+    Alcotest.(check bool) "dangling patch branch detected" false (Mda_analysis.Check.ok r2)
+
 let suite =
-  [ ( "runtime.edges",
+  [ ( "runtime.selfcheck",
+      [ Alcotest.test_case "every mechanism checks green" `Quick
+          test_selfcheck_every_mechanism;
+        Alcotest.test_case "corruption is detected" `Quick
+          test_selfcheck_detects_corruption ] );
+    ( "runtime.edges",
       [ Alcotest.test_case "jump into garbage" `Quick test_jump_into_garbage;
         Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
         Alcotest.test_case "guest-instruction bound" `Quick test_max_guest_insns_bound;
