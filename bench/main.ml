@@ -41,7 +41,9 @@ let experiments :
 (* Reduced workload for the measurement loop: three representative
    benchmarks (low / highest / biased MDA ratio) at 2% volume. *)
 let measure_opts =
-  { H.Experiment.scale = 0.02; benchmarks = [ "164.gzip"; "410.bwaves"; "188.ammp" ] }
+  { H.Experiment.scale = 0.02;
+    benchmarks = [ "164.gzip"; "410.bwaves"; "188.ammp" ];
+    exec = None }
 
 let tests =
   List.map

@@ -29,4 +29,24 @@ echo "== selfcheck smoke run"
 dune exec bin/mdabench.exe -- run 410.bwaves -m sa --scale 0.05 --selfcheck >/dev/null
 dune exec bin/mdabench.exe -- run 453.povray -m dpeh --scale 0.05 --selfcheck >/dev/null
 
+echo "== parallel 'all' smoke run with result cache (scale 0.05)"
+CACHE_DIR=$(mktemp -d)
+OUT_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR" "$OUT_DIR"' EXIT
+dune exec bin/mdabench.exe -- all --jobs 2 --scale 0.05 \
+  --benchmarks 164.gzip,410.bwaves,188.ammp \
+  --cache-dir "$CACHE_DIR" >"$OUT_DIR/cold.txt" 2>"$OUT_DIR/cold.err"
+dune exec bin/mdabench.exe -- all --jobs 2 --scale 0.05 \
+  --benchmarks 164.gzip,410.bwaves,188.ammp \
+  --cache-dir "$CACHE_DIR" >"$OUT_DIR/warm.txt" 2>"$OUT_DIR/warm.err"
+
+echo "== cached re-run serves >= 90% from cache and is byte-identical"
+cmp "$OUT_DIR/cold.txt" "$OUT_DIR/warm.txt" || {
+  echo "FAIL: warm-cache output differs from cold run"; exit 1; }
+PCT=$(sed -n 's/.*cache-served=\([0-9]*\)%.*/\1/p' "$OUT_DIR/warm.err" | tail -1)
+echo "cache-served=${PCT:-?}%"
+[ -n "$PCT" ] && [ "$PCT" -ge 90 ] || {
+  echo "FAIL: warm run served ${PCT:-0}% from cache (need >= 90%)"
+  cat "$OUT_DIR/warm.err"; exit 1; }
+
 echo "CI OK"

@@ -5,7 +5,8 @@
      mdabench table1
      mdabench fig16 --scale 0.5
      mdabench run 410.bwaves --mechanism eh
-     mdabench all --csv-dir results/
+     mdabench all --jobs 4 --csv-dir results/
+     mdabench all --scale 0.1 --no-cache
      mdabench list *)
 
 open Cmdliner
@@ -49,14 +50,37 @@ let csv_dir_arg =
   let doc = "Also write each experiment's rows as CSV into this directory." in
   Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
 
-let opts_of ~scale ~benchmarks =
+let jobs_arg =
+  let doc =
+    "Fan experiment cells out over $(docv) worker processes (1 = sequential, no fork)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc = "Bypass the persistent result cache: neither read nor write it." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc = "Persistent result-cache directory." in
+  Arg.(
+    value
+    & opt string H.Result_cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+(* One shared plan-then-execute context per invocation: [mdabench all]
+   passes it to every experiment so identical cells are simulated once. *)
+let exec_of ~jobs ~no_cache ~cache_dir =
+  let cache = if no_cache then None else Some (H.Result_cache.create ~dir:cache_dir ()) in
+  H.Exec.create ~jobs ?cache ()
+
+let opts_of ~scale ~benchmarks ~exec =
   let base = H.Experiment.default_options in
   let benchmarks =
     match benchmarks with
     | None -> base.H.Experiment.benchmarks
     | Some s -> String.split_on_char ',' s |> List.map String.trim
   in
-  { H.Experiment.scale; benchmarks }
+  { H.Experiment.scale; benchmarks; exec = Some exec }
 
 let write_csv dir name rendered =
   let path = Filename.concat dir (name ^ ".csv") in
@@ -65,14 +89,34 @@ let write_csv dir name rendered =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
-let run_experiment name scale benchmarks csv_dir =
+(* Timing and cache-accounting report for one experiment. Goes to
+   stderr so stdout stays byte-identical across --jobs settings and
+   cache states. *)
+let report_experiment name ~secs ~(delta : H.Exec.counters) =
+  Printf.eprintf "[mdabench] %s: %s (cells: %d computed, %d cache hits, %d deduped%s)\n%!"
+    name
+    (Mda_util.Stats.duration secs)
+    delta.H.Exec.computed delta.H.Exec.cache_hits delta.H.Exec.memo_hits
+    (if delta.H.Exec.failed > 0 then Printf.sprintf ", %d FAILED" delta.H.Exec.failed
+     else "")
+
+let run_experiment ?exec name scale benchmarks csv_dir =
   match List.find_opt (fun (n, _, _) -> n = name) experiments with
   | None ->
     Printf.eprintf "unknown experiment %s\n" name;
     1
   | Some (_, _, f) ->
-    let opts = opts_of ~scale ~benchmarks in
+    let exec =
+      match exec with
+      | Some e -> e
+      | None -> exec_of ~jobs:1 ~no_cache:true ~cache_dir:H.Result_cache.default_dir
+    in
+    let opts = opts_of ~scale ~benchmarks ~exec in
+    let before = H.Exec.counters exec in
+    let t0 = Unix.gettimeofday () in
     let rendered = f ~opts () in
+    let secs = Unix.gettimeofday () -. t0 in
+    report_experiment name ~secs ~delta:(H.Exec.diff_counters (H.Exec.counters exec) before);
     print_string (H.Experiment.render rendered);
     (match csv_dir with Some d -> write_csv d name rendered | None -> ());
     0
@@ -81,22 +125,58 @@ let run_experiment name scale benchmarks csv_dir =
 
 let experiment_cmd (exp_name, desc, _) =
   let doc = Printf.sprintf "Regenerate %s: %s." exp_name desc in
-  let run scale benchmarks csv_dir = run_experiment exp_name scale benchmarks csv_dir in
-  let term = Term.(const run $ scale_arg $ benchmarks_arg $ csv_dir_arg) in
+  let run scale benchmarks csv_dir jobs no_cache cache_dir =
+    let exec = exec_of ~jobs ~no_cache ~cache_dir in
+    run_experiment ~exec exp_name scale benchmarks csv_dir
+  in
+  let term =
+    Term.(
+      const run $ scale_arg $ benchmarks_arg $ csv_dir_arg $ jobs_arg $ no_cache_arg
+      $ cache_dir_arg)
+  in
   Cmd.v (Cmd.info exp_name ~doc) term
 
 let all_cmd =
-  let doc = "Regenerate every table and figure." in
-  let run scale benchmarks csv_dir =
-    List.fold_left
-      (fun acc (name, _, _) ->
-        let rc = run_experiment name scale benchmarks csv_dir in
-        print_newline ();
-        max acc rc)
-      0 experiments
+  let doc =
+    "Regenerate every table and figure, deduping identical cells across experiments."
+  in
+  let run scale benchmarks csv_dir jobs no_cache cache_dir =
+    let exec = exec_of ~jobs ~no_cache ~cache_dir in
+    let t0 = Unix.gettimeofday () in
+    let rc =
+      List.fold_left
+        (fun acc (name, _, _) ->
+          let rc = run_experiment ~exec name scale benchmarks csv_dir in
+          print_newline ();
+          max acc rc)
+        0 experiments
+    in
+    let secs = Unix.gettimeofday () -. t0 in
+    let c = H.Exec.counters exec in
+    let served = c.H.Exec.cache_hits and fresh = c.H.Exec.computed in
+    let pct =
+      if served + fresh = 0 then 0
+      else int_of_float (100.0 *. float_of_int served /. float_of_int (served + fresh))
+    in
+    Printf.eprintf
+      "[mdabench] all: %s total; %d cells (%d computed, %d cache hits, %d deduped); \
+       cache-served=%d%%\n%!"
+      (Mda_util.Stats.duration secs)
+      (served + fresh + c.H.Exec.memo_hits)
+      fresh served c.H.Exec.memo_hits pct;
+    if c.H.Exec.failed > 0 then begin
+      List.iter
+        (fun (cell, e) ->
+          Printf.eprintf "[mdabench] FAILED %s: %s\n%!" (H.Cell.describe cell) e)
+        (H.Exec.failures exec);
+      max rc 1
+    end
+    else rc
   in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ scale_arg $ benchmarks_arg $ csv_dir_arg)
+    Term.(
+      const run $ scale_arg $ benchmarks_arg $ csv_dir_arg $ jobs_arg $ no_cache_arg
+      $ cache_dir_arg)
 
 (* --- run a single benchmark under one mechanism ------------------------ *)
 

@@ -22,6 +22,61 @@ type t = {
   dcache_misses : int;
 }
 
+(* Stable key=value serialization, the persistent result cache's on-disk
+   format. Field order is part of the format; bump the [format_version]
+   when it changes so stale cache entries are rejected, not misparsed. *)
+
+let format_version = 1
+
+let to_kv t =
+  [ ("mechanism", t.mechanism);
+    ("cycles", Int64.to_string t.cycles);
+    ("guest_insns", Int64.to_string t.guest_insns);
+    ("interp_insns", Int64.to_string t.interp_insns);
+    ("host_insns", Int64.to_string t.host_insns);
+    ("memrefs", Int64.to_string t.memrefs);
+    ("mdas", Int64.to_string t.mdas);
+    ("traps", Int64.to_string t.traps);
+    ("patches", string_of_int t.patches);
+    ("translations", string_of_int t.translations);
+    ("retranslations", string_of_int t.retranslations);
+    ("rearrangements", string_of_int t.rearrangements);
+    ("chains", string_of_int t.chains);
+    ("blocks", string_of_int t.blocks);
+    ("code_len", string_of_int t.code_len);
+    ("icache_misses", string_of_int t.icache_misses);
+    ("dcache_misses", string_of_int t.dcache_misses) ]
+
+let of_kv kvs =
+  let lookup k =
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Run_stats.of_kv: missing field %S" k)
+  in
+  let i64 k = Int64.of_string (lookup k) in
+  let int k = int_of_string (lookup k) in
+  match
+    { mechanism = lookup "mechanism";
+      cycles = i64 "cycles";
+      guest_insns = i64 "guest_insns";
+      interp_insns = i64 "interp_insns";
+      host_insns = i64 "host_insns";
+      memrefs = i64 "memrefs";
+      mdas = i64 "mdas";
+      traps = i64 "traps";
+      patches = int "patches";
+      translations = int "translations";
+      retranslations = int "retranslations";
+      rearrangements = int "rearrangements";
+      chains = int "chains";
+      blocks = int "blocks";
+      code_len = int "code_len";
+      icache_misses = int "icache_misses";
+      dcache_misses = int "dcache_misses" }
+  with
+  | t -> Ok t
+  | exception e -> Error (Printexc.to_string e)
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>mechanism        %s@,cycles           %s@,guest insns      %s@,\

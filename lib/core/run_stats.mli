@@ -27,3 +27,13 @@ type t = {
 }
 
 val pp : Format.formatter -> t -> unit
+
+(** Stable key=value serialization for the persistent result cache.
+    [of_kv (to_kv t) = Ok t]; unknown pairs are ignored, missing or
+    malformed fields yield [Error]. *)
+
+val format_version : int
+
+val to_kv : t -> (string * string) list
+
+val of_kv : (string * string) list -> (t, string) result

@@ -10,18 +10,14 @@
      runtime is dispatcher overhead rather than MDA handling.
    - [flush]: Section IV-C contrasts this BT's block-granularity
      invalidation with Dynamo's whole-cache flush; we implement both and
-     measure the retranslation mechanism under each. *)
+     measure the retranslation mechanism under each. The microbenchmark
+     is purpose-built (not a named workload), so it runs inline rather
+     than through the cell layer. *)
 
 module W = Mda_workloads
 module Bt = Mda_bt
 module Machine = Mda_machine
 module T = Mda_util.Tabular
-
-let run_with_config ~scale ~config name =
-  let w = W.Workload.instantiate ~scale name in
-  let mem = W.Workload.fresh_memory w in
-  let t = Bt.Runtime.create ~config ~mem () in
-  Bt.Runtime.run t ~entry:(W.Workload.entry w)
 
 (* A representative subset: the dynamic-profiling failures, the static
    failures, and two fully-biased codes. *)
@@ -29,16 +25,30 @@ let subset =
   [ "164.gzip"; "252.eon"; "179.art"; "188.ammp"; "410.bwaves"; "433.milc";
     "450.soplex"; "483.xalancbmk" ]
 
+let benchmarks_of opts =
+  if opts.Experiment.benchmarks == Experiment.default_options.benchmarks then subset
+  else opts.Experiment.benchmarks
+
 (* --- 1. trap-cost sensitivity ------------------------------------------ *)
 
 let trap_costs = [ 250; 500; 1000; 2000; 4000 ]
 
+let trap_mechs =
+  [ Experiment.best_eh_spec; Experiment.best_dynamic_spec; Cell.Static_profiling;
+    Cell.Direct ]
+
 let trap_cost ?(opts = Experiment.default_options) () =
   let scale = opts.Experiment.scale in
-  let benchmarks =
-    if opts.Experiment.benchmarks == Experiment.default_options.benchmarks then subset
-    else opts.Experiment.benchmarks
-  in
+  let benchmarks = benchmarks_of opts in
+  let ex = Experiment.exec_of opts in
+  let cell trap spec name = Cell.mech ~scale ~trap_cost:trap spec name in
+  Exec.prefetch ex
+    (List.concat_map
+       (fun trap ->
+         List.concat_map
+           (fun name -> List.map (fun spec -> cell trap spec name) trap_mechs)
+           benchmarks)
+       trap_costs);
   let table =
     T.create
       (Array.of_list
@@ -47,34 +57,18 @@ let trap_cost ?(opts = Experiment.default_options) () =
   in
   List.iter
     (fun trap ->
-      let cost = { Machine.Cost_model.default with align_trap = trap } in
-      let cycles mechanism name =
-        let config = { (Bt.Runtime.default_config mechanism) with cost } in
-        Int64.to_float (run_with_config ~scale ~config name).Bt.Run_stats.cycles
-      in
-      let geo mech =
+      let cycles spec name = Exec.cycles ex (cell trap spec name) in
+      let geo spec =
         Experiment.geomean
           (List.map
-             (fun name ->
-               let eh = cycles (Bt.Mechanism.Exception_handling { rearrange = false }) name in
-               let m =
-                 match mech with
-                 | `Dynamic -> cycles Experiment.best_dynamic name
-                 | `Static ->
-                   cycles
-                     (Bt.Mechanism.Static_profiling
-                        (Experiment.train_summary ~scale name))
-                     name
-                 | `Direct -> cycles Bt.Mechanism.Direct name
-               in
-               m /. eh)
+             (fun name -> cycles spec name /. cycles Experiment.best_eh_spec name)
              benchmarks)
       in
       T.add_row table
         [| string_of_int trap;
-           Experiment.f2 (geo `Dynamic);
-           Experiment.f2 (geo `Static);
-           Experiment.f2 (geo `Direct) |])
+           Experiment.f2 (geo Experiment.best_dynamic_spec);
+           Experiment.f2 (geo Cell.Static_profiling);
+           Experiment.f2 (geo Cell.Direct) |])
     trap_costs;
   { Experiment.title =
       "Ablation: Figure-16 geomeans vs. misalignment-trap cost (subset of benchmarks)";
@@ -87,10 +81,13 @@ let trap_cost ?(opts = Experiment.default_options) () =
 
 let chaining ?(opts = Experiment.default_options) () =
   let scale = opts.Experiment.scale in
-  let benchmarks =
-    if opts.Experiment.benchmarks == Experiment.default_options.benchmarks then subset
-    else opts.Experiment.benchmarks
+  let benchmarks = benchmarks_of opts in
+  let ex = Experiment.exec_of opts in
+  let cell chaining name =
+    Cell.mech ~scale ~chaining Experiment.best_eh_spec name
   in
+  Exec.prefetch ex
+    (List.concat_map (fun name -> [ cell true name; cell false name ]) benchmarks);
   let table =
     T.create
       [| T.col "Benchmark"; T.col ~align:T.Right "cycles(chained)";
@@ -99,13 +96,8 @@ let chaining ?(opts = Experiment.default_options) () =
   let slowdowns = ref [] in
   List.iter
     (fun name ->
-      let run chaining =
-        let config =
-          { (Bt.Runtime.default_config Experiment.best_eh) with chaining }
-        in
-        Int64.to_float (run_with_config ~scale ~config name).Bt.Run_stats.cycles
-      in
-      let c = run true and u = run false in
+      let c = Exec.cycles ex (cell true name) in
+      let u = Exec.cycles ex (cell false name) in
       slowdowns := (u /. c) :: !slowdowns;
       T.add_row table
         [| name;

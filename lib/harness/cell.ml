@@ -1,0 +1,151 @@
+(* One experiment cell: the unit of work of the parallel runner and the
+   key of the persistent result cache.
+
+   A cell is a *specification*, not a prepared run: mechanisms that need
+   per-benchmark preparation (train-input profiles, static alignment
+   analysis) name the preparation rather than carry its product, so a
+   cell is small, deterministic, and content-addressable, and the
+   preparation happens inside whichever worker computes the cell. *)
+
+module W = Mda_workloads
+module Bt = Mda_bt
+module Machine = Mda_machine
+
+(* Mechanism by specification. [Static_profiling] means "profile the
+   train input first", [Static_analysis] means "run the congruence
+   dataflow pass on the program image" — both are recomputed by the
+   worker, which is what makes the cell self-contained. *)
+type mech_spec =
+  | Direct
+  | Static_profiling
+  | Dynamic_profiling of { threshold : int }
+  | Exception_handling of { rearrange : bool }
+  | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
+  | Static_analysis of { unknown : Bt.Mechanism.sa_policy }
+
+type kind =
+  | Mech of mech_spec (* full BT run under the mechanism *)
+  | Interp of { native : bool } (* ground-truth run, with profile dump *)
+
+type t = {
+  bench : string;
+  scale : float;
+  input : W.Gen.input;
+  variant : W.Workload.variant;
+  kind : kind;
+  trap_cost : int option; (* override cost model's align_trap cycles *)
+  chaining : bool;
+}
+
+let make ?(input = W.Gen.Ref) ?(variant = W.Workload.Default) ?trap_cost ?(chaining = true)
+    ~scale kind bench =
+  { bench; scale; input; variant; kind; trap_cost; chaining }
+
+let mech ?input ?variant ?trap_cost ?chaining ~scale spec bench =
+  make ?input ?variant ?trap_cost ?chaining ~scale (Mech spec) bench
+
+let interp ?input ?variant ?trap_cost ?chaining ~scale bench =
+  make ?input ?variant ?trap_cost ?chaining ~scale (Interp { native = false }) bench
+
+let native ?input ?variant ?trap_cost ?chaining ~scale bench =
+  make ?input ?variant ?trap_cost ?chaining ~scale (Interp { native = true }) bench
+
+(* --- canonical description (cache-key material) ------------------------ *)
+
+let mech_spec_describe = function
+  | Direct -> "direct"
+  | Static_profiling -> "static-profiling(train)"
+  | Dynamic_profiling { threshold } -> Printf.sprintf "dynamic(th=%d)" threshold
+  | Exception_handling { rearrange } -> Printf.sprintf "eh(rearrange=%b)" rearrange
+  | Dpeh { threshold; retranslate; multiversion } ->
+    Printf.sprintf "dpeh(th=%d,retrans=%s,mv=%b)" threshold
+      (match retranslate with None -> "none" | Some n -> string_of_int n)
+      multiversion
+  | Static_analysis { unknown } ->
+    Printf.sprintf "sa(unknown=%s)"
+      (match unknown with Bt.Mechanism.Sa_seq -> "seq" | Bt.Mechanism.Sa_fallback -> "eh")
+
+let kind_describe = function
+  | Mech m -> "mech:" ^ mech_spec_describe m
+  | Interp { native } -> if native then "native" else "interp"
+
+(* Injective over everything that can change a cell's result; %h prints
+   floats losslessly. *)
+let describe t =
+  Printf.sprintf "cell-v1 bench=%s scale=%h input=%s variant=%s kind=%s trap=%s chain=%b"
+    t.bench t.scale
+    (match t.input with W.Gen.Train -> "train" | W.Gen.Ref -> "ref")
+    (match t.variant with W.Workload.Default -> "default" | W.Workload.Aligned_opt -> "aligned-opt")
+    (kind_describe t.kind)
+    (match t.trap_cost with None -> "default" | Some c -> string_of_int c)
+    t.chaining
+
+(* --- results ----------------------------------------------------------- *)
+
+(* Interp cells also return the alignment profile (Table I's NMI,
+   Figure 15's bias classes, shared-library attribution), dumped to a
+   plain sorted array so results marshal across processes and serialize
+   stably to disk. *)
+type site = { addr : int; refs : int; mdas : int }
+
+type result = { stats : Bt.Run_stats.t; sites : site array }
+
+let dump_profile profile =
+  let acc = ref [] in
+  Bt.Profile.iter_sites profile (fun addr s ->
+      acc := { addr; refs = s.Bt.Profile.refs; mdas = s.Bt.Profile.mdas } :: !acc);
+  let arr = Array.of_list !acc in
+  Array.sort (fun a b -> compare a.addr b.addr) arr;
+  arr
+
+(* NMI over a dumped profile (sites with at least one MDA). *)
+let nmi sites = Array.fold_left (fun n s -> if s.mdas > 0 then n + 1 else n) 0 sites
+
+(* --- computing a cell --------------------------------------------------- *)
+
+let mechanism_of_spec ~scale ~input bench = function
+  | Direct -> Bt.Mechanism.Direct
+  | Dynamic_profiling { threshold } -> Bt.Mechanism.Dynamic_profiling { threshold }
+  | Exception_handling { rearrange } -> Bt.Mechanism.Exception_handling { rearrange }
+  | Dpeh { threshold; retranslate; multiversion } ->
+    Bt.Mechanism.Dpeh { threshold; retranslate; multiversion }
+  | Static_profiling ->
+    (* the FX!32 protocol: profile the train input, ship the summary *)
+    let w = W.Workload.instantiate ~scale ~input:W.Gen.Train bench in
+    let mem = W.Workload.fresh_memory w in
+    let _, profile =
+      Bt.Runtime.interpret_program ~mode:(Bt.Interp.Interpreted { profile = true }) ~mem
+        ~entry:(W.Workload.entry w) ()
+    in
+    Bt.Mechanism.Static_profiling (Bt.Profile.summarize profile)
+  | Static_analysis { unknown } ->
+    (* the binary is input-independent, so any input works here *)
+    let w = W.Workload.instantiate ~scale ~input bench in
+    let mem = W.Workload.fresh_memory w in
+    let a = Mda_analysis.Dataflow.analyze mem ~entry:(W.Workload.entry w) in
+    Bt.Mechanism.Static_analysis { summary = Mda_analysis.Dataflow.summary a; unknown }
+
+let cost_of t =
+  match t.trap_cost with
+  | None -> Machine.Cost_model.default
+  | Some align_trap -> { Machine.Cost_model.default with align_trap }
+
+let compute t =
+  let w = W.Workload.instantiate ~scale:t.scale ~input:t.input ~variant:t.variant t.bench in
+  let mem = W.Workload.fresh_memory w in
+  let entry = W.Workload.entry w in
+  match t.kind with
+  | Interp { native } ->
+    let mode = if native then Bt.Interp.Native else Bt.Interp.Interpreted { profile = true } in
+    let stats, profile =
+      Bt.Runtime.interpret_program ~mode ~cost:(cost_of t) ~mem ~entry ()
+    in
+    { stats; sites = dump_profile profile }
+  | Mech spec ->
+    let mechanism = mechanism_of_spec ~scale:t.scale ~input:t.input t.bench spec in
+    let config =
+      { (Bt.Runtime.default_config mechanism) with cost = cost_of t; chaining = t.chaining }
+    in
+    let rt = Bt.Runtime.create ~config ~mem () in
+    let stats = Bt.Runtime.run rt ~entry in
+    { stats; sites = [||] }

@@ -1,0 +1,93 @@
+(** One experiment cell — the unit of work of the parallel runner
+    ({!Pool}) and the key of the persistent result cache
+    ({!Result_cache}). A cell is a pure specification of one
+    (benchmark, mechanism, input, scale) simulation; mechanisms needing
+    per-benchmark preparation (train profiles, static analysis) name the
+    preparation, which {!compute} performs, so cells stay small,
+    deterministic and content-addressable. *)
+
+(** Mechanism by specification (cf. {!Mda_bt.Mechanism.t}, which carries
+    the prepared profile/analysis products instead). *)
+type mech_spec =
+  | Direct
+  | Static_profiling  (** profile the train input first, ship the summary *)
+  | Dynamic_profiling of { threshold : int }
+  | Exception_handling of { rearrange : bool }
+  | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
+  | Static_analysis of { unknown : Mda_bt.Mechanism.sa_policy }
+
+type kind =
+  | Mech of mech_spec  (** full BT run under the mechanism *)
+  | Interp of { native : bool }
+      (** ground-truth interpreter (or native-x86) run, with profile dump *)
+
+type t = {
+  bench : string;
+  scale : float;
+  input : Mda_workloads.Gen.input;
+  variant : Mda_workloads.Workload.variant;
+  kind : kind;
+  trap_cost : int option;  (** override the cost model's align_trap cycles *)
+  chaining : bool;
+}
+
+val make :
+  ?input:Mda_workloads.Gen.input ->
+  ?variant:Mda_workloads.Workload.variant ->
+  ?trap_cost:int ->
+  ?chaining:bool ->
+  scale:float ->
+  kind ->
+  string ->
+  t
+
+(** [mech ~scale spec bench] is [make ~scale (Mech spec) bench]. *)
+val mech :
+  ?input:Mda_workloads.Gen.input ->
+  ?variant:Mda_workloads.Workload.variant ->
+  ?trap_cost:int ->
+  ?chaining:bool ->
+  scale:float ->
+  mech_spec ->
+  string ->
+  t
+
+val interp :
+  ?input:Mda_workloads.Gen.input ->
+  ?variant:Mda_workloads.Workload.variant ->
+  ?trap_cost:int ->
+  ?chaining:bool ->
+  scale:float ->
+  string ->
+  t
+
+val native :
+  ?input:Mda_workloads.Gen.input ->
+  ?variant:Mda_workloads.Workload.variant ->
+  ?trap_cost:int ->
+  ?chaining:bool ->
+  scale:float ->
+  string ->
+  t
+
+(** Canonical, injective, stable description — the cache-key material. *)
+val describe : t -> string
+
+val mech_spec_describe : mech_spec -> string
+
+(** One profiled static site of an [Interp] cell's dump (sorted by
+    address; plain data, so results marshal and serialize stably). *)
+type site = { addr : int; refs : int; mdas : int }
+
+type result = { stats : Mda_bt.Run_stats.t; sites : site array }
+
+(** Static instructions with at least one MDA (Table I's NMI column). *)
+val nmi : site array -> int
+
+(** Instantiate the prepared {!Mda_bt.Mechanism.t} a spec describes
+    (runs the train-input profile / static analysis as needed). *)
+val mechanism_of_spec :
+  scale:float -> input:Mda_workloads.Gen.input -> string -> mech_spec -> Mda_bt.Mechanism.t
+
+(** Run the cell to completion on a fresh machine. *)
+val compute : t -> result

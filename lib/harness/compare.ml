@@ -1,24 +1,23 @@
 (* Generic two-mechanism comparison used by Figures 11-14: per benchmark,
    the performance gain/loss of a candidate mechanism over a baseline
-   mechanism, plus the geometric-mean summary row. *)
+   mechanism, plus the geometric-mean summary row. Mechanisms come in as
+   cell specs so both columns go through the plan-then-execute layer. *)
 
 module T = Mda_util.Tabular
 
 let run ~title ~baseline ~candidate ?(notes = []) ~opts () =
-  let table =
-    T.create [| T.col "Benchmark"; T.col ~align:T.Right "gain/loss" |]
-  in
+  let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  Exec.prefetch ex
+    (List.concat_map
+       (fun name -> [ Cell.mech ~scale baseline name; Cell.mech ~scale candidate name ])
+       opts.Experiment.benchmarks);
+  let table = T.create [| T.col "Benchmark"; T.col ~align:T.Right "gain/loss" |] in
   let norms = ref [] in
   List.iter
     (fun name ->
-      let b =
-        Experiment.cycles
-          (Experiment.run_mechanism ~scale:opts.Experiment.scale ~mechanism:baseline name)
-      in
-      let c =
-        Experiment.cycles
-          (Experiment.run_mechanism ~scale:opts.Experiment.scale ~mechanism:candidate name)
-      in
+      let b = Exec.cycles ex (Cell.mech ~scale baseline name) in
+      let c = Exec.cycles ex (Cell.mech ~scale candidate name) in
       let g = Experiment.gain_pct ~baseline:b c in
       norms := (b /. c) :: !norms;
       T.add_row table [| name; Experiment.pct g |])

@@ -14,9 +14,15 @@ module Machine = Mda_machine
 type options = {
   scale : float; (* workload volume multiplier *)
   benchmarks : string list; (* defaults to the 21 selected *)
+  exec : Exec.t option; (* shared plan-then-execute context, if any *)
 }
 
-let default_options = { scale = 1.0; benchmarks = W.Spec.selected_names }
+let default_options = { scale = 1.0; benchmarks = W.Spec.selected_names; exec = None }
+
+(* Runners go through an Exec even when the caller supplied none: a
+   fresh sequential context preserves the old inline behaviour while
+   still deduping repeated cells within the experiment. *)
+let exec_of opts = match opts.exec with Some e -> e | None -> Exec.create ()
 
 (* Run one benchmark under one mechanism; fresh machine state per run, as
    the paper measures whole executions. The runtime is returned alongside
@@ -65,6 +71,15 @@ let best_eh = Bt.Mechanism.Exception_handling { rearrange = false }
 let best_dpeh = Bt.Mechanism.Dpeh { threshold = 50; retranslate = Some 4; multiversion = true }
 
 let dpeh_plain = Bt.Mechanism.Dpeh { threshold = 50; retranslate = None; multiversion = false }
+
+(* The same best configurations as cell specs, for the runners. *)
+let best_dynamic_spec = Cell.Dynamic_profiling { threshold = 50 }
+
+let best_eh_spec = Cell.Exception_handling { rearrange = false }
+
+let best_dpeh_spec = Cell.Dpeh { threshold = 50; retranslate = Some 4; multiversion = true }
+
+let dpeh_plain_spec = Cell.Dpeh { threshold = 50; retranslate = None; multiversion = false }
 
 let cycles (s : Bt.Run_stats.t) = Int64.to_float s.cycles
 

@@ -6,9 +6,16 @@
 type options = {
   scale : float; (** workload volume multiplier *)
   benchmarks : string list; (** defaults to the paper's 21 selected *)
+  exec : Exec.t option;
+      (** shared plan-then-execute context ([mdabench all] passes one
+          context to every experiment, deduping identical cells across
+          them); [None] runs sequentially without persistence *)
 }
 
 val default_options : options
+
+(** The caller's context, or a fresh sequential one. *)
+val exec_of : options -> Exec.t
 
 (** Run one benchmark under one mechanism on a fresh machine. *)
 val run_mechanism :
@@ -62,6 +69,16 @@ val best_eh : Mda_bt.Mechanism.t
 val best_dpeh : Mda_bt.Mechanism.t
 
 val dpeh_plain : Mda_bt.Mechanism.t
+
+(** The same best configurations as {!Cell.mech_spec} values. *)
+
+val best_dynamic_spec : Cell.mech_spec
+
+val best_eh_spec : Cell.mech_spec
+
+val best_dpeh_spec : Cell.mech_spec
+
+val dpeh_plain_spec : Cell.mech_spec
 
 val cycles : Mda_bt.Run_stats.t -> float
 

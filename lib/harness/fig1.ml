@@ -13,29 +13,26 @@
 module W = Mda_workloads
 module T = Mda_util.Tabular
 
-let native_cycles ?(extra_bloat = 0) ~scale ~variant name =
-  let w = W.Workload.instantiate ~scale ~variant name in
-  ignore extra_bloat;
-  let mem = W.Workload.fresh_memory w in
-  let stats, _ =
-    Mda_bt.Runtime.interpret_program ~mode:Mda_bt.Interp.Native ~mem
-      ~entry:(W.Workload.entry w) ()
-  in
-  Experiment.cycles stats
-
 let run ?(opts = Experiment.default_options) () =
+  let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  let cell variant name = Cell.native ~variant ~scale name in
+  Exec.prefetch ex
+    (List.concat_map
+       (fun name ->
+         [ cell W.Workload.Default name; cell W.Workload.Aligned_opt name ])
+       opts.Experiment.benchmarks);
   let table =
     T.create
       [| T.col "Benchmark";
          T.col ~align:T.Right "speedup(pathscale-like)";
          T.col ~align:T.Right "speedup(icc-like)" |]
   in
-  let scale = opts.Experiment.scale in
   let gains_a = ref [] and gains_b = ref [] in
   List.iter
     (fun name ->
-      let base = native_cycles ~scale ~variant:W.Workload.Default name in
-      let aligned = native_cycles ~scale ~variant:W.Workload.Aligned_opt name in
+      let base = Exec.cycles ex (cell W.Workload.Default name) in
+      let aligned = Exec.cycles ex (cell W.Workload.Aligned_opt name) in
       (* the icc-like variant: same alignment enforcement, slightly
          cheaper fill (cycles between the two compilers differed by <1%
          in the paper); modelled as 0.7x of the variant's extra cost *)

@@ -7,12 +7,18 @@
    (400.perlbench); very high thresholds drown in profiling overhead
    (178.galgel, 164.gzip, 252.eon, 200.sixtrack, 465.tonto). *)
 
-module Bt = Mda_bt
 module T = Mda_util.Tabular
 
 let thresholds = [ 10; 50; 500; 5000 ]
 
 let run ?(opts = Experiment.default_options) () =
+  let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  let cell th name = Cell.mech ~scale (Cell.Dynamic_profiling { threshold = th }) name in
+  Exec.prefetch ex
+    (List.concat_map
+       (fun name -> List.map (fun th -> cell th name) thresholds)
+       opts.Experiment.benchmarks);
   let table =
     T.create
       (Array.of_list
@@ -24,16 +30,7 @@ let run ?(opts = Experiment.default_options) () =
   List.iter (fun th -> Hashtbl.replace per_th th []) thresholds;
   List.iter
     (fun name ->
-      let cycles =
-        List.map
-          (fun th ->
-            ( th,
-              Experiment.cycles
-                (Experiment.run_mechanism ~scale:opts.Experiment.scale
-                   ~mechanism:(Bt.Mechanism.Dynamic_profiling { threshold = th })
-                   name) ))
-          thresholds
-      in
+      let cycles = List.map (fun th -> (th, Exec.cycles ex (cell th name))) thresholds in
       let base = List.assoc 10 cycles in
       let cells =
         List.map

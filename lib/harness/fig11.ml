@@ -7,7 +7,7 @@
 let run ?(opts = Experiment.default_options) () =
   Compare.run
     ~title:"Figure 11: gain/loss from code rearrangement (vs plain exception handling)"
-    ~baseline:(Mda_bt.Mechanism.Exception_handling { rearrange = false })
-    ~candidate:(Mda_bt.Mechanism.Exception_handling { rearrange = true })
+    ~baseline:(Cell.Exception_handling { rearrange = false })
+    ~candidate:(Cell.Exception_handling { rearrange = true })
     ~notes: [ "paper: up to 11% (464.h264ref); overall ~1.5%" ]
     ~opts ()

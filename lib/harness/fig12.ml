@@ -6,6 +6,6 @@
 let run ?(opts = Experiment.default_options) () =
   Compare.run
     ~title:"Figure 12: gain/loss of DPEH over exception handling"
-    ~baseline:Experiment.best_eh ~candidate:Experiment.dpeh_plain
+    ~baseline:Experiment.best_eh_spec ~candidate:Experiment.dpeh_plain_spec
     ~notes:[ "paper: >8% for h264ref/omnetpp/milc; ~2% overall" ]
     ~opts ()

@@ -6,8 +6,7 @@
 let run ?(opts = Experiment.default_options) () =
   Compare.run
     ~title:"Figure 13: gain/loss from retranslation (vs DPEH)"
-    ~baseline:Experiment.dpeh_plain
-    ~candidate:
-      (Mda_bt.Mechanism.Dpeh { threshold = 50; retranslate = Some 4; multiversion = false })
+    ~baseline:Experiment.dpeh_plain_spec
+    ~candidate:(Cell.Dpeh { threshold = 50; retranslate = Some 4; multiversion = false })
     ~notes:[ "paper: mixed, overall benefit not substantial" ]
     ~opts ()

@@ -6,8 +6,7 @@
 let run ?(opts = Experiment.default_options) () =
   Compare.run
     ~title:"Figure 14: gain/loss from multi-version code (vs DPEH)"
-    ~baseline:Experiment.dpeh_plain
-    ~candidate:
-      (Mda_bt.Mechanism.Dpeh { threshold = 50; retranslate = None; multiversion = true })
+    ~baseline:Experiment.dpeh_plain_spec
+    ~candidate:(Cell.Dpeh { threshold = 50; retranslate = None; multiversion = true })
     ~notes:[ "paper: up to 4.7%; ~1.1% average" ]
     ~opts ()

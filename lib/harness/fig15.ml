@@ -7,7 +7,28 @@
 module Bt = Mda_bt
 module T = Mda_util.Tabular
 
+(* Figure-15 classes over a dumped profile, via the shared classifier. *)
+let histogram sites =
+  let h = Array.make 4 0 in
+  Array.iter
+    (fun s ->
+      if s.Cell.mdas > 0 then begin
+        let k =
+          match Bt.Profile.classify_site { Bt.Profile.refs = s.Cell.refs; mdas = s.Cell.mdas } with
+          | Bt.Profile.Lt_half -> 0
+          | Eq_half -> 1
+          | Gt_half -> 2
+          | Always -> 3
+        in
+        h.(k) <- h.(k) + 1
+      end)
+    sites;
+  h
+
 let run ?(opts = Experiment.default_options) () =
+  let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  Exec.prefetch ex (List.map (Cell.interp ~scale) opts.Experiment.benchmarks);
   let table =
     T.create
       [| T.col "Benchmark";
@@ -19,15 +40,14 @@ let run ?(opts = Experiment.default_options) () =
   let tot = Array.make 4 0 in
   List.iter
     (fun name ->
-      let _, profile = Experiment.run_interp ~scale:opts.Experiment.scale name in
-      let lt, eq, gt, always = Bt.Profile.bias_histogram profile in
-      let n = lt + eq + gt + always in
-      tot.(0) <- tot.(0) + lt;
-      tot.(1) <- tot.(1) + eq;
-      tot.(2) <- tot.(2) + gt;
-      tot.(3) <- tot.(3) + always;
-      let pct v = if n = 0 then "-" else Printf.sprintf "%.1f%%" (100. *. float_of_int v /. float_of_int n) in
-      T.add_row table [| name; pct lt; pct eq; pct gt; pct always |])
+      let h = histogram (Exec.sites ex (Cell.interp ~scale name)) in
+      let n = Array.fold_left ( + ) 0 h in
+      Array.iteri (fun i v -> tot.(i) <- tot.(i) + v) h;
+      let pct v =
+        if n = 0 then "-"
+        else Printf.sprintf "%.1f%%" (100. *. float_of_int v /. float_of_int n)
+      in
+      T.add_row table [| name; pct h.(0); pct h.(1); pct h.(2); pct h.(3) |])
     opts.Experiment.benchmarks;
   let n = Array.fold_left ( + ) 0 tot in
   let pct v = Printf.sprintf "%.1f%%" (100. *. float_of_int v /. float_of_int n) in

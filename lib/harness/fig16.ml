@@ -7,36 +7,36 @@
    Profiling collapses on the Table-IV benchmarks (eon, art, soplex);
    DPEH is ~4.5% better than EH. *)
 
-module Bt = Mda_bt
 module T = Mda_util.Tabular
 
-let mechanisms ~train_profiles =
-  [ ("ExceptionHandling", fun _ -> Experiment.best_eh);
-    ("DPEH", fun _ -> Experiment.best_dpeh);
-    ("DynamicProfiling", fun _ -> Experiment.best_dynamic);
-    ( "StaticProfiling",
-      fun name -> Bt.Mechanism.Static_profiling (List.assoc name train_profiles) );
-    ("Direct", fun _ -> Bt.Mechanism.Direct) ]
+let mechanisms =
+  [ ("ExceptionHandling", Experiment.best_eh_spec);
+    ("DPEH", Experiment.best_dpeh_spec);
+    ("DynamicProfiling", Experiment.best_dynamic_spec);
+    ("StaticProfiling", Cell.Static_profiling);
+    ("Direct", Cell.Direct) ]
+
+let cells ~scale benchmarks =
+  List.concat_map
+    (fun name -> List.map (fun (_, spec) -> Cell.mech ~scale spec name) mechanisms)
+    benchmarks
 
 let run ?(opts = Experiment.default_options) () =
   let scale = opts.Experiment.scale in
-  let train_profiles =
-    List.map (fun name -> (name, Experiment.train_summary ~scale name)) opts.benchmarks
-  in
-  let mechs = mechanisms ~train_profiles in
+  let ex = Experiment.exec_of opts in
+  Exec.prefetch ex (cells ~scale opts.benchmarks);
   let table =
     T.create
       (Array.of_list
-         (T.col "Benchmark" :: List.map (fun (n, _) -> T.col ~align:T.Right n) mechs))
+         (T.col "Benchmark" :: List.map (fun (n, _) -> T.col ~align:T.Right n) mechanisms))
   in
-  let norms = List.map (fun (n, _) -> (n, ref [])) mechs in
+  let norms = List.map (fun (n, _) -> (n, ref [])) mechanisms in
   List.iter
     (fun name ->
       let cycles =
         List.map
-          (fun (label, mk) ->
-            (label, Experiment.cycles (Experiment.run_mechanism ~scale ~mechanism:(mk name) name)))
-          mechs
+          (fun (label, spec) -> (label, Exec.cycles ex (Cell.mech ~scale spec name)))
+          mechanisms
       in
       let base = List.assoc "ExceptionHandling" cycles in
       let cells =
@@ -50,9 +50,10 @@ let run ?(opts = Experiment.default_options) () =
       in
       T.add_row table (Array.of_list (name :: cells)))
     opts.benchmarks;
-  let geo = List.map (fun (label, _) -> Experiment.geomean !(List.assoc label norms)) mechs in
-  T.add_row table
-    (Array.of_list ("geomean" :: List.map Experiment.f2 geo));
+  let geo =
+    List.map (fun (label, _) -> Experiment.geomean !(List.assoc label norms)) mechanisms
+  in
+  T.add_row table (Array.of_list ("geomean" :: List.map Experiment.f2 geo));
   { Experiment.title =
       "Figure 16: runtime by mechanism, normalized to Exception Handling";
     table;

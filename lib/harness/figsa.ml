@@ -12,6 +12,9 @@
    against the best EH / DPEH configurations and Direct, normalized to
    EH.
 
+   The analysis itself runs inline (it is static — no simulation); all
+   six runtime columns go through the plan-then-execute layer.
+
    The note lines report the residual trap counts: SA-seq must take
    zero alignment traps when the analysis is sound on the benchmark
    set (every operand is either proven aligned, or reached through a
@@ -21,8 +24,22 @@ module Bt = Mda_bt
 module A = Mda_analysis
 module T = Mda_util.Tabular
 
+let runs =
+  [ ("SA-eh", Cell.Static_analysis { unknown = Bt.Mechanism.Sa_fallback });
+    ("SA-seq", Cell.Static_analysis { unknown = Bt.Mechanism.Sa_seq });
+    ("DPEH", Experiment.best_dpeh_spec);
+    ("Direct", Cell.Direct) ]
+
 let run ?(opts = Experiment.default_options) () =
   let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  Exec.prefetch ex
+    (List.concat_map
+       (fun name ->
+         Cell.interp ~scale name
+         :: Cell.mech ~scale Experiment.best_eh_spec name
+         :: List.map (fun (_, spec) -> Cell.mech ~scale spec name) runs)
+       opts.benchmarks);
   let table =
     T.create
       [| T.col "Benchmark";
@@ -34,7 +51,7 @@ let run ?(opts = Experiment.default_options) () =
          T.col ~align:T.Right "DPEH";
          T.col ~align:T.Right "Direct" |]
   in
-  let norms = List.map (fun l -> (l, ref [])) [ "SA-eh"; "SA-seq"; "DPEH"; "Direct" ] in
+  let norms = List.map (fun (l, _) -> (l, ref [])) runs in
   let push l v = List.assoc l norms := v :: !(List.assoc l norms) in
   let sa_eh_traps = ref 0L and sa_seq_traps = ref 0L in
   let census = ref (0, 0, 0) in
@@ -46,35 +63,32 @@ let run ?(opts = Experiment.default_options) () =
       census := (cal + al, cmis + mis, cunk + unk);
       (* dynamic coverage: weight each profiled site by its reference
          count under the analysis verdict for its address *)
-      let _, profile = Experiment.run_interp ~scale name in
+      let sites = Exec.sites ex (Cell.interp ~scale name) in
       let refs = Array.make 3 0 in
-      Bt.Profile.iter_sites profile (fun addr site ->
+      Array.iter
+        (fun s ->
           let k =
-            match A.Dataflow.classify analysis addr with
+            match A.Dataflow.classify analysis s.Cell.addr with
             | Bt.Mechanism.Align_aligned -> 0
             | Bt.Mechanism.Align_misaligned -> 1
             | Bt.Mechanism.Align_unknown -> 2
           in
-          refs.(k) <- refs.(k) + site.Bt.Profile.refs);
+          refs.(k) <- refs.(k) + s.Cell.refs)
+        sites;
       let total = max 1 (refs.(0) + refs.(1) + refs.(2)) in
       let frac k = Experiment.pct (100.0 *. float_of_int refs.(k) /. float_of_int total) in
-      let summary = A.Dataflow.summary analysis in
-      let runs =
-        [ ("SA-eh", Bt.Mechanism.Static_analysis { summary; unknown = Bt.Mechanism.Sa_fallback });
-          ("SA-seq", Bt.Mechanism.Static_analysis { summary; unknown = Bt.Mechanism.Sa_seq });
-          ("DPEH", Experiment.best_dpeh);
-          ("Direct", Bt.Mechanism.Direct) ]
-      in
-      let base = Experiment.cycles (Experiment.run_mechanism ~scale ~mechanism:Experiment.best_eh name) in
+      let base = Exec.cycles ex (Cell.mech ~scale Experiment.best_eh_spec name) in
       let cells =
         List.map
-          (fun (label, mechanism) ->
-            let stats = Experiment.run_mechanism ~scale ~mechanism name in
+          (fun (label, spec) ->
+            let stats = Exec.stats ex (Cell.mech ~scale spec name) in
             (match label with
             | "SA-eh" -> sa_eh_traps := Int64.add !sa_eh_traps stats.Bt.Run_stats.traps
             | "SA-seq" -> sa_seq_traps := Int64.add !sa_seq_traps stats.Bt.Run_stats.traps
             | _ -> ());
-            let n = Experiment.normalized ~baseline:base (Experiment.cycles stats) in
+            let n =
+              Experiment.normalized ~baseline:base (Experiment.cycles stats)
+            in
             push label n;
             Experiment.f2 n)
           runs

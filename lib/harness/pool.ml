@@ -1,0 +1,161 @@
+(* Fork-based worker pool.
+
+   [map ~jobs ~f items] fans the items out over [jobs] forked workers
+   and returns per-item results in input order. Workers are fed one
+   item at a time over a pipe (self-scheduling, so cells of very
+   different cost balance), and send back marshalled
+   [(index, ('b, string) result)] messages. The function [f] itself is
+   never marshalled — children inherit it through fork.
+
+   Failure containment: an exception inside [f] is caught in the child
+   and reported as [Error] for that item only; a worker that *dies*
+   mid-item (segfault, [exit], killed) is detected as EOF on its result
+   pipe, its in-flight item is reported as [Error], and a replacement
+   worker is spawned if unassigned items remain — sibling cells are
+   never poisoned and the pool never hangs.
+
+   [jobs <= 1] degrades to the plain sequential path in the calling
+   process (no fork), which is also the only mode that can run on
+   systems without [Unix.fork]. *)
+
+type ('a, 'b) message = int * ('b, string) result
+
+let sequential ~f items results =
+  Array.iteri
+    (fun i x ->
+      results.(i) <- (try Ok (f x) with e -> Error (Printexc.to_string e)))
+    items
+
+type worker = {
+  pid : int;
+  to_child : out_channel;
+  from_child_fd : Unix.file_descr;
+  from_child : in_channel;
+  mutable current : int option; (* index in flight, if any *)
+}
+
+let map ~jobs ~f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results = Array.make n (Error "not computed") in
+  if n = 0 then results
+  else if jobs <= 1 then begin
+    sequential ~f items results;
+    results
+  end
+  else begin
+    let prev_sigpipe =
+      (* a worker dying between feed and read must not kill the parent *)
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+    in
+    let next = ref 0 (* next unassigned item *)
+    and completed = ref 0 in
+    let spawn () =
+      let cmd_read, cmd_write = Unix.pipe ~cloexec:false () in
+      let res_read, res_write = Unix.pipe ~cloexec:false () in
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+        (* child: serve items until told to stop; _exit skips at_exit
+           handlers and buffered-output replays inherited from the parent *)
+        Unix.close cmd_write;
+        Unix.close res_read;
+        let ic = Unix.in_channel_of_descr cmd_read in
+        let oc = Unix.out_channel_of_descr res_write in
+        let rec serve () =
+          match (Marshal.from_channel ic : int) with
+          | -1 -> ()
+          | i ->
+            let r = try Ok (f items.(i)) with e -> Error (Printexc.to_string e) in
+            Marshal.to_channel oc ((i, r) : ('a, 'b) message) [];
+            flush oc;
+            serve ()
+        in
+        (try serve () with _ -> ());
+        Unix._exit 0
+      | pid ->
+        Unix.close cmd_read;
+        Unix.close res_write;
+        { pid;
+          to_child = Unix.out_channel_of_descr cmd_write;
+          from_child_fd = res_read;
+          from_child = Unix.in_channel_of_descr res_read;
+          current = None }
+    in
+    (* Feed the next unassigned item, or the stop word when none remain.
+       Write failures mean the worker is already dead; the EOF path picks
+       the item back up. *)
+    let feed w =
+      if !next < n then begin
+        let i = !next in
+        incr next;
+        w.current <- Some i;
+        try
+          Marshal.to_channel w.to_child i [];
+          flush w.to_child
+        with _ -> ()
+      end
+      else begin
+        w.current <- None;
+        try
+          Marshal.to_channel w.to_child (-1) [];
+          flush w.to_child
+        with _ -> ()
+      end
+    in
+    let retire w =
+      (try close_out_noerr w.to_child with _ -> ());
+      (try close_in_noerr w.from_child with _ -> ());
+      try ignore (Unix.waitpid [] w.pid) with _ -> ()
+    in
+    let workers = ref (List.init (min jobs n) (fun _ -> spawn ())) in
+    List.iter feed !workers;
+    while !completed < n do
+      let live = List.filter (fun w -> w.current <> None) !workers in
+      if live = [] then begin
+        (* every worker died with items still unassigned: resume with a
+           fresh crew rather than hanging *)
+        let crew = List.init (min jobs (n - !next)) (fun _ -> spawn ()) in
+        workers := crew @ !workers;
+        List.iter feed crew
+      end
+      else begin
+        let ready, _, _ =
+          Unix.select (List.map (fun w -> w.from_child_fd) live) [] [] (-1.0)
+        in
+        List.iter
+          (fun w ->
+            if List.mem w.from_child_fd ready then
+              match (Marshal.from_channel w.from_child : ('a, 'b) message) with
+              | i, r ->
+                results.(i) <- r;
+                incr completed;
+                feed w
+              | exception _ ->
+                (* EOF or truncated message: the worker died mid-item *)
+                (match w.current with
+                | Some i ->
+                  results.(i) <-
+                    Error (Printf.sprintf "worker pid %d died computing item %d" w.pid i);
+                  incr completed
+                | None -> ());
+                w.current <- None;
+                workers := List.filter (fun w' -> w' != w) !workers;
+                retire w;
+                if !next < n then begin
+                  let w' = spawn () in
+                  workers := w' :: !workers;
+                  feed w'
+                end)
+          live
+      end
+    done;
+    (* [completed = n] implies every surviving worker is idle and has
+       already been sent the stop word by [feed]. *)
+    List.iter retire !workers;
+    (match prev_sigpipe with
+    | Some b -> ( try ignore (Sys.signal Sys.sigpipe b) with Invalid_argument _ -> ())
+    | None -> ());
+    results
+  end

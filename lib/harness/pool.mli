@@ -1,0 +1,17 @@
+(** Fork-based worker pool for experiment cells.
+
+    [map ~jobs ~f items] applies [f] to every item, fanning the work out
+    over [jobs] forked worker processes (self-scheduling: one item at a
+    time per worker), and returns per-item results in input order.
+    Results travel back marshalled over pipes, so ['b] must be free of
+    closures.
+
+    Failure containment: an exception inside [f] yields [Error] for that
+    item only; a worker that dies mid-item (killed, [exit], crash) is
+    detected, its in-flight item reported as [Error], and a replacement
+    spawned while unassigned items remain — sibling items are unaffected
+    and the call never hangs.
+
+    [jobs <= 1] runs sequentially in the calling process (no fork). *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a list -> ('b, string) result array

@@ -1,0 +1,135 @@
+(* Persistent content-addressed result cache.
+
+   One file per cell under the cache directory (default
+   [_mdabench_cache/]), named by the MD5 digest of the cell's canonical
+   description plus a code-version stamp (a digest of the running
+   executable), so results survive across invocations but never across a
+   code change that could alter them.
+
+   The on-disk format is the stable key=value text of
+   {!Mda_bt.Run_stats} plus the profile-site dump — deliberately not
+   [Marshal], so entries are inspectable and a format mismatch degrades
+   to a miss. Any read problem whatsoever (truncation, corruption, stale
+   header, unparsable field) makes [find] return [None] and the cell is
+   recomputed; writes go through a temp file + rename so a crashed run
+   never leaves a half-written entry under its final name. *)
+
+module Bt = Mda_bt
+
+let default_dir = "_mdabench_cache"
+
+type t = { dir : string }
+
+let header = Printf.sprintf "mdabench-cache v%d" Bt.Run_stats.format_version
+
+(* Code-version stamp: any rebuild that changes the binary invalidates
+   every entry it would otherwise reuse. *)
+let version_stamp =
+  lazy
+    (try Digest.to_hex (Digest.file Sys.executable_name)
+     with _ -> "unversioned")
+
+let create ?(dir = default_dir) () =
+  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+  { dir }
+
+let dir t = t.dir
+
+let key cell =
+  Digest.to_hex
+    (Digest.string (Cell.describe cell ^ "\n" ^ Lazy.force version_stamp))
+
+let path t cell = Filename.concat t.dir (key cell ^ ".cell")
+
+(* --- serialization ----------------------------------------------------- *)
+
+let to_string cell (r : Cell.result) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header ^ "\n");
+  Buffer.add_string buf ("cell " ^ Cell.describe cell ^ "\n");
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s=%s\n" k v))
+    (Bt.Run_stats.to_kv r.Cell.stats);
+  Buffer.add_string buf (Printf.sprintf "sites %d\n" (Array.length r.Cell.sites));
+  Array.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "%d %d %d\n" s.Cell.addr s.refs s.mdas))
+    r.Cell.sites;
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+exception Bad_entry of string
+
+let of_string cell text =
+  let lines = String.split_on_char '\n' text in
+  let expect what = raise (Bad_entry ("expected " ^ what)) in
+  match lines with
+  | h :: c :: rest ->
+    if h <> header then expect "header";
+    if c <> "cell " ^ Cell.describe cell then expect "matching cell description";
+    let rec split_kv acc = function
+      | [] -> expect "sites line"
+      | line :: rest ->
+        (match String.index_opt line '=' with
+        | Some i ->
+          split_kv
+            ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+            :: acc)
+            rest
+        | None -> (List.rev acc, line :: rest))
+    in
+    let kvs, rest = split_kv [] rest in
+    let stats =
+      match Bt.Run_stats.of_kv kvs with
+      | Ok s -> s
+      | Error e -> raise (Bad_entry e)
+    in
+    let nsites, rest =
+      match rest with
+      | line :: rest when String.length line > 6 && String.sub line 0 6 = "sites " ->
+        (int_of_string (String.sub line 6 (String.length line - 6)), rest)
+      | _ -> expect "sites line"
+    in
+    let sites = Array.make nsites { Cell.addr = 0; refs = 0; mdas = 0 } in
+    let rec read_sites i = function
+      | rest when i = nsites -> rest
+      | line :: rest -> (
+        match String.split_on_char ' ' line with
+        | [ a; r; m ] ->
+          sites.(i) <-
+            { Cell.addr = int_of_string a; refs = int_of_string r; mdas = int_of_string m };
+          read_sites (i + 1) rest
+        | _ -> expect "site triple")
+      | [] -> expect "site triple"
+    in
+    (match read_sites 0 rest with
+    | "end" :: _ -> ()
+    | _ -> expect "end marker");
+    { Cell.stats; sites }
+  | _ -> expect "header"
+
+(* --- store / find ------------------------------------------------------ *)
+
+let store t cell r =
+  try
+    let final = path t cell in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ()) (Hashtbl.hash (Sys.time ()))
+    in
+    let oc = open_out tmp in
+    output_string oc (to_string cell r);
+    close_out oc;
+    Sys.rename tmp final
+  with Sys_error _ | Unix.Unix_error _ -> ()
+(* a cache that cannot be written is a slow cache, not an error *)
+
+let find t cell =
+  let file = path t cell in
+  match
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    of_string cell text
+  with
+  | r -> Some r
+  | exception _ -> None

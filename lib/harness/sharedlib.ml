@@ -10,12 +10,14 @@
    MDA's static site to application vs. library code. *)
 
 module W = Mda_workloads
-module Bt = Mda_bt
 module T = Mda_util.Tabular
 
 let paper_pct = [ ("164.gzip", ">90%"); ("400.perlbench", ">90%"); ("483.xalancbmk", ">90%") ]
 
 let run ?(opts = Experiment.default_options) () =
+  let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  Exec.prefetch ex (List.map (Cell.interp ~scale) opts.Experiment.benchmarks);
   let table =
     T.create
       [| T.col "Benchmark";
@@ -26,18 +28,19 @@ let run ?(opts = Experiment.default_options) () =
   in
   List.iter
     (fun name ->
-      let w = W.Workload.instantiate ~scale:opts.Experiment.scale name in
-      let mem = W.Workload.fresh_memory w in
-      let _, profile =
-        Bt.Runtime.interpret_program ~mem ~entry:(W.Workload.entry w) ()
-      in
+      (* instantiation is cheap (no execution); only the layout's
+         library boundary is needed here *)
+      let w = W.Workload.instantiate ~scale name in
       let boundary = w.W.Workload.program.W.Gen.lib_boundary in
+      let sites = Exec.sites ex (Cell.interp ~scale name) in
       let total = ref 0 and in_lib = ref 0 in
-      Bt.Profile.iter_sites profile (fun addr site ->
-          total := !total + site.Bt.Profile.mdas;
+      Array.iter
+        (fun s ->
+          total := !total + s.Cell.mdas;
           match boundary with
-          | Some b when addr >= b -> in_lib := !in_lib + site.Bt.Profile.mdas
-          | _ -> ());
+          | Some b when s.Cell.addr >= b -> in_lib := !in_lib + s.Cell.mdas
+          | _ -> ())
+        sites;
       let share =
         if !total = 0 then "-"
         else Printf.sprintf "%.0f%%" (100. *. float_of_int !in_lib /. float_of_int !total)

@@ -10,6 +10,9 @@ module Bt = Mda_bt
 module T = Mda_util.Tabular
 
 let run ?(opts = Experiment.default_options) () =
+  let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  Exec.prefetch ex (List.map (Cell.interp ~scale) W.Spec.all_names);
   let table =
     T.create
       [| T.col "Benchmark";
@@ -24,7 +27,7 @@ let run ?(opts = Experiment.default_options) () =
   List.iter
     (fun name ->
       let row = W.Spec.find name in
-      let stats, profile = Experiment.run_interp ~scale:opts.Experiment.scale name in
+      let { Cell.stats; sites } = Exec.get ex (Cell.interp ~scale name) in
       let measured_ratio =
         if stats.Bt.Run_stats.memrefs = 0L then 0.0
         else Int64.to_float stats.Bt.Run_stats.mdas /. Int64.to_float stats.Bt.Run_stats.memrefs
@@ -33,7 +36,7 @@ let run ?(opts = Experiment.default_options) () =
       T.add_row table
         [| name;
            string_of_int row.W.Spec.nmi;
-           string_of_int (Bt.Profile.nmi profile);
+           string_of_int (Cell.nmi sites);
            Mda_util.Stats.sci_notation row.W.Spec.mdas;
            Mda_util.Stats.with_commas stats.Bt.Run_stats.mdas;
            Printf.sprintf "%.2f%%" (row.W.Spec.ratio *. 100.);

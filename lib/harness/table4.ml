@@ -6,6 +6,10 @@ module Bt = Mda_bt
 module T = Mda_util.Tabular
 
 let run ?(opts = Experiment.default_options) () =
+  let scale = opts.Experiment.scale in
+  let ex = Experiment.exec_of opts in
+  let cell name = Cell.mech ~scale Cell.Static_profiling name in
+  Exec.prefetch ex (List.map cell opts.benchmarks);
   let table =
     T.create
       [| T.col "Benchmark";
@@ -24,16 +28,12 @@ let run ?(opts = Experiment.default_options) () =
   in
   List.iter
     (fun name ->
-      let summary = Experiment.train_summary ~scale:opts.Experiment.scale name in
-      let stats =
-        Experiment.run_mechanism ~scale:opts.Experiment.scale
-          ~mechanism:(Bt.Mechanism.Static_profiling summary) name
-      in
+      let stats = Exec.stats ex (cell name) in
       T.add_row table
         [| name;
            Mda_util.Stats.with_commas stats.Bt.Run_stats.traps;
            (match List.assoc_opt name paper with Some v -> v | None -> "-") |])
-    opts.Experiment.benchmarks;
+    opts.benchmarks;
   { Experiment.title = "Table IV: MDAs remaining while profiling with the train input";
     table;
     notes = [ "simulated counts are for scaled runs; compare relative magnitudes" ] }

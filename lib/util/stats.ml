@@ -81,3 +81,11 @@ let with_commas n =
       Buffer.add_char buf c)
     digits;
   (if neg then "-" else "") ^ Buffer.contents buf
+
+(* Wall-clock durations for the harness timing reports. *)
+let duration secs =
+  if secs < 0.0 then invalid_arg "Stats.duration: negative duration";
+  if secs < 60.0 then Printf.sprintf "%.2fs" secs
+  else
+    let m = int_of_float (secs /. 60.0) in
+    Printf.sprintf "%dm%04.1fs" m (secs -. (60.0 *. float_of_int m))

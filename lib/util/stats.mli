@@ -29,3 +29,7 @@ val sci_notation : float -> string
 
 (** 1,234,567-style rendering of an int64. *)
 val with_commas : int64 -> string
+
+(** Human-readable wall-clock duration ("2.31s", "2m03.5s"). Raises on
+    negative input. *)
+val duration : float -> string

@@ -1,0 +1,161 @@
+(* The persistent result cache: hits return exactly what was stored,
+   every knob that can change a cell's result changes its key, corrupted
+   entries degrade to a miss (the runner recomputes), and an Exec built
+   without a cache (the --no-cache path) never touches the directory. *)
+
+module H = Mda_harness
+module W = Mda_workloads
+module Bt = Mda_bt
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mda_cache_test_%d_%d" (Unix.getpid ()) !n)
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+
+let cell = H.Cell.mech ~scale:0.02 H.Cell.Direct "164.gzip"
+
+let test_miss_then_hit () =
+  let cache = H.Result_cache.create ~dir:(fresh_dir ()) () in
+  Alcotest.(check bool) "cold cache misses" true (H.Result_cache.find cache cell = None);
+  let result = H.Cell.compute cell in
+  H.Result_cache.store cache cell result;
+  match H.Result_cache.find cache cell with
+  | None -> Alcotest.fail "stored entry must hit"
+  | Some r ->
+    Alcotest.(check int64) "cycles round-trip" result.H.Cell.stats.Bt.Run_stats.cycles
+      r.H.Cell.stats.Bt.Run_stats.cycles;
+    Alcotest.(check bool) "full stats round-trip" true (r.H.Cell.stats = result.H.Cell.stats);
+    Alcotest.(check bool) "sites round-trip" true (r.H.Cell.sites = result.H.Cell.sites)
+
+let test_sites_round_trip () =
+  (* interp cells carry a profile dump; it must survive serialization *)
+  let cell = H.Cell.interp ~scale:0.02 "410.bwaves" in
+  let cache = H.Result_cache.create ~dir:(fresh_dir ()) () in
+  let result = H.Cell.compute cell in
+  Alcotest.(check bool) "profile is non-trivial" true (Array.length result.H.Cell.sites > 0);
+  H.Result_cache.store cache cell result;
+  match H.Result_cache.find cache cell with
+  | None -> Alcotest.fail "stored entry must hit"
+  | Some r -> Alcotest.(check bool) "sites identical" true (r.H.Cell.sites = result.H.Cell.sites)
+
+let test_key_sensitivity () =
+  (* every field that can change the result must change the key *)
+  let base = cell in
+  let k = H.Result_cache.key in
+  let differs label other = Alcotest.(check bool) label true (k base <> k other) in
+  differs "mechanism config changes key"
+    (H.Cell.mech ~scale:0.02 (H.Cell.Dynamic_profiling { threshold = 50 }) "164.gzip");
+  differs "mechanism sub-config changes key"
+    (H.Cell.mech ~scale:0.02 (H.Cell.Dynamic_profiling { threshold = 51 }) "164.gzip");
+  differs "scale changes key" (H.Cell.mech ~scale:0.021 H.Cell.Direct "164.gzip");
+  differs "input changes key"
+    (H.Cell.mech ~scale:0.02 ~input:W.Gen.Train H.Cell.Direct "164.gzip");
+  differs "benchmark changes key" (H.Cell.mech ~scale:0.02 H.Cell.Direct "188.ammp");
+  differs "trap cost changes key"
+    (H.Cell.mech ~scale:0.02 ~trap_cost:250 H.Cell.Direct "164.gzip");
+  differs "chaining changes key"
+    (H.Cell.mech ~scale:0.02 ~chaining:false H.Cell.Direct "164.gzip");
+  differs "kind changes key" (H.Cell.interp ~scale:0.02 "164.gzip");
+  Alcotest.(check string) "key is stable" (k base) (k base)
+
+let test_corrupt_entry_is_a_miss () =
+  let cache = H.Result_cache.create ~dir:(fresh_dir ()) () in
+  let result = H.Cell.compute cell in
+  H.Result_cache.store cache cell result;
+  let path = H.Result_cache.path cache cell in
+  let corrupt text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Alcotest.(check bool) ("corrupt entry misses: " ^ String.escaped (String.sub text 0 (min 20 (String.length text)))) true
+      (H.Result_cache.find cache cell = None)
+  in
+  corrupt "";
+  corrupt "garbage\n";
+  corrupt "mdabench-cache v999\nnope\n";
+  (* truncated genuine entry *)
+  let text = H.Result_cache.to_string cell result in
+  corrupt (String.sub text 0 (String.length text / 2));
+  (* an entry for a *different* cell under this cell's key is stale *)
+  let other = H.Cell.mech ~scale:0.02 H.Cell.Direct "188.ammp" in
+  corrupt (H.Result_cache.to_string other (H.Cell.compute other));
+  (* and storing again repairs it *)
+  H.Result_cache.store cache cell result;
+  Alcotest.(check bool) "restored entry hits" true (H.Result_cache.find cache cell <> None)
+
+let test_exec_recomputes_after_corruption () =
+  let dir = fresh_dir () in
+  let cache = H.Result_cache.create ~dir () in
+  let ex = H.Exec.create ~cache () in
+  H.Exec.prefetch ex [ cell ];
+  Alcotest.(check int) "cold run computes" 1 (H.Exec.counters ex).H.Exec.computed;
+  let oc = open_out (H.Result_cache.path cache cell) in
+  output_string oc "garbage";
+  close_out oc;
+  (* a fresh Exec over the same dir: corrupted entry forces recompute *)
+  let ex2 = H.Exec.create ~cache:(H.Result_cache.create ~dir ()) () in
+  H.Exec.prefetch ex2 [ cell ];
+  let c = H.Exec.counters ex2 in
+  Alcotest.(check int) "corrupted entry recomputed" 1 c.H.Exec.computed;
+  Alcotest.(check int) "no phantom hit" 0 c.H.Exec.cache_hits;
+  (* ...and the recompute repaired the entry *)
+  let ex3 = H.Exec.create ~cache:(H.Result_cache.create ~dir ()) () in
+  H.Exec.prefetch ex3 [ cell ];
+  Alcotest.(check int) "repaired entry hits" 1 (H.Exec.counters ex3).H.Exec.cache_hits
+
+let test_exec_cache_flow () =
+  let dir = fresh_dir () in
+  let mk () = H.Exec.create ~cache:(H.Result_cache.create ~dir ()) () in
+  let cells =
+    [ cell; H.Cell.mech ~scale:0.02 H.Cell.Direct "188.ammp"; cell (* duplicate *) ]
+  in
+  let ex = mk () in
+  H.Exec.prefetch ex cells;
+  let c = H.Exec.counters ex in
+  Alcotest.(check int) "cold: two computed" 2 c.H.Exec.computed;
+  Alcotest.(check int) "cold: duplicate deduped" 1 c.H.Exec.memo_hits;
+  let warm = mk () in
+  H.Exec.prefetch warm cells;
+  let c = H.Exec.counters warm in
+  Alcotest.(check int) "warm: nothing computed" 0 c.H.Exec.computed;
+  Alcotest.(check int) "warm: both served from cache" 2 c.H.Exec.cache_hits;
+  (* results agree between the computed and cached paths *)
+  Alcotest.(check bool) "cycles agree" true
+    (H.Exec.cycles ex cell = H.Exec.cycles warm cell)
+
+let test_no_cache_bypass () =
+  (* an Exec without a cache (--no-cache) computes every time and writes
+     nothing anywhere *)
+  let ex = H.Exec.create () in
+  H.Exec.prefetch ex [ cell ];
+  Alcotest.(check int) "computed" 1 (H.Exec.counters ex).H.Exec.computed;
+  let ex2 = H.Exec.create () in
+  H.Exec.prefetch ex2 [ cell ];
+  let c = H.Exec.counters ex2 in
+  Alcotest.(check int) "computed again" 1 c.H.Exec.computed;
+  Alcotest.(check int) "never a cache hit" 0 c.H.Exec.cache_hits
+
+let test_unwritable_dir_degrades () =
+  (* a cache rooted somewhere unwritable is a slow cache, not a crash *)
+  let cache = H.Result_cache.create ~dir:"/proc/nonexistent/cache" () in
+  H.Result_cache.store cache cell (H.Cell.compute cell);
+  Alcotest.(check bool) "store swallowed, find misses" true
+    (H.Result_cache.find cache cell = None)
+
+let suite =
+  [ ( "result-cache",
+      [ Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+        Alcotest.test_case "profile dump round-trips" `Quick test_sites_round_trip;
+        Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+        Alcotest.test_case "corrupt entry = miss" `Quick test_corrupt_entry_is_a_miss;
+        Alcotest.test_case "exec recomputes after corruption" `Quick
+          test_exec_recomputes_after_corruption;
+        Alcotest.test_case "exec cache flow" `Quick test_exec_cache_flow;
+        Alcotest.test_case "--no-cache bypass" `Quick test_no_cache_bypass;
+        Alcotest.test_case "unwritable dir degrades" `Quick test_unwritable_dir_degrades ] ) ]

@@ -1,0 +1,63 @@
+(* Golden-output tests: the rendered Table I and Figure 16 at a small,
+   fixed scale are committed under test/golden/ and diffed on every
+   `dune runtest`. Any change to the simulation, cost model, workload
+   generator or table renderer that moves a number shows up here as a
+   readable diff instead of a silent drift.
+
+   To regenerate after an intentional change:
+
+     MDA_GOLDEN_WRITE=1 dune exec test/test_main.exe -- test golden
+
+   which rewrites the files in the *source* tree (the path is resolved
+   through the dune workspace root). *)
+
+module H = Mda_harness
+
+let golden_opts =
+  { H.Experiment.scale = 0.02;
+    benchmarks = [ "164.gzip"; "410.bwaves"; "188.ammp" ];
+    exec = None }
+
+let cases =
+  [ ("table1", fun () -> H.Experiment.render (H.Table1.run ~opts:golden_opts ()));
+    ("fig16", fun () -> H.Experiment.render (H.Fig16.run ~opts:golden_opts ())) ]
+
+(* Tests run in _build/default/test; the source tree sits behind the
+   workspace root recorded by dune. *)
+let source_golden name =
+  let root = try Sys.getenv "DUNE_SOURCEROOT" with Not_found -> Filename.concat ".." ".." in
+  Filename.concat root (Filename.concat "test/golden" (name ^ ".txt"))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let updating () = Sys.getenv_opt "MDA_GOLDEN_WRITE" <> None
+
+let check (name, render) () =
+  let actual = render () in
+  if updating () then begin
+    write_file (source_golden name) actual;
+    Printf.printf "golden: wrote %s\n" (source_golden name)
+  end
+  else begin
+    let path = Filename.concat "golden" (name ^ ".txt") in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "missing golden file %s — run MDA_GOLDEN_WRITE=1 to create it" path;
+    let expected = read_file path in
+    if not (String.equal expected actual) then
+      Alcotest.failf
+        "golden mismatch for %s\n--- expected (%s)\n%s\n--- actual\n%s" name path expected
+        actual
+  end
+
+let suite =
+  [ ("golden", List.map (fun c -> Alcotest.test_case (fst c) `Quick (check c)) cases) ]

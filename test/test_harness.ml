@@ -7,7 +7,8 @@ module W = Mda_workloads
 
 let small_opts =
   { H.Experiment.scale = 0.02;
-    benchmarks = [ "164.gzip"; "410.bwaves"; "188.ammp" ] }
+    benchmarks = [ "164.gzip"; "410.bwaves"; "188.ammp" ];
+    exec = None }
 
 let experiments :
     (string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) list =
@@ -84,7 +85,8 @@ let test_ablations_run () =
 let test_sharedlib_attribution () =
   let opts =
     { H.Experiment.scale = 0.2;
-      benchmarks = [ "164.gzip"; "483.xalancbmk"; "188.ammp" ] }
+      benchmarks = [ "164.gzip"; "483.xalancbmk"; "188.ammp" ];
+      exec = None }
   in
   let rendered = H.Sharedlib.run ~opts () in
   let rows = Mda_util.Tabular.rows rendered.H.Experiment.table in

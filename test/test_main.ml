@@ -12,5 +12,9 @@ let () =
          Test_bt.suite;
          Test_workloads.suite;
          Test_equiv.suite;
+         Test_differential.suite;
+         Test_pool.suite;
+         Test_cache.suite;
+         Test_golden.suite;
          Test_models.suite;
          Test_harness.suite ])

@@ -1,0 +1,104 @@
+(* The fork-based worker pool must contain failures: an exception in the
+   worker function costs only that item; a worker process that *dies*
+   mid-item (exit, crash, kill) costs only its in-flight item, never
+   hangs the parent, and never poisons sibling items. And [jobs <= 1]
+   must degrade to a plain sequential map with the same Error
+   semantics. *)
+
+module H = Mda_harness
+
+let items = List.init 20 (fun i -> i)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let check_ok_square label results =
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "%s item %d" label i) (i * i) v
+      | Error e -> Alcotest.failf "%s item %d unexpectedly failed: %s" label i e)
+    results
+
+let test_parallel_map () =
+  let results = H.Pool.map ~jobs:4 ~f:(fun i -> i * i) items in
+  Alcotest.(check int) "one result per item" (List.length items) (Array.length results);
+  check_ok_square "parallel" results
+
+let test_sequential_map () =
+  (* jobs <= 1: no fork, same contract *)
+  List.iter
+    (fun jobs -> check_ok_square "sequential" (H.Pool.map ~jobs ~f:(fun i -> i * i) items))
+    [ 1; 0; -3 ]
+
+let test_order_preserved () =
+  (* workers self-schedule, results must still come back in input order *)
+  let f i = if i mod 3 = 0 then (Unix.sleepf 0.01; i * i) else i * i in
+  check_ok_square "ordered" (H.Pool.map ~jobs:3 ~f items)
+
+let expect_poison label results poisoned =
+  Array.iteri
+    (fun i r ->
+      match (r, List.mem i poisoned) with
+      | Ok v, false ->
+        Alcotest.(check int) (Printf.sprintf "%s survivor %d" label i) (i * i) v
+      | Error _, true -> ()
+      | Ok _, true -> Alcotest.failf "%s item %d should have failed" label i
+      | Error e, false -> Alcotest.failf "%s item %d poisoned by sibling: %s" label i e)
+    results
+
+let test_exception_is_per_item () =
+  let f i = if i = 7 || i = 13 then failwith "boom" else i * i in
+  List.iter
+    (fun jobs -> expect_poison "raise" (H.Pool.map ~jobs ~f items) [ 7; 13 ])
+    [ 1; 4 ];
+  (* the Error carries the exception text *)
+  (match (H.Pool.map ~jobs:2 ~f items).(7) with
+  | Error e -> Alcotest.(check bool) "message preserved" true (contains ~sub:"boom" e)
+  | Ok _ -> Alcotest.fail "item 7 should fail")
+
+let test_worker_death_is_per_item () =
+  (* a worker that *dies* mid-item: _exit skips marshalling entirely, so
+     the parent sees EOF on the result pipe with an item in flight *)
+  let f i = if i = 5 then Unix._exit 42 else i * i in
+  let results = H.Pool.map ~jobs:3 ~f items in
+  expect_poison "death" results [ 5 ];
+  match results.(5) with
+  | Error e ->
+    Alcotest.(check bool) "death is reported as such" true
+      (contains ~sub:"died" e || contains ~sub:"worker" e)
+  | Ok _ -> Alcotest.fail "item 5 should fail"
+
+let test_all_workers_die () =
+  (* every item kills its worker; the pool must respawn its way through
+     the whole list and still terminate with per-item Errors *)
+  let results = H.Pool.map ~jobs:2 ~f:(fun (_ : int) -> Unix._exit 9) (List.init 6 (fun i -> i)) in
+  Alcotest.(check int) "all items reported" 6 (Array.length results);
+  Array.iter
+    (function
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "no item can succeed when every worker dies")
+    results
+
+let test_more_jobs_than_items () =
+  let results = H.Pool.map ~jobs:16 ~f:(fun i -> i + 1) [ 1; 2; 3 ] in
+  Alcotest.(check int) "three results" 3 (Array.length results);
+  check_ok_square "oversubscribed"
+    (H.Pool.map ~jobs:16 ~f:(fun i -> i * i) items)
+
+let test_empty () =
+  Alcotest.(check int) "empty list" 0
+    (Array.length (H.Pool.map ~jobs:4 ~f:(fun i -> i) []))
+
+let suite =
+  [ ( "pool",
+      [ Alcotest.test_case "parallel map" `Quick test_parallel_map;
+        Alcotest.test_case "sequential fallback" `Quick test_sequential_map;
+        Alcotest.test_case "order preserved" `Quick test_order_preserved;
+        Alcotest.test_case "exception = per-item Error" `Quick test_exception_is_per_item;
+        Alcotest.test_case "worker death = per-item Error" `Quick test_worker_death_is_per_item;
+        Alcotest.test_case "all workers die" `Quick test_all_workers_die;
+        Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
+        Alcotest.test_case "empty input" `Quick test_empty ] ) ]
