@@ -25,9 +25,14 @@ fi
 echo "== figsa smoke run (scale 0.05)"
 dune exec bin/mdabench.exe -- figsa --scale 0.05
 
-echo "== selfcheck smoke run"
-dune exec bin/mdabench.exe -- run 410.bwaves -m sa --scale 0.05 --selfcheck >/dev/null
+echo "== selfcheck smoke run (all six mechanisms)"
+for MECH in direct static dynamic eh dpeh sa; do
+  dune exec bin/mdabench.exe -- run 410.bwaves -m "$MECH" --scale 0.05 --selfcheck >/dev/null
+done
 dune exec bin/mdabench.exe -- run 453.povray -m dpeh --scale 0.05 --selfcheck >/dev/null
+
+echo "== translation-validation gate (mdabench verify)"
+dune exec bin/mdabench.exe -- verify --scale 0.05 --jobs 2
 
 echo "== parallel 'all' smoke run with result cache (scale 0.05)"
 CACHE_DIR=$(mktemp -d)

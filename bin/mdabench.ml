@@ -180,6 +180,12 @@ let all_cmd =
 
 (* --- run a single benchmark under one mechanism ------------------------ *)
 
+let mech_string = function
+  | `Direct -> "direct" | `Static -> "static" | `Dynamic -> "dynamic"
+  | `Eh -> "eh" | `Eh_rearrange -> "eh+rearrange" | `Dpeh -> "dpeh"
+  | `Sa -> "sa" | `Sa_seq -> "sa-seq"
+  | `Interp -> "interp" | `Native -> "native"
+
 let mechanism_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -195,15 +201,7 @@ let mechanism_conv =
     | "native" -> Ok `Native
     | _ -> Error (`Msg (Printf.sprintf "unknown mechanism %S" s))
   in
-  let print fmt m =
-    Format.pp_print_string fmt
-      (match m with
-      | `Direct -> "direct" | `Static -> "static" | `Dynamic -> "dynamic"
-      | `Eh -> "eh" | `Eh_rearrange -> "eh+rearrange" | `Dpeh -> "dpeh"
-      | `Sa -> "sa" | `Sa_seq -> "sa-seq"
-      | `Interp -> "interp" | `Native -> "native")
-  in
-  Arg.conv (parse, print)
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (mech_string m))
 
 (* Instantiate a mechanism that needs per-benchmark preparation (train
    profiles, static analysis). *)
@@ -242,28 +240,156 @@ let run_cmd =
     in
     Arg.(value & flag & info [ "selfcheck" ] ~doc)
   in
-  let run name mech scale threshold selfcheck =
+  let validate_arg =
+    let doc =
+      "After the run, prove every translated block equivalent to its guest block with the \
+       symbolic translation validator (and run its trap-freedom/clobber/resumability \
+       lints); non-zero exit on any violation."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
+  in
+  let corrupt_arg =
+    (* test hook: deliberately corrupt the cache bookkeeping before the
+       checks, so the exit-code contract can be exercised *)
+    let doc = "Corrupt the code-cache site map before checking (testing aid)." in
+    Arg.(value & flag & info [ "corrupt-cache" ] ~doc)
+  in
+  let run name mech scale threshold selfcheck validate corrupt =
     match mech with
     | `Interp | `Native ->
       let s, _ = H.Experiment.run_interp ~scale ~native:(mech = `Native) name in
       Format.printf "%a@." Bt.Run_stats.pp s;
+      let mode = if mech = `Native then "native" else "interpreter" in
       if selfcheck then
-        Format.printf "selfcheck: nothing to check (no code cache in %s mode)@."
-          (if mech = `Native then "native" else "interpreter");
+        Format.printf "selfcheck: nothing to check (no code cache in %s mode)@." mode;
+      if validate then
+        Format.printf "validate: nothing to check (no code cache in %s mode)@." mode;
       0
     | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
       let mechanism = make_mechanism ~scale ~threshold name m in
       let stats, t = H.Experiment.run_mechanism_rt ~scale ~mechanism name in
       Format.printf "%a@." Bt.Run_stats.pp stats;
-      if selfcheck then begin
-        let report = Mda_analysis.Check.run t.Bt.Runtime.cache in
-        Format.printf "%a@." Mda_analysis.Check.pp_report report;
-        if Mda_analysis.Check.ok report then 0 else 2
-      end
-      else 0
+      let cache = t.Bt.Runtime.cache in
+      if corrupt then
+        (* a site record outside the code store and naming an unknown
+           block: invalid under every mechanism's bookkeeping *)
+        Bt.Code_cache.register_site cache ~pc:(Bt.Code_cache.length cache)
+          { Bt.Code_cache.guest_addr = 0;
+            block_start = 0xdead_0000;
+            op =
+              { Mda_host.Mda_seq.kind = `Load; data = 0; base = 0; disp = 0; width = 4;
+                signed = false } };
+      let self_rc =
+        if selfcheck then begin
+          let report = Mda_analysis.Check.run cache in
+          Format.printf "%a@." Mda_analysis.Check.pp_report report;
+          if Mda_analysis.Check.ok report then 0 else 2
+        end
+        else 0
+      in
+      let validate_rc =
+        if validate then begin
+          let mem = t.Bt.Runtime.cpu.Mda_machine.Cpu.mem in
+          let block_of start =
+            match Bt.Block.discover mem ~pc:start with Ok b -> Some b | Error _ -> None
+          in
+          let v = Mda_analysis.Validator.run ~cache ~block_of in
+          Format.printf "%a@." Mda_analysis.Validator.pp_report v;
+          if Mda_analysis.Validator.ok v then 0 else 2
+        end
+        else 0
+      in
+      ignore stats;
+      max self_rc validate_rc
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg $ selfcheck_arg)
+    Term.(
+      const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg $ selfcheck_arg
+      $ validate_arg $ corrupt_arg)
+
+(* --- verify: translation-validate every mechanism ---------------------- *)
+
+let verify_cmd =
+  let doc =
+    "Run the symbolic translation validator and the DBT invariant checker over the code \
+     cache each mechanism builds: every translated block is proven equivalent to its \
+     guest block, every MDA path trap-free, scratch discipline respected, and every \
+     patch slot resumable. Non-zero exit on any proven violation."
+  in
+  let mech_arg =
+    let doc = "Verify only this mechanism (default: all six paper mechanisms)." in
+    Arg.(value & opt (some mechanism_conv) None & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
+  in
+  let bench_arg =
+    let doc =
+      "Comma-separated benchmarks to replay (default: the first selected benchmark)."
+    in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"NAMES" ~doc)
+  in
+  let scale_arg =
+    let doc = "Workload volume multiplier for the replayed runs." in
+    Arg.(value & opt float 0.05 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+  in
+  (* The validator needs the live cache a run leaves behind, so each
+     (mechanism, benchmark) cell re-executes the benchmark, then checks.
+     Workers return only printable strings — the cache itself does not
+     cross the fork boundary. *)
+  let verify_cell scale (name, m) =
+    let mechanism = make_mechanism ~scale ~threshold:50 name m in
+    let _stats, t = H.Experiment.run_mechanism_rt ~scale ~mechanism name in
+    let cache = t.Bt.Runtime.cache in
+    let mem = t.Bt.Runtime.cpu.Mda_machine.Cpu.mem in
+    let block_of start =
+      match Bt.Block.discover mem ~pc:start with Ok b -> Some b | Error _ -> None
+    in
+    let v = Mda_analysis.Validator.run ~cache ~block_of in
+    let c = Mda_analysis.Check.run cache in
+    ( name,
+      mech_string m,
+      Mda_analysis.Validator.ok v,
+      Format.asprintf "%a" Mda_analysis.Validator.pp_report v,
+      Mda_analysis.Check.ok c,
+      Format.asprintf "%a" Mda_analysis.Check.pp_report c )
+  in
+  let run mech bench scale jobs =
+    let mechanisms =
+      match mech with
+      | None -> [ `Direct; `Static; `Dynamic; `Eh; `Dpeh; `Sa ]
+      | Some (`Interp | `Native) ->
+        Printf.eprintf "mdabench verify: nothing to verify (no code cache in %s mode)\n"
+          (mech_string (Option.get mech));
+        exit 1
+      | Some ((`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m)
+        -> [ m ]
+    in
+    let benches =
+      match bench with
+      | Some s -> String.split_on_char ',' s |> List.map String.trim
+      | None -> [ List.hd W.Spec.selected_names ]
+    in
+    let cells =
+      List.concat_map (fun b -> List.map (fun m -> (b, m)) mechanisms) benches
+    in
+    let results = H.Pool.map ~jobs ~f:(verify_cell scale) cells in
+    let rc = ref 0 in
+    Array.iter
+      (fun r ->
+        match r with
+        | Error e ->
+          Printf.printf "verify worker FAILED: %s\n" e;
+          rc := 1
+        | Ok (bench, mname, v_ok, v_text, c_ok, c_text) ->
+          Printf.printf "=== %s / %s ===\n%s\n%s\n" bench mname v_text c_text;
+          if not (v_ok && c_ok) then rc := 1)
+      results;
+    if !rc = 0 then
+      Printf.printf "verify OK: %d mechanism/benchmark cells validated\n"
+        (List.length cells)
+    else Printf.printf "verify FAILED\n";
+    !rc
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ mech_arg $ bench_arg $ scale_arg $ jobs_arg)
 
 let trace_cmd =
   let doc = "Trace BT events (translations, traps, patches, chains) of a run." in
@@ -325,12 +451,22 @@ let trace_cmd =
     Term.(const run $ bench_arg $ mech_arg $ scale_arg $ limit_arg)
 
 let list_cmd =
-  let doc = "List the experiments and the modelled benchmarks (Table I rows)." in
+  let doc = "List the experiments, utility commands and modelled benchmarks (Table I rows)." in
   let run () =
     Printf.printf "experiments:\n";
     List.iter
       (fun (name, desc, _) -> Printf.printf "  %-16s %s\n" name desc)
       experiments;
+    Printf.printf "\ncommands:\n";
+    List.iter
+      (fun (name, desc) -> Printf.printf "  %-16s %s\n" name desc)
+      [ ("all", "regenerate every table and figure");
+        ("run", "run one benchmark under one mechanism (--selfcheck, --validate)");
+        ("verify", "translation-validate the cache every mechanism builds");
+        ("trace", "print BT events of a run");
+        ("info", "describe a benchmark's synthesized groups");
+        ("disasm", "show a benchmark's guest program");
+        ("disasm-host", "show translated host code for a block") ];
     Printf.printf "\nbenchmarks:\n";
     List.iter
       (fun name ->
@@ -478,6 +614,7 @@ let () =
   let info = Cmd.info "mdabench" ~version:"1.0.0" ~doc in
   let cmds =
     List.map experiment_cmd experiments
-    @ [ all_cmd; run_cmd; trace_cmd; list_cmd; info_cmd; disasm_cmd; disasm_host_cmd ]
+    @ [ all_cmd; run_cmd; verify_cmd; trace_cmd; list_cmd; info_cmd; disasm_cmd;
+        disasm_host_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

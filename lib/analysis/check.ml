@@ -304,6 +304,9 @@ let pp_report fmt r =
       "selfcheck OK: %d sites, %d patched sites, %d chain edges, %d multi-version guards"
       r.sites_checked r.patched_checked r.chains_checked r.guards_checked
   else begin
-    Format.fprintf fmt "selfcheck FAILED: %d violation(s)@," (List.length r.violations);
+    Format.fprintf fmt
+      "selfcheck FAILED: %d violation(s) over %d sites, %d patched sites, %d chain edges, %d multi-version guards@,"
+      (List.length r.violations) r.sites_checked r.patched_checked r.chains_checked
+      r.guards_checked;
     List.iter (fun v -> Format.fprintf fmt "  %a@," pp_violation v) r.violations
   end

@@ -1,0 +1,205 @@
+(* Seeded mutation harness for the translation validator.
+
+   Proves the validator has teeth: enumerate the live host code of a
+   finished run's code cache (every translated block, plus the
+   out-of-line MDA sequences the exception handler patched in), derive
+   semantic mutants of each instruction — opcode and operand flips,
+   displacement off-by-ones, byte-manipulation width/high corruption,
+   dropped MSK steps, swapped INS/EXT halves, branch-condition and
+   branch-target flips — apply each mutant to the cache in place, and
+   require {!Validator.check_block} of the owning block to reject it.
+   The cache is restored (instruction and patch counter) after every
+   trial, so the harness is safe to run on a live runtime.
+
+   Surviving mutants are first-class results, never silently dropped:
+   callers print them and gate on the kill ratio. *)
+
+module H = Mda_host.Isa
+module Cc = Mda_bt.Code_cache
+module Bt = Mda_bt
+
+type survivor = { pc : int; block_start : int; original : string; mutant : string }
+
+type outcome = {
+  total : int; (* mutants attempted *)
+  killed : int;
+  survivors : survivor list;
+  pcs_covered : int; (* distinct host pcs mutated *)
+}
+
+let kill_ratio o = if o.total = 0 then 1.0 else float_of_int o.killed /. float_of_int o.total
+
+(* --- mutant derivation -------------------------------------------------- *)
+
+let oper_alts : H.oper -> H.oper list = function
+  | H.Addq -> [ H.Subq ]
+  | H.Subq -> [ H.Addq ]
+  | H.Addl -> [ H.Subl; H.Addq ]
+  | H.Subl -> [ H.Addl ]
+  | H.Mulq -> [ H.Addq ]
+  | H.And -> [ H.Bis ]
+  | H.Bis -> [ H.Xor; H.And ]
+  | H.Xor -> [ H.Bis ]
+  | H.Sll -> [ H.Srl ]
+  | H.Srl -> [ H.Sll; H.Sra ]
+  | H.Sra -> [ H.Srl ]
+  | H.Cmpeq -> [ H.Cmplt ]
+  | H.Cmplt -> [ H.Cmple; H.Cmpult ]
+  | H.Cmple -> [ H.Cmplt; H.Cmpule ]
+  | H.Cmpult -> [ H.Cmpule; H.Cmplt ]
+  | H.Cmpule -> [ H.Cmpult ]
+  | H.Sextb -> [ H.Sextw ]
+  | H.Sextw -> [ H.Sextb ]
+
+let bcond_alts : H.bcond -> H.bcond list = function
+  | H.Beq -> [ H.Bne ]
+  | H.Bne -> [ H.Beq ]
+  | H.Blt -> [ H.Bge ]
+  | H.Bge -> [ H.Blt ]
+  | H.Bgt -> [ H.Ble ]
+  | H.Ble -> [ H.Bgt ]
+
+let operand_alts = function
+  | H.Lit v -> [ H.Lit ((v + 1) land 255) ]
+  | H.Rb r -> [ H.Rb ((r + 1) land 31) ]
+
+(* All semantic mutants of one instruction. Nop carries no semantics to
+   corrupt; Jmp never appears in translated code. *)
+let mutants_of (insn : H.insn) : H.insn list =
+  match insn with
+  | H.Nop | H.Jmp _ -> []
+  | H.Ldbu { ra; rb; disp } ->
+    [ H.Ldbu { ra; rb; disp = disp + 1 }; H.Ldwu { ra; rb; disp } ]
+  | H.Ldwu { ra; rb; disp } ->
+    [ H.Ldwu { ra; rb; disp = disp + 1 }; H.Ldbu { ra; rb; disp }; H.Ldl { ra; rb; disp } ]
+  | H.Ldl { ra; rb; disp } ->
+    [ H.Ldl { ra; rb; disp = disp + 1 }; H.Ldwu { ra; rb; disp }; H.Ldq { ra; rb; disp } ]
+  | H.Ldq { ra; rb; disp } ->
+    [ H.Ldq { ra; rb; disp = disp + 1 }; H.Ldl { ra; rb; disp }; H.Ldq_u { ra; rb; disp } ]
+  | H.Ldq_u { ra; rb; disp } ->
+    [ H.Ldq_u { ra; rb; disp = disp + 1 }; H.Ldq { ra; rb; disp } ]
+  | H.Stb { ra; rb; disp } ->
+    [ H.Stb { ra; rb; disp = disp + 1 }; H.Stw { ra; rb; disp } ]
+  | H.Stw { ra; rb; disp } ->
+    [ H.Stw { ra; rb; disp = disp + 1 }; H.Stb { ra; rb; disp }; H.Stl { ra; rb; disp } ]
+  | H.Stl { ra; rb; disp } ->
+    [ H.Stl { ra; rb; disp = disp + 1 }; H.Stw { ra; rb; disp }; H.Stq { ra; rb; disp } ]
+  | H.Stq { ra; rb; disp } ->
+    [ H.Stq { ra; rb; disp = disp + 1 }; H.Stl { ra; rb; disp }; H.Stq_u { ra; rb; disp } ]
+  | H.Stq_u { ra; rb; disp } ->
+    [ H.Stq_u { ra; rb; disp = disp + 1 }; H.Stq { ra; rb; disp } ]
+  | H.Lda { ra; rb; disp } -> [ H.Lda { ra; rb; disp = disp + 1 } ]
+  | H.Ldah { ra; rb; disp } -> [ H.Ldah { ra; rb; disp = disp + 1 } ]
+  | H.Opr { op; ra; rb; rc } ->
+    List.map (fun op' -> H.Opr { op = op'; ra; rb; rc }) (oper_alts op)
+    @ List.map (fun rb' -> H.Opr { op; ra; rb = rb'; rc }) (operand_alts rb)
+  | H.Bytem { op; width; high; ra; rb; rc } ->
+    (* toggled half, flipped width, and a dropped MSK step *)
+    [ H.Bytem { op; width; high = not high; ra; rb; rc } ]
+    @ (let width' = match width with 2 -> 4 | 4 -> 2 | _ -> 4 in
+       [ H.Bytem { op; width = width'; high; ra; rb; rc } ])
+    @ (match op with H.Msk -> [ H.Nop ] | _ -> [])
+    @ List.map (fun rb' -> H.Bytem { op; width; high; ra; rb = rb'; rc }) (operand_alts rb)
+  | H.Br { ra; target } -> [ H.Br { ra; target = target + 1 } ]
+  | H.Bcond { cond; ra; target } ->
+    List.map (fun c -> H.Bcond { cond = c; ra; target }) (bcond_alts cond)
+    @ [ H.Bcond { cond; ra; target = target + 1 } ]
+  | H.Monitor (H.Next_guest g) -> [ H.Monitor (H.Next_guest (g + 1)) ]
+  | H.Monitor (H.Dyn_guest r) -> [ H.Monitor (H.Dyn_guest ((r + 1) land 31)) ]
+  | H.Monitor H.Prog_halt -> [ H.Monitor (H.Next_guest 0) ]
+
+(* --- live-code enumeration ---------------------------------------------- *)
+
+(* Every live host pc paired with the guest block whose validation must
+   catch a corruption there: block bodies via [host_range], plus the
+   out-of-line sequences reached from patched [Br] slots (owned by the
+   site's block). *)
+let live_pcs cache =
+  let out = ref [] in
+  List.iter
+    (fun (brec : Cc.block_rec) ->
+      match brec.host_range with
+      | None -> ()
+      | Some (lo, hi) ->
+        for pc = lo to hi - 1 do
+          out := (pc, brec.Cc.start) :: !out;
+          (match (Cc.insn_at cache pc, Cc.find_site cache pc) with
+          | Some (H.Br { ra = 31; target }), Some site ->
+            (* a patched slot: walk its out-of-line sequence *)
+            let rec walk at n =
+              if n > 64 then ()
+              else
+                match Cc.insn_at cache at with
+                | Some (H.Br { ra = 31; target = t }) when t = pc + 1 ->
+                  out := (at, site.Cc.block_start) :: !out
+                | Some _ ->
+                  out := (at, site.Cc.block_start) :: !out;
+                  walk (at + 1) (n + 1)
+                | None -> ()
+            in
+            walk target 0
+          | _ -> ())
+        done)
+    (Cc.blocks_sorted cache);
+  List.rev !out
+
+(* --- the sweep ----------------------------------------------------------- *)
+
+let run ~cache ~block_of ?(seed = 0x5eed_2026) ?(max_mutants = 400) () =
+  let rng = Random.State.make [| seed |] in
+  let pool =
+    List.concat_map
+      (fun (pc, owner) ->
+        match Cc.insn_at cache pc with
+        | None -> []
+        | Some insn -> List.map (fun m -> (pc, owner, insn, m)) (mutants_of insn))
+      (live_pcs cache)
+  in
+  let pool = Array.of_list pool in
+  (* seeded Fisher-Yates prefix: an unbiased sample when the pool is
+     larger than the budget, the full pool otherwise *)
+  let n = Array.length pool in
+  let take = min n max_mutants in
+  for i = 0 to take - 1 do
+    let j = i + Random.State.int rng (n - i) in
+    let t = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- t
+  done;
+  let killed = ref 0 in
+  let survivors = ref [] in
+  let covered = Hashtbl.create 256 in
+  for i = 0 to take - 1 do
+    let pc, owner, original, mutant = pool.(i) in
+    Hashtbl.replace covered pc ();
+    let saved_patches = cache.Cc.patches in
+    Cc.patch cache pc mutant;
+    let caught =
+      match block_of owner with
+      | None -> false
+      | Some block -> not (Validator.ok (Validator.check_block ~cache ~block))
+    in
+    Cc.patch cache pc original;
+    cache.Cc.patches <- saved_patches;
+    if caught then incr killed
+    else
+      survivors :=
+        { pc;
+          block_start = owner;
+          original = Mda_host.Pretty.insn_to_string original;
+          mutant = Mda_host.Pretty.insn_to_string mutant }
+        :: !survivors
+  done;
+  { total = take;
+    killed = !killed;
+    survivors = List.rev !survivors;
+    pcs_covered = Hashtbl.length covered }
+
+let pp_survivor fmt s =
+  Format.fprintf fmt "host pc %d (block %#x): '%s' -> '%s' not caught" s.pc s.block_start
+    s.original s.mutant
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "mutation sweep: %d/%d killed (%.1f%%) over %d pcs" o.killed o.total
+    (100.0 *. kill_ratio o) o.pcs_covered;
+  List.iter (fun s -> Format.fprintf fmt "@\n  SURVIVOR %a" pp_survivor s) o.survivors

@@ -1,0 +1,1233 @@
+(* Translation validation: symbolic host-vs-guest equivalence checking.
+
+   For every translated block in a code cache this module proves that
+   the host (alphalite) code computes the same final guest-visible
+   state as the guest (x86lite) block it was translated from:
+
+   - mapped guest registers R0..R7,
+   - the lazy-flag convention registers R10..R12 (materialized at
+     Cmp/Test, exactly as the translator documents),
+   - memory effects, as byte-granular symbolic store maps,
+   - the block exit (static successor, dynamic target value, or halt),
+
+   across every [Translate.policy] shape: [Normal] aligned accesses
+   (with or without handler patches), [Seq_always] inline MDA
+   sequences, [Multi] two-version guards, and the out-of-line patched
+   sequences the exception handler emits.
+
+   Three host-code lint passes ride on the same symbolic walk:
+
+   - {b trap-freedom}: no alignable access whose symbolic effective
+     address can be misaligned may execute at a pc without a registered
+     patch site — in particular, MDA sequences and the unaligned arm of
+     a multi-version guard must be trap-free for every address residue;
+   - {b clobber discipline}: no path ever writes a reserved register
+     ({!Mda_host.Isa.reserved_regs}), and an out-of-line sequence
+     writes only the registers {!Mda_host.Mda_seq.clobbers} documents;
+   - {b patch-slot resumability}: for every registered site, the
+     symbolic state at the resume pc is the same whether the slot holds
+     the plain aligned access or the (current or future) MDA sequence,
+     modulo the MDA temporaries — so the handler can patch any slot at
+     any time without changing behaviour.
+
+   Mechanically, both evaluators build values over one hash-consed term
+   context, reusing {!Mda_host.Semantics} for operate/byte-manipulation
+   constant folding, so structurally equal computations converge on
+   identical representations. Addresses with statically unknown
+   alignment are handled by lazy residue case-splitting: when a walk
+   needs the low three bits of an address root (at [ldq_u]/[stq_u]
+   quad truncation, a byte-manipulation shuffle, or a multi-version
+   guard mask), the whole comparison forks eight ways on that root's
+   residue, and each case re-runs with the residue pinned. Aligned
+   plain accesses never fork — the byte-granular memory model gives
+   them the same semantics either way, and the trap lint only needs
+   may-be-misaligned, which is answerable without splitting. *)
+
+module H = Mda_host.Isa
+module Sem = Mda_host.Semantics
+module Seq = Mda_host.Mda_seq
+module G = Mda_guest.Isa
+module Bt = Mda_bt
+module Cc = Mda_bt.Code_cache
+module Bits = Mda_util.Bits
+
+(* --- reports ----------------------------------------------------------- *)
+
+type violation = {
+  block_start : int; (* guest address of the offending block *)
+  host_pc : int option;
+  kind : string; (* "equivalence" | "path-match" | "trap" | "clobber" | "resume" | "budget" | "walk" *)
+  detail : string;
+}
+
+type report = {
+  violations : violation list;
+  blocks_checked : int;
+  paths_checked : int; (* host/guest path pairs compared *)
+  envs_checked : int; (* residue assignments explored *)
+  sites_checked : int; (* patch sites proven resumable *)
+  seqs_checked : int; (* out-of-line MDA sequences linted *)
+}
+
+(* Budget exhaustion ("budget" kind) is a soft outcome: the validator
+   ran out of fuel before proving anything wrong. It is reported but
+   does not fail the check — the gates care about proven violations. *)
+let hard_violations r = List.filter (fun v -> v.kind <> "budget") r.violations
+
+let ok r = hard_violations r = []
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] block %#x%s: %s" v.kind v.block_start
+    (match v.host_pc with Some pc -> Printf.sprintf " host pc %d" pc | None -> "")
+    v.detail
+
+let pp_report fmt r =
+  let counters fmt r =
+    Format.fprintf fmt
+      "%d blocks, %d path pairs, %d residue cases, %d sites, %d sequences"
+      r.blocks_checked r.paths_checked r.envs_checked r.sites_checked r.seqs_checked
+  in
+  if r.violations = [] then Format.fprintf fmt "validator OK: %a" counters r
+  else if ok r then begin
+    Format.fprintf fmt "validator OK (%d budget bail-out(s)): %a@,"
+      (List.length r.violations) counters r;
+    List.iter (fun v -> Format.fprintf fmt "  %a@," pp_violation v) r.violations
+  end
+  else begin
+    Format.fprintf fmt "validator FAILED: %d violation(s) over %a@," (List.length r.violations)
+      counters r;
+    List.iter (fun v -> Format.fprintf fmt "  %a@," pp_violation v) r.violations
+  end
+
+(* --- symbolic values over a hash-consed term context ------------------- *)
+
+(* A byte of a symbolic 64-bit value. *)
+type byte =
+  | Cb of int (* concrete byte, 0..255 *)
+  | Tb of int * int (* byte [k] of term [t] *)
+  | Mb of int (* interned memory-byte symbol (a [N_membyte] term) *)
+  | Sx of byte (* the sign-fill byte of [b]: 0x00 or 0xFF by its top bit *)
+
+(* A symbolic 64-bit value: a constant, or term [t] plus constant [o]
+   (the affine form every address computation folds into). Byte-granular
+   results are [Sum] over an interned [N_bytes] term, so equal abstract
+   values always share one representation. *)
+type value = Const of int64 | Sum of int * int64
+
+(* Term nodes, hash-consed so structural equality is id equality. *)
+type node =
+  | N_init of int (* initial content of host register [r] at block entry *)
+  | N_op of H.oper * value * value (* an operate instruction left opaque *)
+  | N_bytes of byte array (* a byte vector used as a 64-bit quantity *)
+  | N_membyte of (int option * int) * string
+      (* a memory byte: its (root, offset) key plus, for reads that are
+         ambiguous against the current store, a digest of the store *)
+
+type ctx = { mutable nodes : node array; mutable count : int; ids : (node, int) Hashtbl.t }
+
+let create_ctx () = { nodes = Array.make 256 (N_init 0); count = 0; ids = Hashtbl.create 256 }
+
+let intern ctx n =
+  match Hashtbl.find_opt ctx.ids n with
+  | Some i -> i
+  | None ->
+    if ctx.count = Array.length ctx.nodes then begin
+      let a = Array.make (2 * ctx.count) (N_init 0) in
+      Array.blit ctx.nodes 0 a 0 ctx.count;
+      ctx.nodes <- a
+    end;
+    let i = ctx.count in
+    ctx.nodes.(i) <- n;
+    ctx.count <- i + 1;
+    Hashtbl.replace ctx.ids n i;
+    i
+
+let node ctx t = ctx.nodes.(t)
+
+(* Sign-fill byte, normalized at construction: the fill of a concrete
+   byte is concrete, and the fill of a fill is itself. *)
+let mk_sx = function
+  | Cb c -> Cb (if c land 0x80 <> 0 then 0xFF else 0)
+  | Sx _ as s -> s
+  | b -> Sx b
+
+let bytes_of_const c =
+  Array.init 8 (fun k -> Cb (Int64.to_int (Int64.logand (Int64.shift_right_logical c (8 * k)) 0xFFL)))
+
+let const_of_bytes arr =
+  let v = ref 0L in
+  Array.iteri
+    (fun k b ->
+      match b with
+      | Cb c -> v := Int64.logor !v (Int64.shift_left (Int64.of_int c) (8 * k))
+      | _ -> assert false)
+    arr;
+  !v
+
+(* The canonical byte vector of a term: [N_bytes] roots keep their own
+   bytes, anything else is referenced bytewise. *)
+let term_bytes ctx t =
+  match node ctx t with N_bytes arr -> arr | _ -> Array.init 8 (fun k -> Tb (t, k))
+
+(* A term standing for a whole (non-constant) value. *)
+let value_term ctx v =
+  match v with
+  | Sum (t, 0L) -> t
+  | Sum (t, o) -> intern ctx (N_op (H.Addq, Sum (t, 0L), Const o))
+  | Const _ -> invalid_arg "Validator.value_term: constant"
+
+let value_bytes ctx v =
+  match v with
+  | Const c -> bytes_of_const c
+  | Sum (t, 0L) -> term_bytes ctx t
+  | Sum _ -> term_bytes ctx (value_term ctx v)
+
+(* Rebuild a value from bytes, collapsing the concrete and whole-term
+   cases so both evaluators converge on one representation. *)
+let mk_bytes ctx arr =
+  if Array.for_all (function Cb _ -> true | _ -> false) arr then Const (const_of_bytes arr)
+  else
+    match arr.(0) with
+    | Tb (t, 0)
+      when (match node ctx t with N_bytes _ -> false | _ -> true)
+           && (let all = ref true in
+               Array.iteri (fun k b -> if b <> Tb (t, k) then all := false) arr;
+               !all) -> Sum (t, 0L)
+    | _ ->
+      (* canonical: every other byte vector becomes an interned term,
+         so equal abstract values always share one representation *)
+      Sum (intern ctx (N_bytes arr), 0L)
+
+let add_off64 _ctx v c =
+  if Int64.equal c 0L then v
+  else
+    match v with
+    | Const x -> Const (Int64.add x c)
+    | Sum (t, o) -> Sum (t, Int64.add o c)
+
+let add_off ctx v (c : int) = add_off64 ctx v (Int64.of_int c)
+
+(* --- residues and case splitting --------------------------------------- *)
+
+(* Raised when a walk needs the low three bits of an address root that
+   the current residue environment does not pin; the driver forks the
+   whole comparison eight ways on that root. *)
+exception Split of int
+
+(* Raised when a path cannot be evaluated further (wild fetch, an
+   instruction shape the translator never emits, a corrupted chain). *)
+exception Stuck of int * string
+
+(* Raised when a block exceeds the evaluation budget. *)
+exception Budget of string
+
+type env = (int, int) Hashtbl.t (* term id -> residue 0..7 *)
+
+let rec residue_term ctx env t =
+  match Hashtbl.find_opt env t with
+  | Some r -> Some r
+  | None -> begin
+    match node ctx t with
+    | N_op (H.Addq, x, y) -> begin
+      match (residue_val ctx env x, residue_val ctx env y) with
+      | Some a, Some b -> Some ((a + b) land 7)
+      | _ -> None
+    end
+    | N_op (H.Sll, x, Const k) when Int64.compare k 0L >= 0 && Int64.compare k 64L < 0 ->
+      begin
+        match residue_val ctx env x with
+        | Some r -> Some ((r lsl Int64.to_int k) land 7)
+        | None -> None
+      end
+    | N_bytes arr -> ( match arr.(0) with Cb c -> Some (c land 7) | _ -> None)
+    | _ -> None
+  end
+
+and residue_val ctx env v =
+  match v with
+  | Const c -> Some (Int64.to_int (Int64.logand c 7L))
+  | Sum (t, o) -> begin
+    match residue_term ctx env t with
+    | Some r -> Some ((r + Int64.to_int (Int64.logand o 7L)) land 7)
+    | None -> None
+  end
+
+let split_root _ctx v =
+  match v with
+  | Sum (t, _) -> t
+  | Const _ -> invalid_arg "Validator.split_root: constant residue is always known"
+
+let residue_or_split ctx env v =
+  match residue_val ctx env v with Some r -> r | None -> raise (Split (split_root ctx v))
+
+(* --- symbolic operate / byte-manipulation semantics -------------------- *)
+
+let sext_bytes ctx ~width v =
+  match v with
+  | Const c -> Const (Bits.sign_extend ~size:width c)
+  | _ ->
+    let b = value_bytes ctx v in
+    let fill = mk_sx b.(width - 1) in
+    mk_bytes ctx (Array.init 8 (fun k -> if k < width then b.(k) else fill))
+
+let opaque ctx op a b = Sum (intern ctx (N_op (op, a, b)), 0L)
+
+(* OR of two byte vectors when every position is concrete-zero on at
+   least one side (the EXT-low/EXT-high and INS/MSK merge shapes). *)
+let bis_bytes ctx a b =
+  let xa = value_bytes ctx a and xb = value_bytes ctx b in
+  let out = Array.make 8 (Cb 0) in
+  let exception Opaque in
+  try
+    for k = 0 to 7 do
+      out.(k) <-
+        (match (xa.(k), xb.(k)) with
+        | Cb 0, y -> y
+        | x, Cb 0 -> x
+        | Cb p, Cb q -> Cb (p lor q)
+        | _ -> raise Opaque)
+    done;
+    Some (mk_bytes ctx out)
+  with Opaque -> None
+
+let eval_oper ctx env (op : H.oper) a b =
+  match (a, b) with
+  | Const x, Const y -> Const (Sem.oper op x y)
+  | _ -> begin
+    match op with
+    | H.Addq -> begin
+      match (a, b) with
+      | Const c, v | v, Const c -> add_off64 ctx v c
+      | _ -> opaque ctx op a b
+    end
+    | H.Subq ->
+      if a = b then Const 0L
+      else begin
+        match b with Const c -> add_off64 ctx a (Int64.neg c) | _ -> opaque ctx op a b
+      end
+    | H.Addl -> begin
+      match (a, b) with
+      | Const 0L, v | v, Const 0L -> sext_bytes ctx ~width:4 v
+      | _ -> opaque ctx op a b
+    end
+    | H.Bis -> begin
+      match (a, b) with
+      | Const 0L, v | v, Const 0L -> v
+      | _ ->
+        let is_byte_vec = function
+          | Sum (t, 0L) -> ( match node ctx t with N_bytes _ -> true | _ -> false)
+          | _ -> false
+        in
+        if is_byte_vec a || is_byte_vec b then
+          match bis_bytes ctx a b with Some v -> v | None -> opaque ctx op a b
+        else opaque ctx op a b
+    end
+    | H.And -> begin
+      match (a, b) with
+      | Const 0L, _ | _, Const 0L -> Const 0L
+      | v, Const m when Int64.equal m 1L || Int64.equal m 3L || Int64.equal m 7L ->
+        (* an alignment mask: the guard of a multi-version site. Needs
+           the address residue — fork on it if unknown. *)
+        let r = residue_or_split ctx env v in
+        Const (Int64.logand (Int64.of_int r) m)
+      | _ -> opaque ctx op a b
+    end
+    | H.Xor -> if a = b then Const 0L else opaque ctx op a b
+    | H.Sextb -> sext_bytes ctx ~width:1 b (* Sextb/Sextw act on operand b *)
+    | H.Sextw -> sext_bytes ctx ~width:2 b
+    | _ -> opaque ctx op a b
+  end
+
+(* Byte shuffles for EXT/INS/MSK: with the field offset [o] pinned (by a
+   constant or a residue case), each is a pure rearrangement of the
+   operand's bytes — mirroring {!Mda_host.Semantics} byte for byte. *)
+let eval_bytem ctx env (op : H.bytemanip) ~width ~high a b =
+  match (a, b) with
+  | Const x, Const y -> Const (Sem.bytemanip op ~width ~high x y)
+  | _ ->
+    let o = match b with Const c -> Int64.to_int (Int64.logand c 7L) | _ -> residue_or_split ctx env b in
+    let arr = value_bytes ctx a in
+    let out =
+      match (op, high) with
+      | H.Ext, false ->
+        Array.init 8 (fun k -> if k < width && k + o <= 7 then arr.(k + o) else Cb 0)
+      | H.Ext, true ->
+        if o = 0 then Array.make 8 (Cb 0)
+        else Array.init 8 (fun k -> if k < width && k >= 8 - o then arr.(k - 8 + o) else Cb 0)
+      | H.Ins, false ->
+        Array.init 8 (fun k -> if k >= o && k - o < width then arr.(k - o) else Cb 0)
+      | H.Ins, true ->
+        if o = 0 then Array.make 8 (Cb 0)
+        else Array.init 8 (fun k -> if k < o && k + 8 - o < width then arr.(k + 8 - o) else Cb 0)
+      | H.Msk, false ->
+        Array.init 8 (fun k -> if k >= o && k < o + width && k < 8 then Cb 0 else arr.(k))
+      | H.Msk, true ->
+        let spill = o + width - 8 in
+        if spill <= 0 then arr else Array.init 8 (fun k -> if k < spill then Cb 0 else arr.(k))
+    in
+    if out == arr then a else mk_bytes ctx out
+
+(* --- byte-granular symbolic memory ------------------------------------- *)
+
+(* A memory location: an address root term (or [None] for absolute
+   addresses) plus a concrete byte offset. Same root, different offset
+   is provably disjoint; different roots are treated as may-alias. *)
+type key = int option * int
+
+(* Newest-first write list. Kept functional so path forks share
+   history for free. *)
+type mem = (key * byte) list
+
+let addr_key _ctx v : key =
+  match v with
+  | Const c -> (None, Int64.to_int c)
+  | Sum (t, o) -> (Some t, Int64.to_int o)
+
+(* Canonical last-write-per-location map, oldest write first. The basis
+   for final-state comparison and for the ambiguity digests. *)
+let canonical_mem (m : mem) =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (k, b) -> if not (Hashtbl.mem tbl k) then Hashtbl.replace tbl k b) m;
+  let l = Hashtbl.fold (fun k b acc -> (k, b) :: acc) tbl [] in
+  List.sort compare l
+
+(* The part of the store that can affect a read of [key]: same-key
+   writes plus writes under a *different* root (which may alias).
+   Same-root writes at other offsets are provably disjoint, so they are
+   excluded — a write-back of a byte read earlier must still count as a
+   no-op after its own sequence touched neighbouring offsets. *)
+(* [No_sharing] matters: the default serialization encodes physical
+   sharing, so two structurally equal stores built by different write
+   sequences would digest differently. *)
+let visible_digest (m : mem) (key : key) =
+  let vis = List.filter (fun (k, _) -> fst k <> fst key || k = key) m in
+  Digest.string (Marshal.to_string (canonical_mem vis) [ Marshal.No_sharing ])
+
+(* Read one byte. A hit on the same key returns the written byte; a
+   write under the same root at another offset is disjoint and skipped;
+   a write under a different root may alias, so the read returns a
+   fresh symbol keyed on the location and the store visible to it — two
+   stores with the same visible content answer ambiguous reads
+   identically, which keeps the model sound for equivalence checking. *)
+let read_byte ctx (m : mem) (key : key) =
+  let rec scan = function
+    | [] -> Mb (intern ctx (N_membyte (key, "")))
+    | ((root, off), b) :: rest ->
+      if (root, off) = key then b
+      else if root = fst key then scan rest
+      else Mb (intern ctx (N_membyte (key, visible_digest m key)))
+  in
+  scan m
+
+(* Write one byte, dropping writes that provably leave the location
+   unchanged — this is what makes the MDA store idiom (read both
+   quads, merge, write both back) equal to the plain aligned store. *)
+let write_byte ctx (m : mem) (key : key) b : mem =
+  if read_byte ctx m key = b then m else (key, b) :: m
+
+let read_bytes ctx m (root, off) n = Array.init n (fun j -> read_byte ctx m (root, off + j))
+
+let write_value ctx m (root, off) n v =
+  let arr = value_bytes ctx v in
+  let mm = ref m in
+  for j = 0 to n - 1 do
+    mm := write_byte ctx !mm (root, off + j) arr.(j)
+  done;
+  !mm
+
+(* Load-result construction shared by both evaluators: the host's
+   aligned loads and the guest's byte-granular reads must meet here. *)
+let load_value ctx bytes ~width ~signed =
+  let ext fill = mk_bytes ctx (Array.init 8 (fun k -> if k < width then bytes.(k) else fill)) in
+  if width = 8 then mk_bytes ctx bytes
+  else if signed then
+    let v = ext (Cb 0) in
+    sext_bytes ctx ~width v
+  else ext (Cb 0)
+
+(* --- path facts -------------------------------------------------------- *)
+
+type pred = Pz | Pnz | Pneg | Pnneg | Ppos | Pnpos
+
+type fact = value * pred
+
+let taken_pred : H.bcond -> pred = function
+  | H.Beq -> Pz
+  | H.Bne -> Pnz
+  | H.Blt -> Pneg
+  | H.Bge -> Pnneg
+  | H.Bgt -> Ppos
+  | H.Ble -> Pnpos
+
+let negate_pred = function
+  | Pz -> Pnz
+  | Pnz -> Pz
+  | Pneg -> Pnneg
+  | Pnneg -> Pneg
+  | Ppos -> Pnpos
+  | Pnpos -> Ppos
+
+let preds_contradict p q =
+  match (p, q) with
+  | Pz, (Pnz | Pneg | Ppos) | (Pnz | Pneg | Ppos), Pz -> true
+  | Pneg, (Pnneg | Ppos) | (Pnneg | Ppos), Pneg -> true
+  | Ppos, Pnpos | Pnpos, Ppos -> true
+  | _ -> false
+
+let facts_contradict (v1, p1) (v2, p2) = v1 = v2 && preds_contradict p1 p2
+
+let compatible fs gs =
+  not (List.exists (fun f -> List.exists (facts_contradict f) gs) fs)
+
+let bcond_holds (c : H.bcond) x =
+  match c with
+  | H.Beq -> Int64.equal x 0L
+  | H.Bne -> not (Int64.equal x 0L)
+  | H.Blt -> Int64.compare x 0L < 0
+  | H.Ble -> Int64.compare x 0L <= 0
+  | H.Bgt -> Int64.compare x 0L > 0
+  | H.Bge -> Int64.compare x 0L >= 0
+
+(* --- evaluation budgets ------------------------------------------------ *)
+
+let max_path_fuel = 20_000
+
+let max_paths = 256
+
+let max_split_depth = 5
+
+let max_envs = 1024
+
+(* --- common path result ------------------------------------------------ *)
+
+type exit_state = X_next of int | X_dyn of value | X_halt
+
+type path = {
+  p_facts : fact list;
+  p_regs : value array; (* guest-visible: indices 0..7 and 10..12 used *)
+  p_mem : mem;
+  p_traps : (int * bool) list; (* (host pc, certainly misaligned) *)
+  p_exit : exit_state;
+}
+
+(* --- host symbolic evaluator ------------------------------------------- *)
+
+type hctx = {
+  ctx : ctx;
+  env : env;
+  cache : Cc.t;
+  chains : (int, int * int) Hashtbl.t; (* slot pc -> (required entry, guest start) *)
+  add_clobber : int -> int -> unit; (* pc -> reg *)
+}
+
+let fresh_regs ctx = Array.init 32 (fun i -> Sum (intern ctx (N_init i), 0L))
+
+let operand_value regs = function
+  | H.Rb r -> if r = 31 then Const 0L else regs.(r)
+  | H.Lit v -> Const (Int64.of_int v)
+
+let reg_value regs r = if r = 31 then Const 0L else regs.(r)
+
+(* Runs host code from [entry], returning every feasible path. *)
+let run_host (h : hctx) ~entry =
+  let paths = ref [] in
+  let n_paths = ref 0 in
+  let rec step pc regs (m : mem) facts traps fuel =
+    if fuel <= 0 then raise (Budget "path fuel exhausted");
+    let finish ex =
+      incr n_paths;
+      if !n_paths > max_paths then raise (Budget "too many host paths");
+      paths := { p_facts = facts; p_regs = regs; p_mem = m; p_traps = traps; p_exit = ex } :: !paths
+    in
+    let set r v =
+      if r = 31 then regs
+      else begin
+        if H.is_reserved_reg r then h.add_clobber pc r;
+        let a = Array.copy regs in
+        a.(r) <- v;
+        a
+      end
+    in
+    let insn =
+      match Cc.insn_at h.cache pc with
+      | Some i -> i
+      | None -> raise (Stuck (pc, "fetch outside the code store"))
+    in
+    let aligned_access ~kind:_ ~width ~ra ~rb ~disp k =
+      let ea = add_off h.ctx (reg_value regs rb) disp in
+      let traps =
+        if width = 1 then traps
+        else begin
+          match residue_val h.ctx h.env ea with
+          | Some r when r land (width - 1) = 0 -> traps
+          | Some _ -> (pc, true) :: traps
+          | None -> (pc, false) :: traps
+        end
+      in
+      let key = addr_key h.ctx ea in
+      k key traps ra
+    in
+    match insn with
+    | H.Nop -> step (pc + 1) regs m facts traps (fuel - 1)
+    | H.Lda { ra; rb; disp } ->
+      step (pc + 1) (set ra (add_off h.ctx (reg_value regs rb) disp)) m facts traps (fuel - 1)
+    | H.Ldah { ra; rb; disp } ->
+      step (pc + 1) (set ra (add_off h.ctx (reg_value regs rb) (disp * 65536))) m facts traps (fuel - 1)
+    | H.Ldbu { ra; rb; disp } ->
+      aligned_access ~kind:`Load ~width:1 ~ra ~rb ~disp (fun key traps ra ->
+          let v = load_value h.ctx (read_bytes h.ctx m key 8) ~width:1 ~signed:false in
+          step (pc + 1) (set ra v) m facts traps (fuel - 1))
+    | H.Ldwu { ra; rb; disp } ->
+      aligned_access ~kind:`Load ~width:2 ~ra ~rb ~disp (fun key traps ra ->
+          let v = load_value h.ctx (read_bytes h.ctx m key 8) ~width:2 ~signed:false in
+          step (pc + 1) (set ra v) m facts traps (fuel - 1))
+    | H.Ldl { ra; rb; disp } ->
+      aligned_access ~kind:`Load ~width:4 ~ra ~rb ~disp (fun key traps ra ->
+          let v = load_value h.ctx (read_bytes h.ctx m key 8) ~width:4 ~signed:true in
+          step (pc + 1) (set ra v) m facts traps (fuel - 1))
+    | H.Ldq { ra; rb; disp } ->
+      aligned_access ~kind:`Load ~width:8 ~ra ~rb ~disp (fun key traps ra ->
+          let v = load_value h.ctx (read_bytes h.ctx m key 8) ~width:8 ~signed:false in
+          step (pc + 1) (set ra v) m facts traps (fuel - 1))
+    | H.Ldq_u { ra; rb; disp } ->
+      let ea = add_off h.ctx (reg_value regs rb) disp in
+      let r = residue_or_split h.ctx h.env ea in
+      let root, off = addr_key h.ctx ea in
+      let v = mk_bytes h.ctx (read_bytes h.ctx m (root, off - r) 8) in
+      step (pc + 1) (set ra v) m facts traps (fuel - 1)
+    | H.Stb { ra; rb; disp } ->
+      aligned_access ~kind:`Store ~width:1 ~ra ~rb ~disp (fun key traps ra ->
+          step (pc + 1) regs (write_value h.ctx m key 1 (reg_value regs ra)) facts traps (fuel - 1))
+    | H.Stw { ra; rb; disp } ->
+      aligned_access ~kind:`Store ~width:2 ~ra ~rb ~disp (fun key traps ra ->
+          step (pc + 1) regs (write_value h.ctx m key 2 (reg_value regs ra)) facts traps (fuel - 1))
+    | H.Stl { ra; rb; disp } ->
+      aligned_access ~kind:`Store ~width:4 ~ra ~rb ~disp (fun key traps ra ->
+          step (pc + 1) regs (write_value h.ctx m key 4 (reg_value regs ra)) facts traps (fuel - 1))
+    | H.Stq { ra; rb; disp } ->
+      aligned_access ~kind:`Store ~width:8 ~ra ~rb ~disp (fun key traps ra ->
+          step (pc + 1) regs (write_value h.ctx m key 8 (reg_value regs ra)) facts traps (fuel - 1))
+    | H.Stq_u { ra; rb; disp } ->
+      let ea = add_off h.ctx (reg_value regs rb) disp in
+      let r = residue_or_split h.ctx h.env ea in
+      let root, off = addr_key h.ctx ea in
+      step (pc + 1) regs
+        (write_value h.ctx m (root, off - r) 8 (reg_value regs ra))
+        facts traps (fuel - 1)
+    | H.Opr { op; ra; rb; rc } ->
+      let v = eval_oper h.ctx h.env op (reg_value regs ra) (operand_value regs rb) in
+      step (pc + 1) (set rc v) m facts traps (fuel - 1)
+    | H.Bytem { op; width; high; ra; rb; rc } ->
+      let v = eval_bytem h.ctx h.env op ~width ~high (reg_value regs ra) (operand_value regs rb) in
+      step (pc + 1) (set rc v) m facts traps (fuel - 1)
+    | H.Br { ra; target } -> begin
+      match Hashtbl.find_opt h.chains pc with
+      | Some (required_entry, guest_start) ->
+        if target = required_entry && ra = 31 then finish (X_next guest_start)
+        else raise (Stuck (pc, "chained slot does not branch to its target's entry"))
+      | None ->
+        let regs = set ra (Const (Int64.of_int (pc + 1))) in
+        step target regs m facts traps (fuel - 1)
+    end
+    | H.Bcond { cond; ra; target } -> begin
+      match reg_value regs ra with
+      | Const c ->
+        if bcond_holds cond c then step target regs m facts traps (fuel - 1)
+        else step (pc + 1) regs m facts traps (fuel - 1)
+      | v ->
+        let t_fact = (v, taken_pred cond) in
+        let n_fact = (v, negate_pred (taken_pred cond)) in
+        if compatible [ t_fact ] facts then step target regs m (t_fact :: facts) traps (fuel - 1);
+        if compatible [ n_fact ] facts then step (pc + 1) regs m (n_fact :: facts) traps (fuel - 1)
+    end
+    | H.Jmp _ -> raise (Stuck (pc, "indirect jump: not a translator shape"))
+    | H.Monitor (H.Next_guest g) -> finish (X_next g)
+    | H.Monitor (H.Dyn_guest r) -> finish (X_dyn (reg_value regs r))
+    | H.Monitor H.Prog_halt -> finish X_halt
+  in
+  step entry (fresh_regs h.ctx) [] [] [] max_path_fuel;
+  List.rev !paths
+
+(* --- guest symbolic evaluator ------------------------------------------ *)
+
+(* Evaluates the guest block against the translator's register/flag
+   conventions and byte-granular memory, producing the reference
+   guest-visible state the host code must reproduce. It shares the term
+   context (so equal computations get equal representations) but never
+   looks at the host code, the policy, or the patches. *)
+
+type gstate = {
+  g_regs : value array; (* 8 guest registers *)
+  g_fla : value; (* last Cmp/Test operand a (host R10) *)
+  g_flb : value; (* last Cmp/Test operand b (host R11) *)
+  g_fld : value; (* last Cmp/Test difference (host R12) *)
+  g_mem : mem;
+  g_facts : fact list;
+}
+
+let run_guest ctx env (block : Bt.Block.t) =
+  let paths = ref [] in
+  let finish st ex =
+    let regs = Array.make 32 (Const 0L) in
+    Array.blit st.g_regs 0 regs 0 8;
+    regs.(H.cmp_a) <- st.g_fla;
+    regs.(H.cmp_b) <- st.g_flb;
+    regs.(H.cmp_diff) <- st.g_fld;
+    paths :=
+      { p_facts = st.g_facts; p_regs = regs; p_mem = st.g_mem; p_traps = []; p_exit = ex }
+      :: !paths
+  in
+  let reg st r = st.g_regs.(G.reg_index r) in
+  let set st r v =
+    let a = Array.copy st.g_regs in
+    a.(G.reg_index r) <- v;
+    { st with g_regs = a }
+  in
+  let operand st = function
+    | G.Reg r -> reg st r
+    | G.Imm i -> Const (Int64.of_int (Int32.to_int i))
+  in
+  (* the effective-address computation, phrased exactly as the
+     translator's [eff] emits it so both sides fold identically *)
+  let ea_value st ({ base; index; disp } : G.addr) =
+    let base_val =
+      match (base, index) with
+      | None, None -> Const 0L
+      | Some r, None -> reg st r
+      | base, Some (ir, scale) ->
+        let idx = reg st ir in
+        let shifted =
+          if scale = 1 then idx
+          else
+            let log2 = match scale with 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false in
+            eval_oper ctx env H.Sll idx (Const (Int64.of_int log2))
+        in
+        (match base with
+        | None -> shifted
+        | Some br -> eval_oper ctx env H.Addq (reg st br) shifted)
+    in
+    add_off ctx base_val disp
+  in
+  let load st addr ~width ~signed =
+    let ea = ea_value st addr in
+    let bytes = read_bytes ctx st.g_mem (addr_key ctx ea) 8 in
+    load_value ctx bytes ~width ~signed
+  in
+  let store st addr ~width v =
+    let ea = ea_value st addr in
+    { st with g_mem = write_value ctx st.g_mem (addr_key ctx ea) width v }
+  in
+  let sext32 v = eval_oper ctx env H.Addl (Const 0L) v in
+  let zext32 v = eval_bytem ctx env H.Ext ~width:4 ~high:false v (Const 0L) in
+  let esp_addr : G.addr = { base = Some G.ESP; index = None; disp = 0 } in
+  let rec step st i =
+    if i >= Array.length block.Bt.Block.insns then
+      (* discovery guarantees a control-flow terminator *)
+      raise (Stuck (block.Bt.Block.start, "guest block has no terminator"))
+    else
+      match block.Bt.Block.insns.(i) with
+      | G.Nop -> step st (i + 1)
+      | G.Load { dst; src; size; signed } ->
+        let width = G.size_bytes size in
+        let signed = match size with G.S4 -> true | G.S8 -> false | _ -> signed in
+        step (set st dst (load st src ~width ~signed)) (i + 1)
+      | G.Store { src; dst; size } ->
+        step (store st dst ~width:(G.size_bytes size) (reg st src)) (i + 1)
+      | G.Mov_imm { dst; imm } ->
+        step (set st dst (Const (Int64.of_int (Int32.to_int imm)))) (i + 1)
+      | G.Mov_reg { dst; src } -> step (set st dst (reg st src)) (i + 1)
+      | G.Binop { op; dst; src } -> begin
+        let d = reg st dst in
+        let next v = step (set st dst v) (i + 1) in
+        match op with
+        | G.Add -> next (eval_oper ctx env H.Addl d (operand st src))
+        | G.Sub -> next (eval_oper ctx env H.Subl d (operand st src))
+        | G.And -> next (eval_oper ctx env H.And d (operand st src))
+        | G.Or -> next (eval_oper ctx env H.Bis d (operand st src))
+        | G.Xor -> next (eval_oper ctx env H.Xor d (operand st src))
+        | G.Imul -> next (sext32 (eval_oper ctx env H.Mulq d (operand st src)))
+        | G.Shl | G.Shr | G.Sar ->
+          let amount =
+            match src with
+            | G.Imm v -> Const (Int64.of_int (Int32.to_int v land 31))
+            | G.Reg sr -> eval_oper ctx env H.And (reg st sr) (Const 31L)
+          in
+          (match op with
+          | G.Shl -> next (sext32 (eval_oper ctx env H.Sll d amount))
+          | G.Shr -> next (sext32 (eval_oper ctx env H.Srl (zext32 d) amount))
+          | G.Sar -> next (sext32 (eval_oper ctx env H.Sra d amount))
+          | _ -> assert false)
+      end
+      | G.Cmp { a; b } ->
+        let va = reg st a and vb = operand st b in
+        let st =
+          { st with g_fla = va; g_flb = vb; g_fld = eval_oper ctx env H.Subq va vb }
+        in
+        step st (i + 1)
+      | G.Test { a; b } ->
+        let v = eval_oper ctx env H.And (reg st a) (operand st b) in
+        step { st with g_fla = v; g_flb = Const 0L; g_fld = v } (i + 1)
+      | G.Lea { dst; src } -> step (set st dst (sext32 (ea_value st src))) (i + 1)
+      | G.Rmw { op; dst; src; size } ->
+        let width = G.size_bytes size in
+        let x = load st dst ~width ~signed:(size = G.S4) in
+        let host_op : H.oper =
+          match op with
+          | G.Add -> H.Addl
+          | G.Sub -> H.Subl
+          | G.And -> H.And
+          | G.Or -> H.Bis
+          | G.Xor -> H.Xor
+          | _ -> raise (Stuck (block.Bt.Block.addrs.(i), "illegal RMW operation"))
+        in
+        let x = eval_oper ctx env host_op x (operand st src) in
+        step (store st dst ~width x) (i + 1)
+      | G.Push src ->
+        let v = reg st src in
+        let st = set st G.ESP (add_off ctx (reg st G.ESP) (-4)) in
+        step (store st esp_addr ~width:4 v) (i + 1)
+      | G.Pop dst ->
+        let v = load st esp_addr ~width:4 ~signed:true in
+        let st = set st dst v in
+        step (set st G.ESP (add_off ctx (reg st G.ESP) 4)) (i + 1)
+      | G.Jmp t -> finish st (X_next t)
+      | G.Jcc { cond; target } ->
+        let fallthrough = Bt.Block.addr_after block i in
+        branch st cond ~target ~fallthrough
+      | G.Call t ->
+        let ret = Const (Int64.of_int (Bt.Block.addr_after block i)) in
+        let st = set st G.ESP (add_off ctx (reg st G.ESP) (-4)) in
+        let st = store st esp_addr ~width:4 ret in
+        finish st (X_next t)
+      | G.Ret ->
+        let v = load st esp_addr ~width:4 ~signed:true in
+        let st = set st G.ESP (add_off ctx (reg st G.ESP) 4) in
+        finish st (X_dyn v)
+      | G.Halt -> finish st X_halt
+  and branch st (c : G.cond) ~target ~fallthrough =
+    (* the branch test, phrased exactly as [Translate.cond_branch]
+       computes it over the flag registers *)
+    let test =
+      match c with
+      | G.Eq | G.Ne -> st.g_fld
+      | G.Lt -> eval_oper ctx env H.Cmplt st.g_fla st.g_flb
+      | G.Ge -> eval_oper ctx env H.Cmplt st.g_fla st.g_flb
+      | G.Le -> eval_oper ctx env H.Cmple st.g_fla st.g_flb
+      | G.Gt -> eval_oper ctx env H.Cmple st.g_fla st.g_flb
+      | G.Ult -> eval_oper ctx env H.Cmpult (zext32 st.g_fla) (zext32 st.g_flb)
+      | G.Ule -> eval_oper ctx env H.Cmpule (zext32 st.g_fla) (zext32 st.g_flb)
+    in
+    (* taken-iff: Eq/Ge/Gt when the test is zero, the rest when
+       non-zero (mirrors the Beq/Bne choice in [cond_branch]) *)
+    let taken_on_zero = match c with G.Eq | G.Ge | G.Gt -> true | _ -> false in
+    match test with
+    | Const x ->
+      let taken = if taken_on_zero then Int64.equal x 0L else not (Int64.equal x 0L) in
+      finish st (X_next (if taken then target else fallthrough))
+    | v ->
+      let t_pred = if taken_on_zero then Pz else Pnz in
+      let t_fact = (v, t_pred) and n_fact = (v, negate_pred t_pred) in
+      if compatible [ t_fact ] st.g_facts then
+        finish { st with g_facts = t_fact :: st.g_facts } (X_next target);
+      if compatible [ n_fact ] st.g_facts then
+        finish { st with g_facts = n_fact :: st.g_facts } (X_next fallthrough)
+  in
+  let init =
+    { g_regs = Array.init 8 (fun i -> Sum (intern ctx (N_init i), 0L));
+      g_fla = Sum (intern ctx (N_init H.cmp_a), 0L);
+      g_flb = Sum (intern ctx (N_init H.cmp_b), 0L);
+      g_fld = Sum (intern ctx (N_init H.cmp_diff), 0L);
+      g_mem = [];
+      g_facts = [] }
+  in
+  step init 0;
+  List.rev !paths
+
+(* --- state comparison -------------------------------------------------- *)
+
+let pp_value fmt (v : value) =
+  match v with
+  | Const c -> Format.fprintf fmt "%Ld" c
+  | Sum (t, o) -> Format.fprintf fmt "t%d%+Ld" t o
+
+let exit_eq a b =
+  match (a, b) with
+  | X_next x, X_next y -> x = y
+  | X_dyn x, X_dyn y -> x = y
+  | X_halt, X_halt -> true
+  | _ -> false
+
+let compare_paths ~(host : path) ~(guest : path) =
+  let diffs = ref [] in
+  for i = 0 to 7 do
+    if host.p_regs.(i) <> guest.p_regs.(i) then
+      diffs :=
+        Format.asprintf "guest register %s: host %a, guest %a"
+          (G.reg_name (G.reg_of_index i)) pp_value host.p_regs.(i) pp_value guest.p_regs.(i)
+        :: !diffs
+  done;
+  List.iter
+    (fun (r, what) ->
+      if host.p_regs.(r) <> guest.p_regs.(r) then
+        diffs :=
+          Format.asprintf "flag register %s (R%d): host %a, guest %a" what r pp_value
+            host.p_regs.(r) pp_value guest.p_regs.(r)
+          :: !diffs)
+    [ (H.cmp_a, "cmp-a"); (H.cmp_b, "cmp-b"); (H.cmp_diff, "cmp-diff") ];
+  let hm = canonical_mem host.p_mem and gm = canonical_mem guest.p_mem in
+  if hm <> gm then begin
+    let rec pp_byte fmt = function
+      | Cb c -> Format.fprintf fmt "%#x" c
+      | Tb (t, k) -> Format.fprintf fmt "t%d[%d]" t k
+      | Mb t -> Format.fprintf fmt "m%d" t
+      | Sx b -> Format.fprintf fmt "sx(%a)" pp_byte b
+    in
+    let pp_key fmt (root, off) =
+      match root with
+      | None -> Format.fprintf fmt "abs%+d" off
+      | Some t -> Format.fprintf fmt "t%d%+d" t off
+    in
+    let describe side m other =
+      List.filter_map
+        (fun (k, b) ->
+          if List.assoc_opt k other = Some b then None
+          else Some (Format.asprintf "%s %a=%a" side pp_key k pp_byte b))
+        m
+    in
+    diffs :=
+      Printf.sprintf "memory effects differ: %s"
+        (String.concat "; " (describe "host" hm gm @ describe "guest" gm hm))
+      :: !diffs
+  end;
+  if not (exit_eq host.p_exit guest.p_exit) then
+    diffs :=
+      (let pp fmt = function
+         | X_next g -> Format.fprintf fmt "next %#x" g
+         | X_dyn v -> Format.fprintf fmt "dyn %a" pp_value v
+         | X_halt -> Format.fprintf fmt "halt"
+       in
+       Format.asprintf "exit: host %a, guest %a" pp host.p_exit pp guest.p_exit)
+      :: !diffs;
+  List.rev !diffs
+
+(* --- per-block validation ---------------------------------------------- *)
+
+type acc = {
+  mutable a_violations : violation list;
+  mutable a_blocks : int;
+  mutable a_paths : int;
+  mutable a_envs : int;
+  mutable a_sites : int;
+  mutable a_seqs : int;
+}
+
+let add_violation acc v = acc.a_violations <- v :: acc.a_violations
+
+(* One residue case: evaluate both sides, match paths, compare states,
+   run the trap lint over the host paths. *)
+let check_env acc ctx cache chains (block : Bt.Block.t) ~entry env =
+  let bstart = block.Bt.Block.start in
+  let viol ?pc kind detail = add_violation acc { block_start = bstart; host_pc = pc; kind; detail } in
+  let h = { ctx; env; cache; chains; add_clobber = (fun pc r ->
+                viol ~pc "clobber" (Printf.sprintf "write to reserved register r%d" r)) }
+  in
+  let hpaths = run_host h ~entry in
+  let gpaths = run_guest ctx env block in
+  (* trap lint: a possibly-misaligned alignable access is legal only at
+     a registered patch site *)
+  List.iter
+    (fun (p : path) ->
+      List.iter
+        (fun (pc, certain) ->
+          if Cc.find_site cache pc = None then
+            viol ~pc "trap"
+              (Printf.sprintf "%s alignable access on an MDA path without a patch site"
+                 (if certain then "misaligned" else "possibly misaligned")))
+        p.p_traps)
+    hpaths;
+  (* path matching: every host path must correspond to exactly one
+     guest path, and every guest path must be reachable *)
+  List.iter
+    (fun (hp : path) ->
+      match List.filter (fun (gp : path) -> compatible hp.p_facts gp.p_facts) gpaths with
+      | [ gp ] ->
+        acc.a_paths <- acc.a_paths + 1;
+        List.iter (fun d -> viol "equivalence" d) (compare_paths ~host:hp ~guest:gp)
+      | [] -> viol "path-match" "host path matches no guest path"
+      | l ->
+        viol "path-match"
+          (Printf.sprintf "host path is compatible with %d guest paths (conditional exit not faithful)"
+             (List.length l)))
+    hpaths;
+  List.iter
+    (fun (gp : path) ->
+      if not (List.exists (fun (hp : path) -> compatible hp.p_facts gp.p_facts) hpaths) then
+        viol "path-match" "guest path unreachable in the host code")
+    gpaths
+
+(* Drive the residue case-splitting: run [f env]; every [Split t] forks
+   eight sub-cases with that root pinned. *)
+let with_residue_cases acc bstart f =
+  let queue = Queue.create () in
+  Queue.add (Hashtbl.create 4 : env) queue;
+  let envs = ref 0 in
+  let budget ?pc msg = add_violation acc { block_start = bstart; host_pc = pc; kind = "budget"; detail = msg } in
+  while not (Queue.is_empty queue) do
+    let env = Queue.pop queue in
+    incr envs;
+    if !envs > max_envs then begin
+      budget "residue case explosion";
+      Queue.clear queue
+    end
+    else
+      try f env with
+      | Split t ->
+        if Hashtbl.length env >= max_split_depth then
+          budget (Printf.sprintf "split depth exceeded at term %d" t)
+        else
+          for r = 0 to 7 do
+            let e = Hashtbl.copy env in
+            Hashtbl.replace e t r;
+            Queue.add e queue
+          done
+      | Budget msg -> budget msg
+      | Stuck (pc, msg) ->
+        add_violation acc { block_start = bstart; host_pc = Some pc; kind = "walk"; detail = msg }
+  done;
+  acc.a_envs <- acc.a_envs + !envs
+
+(* --- patch-site lints: resumability and sequence clobbers --------------- *)
+
+let insn_dest = function
+  | H.Ldbu { ra; _ } | H.Ldwu { ra; _ } | H.Ldl { ra; _ } | H.Ldq { ra; _ }
+  | H.Ldq_u { ra; _ } | H.Lda { ra; _ } | H.Ldah { ra; _ } -> Some ra
+  | H.Opr { rc; _ } | H.Bytem { rc; _ } -> Some rc
+  | H.Br { ra; _ } -> if ra = 31 then None else Some ra
+  | _ -> None
+
+let insn_reads = function
+  | H.Ldbu { rb; _ } | H.Ldwu { rb; _ } | H.Ldl { rb; _ } | H.Ldq { rb; _ }
+  | H.Ldq_u { rb; _ } | H.Lda { rb; _ } | H.Ldah { rb; _ } | H.Jmp { rb; _ } -> [ rb ]
+  | H.Stb { ra; rb; _ } | H.Stw { ra; rb; _ } | H.Stl { ra; rb; _ } | H.Stq { ra; rb; _ }
+  | H.Stq_u { ra; rb; _ } -> [ ra; rb ]
+  | H.Opr { ra; rb; _ } | H.Bytem { ra; rb; _ } ->
+    ra :: (match rb with H.Rb r -> [ r ] | H.Lit _ -> [])
+  | H.Bcond { ra; _ } -> [ ra ]
+  | H.Monitor (H.Dyn_guest r) -> [ r ]
+  | _ -> []
+
+(* Walk a patched-in out-of-line sequence from [start] to its
+   terminating [br r31, resume]; returns the body. *)
+let walk_seq cache ~start ~resume =
+  let rec go at n acc =
+    if n > 64 then None
+    else
+      match Cc.insn_at cache at with
+      | Some (H.Br { ra = 31; target }) when target = resume -> Some (List.rev acc)
+      | Some i -> go (at + 1) (n + 1) (i :: acc)
+      | None -> None
+  in
+  go start 0 []
+
+(* Static clobber scan of an MDA sequence body against the documented
+   clobber set, plus the base-liveness rule: once [base] is written
+   (the load-into-base case), it may not be read again. *)
+let lint_seq_clobbers acc bstart pc (op : Seq.mem_op) body =
+  let allowed = Seq.clobbers op in
+  let viol detail = add_violation acc { block_start = bstart; host_pc = Some pc; kind = "clobber"; detail } in
+  let base_written = ref false in
+  List.iter
+    (fun insn ->
+      if !base_written && List.mem op.base (insn_reads insn) then
+        viol "sequence reads its base register after overwriting it";
+      match insn_dest insn with
+      | Some r when r = 31 -> ()
+      | Some r ->
+        if not (List.mem r allowed) then
+          viol
+            (Printf.sprintf "sequence writes r%d, outside its documented clobber set" r);
+        if r = op.base then base_written := true
+      | None -> ())
+    body
+
+(* The straight-line evaluator behind the resumability lint: no control
+   flow, traps modelled as OS emulation (byte-granular semantics). *)
+let eval_linear ctx env insns =
+  let regs = ref (fresh_regs ctx) in
+  let m = ref ([] : mem) in
+  let set r v =
+    if r <> 31 then begin
+      let a = Array.copy !regs in
+      a.(r) <- v;
+      regs := a
+    end
+  in
+  let rv r = reg_value !regs r in
+  List.iteri
+    (fun i insn ->
+      let load ~width ~signed ra rb disp =
+        let ea = add_off ctx (rv rb) disp in
+        set ra (load_value ctx (read_bytes ctx !m (addr_key ctx ea) 8) ~width ~signed)
+      in
+      let store ~width ra rb disp =
+        let ea = add_off ctx (rv rb) disp in
+        m := write_value ctx !m (addr_key ctx ea) width (rv ra)
+      in
+      match insn with
+      | H.Nop -> ()
+      | H.Lda { ra; rb; disp } -> set ra (add_off ctx (rv rb) disp)
+      | H.Ldah { ra; rb; disp } -> set ra (add_off ctx (rv rb) (disp * 65536))
+      | H.Ldbu { ra; rb; disp } -> load ~width:1 ~signed:false ra rb disp
+      | H.Ldwu { ra; rb; disp } -> load ~width:2 ~signed:false ra rb disp
+      | H.Ldl { ra; rb; disp } -> load ~width:4 ~signed:true ra rb disp
+      | H.Ldq { ra; rb; disp } -> load ~width:8 ~signed:false ra rb disp
+      | H.Ldq_u { ra; rb; disp } ->
+        let ea = add_off ctx (rv rb) disp in
+        let r = residue_or_split ctx env ea in
+        let root, off = addr_key ctx ea in
+        set ra (mk_bytes ctx (read_bytes ctx !m (root, off - r) 8))
+      | H.Stb { ra; rb; disp } -> store ~width:1 ra rb disp
+      | H.Stw { ra; rb; disp } -> store ~width:2 ra rb disp
+      | H.Stl { ra; rb; disp } -> store ~width:4 ra rb disp
+      | H.Stq { ra; rb; disp } -> store ~width:8 ra rb disp
+      | H.Stq_u { ra; rb; disp } ->
+        let ea = add_off ctx (rv rb) disp in
+        let r = residue_or_split ctx env ea in
+        let root, off = addr_key ctx ea in
+        m := write_value ctx !m (root, off - r) 8 (rv ra)
+      | H.Opr { op; ra; rb; rc } -> set rc (eval_oper ctx env op (rv ra) (operand_value !regs rb))
+      | H.Bytem { op; width; high; ra; rb; rc } ->
+        set rc (eval_bytem ctx env op ~width ~high (rv ra) (operand_value !regs rb))
+      | H.Br _ | H.Bcond _ | H.Jmp _ | H.Monitor _ ->
+        raise (Stuck (i, "control flow inside a straight-line MDA sequence"))
+    )
+    insns;
+  (!regs, !m)
+
+let is_tmp r = Array.exists (fun x -> x = r) H.tmp_regs
+
+(* Resumability: the state at the resume pc must be the same whether
+   the slot holds the plain aligned access or an MDA sequence — the
+   one already patched in, or the one a future trap would patch in —
+   modulo the MDA temporaries, for every address residue. *)
+let check_site_resumable acc ctx cache pc (site : Cc.site) =
+  let op = site.op in
+  let bstart = site.block_start in
+  let viol detail = add_violation acc { block_start = bstart; host_pc = Some pc; kind = "resume"; detail } in
+  let aligned_insn : H.insn =
+    match (op.kind, op.width) with
+    | `Load, 2 -> H.Ldwu { ra = op.data; rb = op.base; disp = op.disp }
+    | `Load, 4 -> H.Ldl { ra = op.data; rb = op.base; disp = op.disp }
+    | `Load, 8 -> H.Ldq { ra = op.data; rb = op.base; disp = op.disp }
+    | `Store, 2 -> H.Stw { ra = op.data; rb = op.base; disp = op.disp }
+    | `Store, 4 -> H.Stl { ra = op.data; rb = op.base; disp = op.disp }
+    | `Store, 8 -> H.Stq { ra = op.data; rb = op.base; disp = op.disp }
+    | _ -> invalid_arg "Validator: width-1 accesses never carry a site"
+  in
+  (* the inline fixup that follows the slot; included in both variants
+     because the sequence performs its own sign-extension while the
+     aligned form relies on this very instruction *)
+  let fixup =
+    match (op.kind, op.width, op.signed) with
+    | `Load, 2, true -> [ H.Opr { op = H.Sextw; ra = H.r31; rb = H.Rb op.data; rc = op.data } ]
+    | _ -> []
+  in
+  let seq_body =
+    match Cc.insn_at cache pc with
+    | Some (H.Br { ra = 31; target }) -> begin
+      (* handler-patched: lint the actual out-of-line code *)
+      match walk_seq cache ~start:target ~resume:(pc + 1) with
+      | Some body ->
+        acc.a_seqs <- acc.a_seqs + 1;
+        lint_seq_clobbers acc bstart pc op body;
+        Some body
+      | None ->
+        viol "patched slot's sequence does not resume at the next instruction";
+        None
+    end
+    | Some _ ->
+      (* unpatched: prove the sequence a future trap would install *)
+      Some (Seq.emit op)
+    | None ->
+      viol "site pc outside the code store";
+      None
+  in
+  match seq_body with
+  | None -> ()
+  | Some body ->
+    acc.a_sites <- acc.a_sites + 1;
+    with_residue_cases acc bstart (fun env ->
+        let regs_a, mem_a = eval_linear ctx env ([ aligned_insn ] @ fixup) in
+        let regs_b, mem_b = eval_linear ctx env (body @ fixup) in
+        for r = 0 to 31 do
+          if (not (is_tmp r)) && regs_a.(r) <> regs_b.(r) then
+            viol
+              (Format.asprintf "r%d differs at the resume pc: aligned %a, sequence %a" r
+                 pp_value regs_a.(r) pp_value regs_b.(r))
+        done;
+        if canonical_mem mem_a <> canonical_mem mem_b then
+          viol "memory at the resume pc depends on which variant ran")
+
+(* --- public entry points ----------------------------------------------- *)
+
+let empty_acc () =
+  { a_violations = []; a_blocks = 0; a_paths = 0; a_envs = 0; a_sites = 0; a_seqs = 0 }
+
+let report_of acc =
+  { violations = List.rev acc.a_violations;
+    blocks_checked = acc.a_blocks;
+    paths_checked = acc.a_paths;
+    envs_checked = acc.a_envs;
+    sites_checked = acc.a_sites;
+    seqs_checked = acc.a_seqs }
+
+let chains_table cache =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun (at, entry, start) -> Hashtbl.replace tbl at (entry, start)) (Cc.chain_exits cache);
+  tbl
+
+let sites_of_block cache (brec : Cc.block_rec) =
+  match brec.host_range with
+  | None -> []
+  | Some (lo, hi) ->
+    let out = ref [] in
+    Hashtbl.iter
+      (fun pc site -> if pc >= lo && pc < hi then out := (pc, site) :: !out)
+      cache.Cc.sites;
+    List.sort compare !out
+
+let validate_block acc ctx cache chains (block : Bt.Block.t) (brec : Cc.block_rec) =
+  match brec.entry with
+  | None -> ()
+  | Some entry ->
+    acc.a_blocks <- acc.a_blocks + 1;
+    with_residue_cases acc block.Bt.Block.start (fun env ->
+        check_env acc ctx cache chains block ~entry env);
+    List.iter (fun (pc, site) -> check_site_resumable acc ctx cache pc site)
+      (sites_of_block cache brec)
+
+let check_block ~cache ~(block : Bt.Block.t) =
+  let acc = empty_acc () in
+  (match Cc.find_block cache block.Bt.Block.start with
+  | Some brec ->
+    let ctx = create_ctx () in
+    validate_block acc ctx cache (chains_table cache) block brec
+  | None -> ());
+  report_of acc
+
+let run ~cache ~block_of =
+  let acc = empty_acc () in
+  let chains = chains_table cache in
+  List.iter
+    (fun (brec : Cc.block_rec) ->
+      let ctx = create_ctx () in
+      match block_of brec.start with
+      | Some block -> validate_block acc ctx cache chains block brec
+      | None ->
+        add_violation acc
+          { block_start = brec.start;
+            host_pc = None;
+            kind = "walk";
+            detail = "guest block can no longer be decoded" })
+    (Cc.blocks_sorted cache);
+  report_of acc

@@ -1,0 +1,62 @@
+(** Translation validation: a symbolic evaluator for translated
+    (alphalite) host code and one for (x86lite) guest blocks, plus an
+    equivalence checker proving every translated block in a code cache
+    computes the same final guest-visible state — mapped registers
+    R0..R7, the lazy-flag convention registers R10..R12, byte-granular
+    memory effects, and the block exit — as the guest block it came
+    from, across every translation policy shape ([Normal],
+    [Seq_always], [Multi]) and handler-patched out-of-line sequence.
+
+    Three host-code lint passes ride on the same symbolic walk:
+    trap-freedom of every MDA path, scratch-register clobber discipline
+    (reserved registers never written; out-of-line sequences stay
+    within {!Mda_host.Mda_seq.clobbers}), and patch-slot resumability
+    (the symbolic state at each site's resume pc is the same whether
+    the slot holds the plain access or an MDA sequence).
+
+    Addresses of statically unknown alignment are handled by lazy
+    residue case-splitting: the comparison forks eight ways on an
+    address root's low three bits exactly when a walk needs them. *)
+
+type violation = {
+  block_start : int; (** guest address of the offending block *)
+  host_pc : int option;
+  kind : string;
+      (** ["equivalence"], ["path-match"], ["trap"], ["clobber"],
+          ["resume"], ["budget"] or ["walk"] *)
+  detail : string;
+}
+
+type report = {
+  violations : violation list;
+  blocks_checked : int;
+  paths_checked : int; (** host/guest path pairs compared *)
+  envs_checked : int; (** residue assignments explored *)
+  sites_checked : int; (** patch sites proven resumable *)
+  seqs_checked : int; (** out-of-line MDA sequences linted *)
+}
+
+(** The proven violations: everything except ["budget"] bail-outs,
+    which only say the block was too large to check exhaustively. *)
+val hard_violations : report -> violation list
+
+(** No proven violation ([hard_violations] is empty — budget bail-outs
+    are reported but do not fail the check). *)
+val ok : report -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Prints the [*_checked] counters in both the success and the failure
+    case, then each violation. *)
+val pp_report : Format.formatter -> report -> unit
+
+(** Validate one translated block (a no-op report if [block]'s start
+    has no live translation in [cache]). *)
+val check_block : cache:Mda_bt.Code_cache.t -> block:Mda_bt.Block.t -> report
+
+(** Validate every live block in the cache. [block_of start] re-decodes
+    the guest block at [start] (typically [Block.discover] against the
+    guest memory); returning [None] is itself reported as a
+    violation. *)
+val run :
+  cache:Mda_bt.Code_cache.t -> block_of:(int -> Mda_bt.Block.t option) -> report

@@ -139,3 +139,34 @@ let invalidate t b ~(repatch : int -> H.insn) =
 let iter_blocks t f = Hashtbl.iter (fun _ b -> f b) t.blocks
 
 let num_blocks t = Hashtbl.length t.blocks
+
+(* --- iteration hooks for cache-wide analyses --------------------------- *)
+
+(* Live (currently translated) blocks in deterministic guest-address
+   order, so cache-wide walks — the translation validator, the mutation
+   harness — report in a stable order independent of hashing. *)
+let blocks_sorted t =
+  let out = ref [] in
+  iter_blocks t (fun b -> if b.entry <> None then out := b :: !out);
+  List.sort (fun a b -> compare a.start b.start) !out
+
+(* Every recorded chain edge as (host pc of the Br slot, entry it must
+   branch to, guest start of the target block). A cache walker needs
+   this to tell a chained block exit from a local or patch branch. *)
+let chain_exits t =
+  let out = ref [] in
+  iter_blocks t (fun b ->
+      match b.entry with
+      | Some entry -> List.iter (fun at -> out := (at, entry, b.start) :: !out) b.in_chains
+      | None -> ());
+  List.sort compare !out
+
+(* [owner_of t pc] is the live block whose host range contains [pc], if
+   any — the block a cache-resident instruction belongs to. *)
+let owner_of t pc =
+  let found = ref None in
+  iter_blocks t (fun b ->
+      match b.host_range with
+      | Some (lo, hi) when pc >= lo && pc < hi && b.entry <> None -> found := Some b
+      | _ -> ());
+  !found

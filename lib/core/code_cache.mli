@@ -75,3 +75,16 @@ val invalidate : t -> block_rec -> repatch:(int -> H.insn) -> unit
 val iter_blocks : t -> (block_rec -> unit) -> unit
 
 val num_blocks : t -> int
+
+(** Live (translated) blocks in guest-address order: a deterministic
+    iteration order for cache-wide analyses (validator, mutation
+    harness). *)
+val blocks_sorted : t -> block_rec list
+
+(** Every recorded chain edge as [(slot pc, required entry, target
+    guest start)], sorted — how a cache walker distinguishes a chained
+    block exit from a local or patch branch. *)
+val chain_exits : t -> (int * int * int) list
+
+(** The live block whose host range contains [pc], if any. *)
+val owner_of : t -> int -> block_rec option

@@ -148,6 +148,15 @@ let is_control = function
 (* Registers conventionally reserved for the BT runtime. *)
 let tmp_regs = [| 21; 22; 23; 24; 25; 26; 27; 28 |]
 
+(* Registers no translated code may ever write: they belong to neither
+   the guest mapping (R0..R7), the flag convention (R10..R12), the
+   translator scratch set (R13..R16), the MDA temporaries (R21..R28)
+   nor the zero register. The translation validator treats a write to
+   any of these as a clobber-discipline violation. *)
+let reserved_regs = [| 8; 9; 17; 18; 19; 20; 29; 30 |]
+
+let is_reserved_reg r = Array.exists (fun x -> x = r) reserved_regs
+
 let guest_reg_base = 0 (* guest reg i lives in host reg i *)
 
 let cmp_a = 10

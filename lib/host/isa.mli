@@ -116,6 +116,14 @@ val is_control : insn -> bool
 (** BT-reserved temporaries (R21..R28). *)
 val tmp_regs : reg array
 
+(** Registers translated code must never write (R8, R9, R17..R20, R29,
+    R30): outside the guest mapping, the flag convention, the scratch
+    set and the MDA temporaries. The translation validator flags any
+    write to these as a clobber violation. *)
+val reserved_regs : reg array
+
+val is_reserved_reg : reg -> bool
+
 (** Guest register [i] lives in host register [guest_reg_base + i]. *)
 val guest_reg_base : int
 

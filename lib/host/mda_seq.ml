@@ -98,6 +98,18 @@ let emit (m : mem_op) =
   | `Load -> load ~dst:m.data ~base:m.base ~disp:m.disp ~width:m.width ~signed:m.signed
   | `Store -> store ~src:m.data ~base:m.base ~disp:m.disp ~width:m.width
 
+(* The registers a sequence is allowed to write: the documented MDA
+   temporaries, plus the destination register for loads. Everything
+   else — and in particular [base] and, for stores, [data] — must
+   survive the sequence unchanged (the exception handler relies on this
+   when it patches a faulting slot into a branch to an out-of-line
+   sequence: the resume point sees the same live state either way).
+   The translation validator's clobber lint checks emitted sequences
+   against exactly this set. *)
+let clobbers (m : mem_op) =
+  let temps = [ t0; t1; t2; t3; t4 ] in
+  match m.kind with `Load -> m.data :: temps | `Store -> temps
+
 (* Instruction counts, used by the cost discussions in the paper
    (Section IV-D compares sequence lengths). *)
 let length (m : mem_op) = List.length (emit m)

@@ -34,3 +34,9 @@ val emit : mem_op -> Isa.insn list
 
 (** Sequence length in instructions (Section IV-D cost arguments). *)
 val length : mem_op -> int
+
+(** The registers the sequence for [m] may legitimately write: the MDA
+    temporaries (R21..R25) plus, for loads, the destination register.
+    [base] — and [data], for stores — must survive unchanged; the
+    translation validator's clobber lint enforces this set. *)
+val clobbers : mem_op -> Isa.reg list

@@ -1,0 +1,70 @@
+(* Exit-code contract of the mdabench checking flags.
+
+   [run --selfcheck] and [run --validate] must exit non-zero whenever
+   their report carries a violation — in every mechanism mode — and the
+   interpreter/native modes, which build no code cache, must say so and
+   exit 0. The [--corrupt-cache] testing aid plants an invalid site
+   record after the run, so the failing branch is reachable without a
+   translator bug.
+
+   Runs the real binary (declared as a dune dep); located relative to
+   this test executable so the suite works from [dune runtest] and
+   [dune exec] alike. *)
+
+let exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "mdabench.exe"))
+
+let bench = List.hd Mda_workloads.Spec.selected_names
+
+let run_rc args =
+  Sys.command (Printf.sprintf "%s %s > /dev/null 2>&1" exe args)
+
+let check_rc args expected =
+  let rc = run_rc args in
+  Alcotest.(check int) (Printf.sprintf "mdabench %s" args) expected rc
+
+(* every translating mode accepts --selfcheck/--validate and exits 0 on
+   a clean cache, 2 when the site map is corrupted *)
+let cached_modes = [ "direct"; "static"; "dynamic"; "eh"; "eh+rearrange"; "dpeh"; "sa"; "sa-seq" ]
+
+let test_selfcheck_clean () =
+  List.iter
+    (fun m -> check_rc (Printf.sprintf "run %s -m %s --scale 0.05 --selfcheck" bench m) 0)
+    cached_modes
+
+let test_selfcheck_corrupt () =
+  List.iter
+    (fun m ->
+      check_rc
+        (Printf.sprintf "run %s -m %s --scale 0.05 --selfcheck --corrupt-cache" bench m)
+        2)
+    cached_modes
+
+let test_validate_clean () =
+  check_rc (Printf.sprintf "run %s -m eh --scale 0.05 --validate" bench) 0;
+  check_rc (Printf.sprintf "run %s -m dpeh --scale 0.05 --validate" bench) 0
+
+let test_no_cache_modes () =
+  (* nothing to check -> informational message, success *)
+  check_rc (Printf.sprintf "run %s -m interp --scale 0.05 --selfcheck --validate" bench) 0;
+  check_rc (Printf.sprintf "run %s -m native --scale 0.05 --selfcheck --validate" bench) 0
+
+let test_verify_gate () =
+  check_rc (Printf.sprintf "verify --bench %s" bench) 0;
+  check_rc (Printf.sprintf "verify --bench %s -m eh+rearrange" bench) 0;
+  (* no cache to verify: refuse with non-zero *)
+  check_rc "verify -m interp" 1
+
+let suite =
+  [ ( "cli",
+    [ Alcotest.test_case "run --selfcheck exits 0 on clean caches" `Quick
+        test_selfcheck_clean;
+      Alcotest.test_case "run --selfcheck exits 2 on corrupted caches" `Quick
+        test_selfcheck_corrupt;
+      Alcotest.test_case "run --validate exits 0 on clean caches" `Quick
+        test_validate_clean;
+      Alcotest.test_case "interp/native have nothing to check" `Quick test_no_cache_modes;
+      Alcotest.test_case "verify gate passes and rejects cache-less modes" `Quick
+        test_verify_gate ] ) ]

@@ -20,7 +20,8 @@ let golden_opts =
 
 let cases =
   [ ("table1", fun () -> H.Experiment.render (H.Table1.run ~opts:golden_opts ()));
-    ("fig16", fun () -> H.Experiment.render (H.Fig16.run ~opts:golden_opts ())) ]
+    ("fig16", fun () -> H.Experiment.render (H.Fig16.run ~opts:golden_opts ()));
+    ("figsa", fun () -> H.Experiment.render (H.Figsa.run ~opts:golden_opts ())) ]
 
 (* Tests run in _build/default/test; the source tree sits behind the
    workspace root recorded by dune. *)

@@ -8,6 +8,7 @@ let () =
          Test_interp.suite;
          Test_runtime.suite;
          Test_analysis.suite;
+         Test_validator.suite;
          Test_bt_units.suite;
          Test_bt.suite;
          Test_workloads.suite;
@@ -16,5 +17,6 @@ let () =
          Test_pool.suite;
          Test_cache.suite;
          Test_golden.suite;
+         Test_cli.suite;
          Test_models.suite;
          Test_harness.suite ])

@@ -99,17 +99,54 @@ let test_max_guest_insns_bound () =
 
 let mech_eh = Bt.Mechanism.Exception_handling { rearrange = false }
 
-(* Run to completion and return the runtime too, validating the code
-   cache with the DBT invariant checker on the way out: every mechanism
-   run in this suite must finish with the checker green. *)
+(* Run to completion and return the runtime too, checking the code
+   cache on the way: every fresh translation is validated against its
+   guest block the moment it is emitted (via the [Ev_translate] hook),
+   and on the way out the whole cache must pass both the DBT invariant
+   checker and the translation validator. *)
 let run_cfg_rt config build =
   let program, mem = load_program build in
-  let t = Bt.Runtime.create ~config ~mem () in
+  let block_of start =
+    match Bt.Block.discover mem ~pc:start with Ok b -> Some b | Error _ -> None
+  in
+  let rt = ref None in
+  let on_event = function
+    | Bt.Runtime.Ev_translate { block = start; _ } -> (
+      match (!rt, block_of start) with
+      | Some t, Some block ->
+        let r = Mda_analysis.Validator.check_block ~cache:t.Bt.Runtime.cache ~block in
+        if not (Mda_analysis.Validator.ok r) then
+          Alcotest.failf "validator (at translation of %#x): %s" start
+            (Format.asprintf "%a" Mda_analysis.Validator.pp_report r)
+      | _ -> ())
+    | _ -> ()
+  in
+  let t = Bt.Runtime.create ~config:{ config with on_event = Some on_event } ~mem () in
+  rt := Some t;
   let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
   let report = Mda_analysis.Check.run t.Bt.Runtime.cache in
   if not (Mda_analysis.Check.ok report) then
     Alcotest.failf "invariant checker: %s"
       (Format.asprintf "%a" Mda_analysis.Check.pp_report report);
+  (* rearrangement and retranslation rebuild patched blocks with inline
+     sequences, which legally removes the patched Br slots again *)
+  if
+    stats.Bt.Run_stats.patches > 0
+    && stats.Bt.Run_stats.rearrangements = 0
+    && stats.Bt.Run_stats.retranslations = 0
+  then
+    Alcotest.(check bool) "patched sites were checked" true
+      (report.Mda_analysis.Check.patched_checked > 0);
+  if stats.Bt.Run_stats.chains > 0 then
+    Alcotest.(check bool) "chain edges were checked" true
+      (report.Mda_analysis.Check.chains_checked > 0);
+  let v = Mda_analysis.Validator.run ~cache:t.Bt.Runtime.cache ~block_of in
+  if not (Mda_analysis.Validator.ok v) then
+    Alcotest.failf "translation validator: %s"
+      (Format.asprintf "%a" Mda_analysis.Validator.pp_report v);
+  if stats.Bt.Run_stats.translations > 0 then
+    Alcotest.(check bool) "validator checked blocks" true
+      (v.Mda_analysis.Validator.blocks_checked > 0);
   (stats, mem, t)
 
 let run_cfg config build =
