@@ -34,10 +34,30 @@ dune exec bin/mdabench.exe -- run 453.povray -m dpeh --scale 0.05 --selfcheck >/
 echo "== translation-validation gate (mdabench verify)"
 dune exec bin/mdabench.exe -- verify --scale 0.05 --jobs 2
 
+echo "== tracing gate: zero-cost-when-off, replay reconstructs every mechanism"
+TRACE_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR"' EXIT
+# tracing is a pure observation artifact: stdout (statistics included)
+# must be byte-identical with and without --trace-out
+dune exec bin/mdabench.exe -- run 410.bwaves -m eh --scale 0.05 \
+  >"$TRACE_DIR/plain.txt" 2>/dev/null
+dune exec bin/mdabench.exe -- run 410.bwaves -m eh --scale 0.05 \
+  --trace-out "$TRACE_DIR/run.jsonl" >"$TRACE_DIR/traced.txt" 2>/dev/null
+cmp "$TRACE_DIR/plain.txt" "$TRACE_DIR/traced.txt" || {
+  echo "FAIL: --trace-out changed the run's stdout"; exit 1; }
+# every mechanism's trace must replay to the exact recorded statistics
+for MECH in direct static dynamic eh dpeh sa; do
+  dune exec bin/mdabench.exe -- trace 410.bwaves -m "$MECH" --scale 0.05 \
+    --out "$TRACE_DIR/$MECH.jsonl" >/dev/null 2>&1
+  dune exec bin/mdabench.exe -- trace --replay "$TRACE_DIR/$MECH.jsonl" >/dev/null || {
+    echo "FAIL: replay gate failed for $MECH"; exit 1; }
+done
+dune exec bin/mdabench.exe -- hot 410.bwaves -m eh --scale 0.05 --top 5 >/dev/null
+
 echo "== parallel 'all' smoke run with result cache (scale 0.05)"
 CACHE_DIR=$(mktemp -d)
 OUT_DIR=$(mktemp -d)
-trap 'rm -rf "$CACHE_DIR" "$OUT_DIR"' EXIT
+trap 'rm -rf "$TRACE_DIR" "$CACHE_DIR" "$OUT_DIR"' EXIT
 dune exec bin/mdabench.exe -- all --jobs 2 --scale 0.05 \
   --benchmarks 164.gzip,410.bwaves,188.ammp \
   --cache-dir "$CACHE_DIR" >"$OUT_DIR/cold.txt" 2>"$OUT_DIR/cold.err"

@@ -254,7 +254,14 @@ let run_cmd =
     let doc = "Corrupt the code-cache site map before checking (testing aid)." in
     Arg.(value & flag & info [ "corrupt-cache" ] ~doc)
   in
-  let run name mech scale threshold selfcheck validate corrupt =
+  let trace_out_arg =
+    let doc =
+      "Also write the run's complete event trace as JSONL to $(docv). Tracing is a pure \
+       observation artifact: stdout is byte-identical with and without this flag."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run name mech scale threshold selfcheck validate corrupt trace_out =
     match mech with
     | `Interp | `Native ->
       let s, _ = H.Experiment.run_interp ~scale ~native:(mech = `Native) name in
@@ -267,7 +274,18 @@ let run_cmd =
       0
     | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
       let mechanism = make_mechanism ~scale ~threshold name m in
-      let stats, t = H.Experiment.run_mechanism_rt ~scale ~mechanism name in
+      let sink = Option.map (fun _ -> Mda_obs.Trace.create ()) trace_out in
+      let stats, t = H.Experiment.run_mechanism_rt ~scale ?sink ~mechanism name in
+      (match (trace_out, sink) with
+      | Some file, Some s ->
+        let jsonl =
+          Mda_obs.Trace.to_jsonl ~mechanism:(mech_string mech) ~bench:name ~scale ~stats s
+        in
+        let oc = open_out file in
+        output_string oc jsonl;
+        close_out oc;
+        Printf.eprintf "[mdabench] wrote %s (%d events)\n%!" file (Mda_obs.Trace.length s)
+      | _ -> ());
       Format.printf "%a@." Bt.Run_stats.pp stats;
       let cache = t.Bt.Runtime.cache in
       if corrupt then
@@ -305,7 +323,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg $ selfcheck_arg
-      $ validate_arg $ corrupt_arg)
+      $ validate_arg $ corrupt_arg $ trace_out_arg)
 
 (* --- verify: translation-validate every mechanism ---------------------- *)
 
@@ -391,10 +409,36 @@ let verify_cmd =
   Cmd.v (Cmd.info "verify" ~doc)
     Term.(const run $ mech_arg $ bench_arg $ scale_arg $ jobs_arg)
 
+(* --- trace: structured event tracing with JSONL emit and replay -------- *)
+
+module Obs = Mda_obs
+
+(* Run one benchmark under one mechanism with a trace sink attached;
+   returns the sink and the run's stats. Shared by trace/hot. *)
+let traced_run name mech scale =
+  match mech with
+  | `Interp | `Native ->
+    Printf.eprintf "mdabench: nothing to trace (no BT events in %s mode)\n"
+      (mech_string mech);
+    exit 1
+  | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
+    let mechanism = make_mechanism ~scale ~threshold:50 name m in
+    let sink = Obs.Trace.create () in
+    let stats, rt = H.Experiment.run_mechanism_rt ~scale ~sink ~mechanism name in
+    (sink, stats, rt)
+
 let trace_cmd =
-  let doc = "Trace BT events (translations, traps, patches, chains) of a run." in
+  let doc =
+    "Trace BT events (translations, traps, patches, OS fixups, chains, rearrangements, \
+     retranslations) of a run, cycle-stamped with the simulated clock. $(b,--out) writes \
+     the complete run as versioned JSONL; $(b,--replay) reads such a file back and \
+     reconstructs the run's statistics from the event stream, failing (exit 2) if they \
+     disagree with the recorded ones."
+  in
   let bench_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves")
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves (omit with --replay)")
   in
   let mech_arg =
     Arg.(
@@ -405,50 +449,193 @@ let trace_cmd =
   let limit_arg =
     Arg.(value & opt int 60 & info [ "limit" ] ~docv:"N" ~doc:"max events to print")
   in
-  let run name mech scale limit =
-    let mechanism =
-      match mech with
-      | `Interp | `Native ->
-        Bt.Mechanism.Dpeh { threshold = 50; retranslate = Some 4; multiversion = true }
-      | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
-        make_mechanism ~scale ~threshold:50 name m
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write the complete trace as JSONL")
+  in
+  let filter_arg =
+    let doc =
+      Printf.sprintf "only print these event kinds (comma-separated subset of: %s)"
+        (String.concat ", " Obs.Trace.kind_names)
     in
-    let w = W.Workload.instantiate ~scale name in
-    let mem = W.Workload.fresh_memory w in
-    let printed = ref 0 and counts = Hashtbl.create 8 in
-    let kind_of = function
-      | Bt.Runtime.Ev_translate _ -> "translate"
-      | Ev_trap _ -> "trap"
-      | Ev_patch _ -> "patch"
-      | Ev_os_fixup _ -> "os-fixup"
-      | Ev_chain _ -> "chain"
-      | Ev_rearrange _ -> "rearrange"
-      | Ev_retranslate _ -> "retranslate"
+    Arg.(value & opt (some string) None & info [ "filter" ] ~docv:"KINDS" ~doc)
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"replay a saved JSONL trace instead of running")
+  in
+  let replay_file file =
+    let text =
+      let ic = open_in_bin file in
+      let t = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      t
     in
-    let on_event ev =
-      let k = kind_of ev in
-      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k));
-      if !printed < limit then begin
-        incr printed;
-        Format.printf "%a@." Bt.Runtime.pp_event ev
-      end
-      else if !printed = limit then begin
-        incr printed;
-        Format.printf "... (suppressing further events)@."
-      end
-    in
-    let config =
-      { (Bt.Runtime.default_config mechanism) with on_event = Some on_event }
-    in
-    let t = Bt.Runtime.create ~config ~mem () in
-    let stats = Bt.Runtime.run t ~entry:(W.Workload.entry w) in
-    Format.printf "@.event totals:@.";
-    Hashtbl.iter (fun k n -> Format.printf "  %-12s %d@." k n) counts;
-    Format.printf "@.%a@." Bt.Run_stats.pp stats;
-    0
+    match Obs.Trace.of_jsonl text with
+    | Error e ->
+      Printf.printf "replay FAILED: %s\n" e;
+      2
+    | Ok f -> (
+      match Obs.Trace.replay f with
+      | Error e ->
+        Printf.printf "replay FAILED: %s\n" e;
+        2
+      | Ok stats ->
+        Format.printf "replayed %d events (%s / %s, schema v%d)@.@.%a@."
+          (List.length f.Obs.Trace.events)
+          f.Obs.Trace.bench f.Obs.Trace.mechanism f.Obs.Trace.version Bt.Run_stats.pp
+          stats;
+        Format.printf "@.replay OK: event-derived counters match the recorded statistics@.";
+        0)
+  in
+  let run bench mech scale limit out filter replay =
+    match (replay, bench) with
+    | Some file, _ -> replay_file file
+    | None, None ->
+      Printf.eprintf "mdabench trace: BENCHMARK required (or --replay FILE)\n";
+      1
+    | None, Some name ->
+      let filter_kinds =
+        Option.map
+          (fun s ->
+            let ks = String.split_on_char ',' s |> List.map String.trim in
+            List.iter
+              (fun k ->
+                if not (List.mem k Obs.Trace.kind_names) then begin
+                  Printf.eprintf "mdabench trace: unknown event kind %S\n" k;
+                  exit 1
+                end)
+              ks;
+            ks)
+          filter
+      in
+      let sink, stats, _rt = traced_run name mech scale in
+      let records = Obs.Trace.records sink in
+      let shown =
+        match filter_kinds with None -> records | Some ks -> Obs.Trace.filter ks records
+      in
+      let printed = ref 0 in
+      List.iter
+        (fun r ->
+          if !printed < limit then begin
+            incr printed;
+            Format.printf "%a@." Obs.Trace.pp_record r
+          end
+          else if !printed = limit then begin
+            incr printed;
+            Format.printf "... (suppressing further events)@."
+          end)
+        shown;
+      Format.printf "@.event totals:@.";
+      List.iter
+        (fun k ->
+          let n =
+            List.length
+              (List.filter
+                 (fun r -> Bt.Runtime.event_kind r.Obs.Trace.ev = k)
+                 records)
+          in
+          if n > 0 then Format.printf "  %-12s %d@." k n)
+        Obs.Trace.kind_names;
+      Format.printf "@.%a@." Bt.Run_stats.pp stats;
+      (match out with
+      | None -> ()
+      | Some file ->
+        let jsonl =
+          Obs.Trace.to_jsonl ~mechanism:(mech_string mech) ~bench:name ~scale ~stats sink
+        in
+        let oc = open_out file in
+        output_string oc jsonl;
+        close_out oc;
+        Printf.eprintf "[mdabench] wrote %s (%d events, schema v%d)\n%!" file
+          (Obs.Trace.length sink) Obs.Trace.schema_version);
+      0
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ bench_arg $ mech_arg $ scale_arg $ limit_arg)
+    Term.(
+      const run $ bench_arg $ mech_arg $ scale_arg $ limit_arg $ out_arg $ filter_arg
+      $ replay_arg)
+
+(* --- hot: per-guest-site / per-block attribution ------------------------ *)
+
+let hot_cmd =
+  let doc =
+    "Show the hottest guest sites (traps, patches, OS fixups, attributed MDA cycles) and \
+     most-translated blocks of a run — the per-address view behind the paper's locality \
+     argument. Reads a saved trace ($(b,--from)) or runs the benchmark."
+  in
+  let bench_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves (omit with --from)")
+  in
+  let mech_arg =
+    Arg.(
+      value
+      & opt mechanism_conv `Eh
+      & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc:"mechanism to attribute")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"rows per table")
+  in
+  let from_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "from" ] ~docv:"FILE" ~doc:"attribute a saved JSONL trace instead of running")
+  in
+  let print_attribution ~top ~label records stats =
+    let attr = Obs.Attribution.of_records ~cost:Mda_machine.Cost_model.default records in
+    Format.printf "%s@.@." label;
+    Format.printf "hottest guest sites (top %d):@.%s@." top
+      (Mda_util.Tabular.render (Obs.Attribution.site_table ~top attr));
+    Format.printf "@.most-translated blocks (top %d):@.%s@." top
+      (Mda_util.Tabular.render (Obs.Attribution.block_table ~top attr));
+    Format.printf
+      "@.attributed MDA handling: %s cycles (%.2f%% of the run's %s)@."
+      (Mda_util.Stats.with_commas (Int64.of_int (Obs.Attribution.total_mda_cycles attr)))
+      (if Int64.equal stats.Bt.Run_stats.cycles 0L then 0.0
+       else
+         100.0
+         *. float_of_int (Obs.Attribution.total_mda_cycles attr)
+         /. Int64.to_float stats.Bt.Run_stats.cycles)
+      (Mda_util.Stats.with_commas stats.Bt.Run_stats.cycles)
+  in
+  let run bench mech scale top from =
+    match (from, bench) with
+    | Some file, _ -> (
+      let text =
+        let ic = open_in_bin file in
+        let t = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        t
+      in
+      match Obs.Trace.of_jsonl text with
+      | Error e ->
+        Printf.eprintf "mdabench hot: %s: %s\n" file e;
+        2
+      | Ok f ->
+        print_attribution ~top
+          ~label:
+            (Printf.sprintf "%s / %s (from %s)" f.Obs.Trace.bench f.Obs.Trace.mechanism
+               file)
+          f.Obs.Trace.events f.Obs.Trace.stats;
+        0)
+    | None, None ->
+      Printf.eprintf "mdabench hot: BENCHMARK required (or --from FILE)\n";
+      1
+    | None, Some name ->
+      let sink, stats, rt = traced_run name mech scale in
+      print_attribution ~top
+        ~label:(Printf.sprintf "%s / %s" name (mech_string mech))
+        (Obs.Trace.records sink) stats;
+      Format.printf "@.counter registry:@.%a@." Bt.Counters.pp (Bt.Runtime.counters rt);
+      0
+  in
+  Cmd.v (Cmd.info "hot" ~doc)
+    Term.(const run $ bench_arg $ mech_arg $ scale_arg $ top_arg $ from_arg)
 
 let list_cmd =
   let doc = "List the experiments, utility commands and modelled benchmarks (Table I rows)." in
@@ -461,9 +648,10 @@ let list_cmd =
     List.iter
       (fun (name, desc) -> Printf.printf "  %-16s %s\n" name desc)
       [ ("all", "regenerate every table and figure");
-        ("run", "run one benchmark under one mechanism (--selfcheck, --validate)");
+        ("run", "run one benchmark under one mechanism (--selfcheck, --validate, --trace-out)");
         ("verify", "translation-validate the cache every mechanism builds");
-        ("trace", "print BT events of a run");
+        ("trace", "cycle-stamped BT events; JSONL emit (--out) and replay (--replay)");
+        ("hot", "hottest guest sites and blocks by trap/MDA cycle cost");
         ("info", "describe a benchmark's synthesized groups");
         ("disasm", "show a benchmark's guest program");
         ("disasm-host", "show translated host code for a block") ];
@@ -614,7 +802,7 @@ let () =
   let info = Cmd.info "mdabench" ~version:"1.0.0" ~doc in
   let cmds =
     List.map experiment_cmd experiments
-    @ [ all_cmd; run_cmd; verify_cmd; trace_cmd; list_cmd; info_cmd; disasm_cmd;
+    @ [ all_cmd; run_cmd; verify_cmd; trace_cmd; hot_cmd; list_cmd; info_cmd; disasm_cmd;
         disasm_host_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,90 @@
+(* The runtime's counter registry.
+
+   Every statistic the runtime accumulates is declared exactly once in
+   [all] — id, stable name, one-line description — and stored in one
+   table, so {!Run_stats}, the observability sinks (lib/obs) and any
+   future consumer read the same source of truth instead of a scatter
+   of ad-hoc mutable fields. Names are part of the trace/CLI surface:
+   renaming one is a schema change. *)
+
+type id =
+  | Guest_insns
+  | Interp_insns
+  | Memrefs
+  | Mdas
+  | Translations
+  | Retranslations
+  | Rearrangements
+  | Chains
+  | Handler_patches
+  | Translated_guest_len
+  | Translated_host_len
+
+(* Declared once; [index] mirrors the order. *)
+let all =
+  [ (Guest_insns, "guest_insns", "dynamic guest instructions (interpreted, exactly counted)");
+    (Interp_insns, "interp_insns", "guest instructions executed by the phase-1 interpreter");
+    (Memrefs, "memrefs", "guest data references observed by the interpreter");
+    (Mdas, "mdas", "of which misaligned");
+    (Translations, "translations", "block translations (including rebuilds)");
+    (Retranslations, "retranslations", "blocks invalidated and re-profiled");
+    (Rearrangements, "rearrangements", "blocks rebuilt with patched sequences inline");
+    (Chains, "chains", "block exits linked directly to their target");
+    (Handler_patches, "handler_patches", "faulting slots rewritten by the trap handler");
+    (Translated_guest_len, "translated_guest_len",
+     "sum of guest lengths over translations (expansion-ratio numerator)");
+    (Translated_host_len, "translated_host_len",
+     "sum of host lengths over translations (expansion-ratio denominator)") ]
+
+let index = function
+  | Guest_insns -> 0
+  | Interp_insns -> 1
+  | Memrefs -> 2
+  | Mdas -> 3
+  | Translations -> 4
+  | Retranslations -> 5
+  | Rearrangements -> 6
+  | Chains -> 7
+  | Handler_patches -> 8
+  | Translated_guest_len -> 9
+  | Translated_host_len -> 10
+
+let size = List.length all
+
+let () = assert (List.length (List.sort_uniq compare (List.map (fun (i, _, _) -> index i) all)) = size)
+
+let name id =
+  let rec go = function
+    | [] -> assert false
+    | (i, n, _) :: rest -> if i = id then n else go rest
+  in
+  go all
+
+type t = int64 array
+
+let create () : t = Array.make size 0L
+
+let get (t : t) id = t.(index id)
+
+(* Most stats are small enough for int; the registry stores int64 so the
+   exactly-counted instruction streams never wrap. *)
+let geti (t : t) id = Int64.to_int t.(index id)
+
+let set (t : t) id v = t.(index id) <- v
+
+let add (t : t) id v = t.(index id) <- Int64.add t.(index id) v
+
+let addi (t : t) id v = add t id (Int64.of_int v)
+
+let incr (t : t) id = add t id 1L
+
+let to_alist (t : t) = List.map (fun (id, n, _) -> (n, get t id)) all
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i (id, n, _) ->
+      if i > 0 then Format.fprintf fmt "@,";
+      Format.fprintf fmt "%-22s %Ld" n (get t id))
+    all;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,45 @@
+(** The runtime's counter registry: every statistic the runtime
+    accumulates, declared exactly once (id, stable name, description)
+    and stored in one table, so {!Run_stats}, the lib/obs sinks and the
+    CLI all read the same source of truth. The names are part of the
+    trace/CLI schema. *)
+
+type id =
+  | Guest_insns
+  | Interp_insns
+  | Memrefs
+  | Mdas
+  | Translations
+  | Retranslations
+  | Rearrangements
+  | Chains
+  | Handler_patches
+  | Translated_guest_len
+  | Translated_host_len
+
+(** The declared-once table: id, stable name, one-line description. *)
+val all : (id * string * string) list
+
+val name : id -> string
+
+type t
+
+val create : unit -> t
+
+val get : t -> id -> int64
+
+(** [get] truncated to int (for the stats fields typed int). *)
+val geti : t -> id -> int
+
+val set : t -> id -> int64 -> unit
+
+val add : t -> id -> int64 -> unit
+
+val addi : t -> id -> int -> unit
+
+val incr : t -> id -> unit
+
+(** (name, value) pairs in declaration order. *)
+val to_alist : t -> (string * int64) list
+
+val pp : Format.formatter -> t -> unit

@@ -2,8 +2,25 @@
    [cycles] is the simulated-runtime metric every figure of the paper is
    built from; the rest feed the tables and sanity checks. *)
 
+(* Why the run ended. [Fuel_exhausted] is the runaway-code guard firing:
+   the run is cut short but its statistics are still reported (with this
+   reason surfaced) instead of the whole simulation aborting. *)
+type stop_reason = Halted | Fuel_exhausted | Insn_limit
+
+let stop_reason_to_string = function
+  | Halted -> "halt"
+  | Fuel_exhausted -> "fuel-exhausted"
+  | Insn_limit -> "insn-limit"
+
+let stop_reason_of_string = function
+  | "halt" -> Ok Halted
+  | "fuel-exhausted" -> Ok Fuel_exhausted
+  | "insn-limit" -> Ok Insn_limit
+  | s -> Error (Printf.sprintf "unknown stop reason %S" s)
+
 type t = {
   mechanism : string;
+  stop : stop_reason; (* why the run ended *)
   cycles : int64;
   guest_insns : int64; (* dynamic guest instructions (interpreted + translated) *)
   interp_insns : int64; (* of which executed by the phase-1 interpreter *)
@@ -26,10 +43,11 @@ type t = {
    format. Field order is part of the format; bump the [format_version]
    when it changes so stale cache entries are rejected, not misparsed. *)
 
-let format_version = 1
+let format_version = 2
 
 let to_kv t =
   [ ("mechanism", t.mechanism);
+    ("stop", stop_reason_to_string t.stop);
     ("cycles", Int64.to_string t.cycles);
     ("guest_insns", Int64.to_string t.guest_insns);
     ("interp_insns", Int64.to_string t.interp_insns);
@@ -47,35 +65,51 @@ let to_kv t =
     ("icache_misses", string_of_int t.icache_misses);
     ("dcache_misses", string_of_int t.dcache_misses) ]
 
+(* Pure-result parser: every failure mode — missing key, garbled value,
+   unknown stop reason — is an [Error], never an escaping exception, so
+   a consumer (the result cache's corrupted-entry contract in
+   particular) can map any parse problem to a miss without a catch-all. *)
 let of_kv kvs =
+  let ( let* ) = Result.bind in
   let lookup k =
     match List.assoc_opt k kvs with
-    | Some v -> v
-    | None -> failwith (Printf.sprintf "Run_stats.of_kv: missing field %S" k)
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing field %S" k)
   in
-  let i64 k = Int64.of_string (lookup k) in
-  let int k = int_of_string (lookup k) in
-  match
-    { mechanism = lookup "mechanism";
-      cycles = i64 "cycles";
-      guest_insns = i64 "guest_insns";
-      interp_insns = i64 "interp_insns";
-      host_insns = i64 "host_insns";
-      memrefs = i64 "memrefs";
-      mdas = i64 "mdas";
-      traps = i64 "traps";
-      patches = int "patches";
-      translations = int "translations";
-      retranslations = int "retranslations";
-      rearrangements = int "rearrangements";
-      chains = int "chains";
-      blocks = int "blocks";
-      code_len = int "code_len";
-      icache_misses = int "icache_misses";
-      dcache_misses = int "dcache_misses" }
-  with
-  | t -> Ok t
-  | exception e -> Error (Printexc.to_string e)
+  let i64 k =
+    let* v = lookup k in
+    match Int64.of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %S: malformed int64 %S" k v)
+  in
+  let int k =
+    let* v = lookup k in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %S: malformed int %S" k v)
+  in
+  let* mechanism = lookup "mechanism" in
+  let* stop = Result.bind (lookup "stop") stop_reason_of_string in
+  let* cycles = i64 "cycles" in
+  let* guest_insns = i64 "guest_insns" in
+  let* interp_insns = i64 "interp_insns" in
+  let* host_insns = i64 "host_insns" in
+  let* memrefs = i64 "memrefs" in
+  let* mdas = i64 "mdas" in
+  let* traps = i64 "traps" in
+  let* patches = int "patches" in
+  let* translations = int "translations" in
+  let* retranslations = int "retranslations" in
+  let* rearrangements = int "rearrangements" in
+  let* chains = int "chains" in
+  let* blocks = int "blocks" in
+  let* code_len = int "code_len" in
+  let* icache_misses = int "icache_misses" in
+  let* dcache_misses = int "dcache_misses" in
+  Ok
+    { mechanism; stop; cycles; guest_insns; interp_insns; host_insns; memrefs; mdas;
+      traps; patches; translations; retranslations; rearrangements; chains; blocks;
+      code_len; icache_misses; dcache_misses }
 
 let pp fmt t =
   Format.fprintf fmt
@@ -95,4 +129,5 @@ let pp fmt t =
     t.patches t.translations t.retranslations t.rearrangements t.chains t.blocks
     t.code_len;
   Format.fprintf fmt "@.icache misses    %d@.dcache misses    %d" t.icache_misses
-    t.dcache_misses
+    t.dcache_misses;
+  Format.fprintf fmt "@.stopped          %s" (stop_reason_to_string t.stop)

@@ -2,8 +2,18 @@
     [cycles] is the simulated-runtime metric every figure is built
     from. *)
 
+(** Why the run ended. [Fuel_exhausted] is the runaway-code guard
+    firing: the run is cut short with this reason surfaced in the
+    statistics rather than aborting the simulation. *)
+type stop_reason = Halted | Fuel_exhausted | Insn_limit
+
+val stop_reason_to_string : stop_reason -> string
+
+val stop_reason_of_string : string -> (stop_reason, string) result
+
 type t = {
   mechanism : string;
+  stop : stop_reason;  (** why the run ended *)
   cycles : int64;
   guest_insns : int64;
       (** dynamic guest instructions; the translated-code share is

@@ -24,10 +24,20 @@ type event =
   | Ev_translate of { block : int; entry : int; host_len : int }
   | Ev_trap of { host_pc : int; guest_addr : int; ea : int }
   | Ev_patch of { host_pc : int; guest_addr : int; seq_at : int }
-  | Ev_os_fixup of { host_pc : int; ea : int }
+  | Ev_os_fixup of { host_pc : int; guest_addr : int; ea : int }
+    (* guest_addr is -1 when no site record maps the faulting pc *)
   | Ev_chain of { at : int; target_block : int }
   | Ev_rearrange of { block : int; entry : int }
   | Ev_retranslate of { block : int }
+
+let event_kind = function
+  | Ev_translate _ -> "translate"
+  | Ev_trap _ -> "trap"
+  | Ev_patch _ -> "patch"
+  | Ev_os_fixup _ -> "os-fixup"
+  | Ev_chain _ -> "chain"
+  | Ev_rearrange _ -> "rearrange"
+  | Ev_retranslate _ -> "retranslate"
 
 let pp_event fmt = function
   | Ev_translate { block; entry; host_len } ->
@@ -39,8 +49,9 @@ let pp_event fmt = function
   | Ev_patch { host_pc; guest_addr; seq_at } ->
     Format.fprintf fmt "patch      host pc %d (guest %#x) -> MDA sequence at %d" host_pc
       guest_addr seq_at
-  | Ev_os_fixup { host_pc; ea } ->
-    Format.fprintf fmt "os-fixup   host pc %d on address %#x" host_pc ea
+  | Ev_os_fixup { host_pc; guest_addr; ea } ->
+    Format.fprintf fmt "os-fixup   host pc %d (guest %#x) on address %#x" host_pc
+      guest_addr ea
   | Ev_chain { at; target_block } ->
     Format.fprintf fmt "chain      exit at %d -> block %#x" at target_block
   | Ev_rearrange { block; entry } ->
@@ -73,21 +84,15 @@ type t = {
   profile : Profile.t;
   config : config;
   blocks_decoded : (int, Block.t) Hashtbl.t;
-  mutable guest_insns : int64; (* interpreted, exactly counted *)
-  mutable interp_insns : int64;
-  mutable memrefs : int64;
-  mutable mdas : int64;
-  mutable translations : int;
-  mutable retranslations : int;
-  mutable rearrangements : int;
-  mutable chains : int;
-  mutable handler_patches : int; (* faulting slots rewritten by the handler *)
-  mutable fuel_left : int;
-  (* Σ guest/host lengths over translations, to estimate how many guest
-     instructions the translated code retired (chained block execution
-     never returns to the dispatcher, so it cannot be counted exactly). *)
-  mutable translated_guest_len : int;
-  mutable translated_host_len : int;
+  (* Every statistic lives in the declared-once counter registry
+     ({!Counters.all}): [Run_stats], the lib/obs sinks and the CLI all
+     read the same table. The expansion-ratio counters
+     (translated_guest_len / translated_host_len) estimate how many
+     guest instructions the translated code retired — chained block
+     execution never returns to the dispatcher, so it cannot be counted
+     exactly. *)
+  counters : Counters.t;
+  mutable fuel_left : int; (* never negative; 0 = runaway guard fired *)
 }
 
 let create ?(config = default_config (Mechanism.Exception_handling { rearrange = false }))
@@ -101,18 +106,10 @@ let create ?(config = default_config (Mechanism.Exception_handling { rearrange =
     profile = Profile.create ();
     config;
     blocks_decoded = Hashtbl.create 256;
-    guest_insns = 0L;
-    interp_insns = 0L;
-    memrefs = 0L;
-    mdas = 0L;
-    translations = 0;
-    retranslations = 0;
-    rearrangements = 0;
-    chains = 0;
-    handler_patches = 0;
-    fuel_left = config.fuel;
-    translated_guest_len = 0;
-    translated_host_len = 0 }
+    counters = Counters.create ();
+    fuel_left = max 0 config.fuel }
+
+let counters t = t.counters
 
 exception Runtime_error of string
 
@@ -184,14 +181,22 @@ let install_handler t =
   Machine.Cpu.set_handler t.cpu (fun ~pc ~addr insn ->
       let _ = insn in
       if not (Mechanism.patches_on_trap t.config.mechanism) then begin
-        emit_event t (Ev_os_fixup { host_pc = pc; ea = addr });
+        let guest_addr =
+          match Code_cache.find_site t.cache pc with
+          | Some site -> site.Code_cache.guest_addr
+          | None -> -1
+        in
+        emit_event t (Ev_os_fixup { host_pc = pc; guest_addr; ea = addr });
         Machine.Cpu.Emulate
       end
       else
         match Code_cache.find_site t.cache pc with
         | None ->
           (* An access with no site record (e.g. inside an MDA sequence —
-             impossible — or a stale mapping): fall back to OS fixup. *)
+             impossible — or a stale mapping): fall back to OS fixup.
+             Still emit the event — the trace must account for every
+             trap, or replay could not reconstruct the trap count. *)
+          emit_event t (Ev_os_fixup { host_pc = pc; guest_addr = -1; ea = addr });
           Machine.Cpu.Emulate
         | Some site ->
           (* Generate the MDA code sequence in the code cache and patch
@@ -202,7 +207,7 @@ let install_handler t =
           Code_cache.patch t.cache pc (H.Br { ra = H.r31; target = seq_start });
           emit_event t
             (Ev_patch { host_pc = pc; guest_addr = site.guest_addr; seq_at = seq_start });
-          t.handler_patches <- t.handler_patches + 1;
+          Counters.incr t.counters Counters.Handler_patches;
           Machine.Cpu.charge t.cpu t.config.cost.patch;
           let brec = Code_cache.block t.cache site.block_start in
           Hashtbl.replace brec.patched site.guest_addr ();
@@ -238,9 +243,9 @@ let translate_block ?(charge = true) t (brec : Code_cache.block_rec) =
   let hi = Code_cache.length t.cache in
   brec.entry <- Some entry;
   brec.host_range <- Some (entry, hi);
-  t.translations <- t.translations + 1;
-  t.translated_guest_len <- t.translated_guest_len + Block.length block;
-  t.translated_host_len <- t.translated_host_len + (hi - entry);
+  Counters.incr t.counters Counters.Translations;
+  Counters.addi t.counters Counters.Translated_guest_len (Block.length block);
+  Counters.addi t.counters Counters.Translated_host_len (hi - entry);
   if charge then
     Machine.Cpu.charge t.cpu (t.config.cost.translate_guest_insn * Block.length block);
   emit_event t (Ev_translate { block = brec.start; entry; host_len = hi - entry });
@@ -257,7 +262,7 @@ let rearrange_block t (brec : Code_cache.block_rec) =
   | Some (lo, hi) -> Machine.Cpu.charge t.cpu (t.config.cost.reloc_insn * (hi - lo))
   | None -> ());
   brec.dirty_rearrange <- false;
-  t.rearrangements <- t.rearrangements + 1;
+  Counters.incr t.counters Counters.Rearrangements;
   emit_event t (Ev_rearrange { block = brec.start; entry });
   entry
 
@@ -279,7 +284,7 @@ let retranslate_block t (brec : Code_cache.block_rec) =
   brec.traps <- 0;
   brec.want_retrans <- false;
   brec.retrans_count <- brec.retrans_count + 1;
-  t.retranslations <- t.retranslations + 1;
+  Counters.incr t.counters Counters.Retranslations;
   emit_event t (Ev_retranslate { block = brec.start })
 
 (* --- execution -------------------------------------------------------- *)
@@ -289,13 +294,13 @@ let interp_block t pc =
   let mech = t.config.mechanism in
   let profiling = Mechanism.profiles_alignment mech in
   let on_mem (ev : Interp.mem_event) =
-    t.memrefs <- Int64.add t.memrefs 1L;
-    if not ev.aligned then t.mdas <- Int64.add t.mdas 1L;
+    Counters.incr t.counters Counters.Memrefs;
+    if not ev.aligned then Counters.incr t.counters Counters.Mdas;
     if profiling then Profile.record t.profile ~guest_addr:ev.guest_addr ~aligned:ev.aligned
   in
-  let n = Int64.of_int (Block.length block) in
-  t.guest_insns <- Int64.add t.guest_insns n;
-  t.interp_insns <- Int64.add t.interp_insns n;
+  let n = Block.length block in
+  Counters.addi t.counters Counters.Guest_insns n;
+  Counters.addi t.counters Counters.Interp_insns n;
   Interp.exec_block t.cpu (Interpreted { profile = profiling }) block ~on_mem
 
 (* Chain an unchained Monitor exit into a direct branch when its target
@@ -312,7 +317,7 @@ let maybe_chain t ~at ~target_pc =
         Code_cache.patch t.cache at (H.Br { ra = H.r31; target = e });
         tb.in_chains <- at :: tb.in_chains;
         emit_event t (Ev_chain { at; target_block = target_pc });
-        t.chains <- t.chains + 1;
+        Counters.incr t.counters Counters.Chains;
         Machine.Cpu.charge t.cpu t.config.cost.chain_patch
       | _ -> ()
     end
@@ -326,7 +331,14 @@ let enter_translated t (brec : Code_cache.block_rec) entry =
   let before = t.cpu.Machine.Cpu.insns in
   let exit_reason, at = Machine.Cpu.run t.cpu ~fetch ~entry ~fuel:t.fuel_left in
   let executed = Int64.sub t.cpu.Machine.Cpu.insns before in
-  t.fuel_left <- t.fuel_left - Int64.to_int executed;
+  (* Saturating decrement: without the clamps a long run could drive
+     [fuel_left] past 0 (or truncate a >62-bit count on [Int64.to_int])
+     and the runaway-code guard would silently never fire again. *)
+  let executed_int =
+    if Int64.compare executed (Int64.of_int max_int) > 0 then max_int
+    else Int64.to_int (Int64.max executed 0L)
+  in
+  t.fuel_left <- max 0 (t.fuel_left - executed_int);
   match exit_reason with
   | Machine.Cpu.Exit_next_guest g ->
     maybe_chain t ~at ~target_pc:g;
@@ -359,13 +371,16 @@ let step t pc =
    average expansion ratio (chained execution cannot be counted exactly —
    see [translated_guest_len]). *)
 let translated_guest_estimate t =
-  if t.translated_host_len = 0 then 0L
+  let ghl = Counters.geti t.counters Counters.Translated_host_len in
+  if ghl = 0 then 0L
   else
     Int64.of_float
       (Int64.to_float t.cpu.Machine.Cpu.insns
-      *. (float_of_int t.translated_guest_len /. float_of_int t.translated_host_len))
+      *. (float_of_int (Counters.geti t.counters Counters.Translated_guest_len)
+         /. float_of_int ghl))
 
-let total_guest_insns t = Int64.add t.guest_insns (translated_guest_estimate t)
+let total_guest_insns t =
+  Int64.add (Counters.get t.counters Counters.Guest_insns) (translated_guest_estimate t)
 
 (* Pure-interpreter (or native-x86) execution of a whole guest program,
    with full alignment profiling. This is the ground-truth engine behind
@@ -409,6 +424,7 @@ let interpret_program ?(mode = Interp.Interpreted { profile = true })
   done;
   let stats : Run_stats.t =
     { mechanism = (match mode with Interp.Native -> "native-x86" | _ -> "interpreter");
+      stop = (if !halted then Run_stats.Halted else Run_stats.Insn_limit);
       cycles = cpu.Machine.Cpu.cycles;
       guest_insns = !guest_insns;
       interp_insns = !guest_insns;
@@ -431,30 +447,42 @@ let interpret_program ?(mode = Interp.Interpreted { profile = true })
   in
   (stats, profile)
 
-(* Run the guest program from [entry] to completion (guest Halt). *)
+(* Run the guest program from [entry] to completion (guest Halt), the
+   guest-instruction bound, or fuel exhaustion. The runaway-code guard
+   ends the run gracefully — statistics are still reported, with the
+   [Fuel_exhausted] stop reason surfaced — instead of aborting the whole
+   simulation. *)
 let run t ~entry =
   install_handler t;
   let pc = ref entry in
   let halted = ref false in
-  while (not !halted) && total_guest_insns t < t.config.max_guest_insns do
+  let out_of_fuel = ref false in
+  while (not !halted) && (not !out_of_fuel) && total_guest_insns t < t.config.max_guest_insns
+  do
     match step t !pc with
     | `Continue next -> pc := next
     | `Halt -> halted := true
+    | exception Machine.Cpu.Out_of_fuel -> out_of_fuel := true
   done;
+  let c = t.counters in
   let stats : Run_stats.t =
     { mechanism = Mechanism.name t.config.mechanism;
+      stop =
+        (if !out_of_fuel then Run_stats.Fuel_exhausted
+         else if !halted then Run_stats.Halted
+         else Run_stats.Insn_limit);
       cycles = t.cpu.Machine.Cpu.cycles;
       guest_insns = total_guest_insns t;
-      interp_insns = t.interp_insns;
+      interp_insns = Counters.get c Counters.Interp_insns;
       host_insns = t.cpu.Machine.Cpu.insns;
-      memrefs = t.memrefs;
-      mdas = t.mdas;
+      memrefs = Counters.get c Counters.Memrefs;
+      mdas = Counters.get c Counters.Mdas;
       traps = t.cpu.Machine.Cpu.align_traps;
-      patches = t.handler_patches;
-      translations = t.translations;
-      retranslations = t.retranslations;
-      rearrangements = t.rearrangements;
-      chains = t.chains;
+      patches = Counters.geti c Counters.Handler_patches;
+      translations = Counters.geti c Counters.Translations;
+      retranslations = Counters.geti c Counters.Retranslations;
+      rearrangements = Counters.geti c Counters.Rearrangements;
+      chains = Counters.geti c Counters.Chains;
       blocks = Code_cache.num_blocks t.cache;
       code_len = Code_cache.length t.cache;
       icache_misses =

@@ -18,10 +18,15 @@ type event =
   | Ev_translate of { block : int; entry : int; host_len : int }
   | Ev_trap of { host_pc : int; guest_addr : int; ea : int }
   | Ev_patch of { host_pc : int; guest_addr : int; seq_at : int }
-  | Ev_os_fixup of { host_pc : int; ea : int }
+  | Ev_os_fixup of { host_pc : int; guest_addr : int; ea : int }
+      (** [guest_addr] is [-1] when no site record maps the faulting pc *)
   | Ev_chain of { at : int; target_block : int }
   | Ev_rearrange of { block : int; entry : int }
   | Ev_retranslate of { block : int }
+
+(** Stable one-word kind name of an event ("translate", "trap", …) —
+    part of the trace schema. *)
+val event_kind : event -> string
 
 val pp_event : Format.formatter -> event -> unit
 
@@ -43,22 +48,17 @@ type t = {
   profile : Profile.t;
   config : config;
   blocks_decoded : (int, Block.t) Hashtbl.t;
-  mutable guest_insns : int64;
-  mutable interp_insns : int64;
-  mutable memrefs : int64;
-  mutable mdas : int64;
-  mutable translations : int;
-  mutable retranslations : int;
-  mutable rearrangements : int;
-  mutable chains : int;
-  mutable handler_patches : int;
-  mutable fuel_left : int;
-  mutable translated_guest_len : int;
-  mutable translated_host_len : int;
+  counters : Counters.t;
+      (** the declared-once statistic registry ({!Counters.all}) every
+          consumer — {!Run_stats}, the lib/obs sinks, the CLI — reads *)
+  mutable fuel_left : int;  (** never negative; 0 = runaway guard fired *)
 }
 
 (** Fresh runtime over [mem] (which must already hold the guest image). *)
 val create : ?config:config -> mem:Mda_machine.Memory.t -> unit -> t
+
+(** The runtime's counter registry (same value as the [counters] field). *)
+val counters : t -> Counters.t
 
 exception Runtime_error of string
 

@@ -130,7 +130,12 @@ let cost_of t =
   | None -> Machine.Cost_model.default
   | Some align_trap -> { Machine.Cost_model.default with align_trap }
 
-let compute t =
+(* [?sink] attaches a trace sink (cycle-stamped BT events) to Mech
+   cells. Tracing is an observation artifact: the returned result is
+   bit-identical with and without a sink, which is what keeps traced
+   runs compatible with the result cache. Interp cells execute no BT
+   events, so their trace is empty by construction. *)
+let compute ?sink t =
   let w = W.Workload.instantiate ~scale:t.scale ~input:t.input ~variant:t.variant t.bench in
   let mem = W.Workload.fresh_memory w in
   let entry = W.Workload.entry w in
@@ -143,9 +148,26 @@ let compute t =
     { stats; sites = dump_profile profile }
   | Mech spec ->
     let mechanism = mechanism_of_spec ~scale:t.scale ~input:t.input t.bench spec in
+    let on_event = Option.map Mda_obs.Trace.hook sink in
     let config =
-      { (Bt.Runtime.default_config mechanism) with cost = cost_of t; chaining = t.chaining }
+      { (Bt.Runtime.default_config mechanism) with
+        cost = cost_of t;
+        chaining = t.chaining;
+        on_event }
     in
     let rt = Bt.Runtime.create ~config ~mem () in
+    Option.iter (fun s -> Mda_obs.Trace.attach s rt) sink;
     let stats = Bt.Runtime.run rt ~entry in
     { stats; sites = [||] }
+
+(* Compute a Mech cell with a fresh unbounded sink; returns the result
+   plus the complete JSONL trace of the run. *)
+let compute_traced t =
+  let sink = Mda_obs.Trace.create () in
+  let r = compute ~sink t in
+  let jsonl =
+    Mda_obs.Trace.to_jsonl
+      ~mechanism:(kind_describe t.kind)
+      ~bench:t.bench ~scale:t.scale ~stats:r.stats sink
+  in
+  (r, jsonl)

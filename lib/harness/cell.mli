@@ -89,5 +89,13 @@ val nmi : site array -> int
 val mechanism_of_spec :
   scale:float -> input:Mda_workloads.Gen.input -> string -> mech_spec -> Mda_bt.Mechanism.t
 
-(** Run the cell to completion on a fresh machine. *)
-val compute : t -> result
+(** Run the cell to completion on a fresh machine. [sink] attaches a
+    trace sink (cycle-stamped BT events) to [Mech] cells; the result is
+    bit-identical with and without one — tracing is a pure observation
+    artifact, which keeps traced runs cache-compatible. [Interp] cells
+    execute no BT events, so their trace is empty by construction. *)
+val compute : ?sink:Mda_obs.Trace.t -> t -> result
+
+(** [compute_traced t] computes [t] with a fresh unbounded sink and also
+    returns the complete JSONL trace of the run. *)
+val compute_traced : t -> result * string

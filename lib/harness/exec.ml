@@ -90,7 +90,7 @@ let prefetch t cells =
       todo
   in
   if todo <> [] then begin
-    let results = Pool.map ~jobs:t.jobs ~f:Cell.compute todo in
+    let results = Pool.map ~jobs:t.jobs ~f:(fun cell -> Cell.compute cell) todo in
     List.iteri
       (fun i cell ->
         match results.(i) with

@@ -28,11 +28,13 @@ let exec_of opts = match opts.exec with Some e -> e | None -> Exec.create ()
    the paper measures whole executions. The runtime is returned alongside
    the statistics so callers can inspect the code cache afterwards (the
    invariant checker does). *)
-let run_mechanism_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ~mechanism name =
+let run_mechanism_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ?sink ~mechanism name =
   let w = W.Workload.instantiate ~scale ~input name in
   let mem = W.Workload.fresh_memory w in
-  let config = Bt.Runtime.default_config mechanism in
+  let on_event = Option.map Mda_obs.Trace.hook sink in
+  let config = { (Bt.Runtime.default_config mechanism) with on_event } in
   let t = Bt.Runtime.create ~config ~mem () in
+  Option.iter (fun s -> Mda_obs.Trace.attach s t) sink;
   let stats = Bt.Runtime.run t ~entry:(W.Workload.entry w) in
   (stats, t)
 

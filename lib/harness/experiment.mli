@@ -27,10 +27,12 @@ val run_mechanism :
 
 (** Like {!run_mechanism}, also returning the runtime so the code cache
     can be inspected afterwards (the {!Mda_analysis.Check} invariant
-    checker, [mdabench run --selfcheck]). *)
+    checker, [mdabench run --selfcheck]). [sink] attaches a trace sink
+    to the run's event hook ([mdabench trace]/[hot]). *)
 val run_mechanism_rt :
   ?scale:float ->
   ?input:Mda_workloads.Gen.input ->
+  ?sink:Mda_obs.Trace.t ->
   mechanism:Mda_bt.Mechanism.t ->
   string ->
   Mda_bt.Run_stats.t * Mda_bt.Runtime.t

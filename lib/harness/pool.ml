@@ -48,6 +48,15 @@ let map ~jobs ~f items =
       (* a worker dying between feed and read must not kill the parent *)
       try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
     in
+    (* The previous handler is restored on *every* exit path — an
+       exception escaping the scheduling loop used to leave SIGPIPE
+       ignored for the rest of the process. *)
+    let restore_sigpipe () =
+      match prev_sigpipe with
+      | Some b -> ( try ignore (Sys.signal Sys.sigpipe b) with Invalid_argument _ -> ())
+      | None -> ()
+    in
+    Fun.protect ~finally:restore_sigpipe @@ fun () ->
     let next = ref 0 (* next unassigned item *)
     and completed = ref 0 in
     let spawn () =
@@ -84,30 +93,42 @@ let map ~jobs ~f items =
           current = None }
     in
     (* Feed the next unassigned item, or the stop word when none remain.
-       Write failures mean the worker is already dead; the EOF path picks
-       the item back up. *)
+       Write failures (broken pipe) mean the worker is already dead; the
+       EOF path picks the item back up. Only I/O errors are swallowed —
+       a catch-all here used to eat [Exit]/[Out_of_memory] too. *)
+    let send w msg =
+      try
+        Marshal.to_channel w.to_child (msg : int) [];
+        flush w.to_child
+      with Sys_error _ | Unix.Unix_error _ -> ()
+    in
     let feed w =
       if !next < n then begin
         let i = !next in
         incr next;
         w.current <- Some i;
-        try
-          Marshal.to_channel w.to_child i [];
-          flush w.to_child
-        with _ -> ()
+        send w i
       end
       else begin
         w.current <- None;
-        try
-          Marshal.to_channel w.to_child (-1) [];
-          flush w.to_child
-        with _ -> ()
+        send w (-1)
       end
     in
     let retire w =
-      (try close_out_noerr w.to_child with _ -> ());
-      (try close_in_noerr w.from_child with _ -> ());
-      try ignore (Unix.waitpid [] w.pid) with _ -> ()
+      close_out_noerr w.to_child;
+      close_in_noerr w.from_child;
+      (* Reap the child, retrying EINTR: a signal arriving mid-wait used
+         to abandon the waitpid (the old catch-all also hid every other
+         error), leaking a zombie per interrupted retire. Only
+         [Unix_error] is handled — anything else is a real bug and
+         propagates. *)
+      let rec reap () =
+        match Unix.waitpid [] w.pid with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+        | exception Unix.Unix_error (_, _, _) -> ()
+      in
+      reap ()
     in
     let workers = ref (List.init (min jobs n) (fun _ -> spawn ())) in
     List.iter feed !workers;
@@ -132,7 +153,7 @@ let map ~jobs ~f items =
                 results.(i) <- r;
                 incr completed;
                 feed w
-              | exception _ ->
+              | exception (End_of_file | Failure _ | Sys_error _ | Unix.Unix_error _) ->
                 (* EOF or truncated message: the worker died mid-item *)
                 (match w.current with
                 | Some i ->
@@ -154,8 +175,5 @@ let map ~jobs ~f items =
     (* [completed = n] implies every surviving worker is idle and has
        already been sent the stop word by [feed]. *)
     List.iter retire !workers;
-    (match prev_sigpipe with
-    | Some b -> ( try ignore (Sys.signal Sys.sigpipe b) with Invalid_argument _ -> ())
-    | None -> ());
     results
   end

@@ -57,54 +57,64 @@ let to_string cell (r : Cell.result) =
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
-exception Bad_entry of string
-
+(* Pure-result parser: every way an entry can be bad — truncation,
+   garbled values, a stale header, a different cell's entry under a
+   colliding name — is an [Error], never an escaping exception.
+   [find] used to paper over this with [with _ -> None], which also
+   swallowed genuinely unexpected exceptions; now only the named I/O
+   failures are mapped to a miss. *)
 let of_string cell text =
+  let ( let* ) = Result.bind in
+  let expect what = Error ("expected " ^ what) in
   let lines = String.split_on_char '\n' text in
-  let expect what = raise (Bad_entry ("expected " ^ what)) in
   match lines with
   | h :: c :: rest ->
-    if h <> header then expect "header";
-    if c <> "cell " ^ Cell.describe cell then expect "matching cell description";
-    let rec split_kv acc = function
-      | [] -> expect "sites line"
-      | line :: rest ->
-        (match String.index_opt line '=' with
-        | Some i ->
-          split_kv
-            ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
-            :: acc)
-            rest
-        | None -> (List.rev acc, line :: rest))
-    in
-    let kvs, rest = split_kv [] rest in
-    let stats =
-      match Bt.Run_stats.of_kv kvs with
-      | Ok s -> s
-      | Error e -> raise (Bad_entry e)
-    in
-    let nsites, rest =
-      match rest with
-      | line :: rest when String.length line > 6 && String.sub line 0 6 = "sites " ->
-        (int_of_string (String.sub line 6 (String.length line - 6)), rest)
-      | _ -> expect "sites line"
-    in
-    let sites = Array.make nsites { Cell.addr = 0; refs = 0; mdas = 0 } in
-    let rec read_sites i = function
-      | rest when i = nsites -> rest
-      | line :: rest -> (
-        match String.split_on_char ' ' line with
-        | [ a; r; m ] ->
-          sites.(i) <-
-            { Cell.addr = int_of_string a; refs = int_of_string r; mdas = int_of_string m };
-          read_sites (i + 1) rest
-        | _ -> expect "site triple")
-      | [] -> expect "site triple"
-    in
-    (match read_sites 0 rest with
-    | "end" :: _ -> ()
-    | _ -> expect "end marker");
-    { Cell.stats; sites }
+    if h <> header then expect "header"
+    else if c <> "cell " ^ Cell.describe cell then expect "matching cell description"
+    else
+      let rec split_kv acc = function
+        | [] -> expect "sites line"
+        | line :: rest ->
+          (match String.index_opt line '=' with
+          | Some i ->
+            split_kv
+              ((String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+              :: acc)
+              rest
+          | None -> Ok (List.rev acc, line :: rest))
+      in
+      let* kvs, rest = split_kv [] rest in
+      let* stats = Bt.Run_stats.of_kv kvs in
+      let* nsites, rest =
+        match rest with
+        | line :: rest when String.length line > 6 && String.sub line 0 6 = "sites " -> (
+          match int_of_string_opt (String.sub line 6 (String.length line - 6)) with
+          | Some n when n >= 0 -> Ok (n, rest)
+          | _ -> expect "site count")
+        | _ -> expect "sites line"
+      in
+      let sites = Array.make nsites { Cell.addr = 0; refs = 0; mdas = 0 } in
+      let rec read_sites i = function
+        | rest when i = nsites -> Ok rest
+        | line :: rest -> (
+          match
+            match String.split_on_char ' ' line with
+            | [ a; r; m ] -> (
+              match (int_of_string_opt a, int_of_string_opt r, int_of_string_opt m) with
+              | Some addr, Some refs, Some mdas -> Some { Cell.addr; refs; mdas }
+              | _ -> None)
+            | _ -> None
+          with
+          | Some s ->
+            sites.(i) <- s;
+            read_sites (i + 1) rest
+          | None -> expect "site triple")
+        | [] -> expect "site triple"
+      in
+      let* rest = read_sites 0 rest in
+      (match rest with
+      | "end" :: _ -> Ok { Cell.stats; sites }
+      | _ -> expect "end marker")
   | _ -> expect "header"
 
 (* --- store / find ------------------------------------------------------ *)
@@ -131,5 +141,6 @@ let find t cell =
     close_in ic;
     of_string cell text
   with
-  | r -> Some r
-  | exception _ -> None
+  | Ok r -> Some r
+  | Error _ -> None (* corrupt/stale entry: recompute *)
+  | exception (Sys_error _ | End_of_file | Unix.Unix_error _) -> None

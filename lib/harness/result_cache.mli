@@ -26,9 +26,11 @@ val find : t -> Cell.t -> Cell.result option
     that cannot be written is a slow cache, not an error. *)
 val store : t -> Cell.t -> Cell.result -> unit
 
-(** Serialization, exposed for the cache tests. [of_string] raises on
-    any malformed input. *)
+(** Serialization, exposed for the cache tests. [of_string] returns
+    [Error] — never an escaping exception — on any malformed input:
+    truncation, garbled values, a stale header, or another cell's
+    entry. *)
 
 val to_string : Cell.t -> Cell.result -> string
 
-val of_string : Cell.t -> string -> Cell.result
+val of_string : Cell.t -> string -> (Cell.result, string) result

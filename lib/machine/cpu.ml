@@ -67,6 +67,10 @@ let set t r v = if r <> H.r31 then t.regs.(r) <- v
 
 let charge t c = t.cycles <- Int64.add t.cycles (Int64.of_int c)
 
+(* The simulated clock: cycles retired so far. Trace timestamps read
+   this (never wall clock), which is what makes traces deterministic. *)
+let now t = t.cycles
+
 let ea t rb disp = Int64.to_int (get t rb) + disp
 
 (* Perform a data access with cache accounting. *)

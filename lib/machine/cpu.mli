@@ -53,6 +53,11 @@ val set : t -> Mda_host.Isa.reg -> int64 -> unit
     translation, patching, etc.). *)
 val charge : t -> int -> unit
 
+(** The simulated clock: cycles retired so far. Trace timestamps read
+    this — never wall clock — which keeps traces deterministic and
+    replayable. *)
+val now : t -> int64
+
 (** [run t ~fetch ~entry ~fuel] executes from code-cache index [entry]
     until a [Monitor] instruction, returning the exit reason and the
     index of the [Monitor] that fired (the chaining site). [fuel] bounds

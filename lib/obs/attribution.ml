@@ -1,0 +1,170 @@
+(* Hot-spot attribution: fold a trace into per-guest-site and per-block
+   tables, so the expensive places (the handful of load/store sites that
+   take nearly all the traps — the locality the paper's patching
+   mechanisms exploit) are visible by address rather than only as
+   whole-run totals.
+
+   Sites are keyed by guest address of the faulting access. The trap
+   handler knows it for patched sites (Ev_trap/Ev_patch carry it) and
+   for OS fixups with a site record; fixups with no record surface as
+   guest address -1 and are aggregated under an "(unknown)" row rather
+   than silently dropped. MDA cycle cost is attributed from the cost
+   model: every trap or OS fixup pays [align_trap], every patch
+   additionally pays [patch]. *)
+
+module Bt = Mda_bt
+module Machine = Mda_machine
+module Tabular = Mda_util.Tabular
+
+type site = {
+  guest_addr : int; (* -1 = unattributable OS fixups *)
+  mutable traps : int; (* Ev_trap: misalignment exceptions at this site *)
+  mutable patches : int;
+  mutable fixups : int; (* Ev_os_fixup: emulated on the OS path *)
+  mutable mda_cycles : int; (* attributed handler cost, per the cost model *)
+}
+
+type block = {
+  block_addr : int;
+  mutable translations : int;
+  mutable retranslations : int;
+  mutable rearrangements : int;
+  mutable host_len : int; (* latest translation's host length *)
+  mutable first_cycles : int64; (* cycle stamp of the first translation *)
+}
+
+type t = { sites : (int, site) Hashtbl.t; blocks : (int, block) Hashtbl.t }
+
+let site t addr =
+  match Hashtbl.find_opt t.sites addr with
+  | Some s -> s
+  | None ->
+    let s = { guest_addr = addr; traps = 0; patches = 0; fixups = 0; mda_cycles = 0 } in
+    Hashtbl.add t.sites addr s;
+    s
+
+let block t addr =
+  match Hashtbl.find_opt t.blocks addr with
+  | Some b -> b
+  | None ->
+    let b =
+      { block_addr = addr;
+        translations = 0;
+        retranslations = 0;
+        rearrangements = 0;
+        host_len = 0;
+        first_cycles = -1L }
+    in
+    Hashtbl.add t.blocks addr b;
+    b
+
+let add (cost : Machine.Cost_model.t) t { Trace.cycles; ev } =
+  match ev with
+  | Bt.Runtime.Ev_trap { guest_addr; _ } ->
+    let s = site t guest_addr in
+    s.traps <- s.traps + 1;
+    s.mda_cycles <- s.mda_cycles + cost.align_trap
+  | Ev_patch { guest_addr; _ } ->
+    let s = site t guest_addr in
+    s.patches <- s.patches + 1;
+    s.mda_cycles <- s.mda_cycles + cost.patch
+  | Ev_os_fixup { guest_addr; _ } ->
+    let s = site t guest_addr in
+    s.fixups <- s.fixups + 1;
+    s.mda_cycles <- s.mda_cycles + cost.align_trap
+  | Ev_translate { block = addr; host_len; _ } ->
+    let b = block t addr in
+    b.translations <- b.translations + 1;
+    b.host_len <- host_len;
+    if b.first_cycles < 0L then b.first_cycles <- cycles
+  | Ev_retranslate { block = addr } ->
+    let b = block t addr in
+    b.retranslations <- b.retranslations + 1
+  | Ev_rearrange { block = addr; _ } ->
+    let b = block t addr in
+    b.rearrangements <- b.rearrangements + 1
+  | Ev_chain _ -> ()
+
+let of_records ~cost records =
+  let t = { sites = Hashtbl.create 64; blocks = Hashtbl.create 64 } in
+  List.iter (add cost t) records;
+  t
+
+let sites t = Hashtbl.fold (fun _ s acc -> s :: acc) t.sites []
+
+let blocks t = Hashtbl.fold (fun _ b acc -> b :: acc) t.blocks []
+
+(* Hottest first: by attributed MDA cycles, then by event count, with
+   the address as the final tie-break so the order is deterministic. *)
+let sort_sites ss =
+  List.sort
+    (fun a b ->
+      match compare b.mda_cycles a.mda_cycles with
+      | 0 -> (
+        match compare (b.traps + b.fixups) (a.traps + a.fixups) with
+        | 0 -> compare a.guest_addr b.guest_addr
+        | c -> c)
+      | c -> c)
+    ss
+
+let sort_blocks bs =
+  List.sort
+    (fun a b ->
+      match compare (b.translations + b.retranslations) (a.translations + a.retranslations) with
+      | 0 -> compare a.block_addr b.block_addr
+      | c -> c)
+    bs
+
+let take n l =
+  let rec go n = function [] -> [] | x :: xs -> if n <= 0 then [] else x :: go (n - 1) xs in
+  go n l
+
+let addr_label a = if a < 0 then "(unknown)" else Printf.sprintf "%#x" a
+
+let site_table ?top t =
+  let ss = sort_sites (sites t) in
+  let ss = match top with Some n -> take n ss | None -> ss in
+  let tbl =
+    Tabular.create
+      [| Tabular.col "guest site";
+         Tabular.col ~align:Tabular.Right "traps";
+         Tabular.col ~align:Tabular.Right "patches";
+         Tabular.col ~align:Tabular.Right "os fixups";
+         Tabular.col ~align:Tabular.Right "mda cycles" |]
+  in
+  List.iter
+    (fun s ->
+      Tabular.add_row tbl
+        [| addr_label s.guest_addr;
+           string_of_int s.traps;
+           string_of_int s.patches;
+           string_of_int s.fixups;
+           string_of_int s.mda_cycles |])
+    ss;
+  tbl
+
+let block_table ?top t =
+  let bs = sort_blocks (blocks t) in
+  let bs = match top with Some n -> take n bs | None -> bs in
+  let tbl =
+    Tabular.create
+      [| Tabular.col "guest block";
+         Tabular.col ~align:Tabular.Right "translations";
+         Tabular.col ~align:Tabular.Right "retranslations";
+         Tabular.col ~align:Tabular.Right "rearrangements";
+         Tabular.col ~align:Tabular.Right "host insns";
+         Tabular.col ~align:Tabular.Right "first @cycle" |]
+  in
+  List.iter
+    (fun b ->
+      Tabular.add_row tbl
+        [| addr_label b.block_addr;
+           string_of_int b.translations;
+           string_of_int b.retranslations;
+           string_of_int b.rearrangements;
+           string_of_int b.host_len;
+           Int64.to_string (Int64.max b.first_cycles 0L) |])
+    bs;
+  tbl
+
+let total_mda_cycles t = Hashtbl.fold (fun _ s acc -> acc + s.mda_cycles) t.sites 0

@@ -1,0 +1,41 @@
+(** Hot-spot attribution: fold a trace into per-guest-site and per-block
+    tables, making the handful of sites that take nearly all the traps —
+    the locality the paper's patching mechanisms exploit — visible by
+    address rather than only as whole-run totals. *)
+
+type site = {
+  guest_addr : int; (** [-1] aggregates OS fixups with no site record *)
+  mutable traps : int;
+  mutable patches : int;
+  mutable fixups : int;
+  mutable mda_cycles : int;
+      (** attributed handler cost: [align_trap] per trap or fixup, plus
+          [patch] per patch, from the run's cost model *)
+}
+
+type block = {
+  block_addr : int;
+  mutable translations : int;
+  mutable retranslations : int;
+  mutable rearrangements : int;
+  mutable host_len : int; (** latest translation's host length *)
+  mutable first_cycles : int64; (** cycle stamp of the first translation *)
+}
+
+type t
+
+val of_records : cost:Mda_machine.Cost_model.t -> Trace.record list -> t
+
+val sites : t -> site list
+(** Unordered; use {!site_table} for the sorted rendering. *)
+
+val blocks : t -> block list
+
+val total_mda_cycles : t -> int
+
+val site_table : ?top:int -> t -> Mda_util.Tabular.t
+(** Hottest sites first (by attributed MDA cycles, then trap+fixup
+    count, then address — deterministic). [top] keeps the first [n]. *)
+
+val block_table : ?top:int -> t -> Mda_util.Tabular.t
+(** Most-translated blocks first. *)

@@ -89,6 +89,52 @@ let test_corrupt_entry_is_a_miss () =
   H.Result_cache.store cache cell result;
   Alcotest.(check bool) "restored entry hits" true (H.Result_cache.find cache cell <> None)
 
+(* Regression for the corrupt-entry contract at the parser level:
+   [Run_stats.of_kv] and [Result_cache.of_string] return [Error] — never
+   an escaping exception — for every way a field can be damaged. *)
+let test_garbled_values_are_errors () =
+  let result = H.Cell.compute cell in
+  let kv = Bt.Run_stats.to_kv result.H.Cell.stats in
+  let is_error = function Error _ -> true | Ok _ -> false in
+  (* pristine round-trip first, so the Error cases below mean something *)
+  (match Bt.Run_stats.of_kv kv with
+  | Ok s -> Alcotest.(check bool) "kv round-trip" true (s = result.H.Cell.stats)
+  | Error e -> Alcotest.failf "pristine kv failed to parse: %s" e);
+  let replace k v = List.map (fun (k', v') -> if k' = k then (k', v) else (k', v')) kv in
+  Alcotest.(check bool) "garbled int64 value" true
+    (is_error (Bt.Run_stats.of_kv (replace "cycles" "12x3")));
+  Alcotest.(check bool) "garbled int value" true
+    (is_error (Bt.Run_stats.of_kv (replace "patches" "")));
+  Alcotest.(check bool) "unknown stop reason" true
+    (is_error (Bt.Run_stats.of_kv (replace "stop" "sideways")));
+  Alcotest.(check bool) "missing key" true
+    (is_error (Bt.Run_stats.of_kv (List.remove_assoc "traps" kv)));
+  Alcotest.(check bool) "empty kv list" true (is_error (Bt.Run_stats.of_kv []));
+  (* the same damage inside a full cache entry *)
+  let text = H.Result_cache.to_string cell result in
+  let damage_value line =
+    (* rewrite "cycles=<digits>" into "cycles=12x3" textually *)
+    match String.index_opt line '=' with
+    | Some i when String.sub line 0 i = "cycles" -> "cycles=12x3"
+    | _ -> line
+  in
+  let garbled =
+    String.split_on_char '\n' text |> List.map damage_value |> String.concat "\n"
+  in
+  Alcotest.(check bool) "entry text differs after damage" true (garbled <> text);
+  Alcotest.(check bool) "garbled entry is an Error" true
+    (is_error (H.Result_cache.of_string cell garbled));
+  Alcotest.(check bool) "truncated entry is an Error" true
+    (is_error (H.Result_cache.of_string cell (String.sub text 0 (String.length text / 3))));
+  (* on disk, the same garbled entry degrades to a cache miss *)
+  let cache = H.Result_cache.create ~dir:(fresh_dir ()) () in
+  H.Result_cache.store cache cell result;
+  let oc = open_out (H.Result_cache.path cache cell) in
+  output_string oc garbled;
+  close_out oc;
+  Alcotest.(check bool) "garbled on-disk entry misses" true
+    (H.Result_cache.find cache cell = None)
+
 let test_exec_recomputes_after_corruption () =
   let dir = fresh_dir () in
   let cache = H.Result_cache.create ~dir () in
@@ -154,6 +200,7 @@ let suite =
         Alcotest.test_case "profile dump round-trips" `Quick test_sites_round_trip;
         Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
         Alcotest.test_case "corrupt entry = miss" `Quick test_corrupt_entry_is_a_miss;
+        Alcotest.test_case "garbled values = Error" `Quick test_garbled_values_are_errors;
         Alcotest.test_case "exec recomputes after corruption" `Quick
           test_exec_recomputes_after_corruption;
         Alcotest.test_case "exec cache flow" `Quick test_exec_cache_flow;

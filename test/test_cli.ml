@@ -57,6 +57,65 @@ let test_verify_gate () =
   (* no cache to verify: refuse with non-zero *)
   check_rc "verify -m interp" 1
 
+let test_trace_emit_and_replay () =
+  let file =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mda_cli_trace_%d.jsonl" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ()) @@ fun () ->
+  (* emit, then replay: the reconstruction gate must pass *)
+  check_rc (Printf.sprintf "trace %s -m eh --scale 0.05 --out %s" bench file) 0;
+  Alcotest.(check bool) "trace file written" true (Sys.file_exists file);
+  check_rc (Printf.sprintf "trace --replay %s" file) 0;
+  (* a tampered file must fail the gate with exit 2 *)
+  let ic = open_in file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out file in
+  output_string oc (text ^ "{\"t\":\"garbage\"}\n");
+  close_out oc;
+  check_rc (Printf.sprintf "trace --replay %s" file) 2;
+  (* argument contract *)
+  check_rc "trace" 1;
+  check_rc (Printf.sprintf "trace %s --filter nonsense" bench) 1
+
+let test_hot_command () =
+  check_rc (Printf.sprintf "hot %s -m eh --scale 0.05 --top 5" bench) 0;
+  check_rc "hot" 1;
+  (* interp mode has no BT events to attribute *)
+  check_rc (Printf.sprintf "hot %s -m interp" bench) 1
+
+let test_trace_out_does_not_change_stdout () =
+  (* the ci.sh gate in miniature: run with and without --trace-out and
+     require byte-identical stdout *)
+  let tmp suffix =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mda_cli_%s_%d" suffix (Unix.getpid ()))
+  in
+  let out_a = tmp "plain" and out_b = tmp "traced" and trace = tmp "trace.jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ out_a; out_b; trace ])
+  @@ fun () ->
+  let rc_a =
+    Sys.command (Printf.sprintf "%s run %s -m eh --scale 0.05 > %s 2>/dev/null" exe bench out_a)
+  in
+  let rc_b =
+    Sys.command
+      (Printf.sprintf "%s run %s -m eh --scale 0.05 --trace-out %s > %s 2>/dev/null" exe
+         bench trace out_b)
+  in
+  Alcotest.(check int) "plain run exits 0" 0 rc_a;
+  Alcotest.(check int) "traced run exits 0" 0 rc_b;
+  let read f =
+    let ic = open_in f in
+    let t = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    t
+  in
+  Alcotest.(check string) "stdout byte-identical with --trace-out" (read out_a) (read out_b);
+  Alcotest.(check bool) "trace artifact written" true (Sys.file_exists trace)
+
 let suite =
   [ ( "cli",
     [ Alcotest.test_case "run --selfcheck exits 0 on clean caches" `Quick
@@ -67,4 +126,8 @@ let suite =
         test_validate_clean;
       Alcotest.test_case "interp/native have nothing to check" `Quick test_no_cache_modes;
       Alcotest.test_case "verify gate passes and rejects cache-less modes" `Quick
-        test_verify_gate ] ) ]
+        test_verify_gate;
+      Alcotest.test_case "trace emits and replays" `Quick test_trace_emit_and_replay;
+      Alcotest.test_case "hot attributes or refuses" `Quick test_hot_command;
+      Alcotest.test_case "--trace-out leaves stdout identical" `Quick
+        test_trace_out_does_not_change_stdout ] ) ]

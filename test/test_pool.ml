@@ -92,6 +92,37 @@ let test_empty () =
   Alcotest.(check int) "empty list" 0
     (Array.length (H.Pool.map ~jobs:4 ~f:(fun i -> i) []))
 
+let test_no_zombies_after_worker_death () =
+  (* regression for the reaping bug: [retire]'s catch-all used to
+     abandon an interrupted waitpid, leaking a zombie per retired
+     worker. After a map — including one whose workers died mid-item —
+     no child of this process may remain, reaped or not. *)
+  let f i = if i = 5 then Unix._exit 42 else i * i in
+  ignore (H.Pool.map ~jobs:3 ~f items);
+  ignore (H.Pool.map ~jobs:4 ~f:(fun i -> i * i) items);
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> () (* nothing left: correct *)
+  | 0, _ -> Alcotest.fail "a live worker survived the pool"
+  | pid, _ -> Alcotest.failf "worker pid %d was left as a zombie" pid
+
+let test_sigpipe_handler_restored () =
+  (* regression for the handler-restore bug: the pool ignores SIGPIPE
+     while running and must restore the exact previous handler on every
+     exit path, including maps whose workers died. *)
+  let mine = Sys.Signal_handle (fun _ -> ()) in
+  let before = Sys.signal Sys.sigpipe mine in
+  Fun.protect ~finally:(fun () -> ignore (Sys.signal Sys.sigpipe before)) @@ fun () ->
+  ignore (H.Pool.map ~jobs:3 ~f:(fun i -> i * i) items);
+  ignore (H.Pool.map ~jobs:3 ~f:(fun i -> if i = 5 then Unix._exit 9 else i) items);
+  let after = Sys.signal Sys.sigpipe Sys.Signal_default in
+  ignore (Sys.signal Sys.sigpipe after);
+  let same =
+    match (mine, after) with
+    | Sys.Signal_handle f, Sys.Signal_handle g -> f == g
+    | a, b -> a = b
+  in
+  Alcotest.(check bool) "previous SIGPIPE handler restored" true same
+
 let suite =
   [ ( "pool",
       [ Alcotest.test_case "parallel map" `Quick test_parallel_map;
@@ -101,4 +132,8 @@ let suite =
         Alcotest.test_case "worker death = per-item Error" `Quick test_worker_death_is_per_item;
         Alcotest.test_case "all workers die" `Quick test_all_workers_die;
         Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
-        Alcotest.test_case "empty input" `Quick test_empty ] ) ]
+        Alcotest.test_case "empty input" `Quick test_empty;
+        Alcotest.test_case "no zombies after worker death" `Quick
+          test_no_zombies_after_worker_death;
+        Alcotest.test_case "SIGPIPE handler restored" `Quick
+          test_sigpipe_handler_restored ] ) ]

@@ -54,7 +54,9 @@ let test_jump_into_garbage () =
   | Bt.Interp.Guest_fault _ -> ())
 
 let test_fuel_exhaustion () =
-  (* an infinite translated loop must hit the fuel bound *)
+  (* an infinite translated loop hits the fuel bound; the run stops
+     gracefully with the reason surfaced in the stats, not an escaping
+     exception *)
   let build asm =
     let open G.Asm in
     let top = fresh_label asm in
@@ -68,10 +70,51 @@ let test_fuel_exhaustion () =
     { (Bt.Runtime.default_config Bt.Mechanism.Direct) with fuel = 10_000 }
   in
   let t = Bt.Runtime.create ~config ~mem () in
-  try
-    ignore (Bt.Runtime.run t ~entry:program.G.Asm.base);
-    Alcotest.fail "expected Out_of_fuel"
-  with Machine.Cpu.Out_of_fuel -> ()
+  let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
+  Alcotest.(check bool) "stop reason is Fuel_exhausted" true
+    (stats.Bt.Run_stats.stop = Bt.Run_stats.Fuel_exhausted);
+  Alcotest.(check bool) "fuel_left never negative" true (t.Bt.Runtime.fuel_left >= 0)
+
+let test_tiny_fuel_accounting () =
+  (* regression for the fuel-accounting bug: a translated block whose
+     executed-instruction count exceeds the remaining fuel used to drive
+     [fuel_left] negative and let the run continue past its bound. With
+     fuel far below one loop-body's host cost, the run must still stop,
+     report Fuel_exhausted, and leave [fuel_left] clamped at >= 0. *)
+  let build asm =
+    let open G.Asm in
+    let top = fresh_label asm in
+    jmp asm top;
+    bind asm top;
+    movi asm GI.EAX 1;
+    jmp asm top
+  in
+  let program, mem = load_program build in
+  List.iter
+    (fun fuel ->
+      let config = { (Bt.Runtime.default_config Bt.Mechanism.Direct) with fuel } in
+      let t = Bt.Runtime.create ~config ~mem () in
+      let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
+      Alcotest.(check bool)
+        (Printf.sprintf "fuel=%d stops as Fuel_exhausted" fuel)
+        true
+        (stats.Bt.Run_stats.stop = Bt.Run_stats.Fuel_exhausted);
+      Alcotest.(check bool)
+        (Printf.sprintf "fuel=%d leaves fuel_left >= 0" fuel)
+        true (t.Bt.Runtime.fuel_left >= 0))
+    [ 1; 2; 7; 100 ]
+
+let test_halt_stop_reason () =
+  (* a program that halts normally reports Halted, not a bound *)
+  let build asm =
+    G.Asm.movi asm GI.EAX 1;
+    G.Asm.halt asm
+  in
+  let program, mem = load_program build in
+  let t = Bt.Runtime.create ~config:(Bt.Runtime.default_config Bt.Mechanism.Direct) ~mem () in
+  let stats = Bt.Runtime.run t ~entry:program.G.Asm.base in
+  Alcotest.(check bool) "stop reason is Halted" true
+    (stats.Bt.Run_stats.stop = Bt.Run_stats.Halted)
 
 let test_max_guest_insns_bound () =
   (* an infinite interpreted loop stops at the guest-instruction bound *)
@@ -303,6 +346,8 @@ let suite =
     ( "runtime.edges",
       [ Alcotest.test_case "jump into garbage" `Quick test_jump_into_garbage;
         Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+        Alcotest.test_case "tiny-fuel accounting" `Quick test_tiny_fuel_accounting;
+        Alcotest.test_case "halt stop reason" `Quick test_halt_stop_reason;
         Alcotest.test_case "guest-instruction bound" `Quick test_max_guest_insns_bound;
         Alcotest.test_case "chaining off is correct" `Quick test_chaining_off_still_correct;
         Alcotest.test_case "full flush is correct" `Quick test_full_flush_still_correct;
