@@ -54,10 +54,26 @@ for MECH in direct static dynamic eh dpeh sa; do
 done
 dune exec bin/mdabench.exe -- hot 410.bwaves -m eh --scale 0.05 --top 5 >/dev/null
 
+echo "== chaos gate: 20 fault plans x 6 mechanisms against the oracle"
+dune exec bin/mdabench.exe -- chaos --seed 42 --plans 20 --jobs 2 >/dev/null || {
+  echo "FAIL: chaos gate"; exit 1; }
+
+echo "== bounded-cache table1 is byte-identical to the unbounded run"
+BOUND_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR" "$BOUND_DIR"' EXIT
+# table1 is interpreter ground truth: a code-cache bound on the
+# translator must not move a single byte of it
+dune exec bin/mdabench.exe -- table1 --scale 0.05 --no-cache \
+  --benchmarks 164.gzip,410.bwaves >"$BOUND_DIR/unbounded.txt" 2>/dev/null
+dune exec bin/mdabench.exe -- table1 --scale 0.05 --no-cache \
+  --benchmarks 164.gzip,410.bwaves --cache-capacity 64 >"$BOUND_DIR/bounded.txt" 2>/dev/null
+cmp "$BOUND_DIR/unbounded.txt" "$BOUND_DIR/bounded.txt" || {
+  echo "FAIL: --cache-capacity changed table1's stdout"; exit 1; }
+
 echo "== parallel 'all' smoke run with result cache (scale 0.05)"
 CACHE_DIR=$(mktemp -d)
 OUT_DIR=$(mktemp -d)
-trap 'rm -rf "$TRACE_DIR" "$CACHE_DIR" "$OUT_DIR"' EXIT
+trap 'rm -rf "$TRACE_DIR" "$BOUND_DIR" "$CACHE_DIR" "$OUT_DIR"' EXIT
 dune exec bin/mdabench.exe -- all --jobs 2 --scale 0.05 \
   --benchmarks 164.gzip,410.bwaves,188.ammp \
   --cache-dir "$CACHE_DIR" >"$OUT_DIR/cold.txt" 2>"$OUT_DIR/cold.err"

@@ -13,6 +13,7 @@ open Cmdliner
 module H = Mda_harness
 module Bt = Mda_bt
 module W = Mda_workloads
+module F = Mda_fault
 
 (* (name, one-line description, runner); [mdabench list] and each
    subcommand's --help show the descriptions *)
@@ -67,11 +68,27 @@ let cache_dir_arg =
     & opt string H.Result_cache.default_dir
     & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
+let timeout_arg =
+  let doc =
+    "Kill any cell running longer than $(docv) seconds of wall clock; the worker is \
+     respawned and the cell reported as failed. Needs $(b,--jobs) > 1 (the sequential \
+     path has no separate process to kill)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let capacity_arg =
+  let doc =
+    "Bound every mechanism's code cache to $(docv) live host instructions (LRU-by-block \
+     eviction; retranslation on re-dispatch). Interpreter cells have no code cache and \
+     are unaffected."
+  in
+  Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~docv:"INSNS" ~doc)
+
 (* One shared plan-then-execute context per invocation: [mdabench all]
    passes it to every experiment so identical cells are simulated once. *)
-let exec_of ~jobs ~no_cache ~cache_dir =
+let exec_of ~jobs ~no_cache ~cache_dir ~timeout ~capacity =
   let cache = if no_cache then None else Some (H.Result_cache.create ~dir:cache_dir ()) in
-  H.Exec.create ~jobs ?cache ()
+  H.Exec.create ~jobs ?timeout ?capacity ?cache ()
 
 let opts_of ~scale ~benchmarks ~exec =
   let base = H.Experiment.default_options in
@@ -109,7 +126,9 @@ let run_experiment ?exec name scale benchmarks csv_dir =
     let exec =
       match exec with
       | Some e -> e
-      | None -> exec_of ~jobs:1 ~no_cache:true ~cache_dir:H.Result_cache.default_dir
+      | None ->
+        exec_of ~jobs:1 ~no_cache:true ~cache_dir:H.Result_cache.default_dir ~timeout:None
+          ~capacity:None
     in
     let opts = opts_of ~scale ~benchmarks ~exec in
     let before = H.Exec.counters exec in
@@ -125,14 +144,14 @@ let run_experiment ?exec name scale benchmarks csv_dir =
 
 let experiment_cmd (exp_name, desc, _) =
   let doc = Printf.sprintf "Regenerate %s: %s." exp_name desc in
-  let run scale benchmarks csv_dir jobs no_cache cache_dir =
-    let exec = exec_of ~jobs ~no_cache ~cache_dir in
+  let run scale benchmarks csv_dir jobs no_cache cache_dir timeout capacity =
+    let exec = exec_of ~jobs ~no_cache ~cache_dir ~timeout ~capacity in
     run_experiment ~exec exp_name scale benchmarks csv_dir
   in
   let term =
     Term.(
       const run $ scale_arg $ benchmarks_arg $ csv_dir_arg $ jobs_arg $ no_cache_arg
-      $ cache_dir_arg)
+      $ cache_dir_arg $ timeout_arg $ capacity_arg)
   in
   Cmd.v (Cmd.info exp_name ~doc) term
 
@@ -140,8 +159,8 @@ let all_cmd =
   let doc =
     "Regenerate every table and figure, deduping identical cells across experiments."
   in
-  let run scale benchmarks csv_dir jobs no_cache cache_dir =
-    let exec = exec_of ~jobs ~no_cache ~cache_dir in
+  let run scale benchmarks csv_dir jobs no_cache cache_dir timeout capacity =
+    let exec = exec_of ~jobs ~no_cache ~cache_dir ~timeout ~capacity in
     let t0 = Unix.gettimeofday () in
     let rc =
       List.fold_left
@@ -176,7 +195,7 @@ let all_cmd =
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
       const run $ scale_arg $ benchmarks_arg $ csv_dir_arg $ jobs_arg $ no_cache_arg
-      $ cache_dir_arg)
+      $ cache_dir_arg $ timeout_arg $ capacity_arg)
 
 (* --- run a single benchmark under one mechanism ------------------------ *)
 
@@ -637,6 +656,79 @@ let hot_cmd =
   Cmd.v (Cmd.info "hot" ~doc)
     Term.(const run $ bench_arg $ mech_arg $ scale_arg $ top_arg $ from_arg)
 
+(* --- chaos: fault-injection sweep -------------------------------------- *)
+
+let chaos_cmd =
+  let doc =
+    "Fault-injection sweep: run every mechanism under $(b,--plans) seeded random fault \
+     plans (bounded code cache with eviction, patch-slot exhaustion, refused trap-handler \
+     fixups) and check each cell against the pure-interpreter oracle — identical guest \
+     state, bounded-cache selfcheck, final degradation, exact trace replay, and \
+     termination. Also exercises harness faults: a worker killed mid-item and a garbled \
+     result-cache entry."
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"master seed of the plan stream")
+  in
+  let plans_arg =
+    Arg.(value & opt int 20 & info [ "plans" ] ~docv:"N" ~doc:"number of random fault plans")
+  in
+  let mechs_arg =
+    let doc =
+      "Comma-separated mechanism subset (default: all six of direct, static-profiling, \
+       dynamic-profiling, eh, dpeh, sa)."
+    in
+    Arg.(value & opt (some string) None & info [ "m"; "mechanisms" ] ~docv:"MECHS" ~doc)
+  in
+  let run seed plans mechs jobs =
+    let mechs =
+      match mechs with
+      | None -> F.Chaos.mechanism_names
+      | Some s -> String.split_on_char ',' s |> List.map String.trim
+    in
+    match List.filter (fun m -> not (List.mem m F.Chaos.mechanism_names)) mechs with
+    | bad :: _ ->
+      Printf.eprintf "unknown mechanism %s (chaos knows: %s)\n" bad
+        (String.concat ", " F.Chaos.mechanism_names);
+      2
+    | [] ->
+      let t0 = Unix.gettimeofday () in
+      let outcomes = F.Chaos.run ~jobs ~mechs ~seed ~plans () in
+      let failed = List.filter (fun o -> not o.F.Chaos.ok) outcomes in
+      List.iter
+        (fun (o : F.Chaos.outcome) ->
+          Printf.printf "FAIL %s / %s\n" (F.Plan.describe o.F.Chaos.plan) o.F.Chaos.mech;
+          List.iter (fun p -> Printf.printf "     %s\n" p) o.F.Chaos.problems)
+        failed;
+      Printf.printf "%-18s %7s %7s %9s %12s %9s %7s\n" "mechanism" "cells" "failed"
+        "evictions" "patch-faults" "degraded" "traps";
+      List.iter
+        (fun m ->
+          let mine = List.filter (fun o -> o.F.Chaos.mech = m) outcomes in
+          let sum f = List.fold_left (fun a o -> a + f o) 0 mine in
+          Printf.printf "%-18s %7d %7d %9d %12d %9d %7d\n" m (List.length mine)
+            (sum (fun o -> if o.F.Chaos.ok then 0 else 1))
+            (sum (fun o -> o.F.Chaos.evictions))
+            (sum (fun o -> o.F.Chaos.patch_faults))
+            (sum (fun o -> o.F.Chaos.degraded))
+            (sum (fun o -> o.F.Chaos.traps)))
+        mechs;
+      let harness = F.Chaos.harness_faults () in
+      List.iter
+        (fun (name, (ok, detail)) ->
+          Printf.printf "harness fault: %-32s %s (%s)\n" name
+            (if ok then "contained" else "FAIL") detail)
+        harness;
+      let harness_bad = List.exists (fun (_, (ok, _)) -> not ok) harness in
+      Printf.printf "chaos: %d plans x %d mechanisms = %d cells, %d failed\n" plans
+        (List.length mechs) (List.length outcomes) (List.length failed);
+      Printf.eprintf "[mdabench] chaos: %s\n%!"
+        (Mda_util.Stats.duration (Unix.gettimeofday () -. t0));
+      if failed = [] && not harness_bad then 0 else 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ seed_arg $ plans_arg $ mechs_arg $ jobs_arg)
+
 let list_cmd =
   let doc = "List the experiments, utility commands and modelled benchmarks (Table I rows)." in
   let run () =
@@ -650,6 +742,7 @@ let list_cmd =
       [ ("all", "regenerate every table and figure");
         ("run", "run one benchmark under one mechanism (--selfcheck, --validate, --trace-out)");
         ("verify", "translation-validate the cache every mechanism builds");
+        ("chaos", "every mechanism under seeded fault plans, checked against the oracle");
         ("trace", "cycle-stamped BT events; JSONL emit (--out) and replay (--replay)");
         ("hot", "hottest guest sites and blocks by trap/MDA cycle cost");
         ("info", "describe a benchmark's synthesized groups");
@@ -802,7 +895,7 @@ let () =
   let info = Cmd.info "mdabench" ~version:"1.0.0" ~doc in
   let cmds =
     List.map experiment_cmd experiments
-    @ [ all_cmd; run_cmd; verify_cmd; trace_cmd; hot_cmd; list_cmd; info_cmd; disasm_cmd;
-        disasm_host_cmd ]
+    @ [ all_cmd; run_cmd; verify_cmd; chaos_cmd; trace_cmd; hot_cmd; list_cmd; info_cmd;
+        disasm_cmd; disasm_host_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -35,6 +35,7 @@ type report = {
   patched_checked : int;
   chains_checked : int;
   guards_checked : int;
+  live_insns : int; (* live cache occupancy the capacity check saw *)
 }
 
 let ok r = r.violations = []
@@ -282,18 +283,54 @@ let check_guards cache add =
       | _ -> ());
   !count
 
-let run (cache : Cc.t) =
+(* Bounded-cache invariants (checked only when a capacity bound was in
+   force): an evicted block leaves nothing live behind, and live
+   occupancy respects the bound — except when a single block is live,
+   since the current block is never its own eviction victim and may
+   legally overshoot alone. *)
+let check_eviction cache ~capacity add =
+  Cc.iter_blocks cache (fun brec ->
+      if brec.entry = None then begin
+        if brec.host_range <> None then
+          add
+            { check = "eviction";
+              host_pc = brec.start;
+              detail = "evicted block still claims a host range" };
+        if brec.seq_insns <> 0 then
+          add
+            { check = "eviction";
+              host_pc = brec.start;
+              detail =
+                Printf.sprintf "evicted block still accounts %d MDA-sequence insns"
+                  brec.seq_insns }
+      end);
+  match capacity with
+  | None -> ()
+  | Some cap ->
+    let live = Cc.live_insns cache in
+    let live_blocks = List.length (Cc.blocks_sorted cache) in
+    if live > cap && live_blocks > 1 then
+      add
+        { check = "eviction";
+          host_pc = -1;
+          detail =
+            Printf.sprintf "%d live host insns exceed capacity %d with %d live blocks"
+              live cap live_blocks }
+
+let run ?capacity (cache : Cc.t) =
   let violations = ref [] in
   let add v = violations := v :: !violations in
   let sites_checked = check_sites cache add in
   let patched_checked = check_patched cache add in
   let chains_checked = check_chains cache add in
   let guards_checked = check_guards cache add in
+  check_eviction cache ~capacity add;
   { violations = List.rev !violations;
     sites_checked;
     patched_checked;
     chains_checked;
-    guards_checked }
+    guards_checked;
+    live_insns = Cc.live_insns cache }
 
 let pp_violation fmt v =
   Format.fprintf fmt "[%s] host pc %d: %s" v.check v.host_pc v.detail
@@ -301,8 +338,9 @@ let pp_violation fmt v =
 let pp_report fmt r =
   if ok r then
     Format.fprintf fmt
-      "selfcheck OK: %d sites, %d patched sites, %d chain edges, %d multi-version guards"
-      r.sites_checked r.patched_checked r.chains_checked r.guards_checked
+      "selfcheck OK: %d sites, %d patched sites, %d chain edges, %d multi-version \
+       guards, %d live host insns"
+      r.sites_checked r.patched_checked r.chains_checked r.guards_checked r.live_insns
   else begin
     Format.fprintf fmt
       "selfcheck FAILED: %d violation(s) over %d sites, %d patched sites, %d chain edges, %d multi-version guards@,"

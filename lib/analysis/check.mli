@@ -14,7 +14,11 @@
       a live, clean target block;
     - {b multi-version}: every alignment-test prologue guards exactly
       one trapping access of the tested width on its aligned path and
-      branches to an in-range, trap-free MDA path.
+      branches to an in-range, trap-free MDA path;
+    - {b eviction}: an evicted block leaves nothing live behind (no
+      host range, no accounted MDA-sequence insns), and — when a
+      [?capacity] bound is given — live occupancy respects it unless a
+      single live block legally overshoots alone.
 
     The checker only inspects — it never mutates the cache — so it can
     run after every mechanism ([mdabench run --selfcheck] and the
@@ -28,9 +32,12 @@ type report = {
   patched_checked : int;
   chains_checked : int;
   guards_checked : int;
+  live_insns : int;  (** live cache occupancy the capacity check saw *)
 }
 
-val run : Mda_bt.Code_cache.t -> report
+(** [capacity] is the bounded-cache limit that was in force during the
+    run, if any — enables the occupancy check. *)
+val run : ?capacity:int -> Mda_bt.Code_cache.t -> report
 
 val ok : report -> bool
 

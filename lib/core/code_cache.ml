@@ -39,6 +39,8 @@ type block_rec = {
   mutable dirty_rearrange : bool; (* rebuild inline at next entry *)
   mutable want_retrans : bool; (* invalidate + reprofile at next entry *)
   mutable retrans_count : int;
+  mutable seq_insns : int; (* out-of-line MDA-sequence insns patched in for this block *)
+  mutable last_used : int; (* dispatch tick, for LRU eviction of a bounded cache *)
 }
 
 type t = {
@@ -117,7 +119,9 @@ let block t start =
         in_chains = [];
         dirty_rearrange = false;
         want_retrans = false;
-        retrans_count = 0 }
+        retrans_count = 0;
+        seq_insns = 0;
+        last_used = 0 }
     in
     Hashtbl.replace t.blocks start b;
     b
@@ -134,11 +138,26 @@ let invalidate t b ~(repatch : int -> H.insn) =
   (match b.host_range with Some r -> remove_sites_in t r | None -> ());
   b.entry <- None;
   b.host_range <- None;
-  b.dirty_rearrange <- false
+  b.dirty_rearrange <- false;
+  b.seq_insns <- 0
 
 let iter_blocks t f = Hashtbl.iter (fun _ b -> f b) t.blocks
 
 let num_blocks t = Hashtbl.length t.blocks
+
+(* --- live occupancy (for a bounded cache) ------------------------------ *)
+
+(* The store itself is append-only (stale code is abandoned in place until
+   a flush), so a capacity bound is enforced against *live* occupancy:
+   every currently-translated block's host range plus the out-of-line MDA
+   sequences patched in for it. *)
+let block_live_insns (b : block_rec) =
+  (match b.host_range with Some (lo, hi) -> hi - lo | None -> 0) + b.seq_insns
+
+let live_insns t =
+  let total = ref 0 in
+  iter_blocks t (fun b -> if b.entry <> None then total := !total + block_live_insns b);
+  !total
 
 (* --- iteration hooks for cache-wide analyses --------------------------- *)
 

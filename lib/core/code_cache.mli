@@ -31,6 +31,10 @@ type block_rec = {
   mutable dirty_rearrange : bool;
   mutable want_retrans : bool;
   mutable retrans_count : int;
+  mutable seq_insns : int;
+      (** out-of-line MDA-sequence insns patched in for this block *)
+  mutable last_used : int;
+      (** dispatch tick, for LRU eviction of a bounded cache *)
 }
 
 type t = {
@@ -75,6 +79,15 @@ val invalidate : t -> block_rec -> repatch:(int -> H.insn) -> unit
 val iter_blocks : t -> (block_rec -> unit) -> unit
 
 val num_blocks : t -> int
+
+(** Live footprint of one block: its host range plus its out-of-line MDA
+    sequences. Zero once evicted. *)
+val block_live_insns : block_rec -> int
+
+(** Live occupancy of the whole cache — what a capacity bound is
+    enforced against; the append-only store keeps stale code in place
+    until a flush, so [length] overstates residency. *)
+val live_insns : t -> int
 
 (** Live (translated) blocks in guest-address order: a deterministic
     iteration order for cache-wide analyses (validator, mutation

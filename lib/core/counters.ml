@@ -19,6 +19,9 @@ type id =
   | Handler_patches
   | Translated_guest_len
   | Translated_host_len
+  | Evictions
+  | Patch_faults
+  | Degrades
 
 (* Declared once; [index] mirrors the order. *)
 let all =
@@ -34,7 +37,10 @@ let all =
     (Translated_guest_len, "translated_guest_len",
      "sum of guest lengths over translations (expansion-ratio numerator)");
     (Translated_host_len, "translated_host_len",
-     "sum of host lengths over translations (expansion-ratio denominator)") ]
+     "sum of host lengths over translations (expansion-ratio denominator)");
+    (Evictions, "evictions", "blocks evicted from a bounded code cache");
+    (Patch_faults, "patch_faults", "patch attempts refused by an injected fault");
+    (Degrades, "degrades", "sites permanently degraded to OS-style fixup") ]
 
 let index = function
   | Guest_insns -> 0
@@ -48,6 +54,9 @@ let index = function
   | Handler_patches -> 8
   | Translated_guest_len -> 9
   | Translated_host_len -> 10
+  | Evictions -> 11
+  | Patch_faults -> 12
+  | Degrades -> 13
 
 let size = List.length all
 

@@ -16,6 +16,9 @@ type id =
   | Handler_patches
   | Translated_guest_len
   | Translated_host_len
+  | Evictions
+  | Patch_faults
+  | Degrades
 
 (** The declared-once table: id, stable name, one-line description. *)
 val all : (id * string * string) list

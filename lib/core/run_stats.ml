@@ -33,6 +33,9 @@ type t = {
   retranslations : int;
   rearrangements : int;
   chains : int;
+  evictions : int; (* blocks evicted from a bounded code cache *)
+  patch_faults : int; (* patch attempts refused by an injected fault *)
+  degraded : int; (* sites permanently degraded to OS-style fixup *)
   blocks : int; (* distinct guest blocks discovered *)
   code_len : int; (* code-cache size, in host instructions *)
   icache_misses : int; (* L1 I-cache misses (code-locality signal) *)
@@ -43,7 +46,7 @@ type t = {
    format. Field order is part of the format; bump the [format_version]
    when it changes so stale cache entries are rejected, not misparsed. *)
 
-let format_version = 2
+let format_version = 3
 
 let to_kv t =
   [ ("mechanism", t.mechanism);
@@ -60,6 +63,9 @@ let to_kv t =
     ("retranslations", string_of_int t.retranslations);
     ("rearrangements", string_of_int t.rearrangements);
     ("chains", string_of_int t.chains);
+    ("evictions", string_of_int t.evictions);
+    ("patch_faults", string_of_int t.patch_faults);
+    ("degraded", string_of_int t.degraded);
     ("blocks", string_of_int t.blocks);
     ("code_len", string_of_int t.code_len);
     ("icache_misses", string_of_int t.icache_misses);
@@ -102,14 +108,17 @@ let of_kv kvs =
   let* retranslations = int "retranslations" in
   let* rearrangements = int "rearrangements" in
   let* chains = int "chains" in
+  let* evictions = int "evictions" in
+  let* patch_faults = int "patch_faults" in
+  let* degraded = int "degraded" in
   let* blocks = int "blocks" in
   let* code_len = int "code_len" in
   let* icache_misses = int "icache_misses" in
   let* dcache_misses = int "dcache_misses" in
   Ok
     { mechanism; stop; cycles; guest_insns; interp_insns; host_insns; memrefs; mdas;
-      traps; patches; translations; retranslations; rearrangements; chains; blocks;
-      code_len; icache_misses; dcache_misses }
+      traps; patches; translations; retranslations; rearrangements; chains; evictions;
+      patch_faults; degraded; blocks; code_len; icache_misses; dcache_misses }
 
 let pp fmt t =
   Format.fprintf fmt
@@ -117,7 +126,8 @@ let pp fmt t =
      interp insns     %s@,host insns       %s@,memrefs (interp) %s@,\
      MDAs (interp)    %s@,align traps      %s@,patches          %d@,\
      translations     %d@,retranslations   %d@,rearrangements   %d@,\
-     chains           %d@,blocks           %d@,code cache insns %d@]"
+     chains           %d@,evictions        %d@,patch faults     %d@,\
+     degraded sites   %d@,blocks           %d@,code cache insns %d@]"
     t.mechanism
     (Mda_util.Stats.with_commas t.cycles)
     (Mda_util.Stats.with_commas t.guest_insns)
@@ -126,8 +136,8 @@ let pp fmt t =
     (Mda_util.Stats.with_commas t.memrefs)
     (Mda_util.Stats.with_commas t.mdas)
     (Mda_util.Stats.with_commas t.traps)
-    t.patches t.translations t.retranslations t.rearrangements t.chains t.blocks
-    t.code_len;
+    t.patches t.translations t.retranslations t.rearrangements t.chains t.evictions
+    t.patch_faults t.degraded t.blocks t.code_len;
   Format.fprintf fmt "@.icache misses    %d@.dcache misses    %d" t.icache_misses
     t.dcache_misses;
   Format.fprintf fmt "@.stopped          %s" (stop_reason_to_string t.stop)

@@ -29,6 +29,9 @@ type t = {
   retranslations : int;
   rearrangements : int;
   chains : int;
+  evictions : int; (** blocks evicted from a bounded code cache *)
+  patch_faults : int; (** patch attempts refused by an injected fault *)
+  degraded : int; (** sites permanently degraded to OS-style fixup *)
   blocks : int;
   code_len : int; (** code-cache size, in host instructions *)
   icache_misses : int; (** L1 I-cache misses (the code-locality signal

@@ -29,6 +29,14 @@ type event =
   | Ev_chain of { at : int; target_block : int }
   | Ev_rearrange of { block : int; entry : int }
   | Ev_retranslate of { block : int }
+  | Ev_evict of { block : int; freed : int }
+    (* a bounded cache dropped this block's translation to make room *)
+  | Ev_patch_fault of { host_pc : int; guest_addr : int; attempt : int }
+    (* an injected fault refused this patch attempt; the trap was
+       serviced by OS-style fixup instead *)
+  | Ev_degrade of { guest_addr : int; attempts : int }
+    (* after [attempts] failed patches the site permanently falls back
+       to OS-style fixup — the graceful-degradation policy firing *)
 
 let event_kind = function
   | Ev_translate _ -> "translate"
@@ -38,6 +46,9 @@ let event_kind = function
   | Ev_chain _ -> "chain"
   | Ev_rearrange _ -> "rearrange"
   | Ev_retranslate _ -> "retranslate"
+  | Ev_evict _ -> "evict"
+  | Ev_patch_fault _ -> "patch-fault"
+  | Ev_degrade _ -> "degrade"
 
 let pp_event fmt = function
   | Ev_translate { block; entry; host_len } ->
@@ -58,6 +69,29 @@ let pp_event fmt = function
     Format.fprintf fmt "rearrange  block %#x -> new entry %d" block entry
   | Ev_retranslate { block } ->
     Format.fprintf fmt "retranslate block %#x (invalidate + re-profile)" block
+  | Ev_evict { block; freed } ->
+    Format.fprintf fmt "evict      block %#x (%d live host insns freed)" block freed
+  | Ev_patch_fault { host_pc; guest_addr; attempt } ->
+    Format.fprintf fmt "patch-fault host pc %d (guest %#x) attempt %d refused" host_pc
+      guest_addr attempt
+  | Ev_degrade { guest_addr; attempts } ->
+    Format.fprintf fmt "degrade    guest %#x -> OS fixup after %d failed patches"
+      guest_addr attempts
+
+(* Fault-injection knobs, all off by default. [cache_capacity] bounds the
+   *live* code-cache footprint (host insns); [patch_budget] caps total
+   successful handler patches; [patch_refuse] lets a fault plan veto
+   individual patch attempts. After [degrade_after] failed attempts a
+   site permanently degrades to OS-style fixup instead of trap-storming. *)
+type faults = {
+  cache_capacity : int option;
+  patch_budget : int option;
+  patch_refuse : (guest_addr:int -> attempt:int -> bool) option;
+  degrade_after : int;
+}
+
+let no_faults =
+  { cache_capacity = None; patch_budget = None; patch_refuse = None; degrade_after = 3 }
 
 type config = {
   mechanism : Mechanism.t;
@@ -66,6 +100,7 @@ type config = {
   max_guest_insns : int64; (* stop the run after this many guest insns *)
   chaining : bool; (* link translated block exits directly (standard) *)
   flush_policy : flush_policy;
+  faults : faults; (* injected-fault knobs; [no_faults] = unbounded, reliable *)
   on_event : (event -> unit) option; (* tracing hook *)
 }
 
@@ -76,6 +111,7 @@ let default_config mechanism =
     max_guest_insns = Int64.max_int;
     chaining = true;
     flush_policy = Block_granularity;
+    faults = no_faults;
     on_event = None }
 
 type t = {
@@ -93,6 +129,11 @@ type t = {
      exactly. *)
   counters : Counters.t;
   mutable fuel_left : int; (* never negative; 0 = runaway guard fired *)
+  mutable lru_tick : int; (* dispatch clock stamping block_rec.last_used *)
+  degraded : (int, unit) Hashtbl.t;
+  (* guest addrs permanently degraded to OS fixup; keyed outside the
+     code cache so the verdict survives eviction and retranslation *)
+  patch_attempts : (int, int) Hashtbl.t; (* guest addr -> failed patch attempts *)
 }
 
 let create ?(config = default_config (Mechanism.Exception_handling { rearrange = false }))
@@ -107,7 +148,10 @@ let create ?(config = default_config (Mechanism.Exception_handling { rearrange =
     config;
     blocks_decoded = Hashtbl.create 256;
     counters = Counters.create ();
-    fuel_left = max 0 config.fuel }
+    fuel_left = max 0 config.fuel;
+    lru_tick = 0;
+    degraded = Hashtbl.create 8;
+    patch_attempts = Hashtbl.create 8 }
 
 let counters t = t.counters
 
@@ -175,6 +219,66 @@ let policy_for t (brec : Code_cache.block_rec) : int -> Translate.policy =
     end
   end
 
+(* --- invalidation and bounded-cache eviction --------------------------- *)
+
+let invalidate_block t (brec : Code_cache.block_rec) =
+  Code_cache.invalidate t.cache brec ~repatch:(fun _ ->
+      H.Monitor (Next_guest brec.start));
+  Machine.Cpu.charge t.cpu t.config.cost.invalidate_block
+
+(* Drop one block to make room: unlink its in-chains, remove its sites,
+   clear its entry. Under Block_granularity the evicted block keeps its
+   heat, so the very next dispatch re-translates it. *)
+let evict_block t (b : Code_cache.block_rec) =
+  let freed = Code_cache.block_live_insns b in
+  invalidate_block t b;
+  b.want_retrans <- false;
+  Counters.incr t.counters Counters.Evictions;
+  emit_event t (Ev_evict { block = b.start; freed })
+
+(* Enforce the injected capacity bound on live occupancy. [current] (the
+   block being translated or patched right now) is never a victim, so a
+   single oversized block may legally overshoot the bound.
+
+   Block_granularity evicts least-recently-dispatched blocks one at a
+   time (ties broken by guest address, so eviction order is
+   deterministic); Full_flush is the Dynamo policy — one overflow drops
+   every other live translation and resets their heat. *)
+let enforce_capacity t ~(current : Code_cache.block_rec) =
+  match t.config.faults.cache_capacity with
+  | None -> ()
+  | Some cap ->
+    if Code_cache.live_insns t.cache > cap then begin
+      match t.config.flush_policy with
+      | Full_flush ->
+        Code_cache.iter_blocks t.cache (fun b ->
+            if b.entry <> None && b.start <> current.start then begin
+              evict_block t b;
+              b.execs <- 0
+            end);
+        Machine.Hierarchy.invalidate_code t.cpu.Machine.Cpu.hier
+      | Block_granularity ->
+        let victim () =
+          let best = ref None in
+          Code_cache.iter_blocks t.cache (fun b ->
+              if b.entry <> None && b.start <> current.start then
+                match !best with
+                | Some (v : Code_cache.block_rec)
+                  when (v.last_used, v.start) <= (b.last_used, b.start) -> ()
+                | _ -> best := Some b);
+          !best
+        in
+        let rec go () =
+          if Code_cache.live_insns t.cache > cap then
+            match victim () with
+            | Some b ->
+              evict_block t b;
+              go ()
+            | None -> ()
+        in
+        go ()
+    end
+
 (* --- misalignment exception handler ----------------------------------- *)
 
 let install_handler t =
@@ -198,44 +302,81 @@ let install_handler t =
              trap, or replay could not reconstruct the trap count. *)
           emit_event t (Ev_os_fixup { host_pc = pc; guest_addr = -1; ea = addr });
           Machine.Cpu.Emulate
-        | Some site ->
-          (* Generate the MDA code sequence in the code cache and patch
-             the faulting slot into a branch to it (paper Figure 5). *)
-          emit_event t (Ev_trap { host_pc = pc; guest_addr = site.guest_addr; ea = addr });
-          let seq = Seq.emit site.op @ [ H.Br { ra = H.r31; target = pc + 1 } ] in
-          let seq_start = Code_cache.emit t.cache seq in
-          Code_cache.patch t.cache pc (H.Br { ra = H.r31; target = seq_start });
+        | Some site when Hashtbl.mem t.degraded site.Code_cache.guest_addr ->
+          (* The site already degraded: OS fixup forever, no more patch
+             attempts, no trap storm. *)
           emit_event t
-            (Ev_patch { host_pc = pc; guest_addr = site.guest_addr; seq_at = seq_start });
-          Counters.incr t.counters Counters.Handler_patches;
-          Machine.Cpu.charge t.cpu t.config.cost.patch;
-          let brec = Code_cache.block t.cache site.block_start in
-          Hashtbl.replace brec.patched site.guest_addr ();
-          Hashtbl.replace brec.known_mda site.guest_addr ();
-          brec.traps <- brec.traps + 1;
-          (match t.config.mechanism with
-          | Exception_handling { rearrange = true } -> brec.dirty_rearrange <- true
-          | Dpeh { retranslate = Some limit; _ } ->
-            if brec.traps >= limit then brec.want_retrans <- true
-          | _ -> ());
-          (* A block scheduled for rebuilding must be unlinked from its
-             callers, or chained execution would never return control to
-             the dispatcher that performs the rebuild. *)
-          if brec.dirty_rearrange || brec.want_retrans then begin
-            List.iter
-              (fun at ->
-                Code_cache.patch t.cache at (H.Monitor (Next_guest brec.start)))
-              brec.in_chains;
-            brec.in_chains <- []
-          end;
-          Machine.Cpu.Retry)
+            (Ev_os_fixup { host_pc = pc; guest_addr = site.Code_cache.guest_addr; ea = addr });
+          Machine.Cpu.Emulate
+        | Some site ->
+          emit_event t (Ev_trap { host_pc = pc; guest_addr = site.guest_addr; ea = addr });
+          let f = t.config.faults in
+          let attempt =
+            1 + Option.value (Hashtbl.find_opt t.patch_attempts site.guest_addr) ~default:0
+          in
+          let budget_exhausted =
+            match f.patch_budget with
+            | Some b -> Counters.geti t.counters Counters.Handler_patches >= b
+            | None -> false
+          in
+          let refused =
+            match f.patch_refuse with
+            | Some g -> g ~guest_addr:site.guest_addr ~attempt
+            | None -> false
+          in
+          if budget_exhausted || refused then begin
+            (* Injected fault: the patch attempt fails. Service this trap
+               by OS-style fixup; after [degrade_after] failures the site
+               permanently degrades so it cannot trap-storm. *)
+            Hashtbl.replace t.patch_attempts site.guest_addr attempt;
+            Counters.incr t.counters Counters.Patch_faults;
+            emit_event t
+              (Ev_patch_fault { host_pc = pc; guest_addr = site.guest_addr; attempt });
+            if attempt >= f.degrade_after then begin
+              Hashtbl.replace t.degraded site.guest_addr ();
+              Counters.incr t.counters Counters.Degrades;
+              emit_event t (Ev_degrade { guest_addr = site.guest_addr; attempts = attempt })
+            end;
+            let brec = Code_cache.block t.cache site.block_start in
+            brec.traps <- brec.traps + 1;
+            Machine.Cpu.Emulate
+          end
+          else begin
+            (* Generate the MDA code sequence in the code cache and patch
+               the faulting slot into a branch to it (paper Figure 5). *)
+            let seq = Seq.emit site.op @ [ H.Br { ra = H.r31; target = pc + 1 } ] in
+            let seq_start = Code_cache.emit t.cache seq in
+            Code_cache.patch t.cache pc (H.Br { ra = H.r31; target = seq_start });
+            emit_event t
+              (Ev_patch { host_pc = pc; guest_addr = site.guest_addr; seq_at = seq_start });
+            Counters.incr t.counters Counters.Handler_patches;
+            Machine.Cpu.charge t.cpu t.config.cost.patch;
+            let brec = Code_cache.block t.cache site.block_start in
+            Hashtbl.replace brec.patched site.guest_addr ();
+            Hashtbl.replace brec.known_mda site.guest_addr ();
+            brec.traps <- brec.traps + 1;
+            brec.seq_insns <- brec.seq_insns + List.length seq;
+            (match t.config.mechanism with
+            | Exception_handling { rearrange = true } -> brec.dirty_rearrange <- true
+            | Dpeh { retranslate = Some limit; _ } ->
+              if brec.traps >= limit then brec.want_retrans <- true
+            | _ -> ());
+            (* A block scheduled for rebuilding must be unlinked from its
+               callers, or chained execution would never return control to
+               the dispatcher that performs the rebuild. *)
+            if brec.dirty_rearrange || brec.want_retrans then begin
+              List.iter
+                (fun at ->
+                  Code_cache.patch t.cache at (H.Monitor (Next_guest brec.start)))
+                brec.in_chains;
+              brec.in_chains <- []
+            end;
+            (* The out-of-line sequence grew this block's live footprint. *)
+            enforce_capacity t ~current:brec;
+            Machine.Cpu.Retry
+          end)
 
 (* --- translation ------------------------------------------------------ *)
-
-let invalidate_block t (brec : Code_cache.block_rec) =
-  Code_cache.invalidate t.cache brec ~repatch:(fun _ ->
-      H.Monitor (Next_guest brec.start));
-  Machine.Cpu.charge t.cpu t.config.cost.invalidate_block
 
 let translate_block ?(charge = true) t (brec : Code_cache.block_rec) =
   let block = block_of t brec.start in
@@ -249,6 +390,8 @@ let translate_block ?(charge = true) t (brec : Code_cache.block_rec) =
   if charge then
     Machine.Cpu.charge t.cpu (t.config.cost.translate_guest_insn * Block.length block);
   emit_event t (Ev_translate { block = brec.start; entry; host_len = hi - entry });
+  (* A fresh translation may push live occupancy past an injected bound. *)
+  enforce_capacity t ~current:brec;
   entry
 
 (* Deferred code rearrangement: rebuild the block with its patched MDA
@@ -348,6 +491,8 @@ let enter_translated t (brec : Code_cache.block_rec) entry =
 
 let step t pc =
   let brec = Code_cache.block t.cache pc in
+  t.lru_tick <- t.lru_tick + 1;
+  brec.last_used <- t.lru_tick;
   if brec.want_retrans then retranslate_block t brec;
   match brec.entry with
   | Some _ when brec.dirty_rearrange ->
@@ -437,6 +582,9 @@ let interpret_program ?(mode = Interp.Interpreted { profile = true })
       retranslations = 0;
       rearrangements = 0;
       chains = 0;
+      evictions = 0;
+      patch_faults = 0;
+      degraded = 0;
       blocks = Hashtbl.length blocks;
       code_len = 0;
       icache_misses = 0;
@@ -483,6 +631,9 @@ let run t ~entry =
       retranslations = Counters.geti c Counters.Retranslations;
       rearrangements = Counters.geti c Counters.Rearrangements;
       chains = Counters.geti c Counters.Chains;
+      evictions = Counters.geti c Counters.Evictions;
+      patch_faults = Counters.geti c Counters.Patch_faults;
+      degraded = Counters.geti c Counters.Degrades;
       blocks = Code_cache.num_blocks t.cache;
       code_len = Code_cache.length t.cache;
       icache_misses =

@@ -23,12 +23,37 @@ type event =
   | Ev_chain of { at : int; target_block : int }
   | Ev_rearrange of { block : int; entry : int }
   | Ev_retranslate of { block : int }
+  | Ev_evict of { block : int; freed : int }
+      (** a bounded cache dropped this block's translation to make room *)
+  | Ev_patch_fault of { host_pc : int; guest_addr : int; attempt : int }
+      (** an injected fault refused this patch attempt; the trap was
+          serviced by OS-style fixup instead *)
+  | Ev_degrade of { guest_addr : int; attempts : int }
+      (** after [attempts] failed patches the site permanently falls
+          back to OS-style fixup *)
 
 (** Stable one-word kind name of an event ("translate", "trap", …) —
     part of the trace schema. *)
 val event_kind : event -> string
 
 val pp_event : Format.formatter -> event -> unit
+
+(** Fault-injection knobs, all off in {!no_faults}. [cache_capacity]
+    bounds the *live* code-cache footprint in host instructions
+    (enforced by LRU-by-block eviction, or a full flush under
+    [Full_flush]); [patch_budget] caps total successful handler patches;
+    [patch_refuse] vetoes individual patch attempts. After
+    [degrade_after] failed attempts a site permanently degrades to
+    OS-style fixup ({!Ev_degrade}). *)
+type faults = {
+  cache_capacity : int option;
+  patch_budget : int option;
+  patch_refuse : (guest_addr:int -> attempt:int -> bool) option;
+  degrade_after : int;
+}
+
+(** Unbounded cache, reliable handler — the production default. *)
+val no_faults : faults
 
 type config = {
   mechanism : Mechanism.t;
@@ -37,6 +62,8 @@ type config = {
   max_guest_insns : int64; (** stop the run after this many guest insns *)
   chaining : bool; (** link translated block exits directly (standard) *)
   flush_policy : flush_policy;
+  faults : faults;
+      (** injected-fault knobs; [no_faults] = unbounded, reliable *)
   on_event : (event -> unit) option; (** tracing hook *)
 }
 
@@ -52,6 +79,12 @@ type t = {
       (** the declared-once statistic registry ({!Counters.all}) every
           consumer — {!Run_stats}, the lib/obs sinks, the CLI — reads *)
   mutable fuel_left : int;  (** never negative; 0 = runaway guard fired *)
+  mutable lru_tick : int;  (** dispatch clock stamping [block_rec.last_used] *)
+  degraded : (int, unit) Hashtbl.t;
+      (** guest addrs permanently degraded to OS fixup; keyed outside
+          the code cache so the verdict survives eviction *)
+  patch_attempts : (int, int) Hashtbl.t;
+      (** guest addr → failed patch attempts so far *)
 }
 
 (** Fresh runtime over [mem] (which must already hold the guest image). *)

@@ -1,0 +1,276 @@
+(* Chaos runner: every mechanism under every fault plan, checked against
+   the pure-interpreter oracle.
+
+   The design mirrors the differential test suite — same snapshot, same
+   oracle, same per-mechanism preparation — but swaps QCheck's random
+   workloads for {!Plan}'s seeded scenarios, adds the injected-fault
+   knobs, and layers on the invariants that only matter under faults:
+   post-eviction selfcheck, degradation finality, and exact trace
+   replay. *)
+
+module W = Mda_workloads
+module Bt = Mda_bt
+module Machine = Mda_machine
+module A = Mda_analysis
+module Obs = Mda_obs
+module H = Mda_harness
+
+type outcome = {
+  plan : Plan.t;
+  mech : string;
+  ok : bool;
+  problems : string list;
+  evictions : int;
+  patch_faults : int;
+  degraded : int;
+  traps : int;
+  translations : int;
+}
+
+let mechanism_names =
+  [ "direct"; "static-profiling"; "dynamic-profiling"; "eh"; "dpeh"; "sa" ]
+
+(* --- running and snapshotting ------------------------------------------ *)
+
+type state = { regs : int64 array; mem : string (* Digest *) }
+
+let snapshot cpu mem =
+  (* ESP excluded: engine-managed identically but uninteresting *)
+  { regs = Array.init 8 (fun i -> if i = 4 then 0L else Machine.Cpu.get cpu i);
+    mem = Digest.bytes (Machine.Memory.raw mem) }
+
+let state_eq a b = a.regs = b.regs && String.equal a.mem b.mem
+
+let fresh groups =
+  let p = W.Gen.build ~input:W.Gen.Ref groups in
+  let mem = Machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
+  Machine.Memory.load_image mem ~addr:p.W.Gen.asm_program.Mda_guest.Asm.base
+    p.W.Gen.asm_program.Mda_guest.Asm.image;
+  p.W.Gen.init mem;
+  (p.W.Gen.entry, mem)
+
+(* The oracle never translates (threshold beyond any loop count), so no
+   fault knob can touch it: pure phase-1 interpretation. *)
+let oracle groups =
+  let entry, mem = fresh groups in
+  let config =
+    Bt.Runtime.default_config (Bt.Mechanism.Dynamic_profiling { threshold = 1_000_000 })
+  in
+  let t = Bt.Runtime.create ~config ~mem () in
+  let _ = Bt.Runtime.run t ~entry in
+  snapshot t.Bt.Runtime.cpu mem
+
+let train_summary groups =
+  let p = W.Gen.build ~input:W.Gen.Train groups in
+  let mem = Machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
+  Machine.Memory.load_image mem ~addr:p.W.Gen.asm_program.Mda_guest.Asm.base
+    p.W.Gen.asm_program.Mda_guest.Asm.image;
+  p.W.Gen.init mem;
+  let _, profile =
+    Bt.Runtime.interpret_program ~mode:(Bt.Interp.Interpreted { profile = true }) ~mem
+      ~entry:p.W.Gen.entry ()
+  in
+  Bt.Profile.summarize profile
+
+let sa_summary groups =
+  let entry, mem = fresh groups in
+  ignore entry;
+  A.Dataflow.summary (A.Dataflow.analyze mem ~entry)
+
+(* Per-mechanism preparation exactly as the harness does it: static
+   profiling trains on the Train input, static analysis runs the
+   congruence dataflow on the binary. Thresholds are low so translation
+   (and with it the bounded cache and the trap handler) engages. *)
+let mechanism_of groups = function
+  | "direct" -> Bt.Mechanism.Direct
+  | "static-profiling" -> Bt.Mechanism.Static_profiling (train_summary groups)
+  | "dynamic-profiling" -> Bt.Mechanism.Dynamic_profiling { threshold = 3 }
+  | "eh" -> Bt.Mechanism.Exception_handling { rearrange = true }
+  | "dpeh" -> Bt.Mechanism.Dpeh { threshold = 2; retranslate = Some 2; multiversion = true }
+  | "sa" ->
+    Bt.Mechanism.Static_analysis
+      { summary = sa_summary groups; unknown = Bt.Mechanism.Sa_fallback }
+  | m -> invalid_arg ("Chaos.check: unknown mechanism " ^ m)
+
+(* --- the per-cell invariants ------------------------------------------- *)
+
+(* Degradation is final: once [Ev_degrade] fires for a site, every later
+   hardware trap there must be served by OS-style fixup ([Ev_os_fixup]),
+   never re-enter the patching path ([Ev_trap]). *)
+let degradation_final records =
+  let degraded = Hashtbl.create 8 in
+  List.filter_map
+    (fun r ->
+      match r.Obs.Trace.ev with
+      | Bt.Runtime.Ev_degrade { guest_addr; _ } ->
+        Hashtbl.replace degraded guest_addr ();
+        None
+      | Bt.Runtime.Ev_trap { guest_addr; _ } when Hashtbl.mem degraded guest_addr ->
+        Some (Printf.sprintf "Ev_trap at degraded site 0x%x" guest_addr)
+      | _ -> None)
+    records
+
+let check plan ~mech =
+  let groups = Plan.groups plan in
+  let expected = oracle groups in
+  let mechanism = mechanism_of groups mech in
+  let sink = Obs.Trace.create () in
+  let config =
+    { (Bt.Runtime.default_config mechanism) with
+      flush_policy = plan.Plan.flush_policy;
+      faults = Plan.faults plan;
+      on_event = Some (Obs.Trace.hook sink) }
+  in
+  let entry, mem = fresh groups in
+  let rt = Bt.Runtime.create ~config ~mem () in
+  Obs.Trace.attach sink rt;
+  let stats = Bt.Runtime.run rt ~entry in
+  let got = snapshot rt.Bt.Runtime.cpu mem in
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  if not (state_eq expected got) then
+    fail "guest state diverged from the pure-interpreter oracle";
+  if stats.Bt.Run_stats.stop <> Bt.Run_stats.Halted then
+    fail "run did not halt (%s)"
+      (Bt.Run_stats.stop_reason_to_string stats.Bt.Run_stats.stop);
+  let report = A.Check.run ?capacity:plan.Plan.cache_capacity rt.Bt.Runtime.cache in
+  if not (A.Check.ok report) then
+    fail "selfcheck: %d violation(s), first: %s"
+      (List.length report.A.Check.violations)
+      (match report.A.Check.violations with
+      | v :: _ -> Format.asprintf "%a" A.Check.pp_violation v
+      | [] -> "-");
+  List.iter (fun p -> fail "degradation not final: %s" p)
+    (degradation_final (Obs.Trace.records sink));
+  let jsonl =
+    Obs.Trace.to_jsonl ~mechanism:mech ~bench:(Printf.sprintf "chaos-%d" plan.Plan.id)
+      ~scale:1.0 ~stats sink
+  in
+  (match Obs.Trace.of_jsonl jsonl with
+  | Error e -> fail "trace does not parse: %s" e
+  | Ok file -> (
+    match Obs.Trace.replay file with
+    | Error e -> fail "trace does not replay: %s" e
+    | Ok replayed ->
+      if replayed <> stats then fail "replayed stats differ from the run's own"));
+  let problems = List.rev !problems in
+  { plan;
+    mech;
+    ok = problems = [];
+    problems;
+    evictions = stats.Bt.Run_stats.evictions;
+    patch_faults = stats.Bt.Run_stats.patch_faults;
+    degraded = stats.Bt.Run_stats.degraded;
+    traps = Int64.to_int stats.Bt.Run_stats.traps;
+    translations = stats.Bt.Run_stats.translations }
+
+(* --- harness faults ----------------------------------------------------- *)
+
+(* A self-inflicted worker death (SIGKILL'd pool worker) must be
+   contained: the in-flight item reports an error, siblings complete. *)
+let pool_kill_check () =
+  let f i = if i = 2 then Unix.kill (Unix.getpid ()) Sys.sigkill; i * i in
+  let results = H.Pool.map ~jobs:2 ~f [ 0; 1; 2; 3; 4; 5 ] in
+  let ok = ref true in
+  let detail = Buffer.create 64 in
+  Array.iteri
+    (fun i r ->
+      match (i, r) with
+      | 2, Error _ -> ()
+      | 2, Ok _ ->
+        ok := false;
+        Buffer.add_string detail "killed item reported Ok; "
+      | _, Ok v when v = i * i -> ()
+      | _, Ok _ ->
+        ok := false;
+        Buffer.add_string detail (Printf.sprintf "item %d wrong value; " i)
+      | _, Error e ->
+        ok := false;
+        Buffer.add_string detail (Printf.sprintf "sibling %d poisoned (%s); " i e))
+    results;
+  (!ok, if !ok then "killed worker contained, siblings unaffected" else Buffer.contents detail)
+
+let dummy_stats =
+  { Bt.Run_stats.mechanism = "chaos-probe";
+    stop = Bt.Run_stats.Halted;
+    cycles = 12345L;
+    guest_insns = 100L;
+    interp_insns = 50L;
+    host_insns = 200L;
+    memrefs = 40L;
+    mdas = 7L;
+    traps = 3L;
+    patches = 2;
+    translations = 4;
+    retranslations = 1;
+    rearrangements = 1;
+    chains = 2;
+    evictions = 1;
+    patch_faults = 1;
+    degraded = 1;
+    blocks = 4;
+    code_len = 64;
+    icache_misses = 5;
+    dcache_misses = 6 }
+
+(* A garbled cache entry must degrade to a miss (no exception, no torn
+   result), and a re-store must heal it. *)
+let cache_garble_check () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mdabench_chaos_%d" (Unix.getpid ()))
+  in
+  let cache = H.Result_cache.create ~dir () in
+  let cell = H.Cell.mech ~scale:1.0 H.Cell.Direct "chaos-probe" in
+  let result = { H.Cell.stats = dummy_stats; sites = [||] } in
+  H.Result_cache.store cache cell result;
+  let path = H.Result_cache.path cache cell in
+  let cleanup () =
+    (try Sys.remove path with Sys_error _ -> ());
+    (try Sys.remove (Filename.concat dir ".lock") with Sys_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  if H.Result_cache.find cache cell = None then (false, "stored entry did not read back")
+  else begin
+    (* garble: overwrite the middle of the entry with junk *)
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    ignore (Unix.lseek fd 16 Unix.SEEK_SET);
+    ignore (Unix.write_substring fd "\x00garbage\x00" 0 9);
+    Unix.close fd;
+    match H.Result_cache.find cache cell with
+    | Some _ -> (false, "garbled entry served as a hit")
+    | None ->
+      H.Result_cache.store cache cell result;
+      (match H.Result_cache.find cache cell with
+      | Some r when r = result -> (true, "garbled entry missed, re-store healed it")
+      | Some _ -> (false, "healed entry differs from the stored result")
+      | None -> (false, "re-store after garbling did not take"))
+  end
+
+let harness_faults () =
+  [ ("pool worker killed mid-item", pool_kill_check ());
+    ("garbled result-cache entry", cache_garble_check ()) ]
+
+(* --- the sweep ---------------------------------------------------------- *)
+
+let run ?(jobs = 1) ?(mechs = mechanism_names) ~seed ~plans () =
+  let rng = Mda_util.Rng.create (Int64.of_int seed) in
+  let ps = List.init plans (fun id -> Plan.random ~rng ~id) in
+  let cells = List.concat_map (fun p -> List.map (fun m -> (p, m)) mechs) ps in
+  let results = H.Pool.map ~jobs ~f:(fun (p, m) -> check p ~mech:m) cells in
+  List.mapi
+    (fun i (p, m) ->
+      match results.(i) with
+      | Ok o -> o
+      | Error e ->
+        { plan = p;
+          mech = m;
+          ok = false;
+          problems = [ "worker: " ^ e ];
+          evictions = 0;
+          patch_faults = 0;
+          degraded = 0;
+          traps = 0;
+          translations = 0 })
+    cells

@@ -1,0 +1,125 @@
+(* Seeded deterministic fault plans.
+
+   A plan bundles a workload specification with the injected-fault knobs
+   of one chaos scenario. Both are pure functions of the plan's 64-bit
+   seed, so a plan id printed by a failing run replays the exact
+   workload, the exact eviction pressure, and the exact per-site
+   refusal pattern. *)
+
+module W = Mda_workloads
+module Rng = Mda_util.Rng
+module Bt = Mda_bt
+
+type t = {
+  id : int;
+  seed : int64;
+  cache_capacity : int option;
+  flush_policy : Bt.Runtime.flush_policy;
+  patch_budget : int option;
+  refuse_nth : int option;
+  unpatchable_pct : int;
+  degrade_after : int;
+}
+
+(* The distribution leans adversarial on purpose: ~70% of plans bound
+   the cache low enough that hot workloads overflow it (forcing real
+   evictions and re-translations), and about a third inject some patch
+   fault so the degradation path gets traffic. *)
+let random ~rng ~id =
+  let seed = Rng.next_u64 rng in
+  (* the workloads translate a handful of blocks of a few dozen host
+     insns each, so caps in the 16–128 range actually bind *)
+  let cache_capacity = if Rng.bool rng 0.7 then Some (Rng.int_in rng 16 128) else None in
+  let flush_policy =
+    if Rng.bool rng 0.5 then Bt.Runtime.Block_granularity else Bt.Runtime.Full_flush
+  in
+  let patch_budget = if Rng.bool rng 0.25 then Some (Rng.int_in rng 0 8) else None in
+  let refuse_nth = if Rng.bool rng 0.25 then Some (Rng.int_in rng 1 3) else None in
+  let unpatchable_pct = if Rng.bool rng 0.4 then Rng.int_in rng 10 60 else 0 in
+  let degrade_after = Rng.int_in rng 1 4 in
+  { id; seed; cache_capacity; flush_policy; patch_budget; refuse_nth; unpatchable_pct;
+    degrade_after }
+
+let describe t =
+  let cap =
+    match t.cache_capacity with
+    | None -> "cap=unbounded"
+    | Some c ->
+      Printf.sprintf "cap=%d/%s" c
+        (match t.flush_policy with
+        | Bt.Runtime.Block_granularity -> "block-granularity"
+        | Bt.Runtime.Full_flush -> "full-flush")
+  in
+  let budget =
+    match t.patch_budget with None -> "" | Some b -> Printf.sprintf " budget=%d" b
+  in
+  let refuse =
+    match t.refuse_nth with None -> "" | Some n -> Printf.sprintf " refuse#%d" n
+  in
+  let unpatch =
+    if t.unpatchable_pct = 0 then ""
+    else Printf.sprintf " unpatchable=%d%%" t.unpatchable_pct
+  in
+  Printf.sprintf "plan %d seed=0x%Lx %s%s%s%s K=%d" t.id t.seed cap budget refuse unpatch
+    t.degrade_after
+
+(* --- patch-fault predicate --------------------------------------------- *)
+
+(* Per-site refusal roll: a splitmix stream keyed on (seed, guest_addr),
+   so whether a site is unpatchable is a stable property of the plan —
+   the same site gets the same verdict on every attempt, every eviction,
+   every re-translation. *)
+let site_unpatchable t ~guest_addr =
+  t.unpatchable_pct > 0
+  &&
+  let key = Int64.logxor t.seed (Int64.mul (Int64.of_int guest_addr) 0x9E3779B97F4A7C15L) in
+  Rng.int (Rng.create key) 100 < t.unpatchable_pct
+
+let faults t =
+  let refuse =
+    if t.unpatchable_pct = 0 && t.refuse_nth = None then None
+    else
+      Some
+        (fun ~guest_addr ~attempt ->
+          site_unpatchable t ~guest_addr || t.refuse_nth = Some attempt)
+  in
+  { Bt.Runtime.cache_capacity = t.cache_capacity;
+    patch_budget = t.patch_budget;
+    patch_refuse = refuse;
+    degrade_after = t.degrade_after }
+
+(* --- workload derivation ------------------------------------------------ *)
+
+(* 1–3 hot-loop groups biased towards misalignment (the handler must see
+   traffic for fault injection to mean anything) and towards execution
+   counts above the heating threshold (the cache must hold translations
+   for the bound to bite). Mirrors the differential suite's generator,
+   but drawn from the deterministic splitmix stream instead of QCheck. *)
+let groups t =
+  let rng = Rng.split (Rng.create t.seed) in
+  let n = Rng.int_in rng 2 4 in
+  List.init n (fun i ->
+      let width = Rng.choice rng [| 2; 4; 8 |] in
+      let behavior =
+        match Rng.int rng 6 with
+        | 0 -> W.Gen.Aligned
+        | 1 | 2 -> W.Gen.Misaligned
+        | 3 -> W.Gen.Late { onset = Rng.int_in rng 1 40 }
+        | 4 -> W.Gen.Mixed { period = (if width = 2 then 2 else width / 2) }
+        | _ -> W.Gen.Rare { period = 1 lsl Rng.int_in rng 1 3 }
+      in
+      let sites = Rng.int_in rng 1 4 in
+      let execs = if Rng.bool rng 0.85 then Rng.int_in rng 55 150 else Rng.int_in rng 3 30 in
+      let mix =
+        Rng.choice rng [| W.Gen.Loads_only; W.Gen.Alternate; W.Gen.Stores_only |]
+      in
+      { W.Gen.label = Printf.sprintf "c%d" i;
+        sites;
+        execs;
+        width;
+        mix;
+        behavior;
+        (* bloat fattens host blocks — the cache-pressure knob *)
+        bloat = Rng.int rng 7;
+        lib = Rng.bool rng 0.3;
+        via_call = Rng.bool rng 0.3 })

@@ -1,0 +1,47 @@
+(** Seeded deterministic fault plans.
+
+    A plan is one chaos scenario: a workload specification plus a set of
+    injected-fault knobs ({!Mda_bt.Runtime.faults}) — bounded code
+    cache, flush policy under pressure, patch-slot budget, per-site
+    patch refusal, and the degradation threshold [K]. Everything is
+    derived from the plan's 64-bit seed, so a plan id printed by a
+    failing chaos run reproduces the scenario byte-for-byte. *)
+
+type t = {
+  id : int;
+  seed : int64;  (** derives the workload and the per-site refusal rolls *)
+  cache_capacity : int option;  (** live host insns; [None] = unbounded *)
+  flush_policy : Mda_bt.Runtime.flush_policy;
+      (** eviction granularity once the bound is hit *)
+  patch_budget : int option;
+      (** total successful handler patches allowed; [None] = unlimited *)
+  refuse_nth : int option;
+      (** the handler refuses exactly the [n]-th patch attempt at every
+          site *)
+  unpatchable_pct : int;
+      (** percentage of sites whose patches are {e always} refused
+          (deterministic per-site roll from [seed]) — these sites must
+          degrade to OS-style fixup after [degrade_after] attempts *)
+  degrade_after : int;  (** the degradation threshold [K] *)
+}
+
+(** [random ~rng ~id] draws the next plan from [rng]'s stream. The
+    distribution leans adversarial: most plans bound the cache tightly
+    enough to force eviction, and a third carry some patch fault. *)
+val random : rng:Mda_util.Rng.t -> id:int -> t
+
+(** One-line human description, e.g.
+    ["plan 7 seed=0x1234 cap=96/block-granularity refuse#2 unpatchable=20% K=3"]. *)
+val describe : t -> string
+
+(** Is [guest_addr]'s patching permanently refused under this plan?
+    (The per-site roll behind [unpatchable_pct]; deterministic.) *)
+val site_unpatchable : t -> guest_addr:int -> bool
+
+(** The runtime fault knobs this plan injects. *)
+val faults : t -> Mda_bt.Runtime.faults
+
+(** The plan's workload specification (deterministic from [seed]):
+    1–3 hot-loop groups biased towards misalignment so the trap handler,
+    the patcher and the bounded cache all see real traffic. *)
+val groups : t -> Mda_workloads.Gen.group list

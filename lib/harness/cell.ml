@@ -35,14 +35,15 @@ type t = {
   kind : kind;
   trap_cost : int option; (* override cost model's align_trap cycles *)
   chaining : bool;
+  capacity : int option; (* bounded code cache, in live host insns *)
 }
 
 let make ?(input = W.Gen.Ref) ?(variant = W.Workload.Default) ?trap_cost ?(chaining = true)
-    ~scale kind bench =
-  { bench; scale; input; variant; kind; trap_cost; chaining }
+    ?capacity ~scale kind bench =
+  { bench; scale; input; variant; kind; trap_cost; chaining; capacity }
 
-let mech ?input ?variant ?trap_cost ?chaining ~scale spec bench =
-  make ?input ?variant ?trap_cost ?chaining ~scale (Mech spec) bench
+let mech ?input ?variant ?trap_cost ?chaining ?capacity ~scale spec bench =
+  make ?input ?variant ?trap_cost ?chaining ?capacity ~scale (Mech spec) bench
 
 let interp ?input ?variant ?trap_cost ?chaining ~scale bench =
   make ?input ?variant ?trap_cost ?chaining ~scale (Interp { native = false }) bench
@@ -70,15 +71,17 @@ let kind_describe = function
   | Interp { native } -> if native then "native" else "interp"
 
 (* Injective over everything that can change a cell's result; %h prints
-   floats losslessly. *)
+   floats losslessly. v2 adds the bounded-cache capacity. *)
 let describe t =
-  Printf.sprintf "cell-v1 bench=%s scale=%h input=%s variant=%s kind=%s trap=%s chain=%b"
+  Printf.sprintf
+    "cell-v2 bench=%s scale=%h input=%s variant=%s kind=%s trap=%s chain=%b cap=%s"
     t.bench t.scale
     (match t.input with W.Gen.Train -> "train" | W.Gen.Ref -> "ref")
     (match t.variant with W.Workload.Default -> "default" | W.Workload.Aligned_opt -> "aligned-opt")
     (kind_describe t.kind)
     (match t.trap_cost with None -> "default" | Some c -> string_of_int c)
     t.chaining
+    (match t.capacity with None -> "unbounded" | Some c -> string_of_int c)
 
 (* --- results ----------------------------------------------------------- *)
 
@@ -153,6 +156,7 @@ let compute ?sink t =
       { (Bt.Runtime.default_config mechanism) with
         cost = cost_of t;
         chaining = t.chaining;
+        faults = { Bt.Runtime.no_faults with cache_capacity = t.capacity };
         on_event }
     in
     let rt = Bt.Runtime.create ~config ~mem () in

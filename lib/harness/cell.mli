@@ -29,6 +29,9 @@ type t = {
   kind : kind;
   trap_cost : int option;  (** override the cost model's align_trap cycles *)
   chaining : bool;
+  capacity : int option;
+      (** bounded code cache, in live host insns ([Mech] cells only;
+          the interpreter has no code cache) *)
 }
 
 val make :
@@ -36,6 +39,7 @@ val make :
   ?variant:Mda_workloads.Workload.variant ->
   ?trap_cost:int ->
   ?chaining:bool ->
+  ?capacity:int ->
   scale:float ->
   kind ->
   string ->
@@ -47,6 +51,7 @@ val mech :
   ?variant:Mda_workloads.Workload.variant ->
   ?trap_cost:int ->
   ?chaining:bool ->
+  ?capacity:int ->
   scale:float ->
   mech_spec ->
   string ->

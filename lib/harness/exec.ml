@@ -30,16 +30,34 @@ let diff_counters a b =
 
 type t = {
   jobs : int;
+  timeout : float option; (* per-cell wall-clock bound in the pool *)
+  capacity : int option; (* bounded code cache applied to every Mech cell *)
   cache : Result_cache.t option;
   memo : (string, Cell.result) Hashtbl.t; (* keyed by Cell.describe *)
   mutable counters : counters;
   mutable failures : (Cell.t * string) list;
 }
 
-let create ?(jobs = 1) ?cache () =
-  { jobs = max 1 jobs; cache; memo = Hashtbl.create 256; counters = zero_counters; failures = [] }
+let create ?(jobs = 1) ?timeout ?capacity ?cache () =
+  { jobs = max 1 jobs;
+    timeout;
+    capacity;
+    cache;
+    memo = Hashtbl.create 256;
+    counters = zero_counters;
+    failures = [] }
 
 let jobs t = t.jobs
+
+(* The capacity override rewrites Mech cells on the way in — one knob
+   bounds every experiment's translator without threading a parameter
+   through all sixteen runners. Interp cells (the ground-truth oracle)
+   have no code cache and pass through untouched, so e.g. table1's
+   results cannot move under a bound. *)
+let apply_capacity t (cell : Cell.t) =
+  match (t.capacity, cell.kind) with
+  | Some _, Cell.Mech _ when cell.capacity = None -> { cell with capacity = t.capacity }
+  | _ -> cell
 
 let counters t = t.counters
 
@@ -63,6 +81,7 @@ let cache_store t cell r =
   match t.cache with None -> () | Some c -> Result_cache.store c cell r
 
 let prefetch t cells =
+  let cells = List.map (apply_capacity t) cells in
   (* dedup while preserving order; count every repeat as a memo hit *)
   let seen = Hashtbl.create (List.length cells) in
   let todo =
@@ -90,7 +109,9 @@ let prefetch t cells =
       todo
   in
   if todo <> [] then begin
-    let results = Pool.map ~jobs:t.jobs ~f:(fun cell -> Cell.compute cell) todo in
+    let results =
+      Pool.map ?timeout:t.timeout ~jobs:t.jobs ~f:(fun cell -> Cell.compute cell) todo
+    in
     List.iteri
       (fun i cell ->
         match results.(i) with
@@ -105,6 +126,7 @@ let prefetch t cells =
   end
 
 let get t cell =
+  let cell = apply_capacity t cell in
   match Hashtbl.find_opt t.memo (Cell.describe cell) with
   | Some r -> r
   | None ->

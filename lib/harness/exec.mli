@@ -7,8 +7,13 @@ type t
 
 (** [create ~jobs ~cache ()]: [jobs <= 1] (the default) computes
     sequentially in-process; no [cache] means every cell is simulated
-    fresh each process. *)
-val create : ?jobs:int -> ?cache:Result_cache.t -> unit -> t
+    fresh each process. [?timeout] bounds each cell's wall clock in the
+    worker pool (see {!Pool.map}; ignored when [jobs <= 1]).
+    [?capacity] bounds the translator's code cache (live host insns) for
+    every [Mech] cell that does not already carry its own bound — interp
+    cells, having no code cache, pass through untouched. *)
+val create :
+  ?jobs:int -> ?timeout:float -> ?capacity:int -> ?cache:Result_cache.t -> unit -> t
 
 val jobs : t -> int
 

@@ -14,11 +14,25 @@
    worker is spawned if unassigned items remain — sibling cells are
    never poisoned and the pool never hangs.
 
+   A per-item wall-clock [?timeout] (off by default) bounds how long a
+   worker may chew on one item: on expiry the worker is killed, the item
+   reported as a timeout [Error], and a replacement spawned. Repeated
+   deaths of the same worker *slot* — timeouts or crashes — back off
+   exponentially before the respawn, so a poisoned machine degrades to
+   slow instead of melting into a fork storm.
+
    [jobs <= 1] degrades to the plain sequential path in the calling
    process (no fork), which is also the only mode that can run on
-   systems without [Unix.fork]. *)
+   systems without [Unix.fork]; the timeout needs a separate process to
+   kill, so it is ignored there. *)
 
 type ('a, 'b) message = int * ('b, string) result
+
+(* Backoff before respawning into a slot that has already lost [deaths]
+   workers: nothing for the first death, then 50ms doubling per further
+   death, capped at 1s. *)
+let backoff_delay ~deaths =
+  if deaths < 2 then 0.0 else min 1.0 (0.05 *. (2.0 ** float_of_int (deaths - 2)))
 
 let sequential ~f items results =
   Array.iteri
@@ -28,13 +42,15 @@ let sequential ~f items results =
 
 type worker = {
   pid : int;
+  slot : int; (* stable identity across respawns, keys the backoff *)
   to_child : out_channel;
   from_child_fd : Unix.file_descr;
   from_child : in_channel;
   mutable current : int option; (* index in flight, if any *)
+  mutable started : float; (* wall clock when [current] was assigned *)
 }
 
-let map ~jobs ~f items =
+let map ?timeout ~jobs ~f items =
   let items = Array.of_list items in
   let n = Array.length items in
   let results = Array.make n (Error "not computed") in
@@ -59,7 +75,8 @@ let map ~jobs ~f items =
     Fun.protect ~finally:restore_sigpipe @@ fun () ->
     let next = ref 0 (* next unassigned item *)
     and completed = ref 0 in
-    let spawn () =
+    let deaths = Array.make (max jobs 1) 0 in
+    let spawn slot =
       let cmd_read, cmd_write = Unix.pipe ~cloexec:false () in
       let res_read, res_write = Unix.pipe ~cloexec:false () in
       flush stdout;
@@ -87,10 +104,20 @@ let map ~jobs ~f items =
         Unix.close cmd_read;
         Unix.close res_write;
         { pid;
+          slot;
           to_child = Unix.out_channel_of_descr cmd_write;
           from_child_fd = res_read;
           from_child = Unix.in_channel_of_descr res_read;
-          current = None }
+          current = None;
+          started = 0.0 }
+    in
+    (* Respawn into a slot whose previous worker died: exponential
+       backoff once the same slot keeps losing workers. *)
+    let respawn slot =
+      deaths.(slot) <- deaths.(slot) + 1;
+      let delay = backoff_delay ~deaths:deaths.(slot) in
+      if delay > 0.0 then Unix.sleepf delay;
+      spawn slot
     in
     (* Feed the next unassigned item, or the stop word when none remain.
        Write failures (broken pipe) mean the worker is already dead; the
@@ -107,6 +134,7 @@ let map ~jobs ~f items =
         let i = !next in
         incr next;
         w.current <- Some i;
+        w.started <- Unix.gettimeofday ();
         send w i
       end
       else begin
@@ -130,20 +158,50 @@ let map ~jobs ~f items =
       in
       reap ()
     in
-    let workers = ref (List.init (min jobs n) (fun _ -> spawn ())) in
+    let workers = ref (List.init (min jobs n) (fun slot -> spawn slot)) in
     List.iter feed !workers;
+    let workers_remove w = workers := List.filter (fun w' -> w' != w) !workers in
+    let workers_add w = workers := w :: !workers in
+    (* Remove a dead worker, fail its in-flight item with [msg], and
+       respawn into its slot (with backoff) if unassigned items remain. *)
+    let bury w ~msg =
+      (match w.current with
+      | Some i ->
+        results.(i) <- Error (msg i);
+        incr completed
+      | None -> ());
+      w.current <- None;
+      workers_remove w;
+      retire w;
+      if !next < n then begin
+        let w' = respawn w.slot in
+        workers_add w';
+        feed w'
+      end
+    in
     while !completed < n do
       let live = List.filter (fun w -> w.current <> None) !workers in
       if live = [] then begin
         (* every worker died with items still unassigned: resume with a
            fresh crew rather than hanging *)
-        let crew = List.init (min jobs (n - !next)) (fun _ -> spawn ()) in
+        let crew = List.init (min jobs (n - !next)) (fun slot -> respawn slot) in
         workers := crew @ !workers;
         List.iter feed crew
       end
       else begin
+        (* With a per-item timeout in force, wake no later than the
+           earliest in-flight deadline; otherwise block until a result. *)
+        let select_timeout =
+          match timeout with
+          | None -> -1.0
+          | Some limit ->
+            let now = Unix.gettimeofday () in
+            List.fold_left
+              (fun acc w -> min acc (max 0.0 (w.started +. limit -. now)))
+              limit live
+        in
         let ready, _, _ =
-          Unix.select (List.map (fun w -> w.from_child_fd) live) [] [] (-1.0)
+          Unix.select (List.map (fun w -> w.from_child_fd) live) [] [] select_timeout
         in
         List.iter
           (fun w ->
@@ -155,21 +213,29 @@ let map ~jobs ~f items =
                 feed w
               | exception (End_of_file | Failure _ | Sys_error _ | Unix.Unix_error _) ->
                 (* EOF or truncated message: the worker died mid-item *)
-                (match w.current with
-                | Some i ->
-                  results.(i) <-
-                    Error (Printf.sprintf "worker pid %d died computing item %d" w.pid i);
-                  incr completed
-                | None -> ());
-                w.current <- None;
-                workers := List.filter (fun w' -> w' != w) !workers;
-                retire w;
-                if !next < n then begin
-                  let w' = spawn () in
-                  workers := w' :: !workers;
-                  feed w'
-                end)
-          live
+                bury w ~msg:(fun i ->
+                    Printf.sprintf "worker pid %d died computing item %d" w.pid i))
+          live;
+        (* Timeout sweep: kill workers whose in-flight item has been
+           running past the limit and did not deliver above. *)
+        match timeout with
+        | None -> ()
+        | Some limit ->
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun w ->
+              if
+                w.current <> None
+                && List.memq w !workers
+                && now -. w.started > limit
+              then begin
+                (try Unix.kill w.pid Sys.sigkill
+                 with Unix.Unix_error _ -> () (* already gone *));
+                bury w ~msg:(fun i ->
+                    Printf.sprintf "timeout: item %d exceeded %.3fs (worker pid %d killed)"
+                      i limit w.pid)
+              end)
+            live
       end
     done;
     (* [completed = n] implies every surviving worker is idle and has

@@ -12,6 +12,14 @@
     spawned while unassigned items remain — sibling items are unaffected
     and the call never hangs.
 
-    [jobs <= 1] runs sequentially in the calling process (no fork). *)
+    [?timeout] (seconds of wall clock, off by default) bounds each item:
+    on expiry the worker is killed, the item reported as a timeout
+    [Error] (the message starts with ["timeout:"]), and a replacement
+    spawned. Repeated deaths of the same worker slot — timeouts or
+    crashes — back off exponentially (50ms doubling, capped at 1s)
+    before the respawn.
 
-val map : jobs:int -> f:('a -> 'b) -> 'a list -> ('b, string) result array
+    [jobs <= 1] runs sequentially in the calling process (no fork); the
+    timeout needs a separate process to kill, so it is ignored there. *)
+
+val map : ?timeout:float -> jobs:int -> f:('a -> 'b) -> 'a list -> ('b, string) result array

@@ -119,8 +119,28 @@ let of_string cell text =
 
 (* --- store / find ------------------------------------------------------ *)
 
+(* Advisory lock serializing writers across processes: two concurrent
+   mdabench invocations storing into the same directory take turns, so
+   the tmp-write + rename of one entry can never interleave with (or
+   clobber the tmp file of) another writer's. Readers never lock — the
+   rename is atomic, so [find] sees either the old entry or the new one,
+   and any torn state degrades to a miss. The lock lives in a dedicated
+   [.lock] file so locking never touches entry files themselves. *)
+let with_write_lock t f =
+  let lock_path = Filename.concat t.dir ".lock" in
+  match Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 with
+  | exception Unix.Unix_error _ -> f () (* unlockable dir: still try the write *)
+  | fd ->
+    let locked = try Unix.lockf fd Unix.F_LOCK 0; true with Unix.Unix_error _ -> false in
+    Fun.protect
+      ~finally:(fun () ->
+        (try if locked then Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      f
+
 let store t cell r =
   try
+    with_write_lock t @@ fun () ->
     let final = path t cell in
     let tmp =
       Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ()) (Hashtbl.hash (Sys.time ()))

@@ -7,10 +7,12 @@
    Sites are keyed by guest address of the faulting access. The trap
    handler knows it for patched sites (Ev_trap/Ev_patch carry it) and
    for OS fixups with a site record; fixups with no record surface as
-   guest address -1 and are aggregated under an "(unknown)" row rather
-   than silently dropped. MDA cycle cost is attributed from the cost
-   model: every trap or OS fixup pays [align_trap], every patch
-   additionally pays [patch]. *)
+   guest address -1 and are aggregated under an "<unattributed>" row
+   that is pinned past any [?top] truncation — so the per-site fixup
+   counts always sum to the Run_stats footer. MDA cycle cost is
+   attributed from the cost model: every trap or OS fixup pays
+   [align_trap], every patch additionally pays [patch]; the injected
+   patch-fault and degrade events are bookkeeping, not extra cost. *)
 
 module Bt = Mda_bt
 module Machine = Mda_machine
@@ -21,6 +23,8 @@ type site = {
   mutable traps : int; (* Ev_trap: misalignment exceptions at this site *)
   mutable patches : int;
   mutable fixups : int; (* Ev_os_fixup: emulated on the OS path *)
+  mutable patch_faults : int; (* Ev_patch_fault: attempts an injected fault refused *)
+  mutable degraded : bool; (* Ev_degrade: permanently fell back to OS fixup *)
   mutable mda_cycles : int; (* attributed handler cost, per the cost model *)
 }
 
@@ -29,6 +33,7 @@ type block = {
   mutable translations : int;
   mutable retranslations : int;
   mutable rearrangements : int;
+  mutable evictions : int; (* Ev_evict: bounded-cache evictions of this block *)
   mutable host_len : int; (* latest translation's host length *)
   mutable first_cycles : int64; (* cycle stamp of the first translation *)
 }
@@ -39,7 +44,15 @@ let site t addr =
   match Hashtbl.find_opt t.sites addr with
   | Some s -> s
   | None ->
-    let s = { guest_addr = addr; traps = 0; patches = 0; fixups = 0; mda_cycles = 0 } in
+    let s =
+      { guest_addr = addr;
+        traps = 0;
+        patches = 0;
+        fixups = 0;
+        patch_faults = 0;
+        degraded = false;
+        mda_cycles = 0 }
+    in
     Hashtbl.add t.sites addr s;
     s
 
@@ -52,6 +65,7 @@ let block t addr =
         translations = 0;
         retranslations = 0;
         rearrangements = 0;
+        evictions = 0;
         host_len = 0;
         first_cycles = -1L }
     in
@@ -83,6 +97,15 @@ let add (cost : Machine.Cost_model.t) t { Trace.cycles; ev } =
   | Ev_rearrange { block = addr; _ } ->
     let b = block t addr in
     b.rearrangements <- b.rearrangements + 1
+  | Ev_evict { block = addr; _ } ->
+    let b = block t addr in
+    b.evictions <- b.evictions + 1
+  | Ev_patch_fault { guest_addr; _ } ->
+    (* the trap itself arrived as an Ev_trap and already paid align_trap;
+       the refused attempt is bookkeeping, not extra attributed cost *)
+    let s = site t guest_addr in
+    s.patch_faults <- s.patch_faults + 1
+  | Ev_degrade { guest_addr; _ } -> (site t guest_addr).degraded <- true
   | Ev_chain _ -> ()
 
 let of_records ~cost records =
@@ -119,17 +142,24 @@ let take n l =
   let rec go n = function [] -> [] | x :: xs -> if n <= 0 then [] else x :: go (n - 1) xs in
   go n l
 
-let addr_label a = if a < 0 then "(unknown)" else Printf.sprintf "%#x" a
+let addr_label a = if a < 0 then "<unattributed>" else Printf.sprintf "%#x" a
 
 let site_table ?top t =
-  let ss = sort_sites (sites t) in
-  let ss = match top with Some n -> take n ss | None -> ss in
+  (* The <unattributed> row (OS fixups with no site record) is pinned
+     past [?top] truncation: dropping it would make the per-site fixup
+     counts sum short of the Run_stats footer. *)
+  let named, unattributed = List.partition (fun s -> s.guest_addr >= 0) (sites t) in
+  let named = sort_sites named in
+  let named = match top with Some n -> take n named | None -> named in
+  let ss = named @ sort_sites unattributed in
   let tbl =
     Tabular.create
       [| Tabular.col "guest site";
          Tabular.col ~align:Tabular.Right "traps";
          Tabular.col ~align:Tabular.Right "patches";
          Tabular.col ~align:Tabular.Right "os fixups";
+         Tabular.col ~align:Tabular.Right "patch faults";
+         Tabular.col "degraded";
          Tabular.col ~align:Tabular.Right "mda cycles" |]
   in
   List.iter
@@ -139,6 +169,8 @@ let site_table ?top t =
            string_of_int s.traps;
            string_of_int s.patches;
            string_of_int s.fixups;
+           string_of_int s.patch_faults;
+           (if s.degraded then "yes" else "");
            string_of_int s.mda_cycles |])
     ss;
   tbl

@@ -4,10 +4,17 @@
     address rather than only as whole-run totals. *)
 
 type site = {
-  guest_addr : int; (** [-1] aggregates OS fixups with no site record *)
+  guest_addr : int;
+      (** [-1] aggregates OS fixups with no site record — rendered as
+          the [<unattributed>] row, which {!site_table} pins past [?top]
+          truncation so fixup counts always sum to the footer *)
   mutable traps : int;
   mutable patches : int;
   mutable fixups : int;
+  mutable patch_faults : int;
+      (** patch attempts an injected fault refused *)
+  mutable degraded : bool;
+      (** the site permanently fell back to OS-style fixup *)
   mutable mda_cycles : int;
       (** attributed handler cost: [align_trap] per trap or fixup, plus
           [patch] per patch, from the run's cost model *)
@@ -18,6 +25,7 @@ type block = {
   mutable translations : int;
   mutable retranslations : int;
   mutable rearrangements : int;
+  mutable evictions : int; (** bounded-cache evictions of this block *)
   mutable host_len : int; (** latest translation's host length *)
   mutable first_cycles : int64; (** cycle stamp of the first translation *)
 }
@@ -35,7 +43,8 @@ val total_mda_cycles : t -> int
 
 val site_table : ?top:int -> t -> Mda_util.Tabular.t
 (** Hottest sites first (by attributed MDA cycles, then trap+fixup
-    count, then address — deterministic). [top] keeps the first [n]. *)
+    count, then address — deterministic). [top] keeps the first [n]
+    named sites; the [<unattributed>] row, if any, is always kept. *)
 
 val block_table : ?top:int -> t -> Mda_util.Tabular.t
 (** Most-translated blocks first. *)

@@ -21,7 +21,10 @@
 module Bt = Mda_bt
 module Machine = Mda_machine
 
-let schema_version = 1
+(* v2: adds the fault-injection event kinds (evict, patch-fault,
+   degrade) and the matching Run_stats footer fields. v1 traces are
+   rejected with a regenerate message, never half-read. *)
+let schema_version = 2
 
 type record = { cycles : int64; ev : Bt.Runtime.event }
 
@@ -209,6 +212,11 @@ let event_fields (ev : Bt.Runtime.event) =
   | Ev_chain { at; target_block } -> [ ("at", at); ("target_block", target_block) ]
   | Ev_rearrange { block; entry } -> [ ("block", block); ("entry", entry) ]
   | Ev_retranslate { block } -> [ ("block", block) ]
+  | Ev_evict { block; freed } -> [ ("block", block); ("freed", freed) ]
+  | Ev_patch_fault { host_pc; guest_addr; attempt } ->
+    [ ("host_pc", host_pc); ("guest_addr", guest_addr); ("attempt", attempt) ]
+  | Ev_degrade { guest_addr; attempts } ->
+    [ ("guest_addr", guest_addr); ("attempts", attempts) ]
 
 let record_to_json { cycles; ev } =
   obj_to_string
@@ -229,6 +237,10 @@ let event_of_fields fields : Bt.Runtime.event =
   | "chain" -> Ev_chain { at = i "at"; target_block = i "target_block" }
   | "rearrange" -> Ev_rearrange { block = i "block"; entry = i "entry" }
   | "retranslate" -> Ev_retranslate { block = i "block" }
+  | "evict" -> Ev_evict { block = i "block"; freed = i "freed" }
+  | "patch-fault" ->
+    Ev_patch_fault { host_pc = i "host_pc"; guest_addr = i "guest_addr"; attempt = i "attempt" }
+  | "degrade" -> Ev_degrade { guest_addr = i "guest_addr"; attempts = i "attempts" }
   | k -> raise (Parse_error (Printf.sprintf "unknown event kind %S" k))
 
 let record_of_fields fields =
@@ -289,7 +301,12 @@ let of_jsonl text =
       if sfield hf "schema" <> "mdabench-trace" then raise (Parse_error "not an mdabench trace");
       let version = ifield hf "version" in
       if version <> schema_version then
-        raise (Parse_error (Printf.sprintf "unsupported schema version %d" version));
+        raise
+          (Parse_error
+             (Printf.sprintf
+                "unsupported schema version %d (this build reads v%d); regenerate the \
+                 trace with this mdabench"
+                version schema_version));
       if ifield hf "dropped" <> 0 then
         raise (Parse_error "trace is incomplete (ring buffer dropped events)");
       let rec go acc = function
@@ -342,6 +359,9 @@ let replay (f : file) =
       rearrangements = count (function Bt.Runtime.Ev_rearrange _ -> true | _ -> false);
       chains = count (function Bt.Runtime.Ev_chain _ -> true | _ -> false);
       patches = count (function Bt.Runtime.Ev_patch _ -> true | _ -> false);
+      evictions = count (function Bt.Runtime.Ev_evict _ -> true | _ -> false);
+      patch_faults = count (function Bt.Runtime.Ev_patch_fault _ -> true | _ -> false);
+      degraded = count (function Bt.Runtime.Ev_degrade _ -> true | _ -> false);
       traps =
         Int64.of_int
           (count (function Bt.Runtime.Ev_trap _ | Bt.Runtime.Ev_os_fixup _ -> true | _ -> false))
@@ -356,6 +376,9 @@ let replay (f : file) =
       @ mism "rearrangements" derived.rearrangements f.stats.rearrangements
       @ mism "chains" derived.chains f.stats.chains
       @ mism "patches" derived.patches f.stats.patches
+      @ mism "evictions" derived.evictions f.stats.evictions
+      @ mism "patch_faults" derived.patch_faults f.stats.patch_faults
+      @ mism "degraded" derived.degraded f.stats.degraded
       @ mism "traps" (Int64.to_int derived.traps) (Int64.to_int f.stats.traps)
     in
     Error ("replay mismatch: " ^ String.concat "; " diffs)
@@ -364,7 +387,8 @@ let replay (f : file) =
 (* --- filtering ---------------------------------------------------------- *)
 
 let kind_names =
-  [ "translate"; "trap"; "patch"; "os-fixup"; "chain"; "rearrange"; "retranslate" ]
+  [ "translate"; "trap"; "patch"; "os-fixup"; "chain"; "rearrange"; "retranslate";
+    "evict"; "patch-fault"; "degrade" ]
 
 let filter kinds records =
   List.filter (fun r -> List.mem (Bt.Runtime.event_kind r.ev) kinds) records

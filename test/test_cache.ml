@@ -62,6 +62,8 @@ let test_key_sensitivity () =
   differs "chaining changes key"
     (H.Cell.mech ~scale:0.02 ~chaining:false H.Cell.Direct "164.gzip");
   differs "kind changes key" (H.Cell.interp ~scale:0.02 "164.gzip");
+  differs "cache capacity changes key"
+    (H.Cell.mech ~scale:0.02 ~capacity:128 H.Cell.Direct "164.gzip");
   Alcotest.(check string) "key is stable" (k base) (k base)
 
 let test_corrupt_entry_is_a_miss () =
@@ -187,6 +189,51 @@ let test_no_cache_bypass () =
   Alcotest.(check int) "computed again" 1 c.H.Exec.computed;
   Alcotest.(check int) "never a cache hit" 0 c.H.Exec.cache_hits
 
+let test_racing_writers () =
+  (* two concurrent mdabench invocations writing into the same cache
+     directory: the advisory lock serializes stores, so after both
+     finish every entry reads back intact — no torn or interleaved
+     files *)
+  let dir = fresh_dir () in
+  let cells =
+    List.init 6 (fun i -> H.Cell.mech ~scale:0.02 ~trap_cost:(100 + i) H.Cell.Direct "164.gzip")
+  in
+  let result = H.Cell.compute cell in
+  let writer () =
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      let cache = H.Result_cache.create ~dir () in
+      for _ = 1 to 30 do
+        List.iter (fun c -> H.Result_cache.store cache c result) cells
+      done;
+      Unix._exit 0
+    | pid -> pid
+  in
+  let pids = [ writer (); writer () ] in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> Alcotest.failf "racing writer %d did not exit cleanly" pid)
+    pids;
+  let cache = H.Result_cache.create ~dir () in
+  List.iteri
+    (fun i c ->
+      match H.Result_cache.find cache c with
+      | Some r ->
+        Alcotest.(check bool) (Printf.sprintf "entry %d intact" i) true
+          (r.H.Cell.stats = result.H.Cell.stats)
+      | None -> Alcotest.failf "entry %d torn or missing after the race" i)
+    cells;
+  (* no stray temp files left behind by either writer *)
+  let strays =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> not (Filename.check_suffix f ".cell" || f = ".lock"))
+  in
+  Alcotest.(check (list string)) "no stray files" [] strays
+
 let test_unwritable_dir_degrades () =
   (* a cache rooted somewhere unwritable is a slow cache, not a crash *)
   let cache = H.Result_cache.create ~dir:"/proc/nonexistent/cache" () in
@@ -205,4 +252,5 @@ let suite =
           test_exec_recomputes_after_corruption;
         Alcotest.test_case "exec cache flow" `Quick test_exec_cache_flow;
         Alcotest.test_case "--no-cache bypass" `Quick test_no_cache_bypass;
+        Alcotest.test_case "racing writers do not tear" `Quick test_racing_writers;
         Alcotest.test_case "unwritable dir degrades" `Quick test_unwritable_dir_degrades ] ) ]

@@ -16,6 +16,7 @@ let () =
          Test_differential.suite;
          Test_pool.suite;
          Test_cache.suite;
+         Test_fault.suite;
          Test_obs.suite;
          Test_golden.suite;
          Test_cli.suite;

@@ -26,6 +26,11 @@ let cell_of spec = H.Cell.mech ~scale spec bench
 
 let eh_cell = cell_of (H.Cell.Exception_handling { rearrange = false })
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 (* replace the first occurrence of [sub] with [by]; fails the test if
    [sub] does not occur (a tamper that misses proves nothing) *)
 let replace_once ~sub ~by s =
@@ -124,7 +129,25 @@ let test_tampered_trace_rejected () =
     (is_error (Obs.Trace.of_jsonl (replace_once ~sub:{|"k":"trap"|} ~by:{|"k":trap|} jsonl)));
   (* tamper 4: an unknown schema version *)
   Alcotest.(check bool) "future schema version rejected" true
-    (is_error (Obs.Trace.of_jsonl (replace_once ~sub:{|"version":1|} ~by:{|"version":99|} jsonl)));
+    (is_error
+       (Obs.Trace.of_jsonl
+          (replace_once
+             ~sub:(Printf.sprintf {|"version":%d|} Obs.Trace.schema_version)
+             ~by:{|"version":99|} jsonl)));
+  (* tamper 5: a v1 trace (pre-fault-injection schema) must be refused
+     with a message that says what to do about it *)
+  (match
+     Obs.Trace.of_jsonl
+       (replace_once
+          ~sub:(Printf.sprintf {|"version":%d|} Obs.Trace.schema_version)
+          ~by:{|"version":1|} jsonl)
+   with
+  | Ok _ -> Alcotest.fail "v1 trace should be rejected"
+  | Error e ->
+    Alcotest.(check bool) "v1 rejection names the version" true
+      (contains ~sub:"unsupported schema version 1" e);
+    Alcotest.(check bool) "v1 rejection says to regenerate" true
+      (contains ~sub:"regenerate" e));
   (* tamper 5: truncation (no end record) *)
   let truncated =
     String.concat "\n" (List.filteri (fun i _ -> i < 3) (String.split_on_char '\n' jsonl))
@@ -253,6 +276,41 @@ let test_attribution_accounts_every_event () =
     Alcotest.(check bool) "site table bounded by top" true
       (rows (Obs.Attribution.site_table ~top:2 attr) <= 2)
 
+(* OS fixups with no site record ([guest_addr = -1]) must surface as an
+   explicit <unattributed> row — pinned past ?top truncation — so the
+   per-site fixup counts always sum to the Run_stats footer. *)
+let test_attribution_unattributed_row () =
+  let cost = Mda_machine.Cost_model.default in
+  let r ev = { Obs.Trace.cycles = 0L; ev } in
+  let records =
+    [ r (Bt.Runtime.Ev_trap { host_pc = 10; guest_addr = 0x100; ea = 0 });
+      r (Bt.Runtime.Ev_trap { host_pc = 11; guest_addr = 0x200; ea = 0 });
+      r (Bt.Runtime.Ev_os_fixup { host_pc = 12; guest_addr = -1; ea = 3 });
+      r (Bt.Runtime.Ev_os_fixup { host_pc = 12; guest_addr = -1; ea = 7 });
+      r (Bt.Runtime.Ev_os_fixup { host_pc = 13; guest_addr = 0x100; ea = 5 });
+      r (Bt.Runtime.Ev_patch_fault { host_pc = 11; guest_addr = 0x200; attempt = 1 });
+      r (Bt.Runtime.Ev_degrade { guest_addr = 0x200; attempts = 1 }) ]
+  in
+  let attr = Obs.Attribution.of_records ~cost records in
+  let sites = Obs.Attribution.sites attr in
+  let sum g = List.fold_left (fun acc s -> acc + g s) 0 sites in
+  (* all 5 hardware traps accounted: 2 traps + 3 fixups (one of them
+     unattributed) *)
+  Alcotest.(check int) "fixups sum includes unattributed" 3
+    (sum (fun s -> s.Obs.Attribution.fixups));
+  Alcotest.(check int) "traps sum" 2 (sum (fun s -> s.Obs.Attribution.traps));
+  (* patch faults and degradation land on the right site, cost-free *)
+  let site a = List.find (fun s -> s.Obs.Attribution.guest_addr = a) sites in
+  Alcotest.(check int) "patch fault attributed" 1 (site 0x200).Obs.Attribution.patch_faults;
+  Alcotest.(check bool) "degradation flagged" true (site 0x200).Obs.Attribution.degraded;
+  Alcotest.(check int) "faults add no cycles" (5 * cost.Mda_machine.Cost_model.align_trap)
+    (Obs.Attribution.total_mda_cycles attr);
+  (* ?top:1 keeps one named site; the <unattributed> row is pinned *)
+  let rows = Mda_util.Tabular.rows (Obs.Attribution.site_table ~top:1 attr) in
+  Alcotest.(check int) "top:1 = 1 named + pinned unattributed" 2 (List.length rows);
+  Alcotest.(check bool) "<unattributed> row present" true
+    (List.exists (fun r -> r.(0) = "<unattributed>") rows)
+
 (* --- counter registry --------------------------------------------------- *)
 
 let test_counter_registry_matches_stats () =
@@ -297,5 +355,7 @@ let suite =
           test_trace_deterministic_across_cache;
         Alcotest.test_case "attribution accounts every event" `Quick
           test_attribution_accounts_every_event;
+        Alcotest.test_case "unattributed fixups get a pinned row" `Quick
+          test_attribution_unattributed_row;
         Alcotest.test_case "counter registry matches stats" `Quick
           test_counter_registry_matches_stats ] ) ]

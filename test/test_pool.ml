@@ -105,6 +105,31 @@ let test_no_zombies_after_worker_death () =
   | 0, _ -> Alcotest.fail "a live worker survived the pool"
   | pid, _ -> Alcotest.failf "worker pid %d was left as a zombie" pid
 
+let test_timeout_kills_and_contains () =
+  (* item 3 would sleep forever; the timeout must kill its worker,
+     report a timeout Error for it alone, and let siblings finish *)
+  let f i = if i = 3 then (Unix.sleep 600; i * i) else i * i in
+  let t0 = Unix.gettimeofday () in
+  let results = H.Pool.map ~timeout:0.3 ~jobs:3 ~f items in
+  let secs = Unix.gettimeofday () -. t0 in
+  expect_poison "timeout" results [ 3 ];
+  (match results.(3) with
+  | Error e ->
+    Alcotest.(check bool) "reported as a timeout" true (contains ~sub:"timeout:" e)
+  | Ok _ -> Alcotest.fail "item 3 should time out");
+  Alcotest.(check bool) "the pool did not wait for the sleeper" true (secs < 60.0)
+
+let test_timeout_not_reached_is_noop () =
+  (* a generous timeout changes nothing for items that finish in time *)
+  check_ok_square "under timeout" (H.Pool.map ~timeout:30.0 ~jobs:3 ~f:(fun i -> i * i) items)
+
+let test_timeout_ignored_when_sequential () =
+  (* jobs <= 1 runs in-process: there is no separate worker to kill, so
+     the timeout is documented as ignored and slow items still finish *)
+  let f i = (if i = 1 then Unix.sleepf 0.05); i * i in
+  check_ok_square "sequential ignores timeout"
+    (H.Pool.map ~timeout:0.001 ~jobs:1 ~f items)
+
 let test_sigpipe_handler_restored () =
   (* regression for the handler-restore bug: the pool ignores SIGPIPE
      while running and must restore the exact previous handler on every
@@ -135,5 +160,11 @@ let suite =
         Alcotest.test_case "empty input" `Quick test_empty;
         Alcotest.test_case "no zombies after worker death" `Quick
           test_no_zombies_after_worker_death;
+        Alcotest.test_case "timeout kills and contains" `Quick
+          test_timeout_kills_and_contains;
+        Alcotest.test_case "timeout not reached = no-op" `Quick
+          test_timeout_not_reached_is_noop;
+        Alcotest.test_case "timeout ignored when sequential" `Quick
+          test_timeout_ignored_when_sequential;
         Alcotest.test_case "SIGPIPE handler restored" `Quick
           test_sigpipe_handler_restored ] ) ]
