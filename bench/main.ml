@@ -10,14 +10,24 @@
 
      dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
+   Part 3 (perf trajectory): measures the whole-program congruence
+   analysis (blocks/sec to fixpoint) and AOT static translation
+   throughput over the Table-I workload images and writes the numbers
+   to BENCH_pr6.json — the first point of the repository's performance
+   trajectory.
+
    Environment:
      MDA_BENCH_SCALE        workload scale for part 2 (default 1.0)
      MDA_BENCH_QUOTA_MS     Bechamel time quota per test (default 1000)
-     MDA_BENCH_SKIP_MEASURE=1   skip part 1 *)
+     MDA_BENCH_SKIP_MEASURE=1   skip part 1
+     MDA_BENCH_JSON         part-3 output path (default BENCH_pr6.json) *)
 
 open Bechamel
 open Bechamel.Toolkit
 module H = Mda_harness
+module W = Mda_workloads
+module A = Mda_analysis
+module Bt = Mda_bt
 
 let experiments :
     (string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) list =
@@ -78,6 +88,103 @@ let run_measurements () =
     tests;
   print_newline ()
 
+(* --- part 3: analysis / AOT throughput -> BENCH_pr6.json ---------------- *)
+
+(* Wall-clock a thunk by repetition until [min_s] elapses; returns
+   (seconds, reps). The thunks are pure with respect to guest memory
+   (neither the analysis nor translate_image mutates the image), so
+   repetition needs no re-setup. *)
+let time_reps ~min_s f =
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  while Unix.gettimeofday () -. t0 < min_s do
+    f ();
+    incr reps
+  done;
+  (Unix.gettimeofday () -. t0, !reps)
+
+let emit_bench_json () =
+  let path =
+    match Sys.getenv_opt "MDA_BENCH_JSON" with Some p -> p | None -> "BENCH_pr6.json"
+  in
+  let images =
+    List.map
+      (fun name ->
+        let w = W.Workload.instantiate name in
+        (W.Workload.fresh_memory w, W.Workload.entry w))
+      (W.Spec.selected_names @ [ "stack.frames" ])
+  in
+  (* one counted pass for the work volume *)
+  let blocks = ref 0 and iterations = ref 0 in
+  List.iter
+    (fun (mem, entry) ->
+      let a = A.Dataflow.analyze mem ~entry in
+      blocks := !blocks + a.A.Dataflow.blocks;
+      iterations := !iterations + a.A.Dataflow.iterations)
+    images;
+  let an_secs, an_reps =
+    time_reps ~min_s:0.5 (fun () ->
+        List.iter (fun (mem, entry) -> ignore (A.Dataflow.analyze mem ~entry)) images)
+  in
+  (* AOT throughput isolates translate_image: summaries precomputed *)
+  let prepped =
+    List.map
+      (fun (mem, entry) ->
+        (mem, entry, A.Dataflow.summary (A.Dataflow.analyze mem ~entry)))
+      images
+  in
+  let translate (mem, entry, summary) =
+    match Bt.Aot.translate_image ~summary ~unknown:Bt.Mechanism.Sa_seq mem ~entry with
+    | Ok r -> r
+    | Error msg -> failwith ("BENCH aot translation failed: " ^ msg)
+  in
+  let aot_blocks = ref 0 and guest_insns = ref 0 and host_insns = ref 0 in
+  List.iter
+    (fun p ->
+      let _, (s : Bt.Aot.stats) = translate p in
+      aot_blocks := !aot_blocks + s.Bt.Aot.blocks;
+      guest_insns := !guest_insns + s.Bt.Aot.guest_insns;
+      host_insns := !host_insns + s.Bt.Aot.host_insns)
+    prepped;
+  let aot_secs, aot_reps =
+    time_reps ~min_s:0.5 (fun () -> List.iter (fun p -> ignore (translate p)) prepped)
+  in
+  let per_sec count secs reps = float_of_int (count * reps) /. secs in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "pr": 6,
+  "analysis": {
+    "workloads": %d,
+    "blocks": %d,
+    "fixpoint_iterations": %d,
+    "seconds": %.6f,
+    "reps": %d,
+    "blocks_per_sec": %.1f
+  },
+  "aot": {
+    "workloads": %d,
+    "blocks": %d,
+    "guest_insns": %d,
+    "host_insns": %d,
+    "seconds": %.6f,
+    "reps": %d,
+    "blocks_per_sec": %.1f,
+    "host_insns_per_sec": %.1f
+  }
+}
+|}
+    (List.length images) !blocks !iterations an_secs an_reps
+    (per_sec !blocks an_secs an_reps)
+    (List.length prepped) !aot_blocks !guest_insns !host_insns aot_secs aot_reps
+    (per_sec !aot_blocks aot_secs aot_reps)
+    (per_sec !host_insns aot_secs aot_reps);
+  close_out oc;
+  Printf.printf "== wrote %s (analysis %.0f blocks/s, aot %.0f host insns/s) ==\n\n%!"
+    path
+    (per_sec !blocks an_secs an_reps)
+    (per_sec !host_insns aot_secs aot_reps)
+
 let () =
   let scale =
     match Sys.getenv_opt "MDA_BENCH_SCALE" with
@@ -87,6 +194,7 @@ let () =
   (match Sys.getenv_opt "MDA_BENCH_SKIP_MEASURE" with
   | Some "1" -> ()
   | _ -> run_measurements ());
+  emit_bench_json ();
   Printf.printf "== Regenerating all tables and figures (scale %.2f) ==\n\n%!" scale;
   let opts = { H.Experiment.default_options with H.Experiment.scale } in
   List.iter

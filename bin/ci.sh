@@ -25,14 +25,47 @@ fi
 echo "== figsa smoke run (scale 0.05)"
 dune exec bin/mdabench.exe -- figsa --scale 0.05
 
-echo "== selfcheck smoke run (all six mechanisms)"
-for MECH in direct static dynamic eh dpeh sa; do
+echo "== selfcheck smoke run (all seven mechanisms)"
+for MECH in direct static dynamic eh dpeh sa aot; do
   dune exec bin/mdabench.exe -- run 410.bwaves -m "$MECH" --scale 0.05 --selfcheck >/dev/null
 done
 dune exec bin/mdabench.exe -- run 453.povray -m dpeh --scale 0.05 --selfcheck >/dev/null
 
 echo "== translation-validation gate (mdabench verify)"
 dune exec bin/mdabench.exe -- verify --scale 0.05 --jobs 2
+
+echo "== AOT gate: oracle differential + validator, both unknown-site policies"
+# `mdabench aot` checks the static translation of the whole image
+# against the pure-interpreter oracle (registers + memory digest), that
+# zero runtime translations/patches touched the immutable cache, and
+# (--validate) that every AOT-emitted translation passes the symbolic
+# validator. Exit code 2 on any failure. All 21 Table-I workloads plus
+# the interprocedural stack microbenchmark, under both unknown-site
+# policies.
+TABLE1="164.gzip 252.eon 178.galgel 179.art 188.ammp 200.sixtrack \
+400.perlbench 464.h264ref 471.omnetpp 483.xalancbmk 410.bwaves 433.milc \
+434.zeusmp 435.gromacs 437.leslie3d 450.soplex 453.povray 454.calculix \
+465.tonto 470.lbm 482.sphinx3"
+for B in $TABLE1 stack.frames; do
+  for POLICY in seq eh; do
+    dune exec bin/mdabench.exe -- aot "$B" --scale 0.05 -m "$POLICY" --validate >/dev/null || {
+      echo "FAIL: aot gate ($B, $POLICY)"; exit 1; }
+  done
+done
+
+echo "== AOT gate: census deterministic, verify byte-identical across --jobs"
+AOT_DIR=$(mktemp -d)
+dune exec bin/mdabench.exe -- analyze 164.gzip --compare >"$AOT_DIR/census1.txt" 2>/dev/null
+dune exec bin/mdabench.exe -- analyze 164.gzip --compare >"$AOT_DIR/census2.txt" 2>/dev/null
+cmp "$AOT_DIR/census1.txt" "$AOT_DIR/census2.txt" || {
+  echo "FAIL: mdabench analyze output is not deterministic"; exit 1; }
+dune exec bin/mdabench.exe -- verify -m aot --scale 0.05 --jobs 1 \
+  --bench 164.gzip,410.bwaves,stack.frames >"$AOT_DIR/verify-j1.txt" 2>/dev/null
+dune exec bin/mdabench.exe -- verify -m aot --scale 0.05 --jobs 4 \
+  --bench 164.gzip,410.bwaves,stack.frames >"$AOT_DIR/verify-j4.txt" 2>/dev/null
+cmp "$AOT_DIR/verify-j1.txt" "$AOT_DIR/verify-j4.txt" || {
+  echo "FAIL: aot verify output differs across --jobs levels"; exit 1; }
+rm -rf "$AOT_DIR"
 
 echo "== tracing gate: zero-cost-when-off, replay reconstructs every mechanism"
 TRACE_DIR=$(mktemp -d)
@@ -46,7 +79,7 @@ dune exec bin/mdabench.exe -- run 410.bwaves -m eh --scale 0.05 \
 cmp "$TRACE_DIR/plain.txt" "$TRACE_DIR/traced.txt" || {
   echo "FAIL: --trace-out changed the run's stdout"; exit 1; }
 # every mechanism's trace must replay to the exact recorded statistics
-for MECH in direct static dynamic eh dpeh sa; do
+for MECH in direct static dynamic eh dpeh sa aot; do
   dune exec bin/mdabench.exe -- trace 410.bwaves -m "$MECH" --scale 0.05 \
     --out "$TRACE_DIR/$MECH.jsonl" >/dev/null 2>&1
   dune exec bin/mdabench.exe -- trace --replay "$TRACE_DIR/$MECH.jsonl" >/dev/null || {
@@ -54,7 +87,7 @@ for MECH in direct static dynamic eh dpeh sa; do
 done
 dune exec bin/mdabench.exe -- hot 410.bwaves -m eh --scale 0.05 --top 5 >/dev/null
 
-echo "== chaos gate: 20 fault plans x 6 mechanisms against the oracle"
+echo "== chaos gate: 20 fault plans x 7 mechanisms against the oracle"
 dune exec bin/mdabench.exe -- chaos --seed 42 --plans 20 --jobs 2 >/dev/null || {
   echo "FAIL: chaos gate"; exit 1; }
 

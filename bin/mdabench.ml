@@ -202,7 +202,7 @@ let all_cmd =
 let mech_string = function
   | `Direct -> "direct" | `Static -> "static" | `Dynamic -> "dynamic"
   | `Eh -> "eh" | `Eh_rearrange -> "eh+rearrange" | `Dpeh -> "dpeh"
-  | `Sa -> "sa" | `Sa_seq -> "sa-seq"
+  | `Sa -> "sa" | `Sa_seq -> "sa-seq" | `Aot -> "aot"
   | `Interp -> "interp" | `Native -> "native"
 
 let mechanism_conv =
@@ -216,6 +216,7 @@ let mechanism_conv =
     | "dpeh" -> Ok `Dpeh
     | "sa" -> Ok `Sa
     | "sa-seq" -> Ok `Sa_seq
+    | "aot" -> Ok `Aot
     | "interp" -> Ok `Interp
     | "native" -> Ok `Native
     | _ -> Error (`Msg (Printf.sprintf "unknown mechanism %S" s))
@@ -245,8 +246,8 @@ let run_cmd =
       & opt mechanism_conv `Eh
       & info [ "m"; "mechanism" ] ~docv:"MECH"
           ~doc:
-            "direct | static | dynamic | eh | eh+rearrange | dpeh | sa | sa-seq | interp \
-             | native")
+            "direct | static | dynamic | eh | eh+rearrange | dpeh | sa | sa-seq | aot | \
+             interp | native")
   in
   let threshold_arg =
     Arg.(value & opt int 50 & info [ "threshold" ] ~docv:"N" ~doc:"heating threshold")
@@ -291,10 +292,22 @@ let run_cmd =
       if validate then
         Format.printf "validate: nothing to check (no code cache in %s mode)@." mode;
       0
-    | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
-      let mechanism = make_mechanism ~scale ~threshold name m in
+    | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq | `Aot)
+      as m ->
       let sink = Option.map (fun _ -> Mda_obs.Trace.create ()) trace_out in
-      let stats, t = H.Experiment.run_mechanism_rt ~scale ?sink ~mechanism name in
+      let stats, t =
+        match m with
+        | `Aot ->
+          (* static translation first, then execution of the immutable
+             cache — the selfcheck/validate flags then inspect the AOT
+             cache exactly as they would a dynamically built one *)
+          let stats, t, _, _ = H.Experiment.run_aot_rt ~scale ?sink name in
+          (stats, t)
+        | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m
+          ->
+          let mechanism = make_mechanism ~scale ~threshold name m in
+          H.Experiment.run_mechanism_rt ~scale ?sink ~mechanism name
+      in
       (match (trace_out, sink) with
       | Some file, Some s ->
         let jsonl =
@@ -344,6 +357,286 @@ let run_cmd =
       const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg $ selfcheck_arg
       $ validate_arg $ corrupt_arg $ trace_out_arg)
 
+(* --- analyze: dump the static congruence census ------------------------ *)
+
+module A = Mda_analysis
+
+let analysis_mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "inter" | "interprocedural" -> Ok A.Dataflow.Interprocedural
+    | "intra" | "intraprocedural" -> Ok A.Dataflow.Intraprocedural
+    | _ -> Error (`Msg (Printf.sprintf "unknown analysis mode %S (inter | intra)" s))
+  in
+  Arg.conv (parse, fun fmt m -> Format.pp_print_string fmt (A.Dataflow.mode_name m))
+
+let sa_policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "seq" | "sa-seq" -> Ok Bt.Mechanism.Sa_seq
+    | "eh" | "sa-eh" | "fallback" -> Ok Bt.Mechanism.Sa_fallback
+    | _ -> Error (`Msg (Printf.sprintf "unknown sa policy %S (seq | eh)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt p ->
+        Format.pp_print_string fmt
+          (match p with Bt.Mechanism.Sa_seq -> "seq" | Bt.Mechanism.Sa_fallback -> "eh") )
+
+let class_string = function
+  | Bt.Mechanism.Align_aligned -> "aligned"
+  | Bt.Mechanism.Align_misaligned -> "misaligned"
+  | Bt.Mechanism.Align_unknown -> "unknown"
+
+(* The census block shared by [mdabench analyze] and [mdabench aot
+   --census]: summary counts, the budget-overflow region if the block
+   budget cut discovery short, per-function results, per-site table. *)
+let print_census ?(sites = true) (a : A.Dataflow.t) =
+  let aligned, misaligned, unknown = A.Dataflow.census a in
+  Printf.printf "engine: %s, %d blocks, %d block visits to fixpoint, %s\n"
+    (A.Dataflow.mode_name a.A.Dataflow.mode)
+    a.A.Dataflow.blocks a.A.Dataflow.iterations
+    (if a.A.Dataflow.complete then "complete" else "INCOMPLETE");
+  (match a.A.Dataflow.overflow with
+  | None -> ()
+  | Some (entry, seen) ->
+    Printf.printf
+      "budget overflow: discovery stopped in the region entered at %#x after %d blocks \
+       (its sites are unknown)\n"
+      entry seen);
+  Printf.printf "census: %d aligned, %d misaligned, %d unknown (%d sites)\n" aligned
+    misaligned unknown
+    (aligned + misaligned + unknown);
+  if a.A.Dataflow.functions <> [] then begin
+    let t =
+      Mda_util.Tabular.create
+        [| Mda_util.Tabular.col "function";
+           Mda_util.Tabular.col ~align:Mda_util.Tabular.Right "blocks";
+           Mda_util.Tabular.col ~align:Mda_util.Tabular.Right "call-sites";
+           Mda_util.Tabular.col "returns";
+           Mda_util.Tabular.col "esp-delta";
+           Mda_util.Tabular.col "complete" |]
+    in
+    List.iter
+      (fun (f : A.Dataflow.fn) ->
+        Mda_util.Tabular.add_row t
+          [| Printf.sprintf "%#x" f.A.Dataflow.fn_entry;
+             string_of_int f.A.Dataflow.fn_blocks;
+             string_of_int f.A.Dataflow.fn_calls;
+             (if f.A.Dataflow.fn_returns then "yes" else "no");
+             (match f.A.Dataflow.fn_esp_delta with
+             | Some d -> Printf.sprintf "%+d" d
+             | None -> "?");
+             (if f.A.Dataflow.fn_complete then "yes" else "NO") |])
+      a.A.Dataflow.functions;
+    print_string (Mda_util.Tabular.render t)
+  end;
+  if sites then begin
+    let t =
+      Mda_util.Tabular.create
+        [| Mda_util.Tabular.col "site";
+           Mda_util.Tabular.col ~align:Mda_util.Tabular.Right "width";
+           Mda_util.Tabular.col "kind";
+           Mda_util.Tabular.col "effective address";
+           Mda_util.Tabular.col "class" |]
+    in
+    List.iter
+      (fun (s : A.Dataflow.site) ->
+        Mda_util.Tabular.add_row t
+          [| Printf.sprintf "%#x" s.A.Dataflow.addr;
+             string_of_int s.A.Dataflow.width;
+             (match s.A.Dataflow.kind with
+             | `Load -> "load"
+             | `Store -> "store"
+             | `Both -> "rmw");
+             Format.asprintf "%a" A.Congruence.pp s.A.Dataflow.ea;
+             class_string s.A.Dataflow.cls |])
+      (A.Dataflow.sites_sorted a);
+    print_string (Mda_util.Tabular.render t)
+  end
+
+let analyze_cmd =
+  let doc =
+    "Dump the static alignment-congruence census of a benchmark: what the whole-program \
+     dataflow analysis proves about every static memory operand, with no execution and \
+     no profile. Shows the per-function interprocedural results (call sites, ESP \
+     deltas, completeness) and each site's abstract effective address and verdict."
+  in
+  let bench_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves or stack.frames")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt analysis_mode_conv A.Dataflow.Interprocedural
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"inter (whole-program, default) | intra (supergraph baseline)")
+  in
+  let compare_arg =
+    let doc = "Also run the other engine and print both censuses." in
+    Arg.(value & flag & info [ "compare" ] ~doc)
+  in
+  let max_blocks_arg =
+    let doc = "Block budget for CFG discovery (exercises overflow reporting)." in
+    Arg.(value & opt (some int) None & info [ "max-blocks" ] ~docv:"N" ~doc)
+  in
+  let run name scale mode compare max_blocks =
+    let w = W.Workload.instantiate ~scale name in
+    let mem = W.Workload.fresh_memory w in
+    let analyze mode =
+      A.Dataflow.analyze ?max_blocks ~mode mem ~entry:(W.Workload.entry w)
+    in
+    Printf.printf "== static congruence analysis: %s ==\n" name;
+    print_census (analyze mode);
+    if compare then begin
+      let other =
+        match mode with
+        | A.Dataflow.Interprocedural -> A.Dataflow.Intraprocedural
+        | A.Dataflow.Intraprocedural -> A.Dataflow.Interprocedural
+      in
+      Printf.printf "\n-- %s engine, for comparison --\n" (A.Dataflow.mode_name other);
+      print_census ~sites:false (analyze other)
+    end;
+    0
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ bench_arg $ scale_arg $ mode_arg $ compare_arg $ max_blocks_arg)
+
+(* --- aot: static whole-image translation -------------------------------- *)
+
+let aot_cmd =
+  let doc =
+    "Statically translate a benchmark's whole image ahead of time and execute the \
+     immutable pre-populated code cache with translation disabled, checking the final \
+     guest memory against the pure-interpreter oracle. Prints the static-vs-dynamic \
+     comparison against the same analysis run as a dynamic Static_analysis mechanism."
+  in
+  let bench_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves or stack.frames")
+  in
+  let policy_arg =
+    Arg.(
+      value
+      & opt sa_policy_conv Bt.Mechanism.Sa_seq
+      & info [ "m"; "unknown" ] ~docv:"POLICY"
+          ~doc:
+            "unknown-site policy: seq (defensive sequences, trap-free) | eh (plain ops, \
+             OS fixup on every unknown-site MDA — the immutable cache never patches)")
+  in
+  let census_arg =
+    let doc = "Also print the full static census (as $(b,mdabench analyze))." in
+    Arg.(value & flag & info [ "census" ] ~doc)
+  in
+  let validate_arg =
+    let doc =
+      "Prove every AOT translation equivalent to its guest block with the symbolic \
+       translation validator; non-zero exit on any violation."
+    in
+    Arg.(value & flag & info [ "validate" ] ~doc)
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt analysis_mode_conv A.Dataflow.Interprocedural
+      & info [ "mode" ] ~docv:"MODE" ~doc:"analysis engine: inter (default) | intra")
+  in
+  let run name scale unknown census validate mode =
+    (* ground truth: a pure-interpreter run over an identical image *)
+    let w = W.Workload.instantiate ~scale name in
+    let imem = W.Workload.fresh_memory w in
+    let istats, _ = Bt.Runtime.interpret_program ~mem:imem ~entry:(W.Workload.entry w) () in
+    let idigest = Digest.bytes (Mda_machine.Memory.raw imem) in
+    (* the AOT run *)
+    let astats, rt, tstats, analysis = H.Experiment.run_aot_rt ~scale ~unknown ~mode name in
+    let adigest = Digest.bytes (Mda_machine.Memory.raw rt.Bt.Runtime.cpu.Mda_machine.Cpu.mem) in
+    (* the same verdicts applied dynamically (translation at dispatch) *)
+    let summary = A.Dataflow.summary analysis in
+    let dstats, _ =
+      H.Experiment.run_mechanism_rt ~scale
+        ~mechanism:(Bt.Mechanism.Static_analysis { summary; unknown })
+        name
+    in
+    Printf.printf "== AOT: %s ==\n" name;
+    let aligned, misaligned, unknown_sites = A.Dataflow.census analysis in
+    Printf.printf
+      "analysis (%s): %d blocks, %d sites — %d aligned, %d misaligned, %d unknown\n"
+      (A.Dataflow.mode_name mode) analysis.A.Dataflow.blocks
+      (aligned + misaligned + unknown_sites)
+      aligned misaligned unknown_sites;
+    Printf.printf
+      "static translation: %d blocks, %d guest insns -> %d host insns, %d exits \
+       pre-chained\n"
+      tstats.Bt.Aot.blocks tstats.Bt.Aot.guest_insns tstats.Bt.Aot.host_insns
+      tstats.Bt.Aot.chains;
+    let t =
+      Mda_util.Tabular.create
+        [| Mda_util.Tabular.col "engine";
+           Mda_util.Tabular.col ~align:Mda_util.Tabular.Right "cycles";
+           Mda_util.Tabular.col ~align:Mda_util.Tabular.Right "runtime translations";
+           Mda_util.Tabular.col ~align:Mda_util.Tabular.Right "traps";
+           Mda_util.Tabular.col ~align:Mda_util.Tabular.Right "cache insns" |]
+    in
+    let row label (s : Bt.Run_stats.t) =
+      Mda_util.Tabular.add_row t
+        [| label;
+           Int64.to_string s.Bt.Run_stats.cycles;
+           string_of_int s.Bt.Run_stats.translations;
+           Int64.to_string s.Bt.Run_stats.traps;
+           string_of_int s.Bt.Run_stats.code_len |]
+    in
+    row "static (aot)" astats;
+    row "dynamic (sa)" dstats;
+    row "interpreter" istats;
+    print_string (Mda_util.Tabular.render t);
+    if census then begin
+      Printf.printf "\n";
+      print_census analysis
+    end;
+    (* checks: the three acceptance gates of AOT mode *)
+    let rc = ref 0 in
+    let check label ok detail =
+      Printf.printf "%s: %s\n" label (if ok then "ok" else "FAILED " ^ detail);
+      if not ok then rc := 2
+    in
+    check "oracle"
+      (astats.Bt.Run_stats.stop = Bt.Run_stats.Halted && String.equal adigest idigest)
+      (Printf.sprintf "(stop=%s, memory %s)"
+         (Bt.Run_stats.stop_reason_to_string astats.Bt.Run_stats.stop)
+         (if String.equal adigest idigest then "identical" else "DIVERGED"));
+    check "no runtime translation"
+      (astats.Bt.Run_stats.translations = 0 && astats.Bt.Run_stats.patches = 0)
+      (Printf.sprintf "(%d translations, %d patches)" astats.Bt.Run_stats.translations
+         astats.Bt.Run_stats.patches);
+    (* proven-aligned sites execute plain ops: with defensively
+       sequenced unknowns (or none at all) every trap would be an
+       analysis soundness bug *)
+    if unknown = Bt.Mechanism.Sa_seq || unknown_sites = 0 then
+      check "zero traps"
+        (Int64.equal astats.Bt.Run_stats.traps 0L)
+        (Printf.sprintf "(%Ld traps)" astats.Bt.Run_stats.traps)
+    else
+      Printf.printf "traps: %Ld serviced by OS fixup (unknown sites under eh policy)\n"
+        astats.Bt.Run_stats.traps;
+    if validate then begin
+      let mem = rt.Bt.Runtime.cpu.Mda_machine.Cpu.mem in
+      let block_of start =
+        match Bt.Block.discover mem ~pc:start with Ok b -> Some b | Error _ -> None
+      in
+      let v = A.Validator.run ~cache:rt.Bt.Runtime.cache ~block_of in
+      Format.printf "%a@." A.Validator.pp_report v;
+      if not (A.Validator.ok v) then rc := 2
+    end;
+    !rc
+  in
+  Cmd.v (Cmd.info "aot" ~doc)
+    Term.(
+      const run $ bench_arg $ scale_arg $ policy_arg $ census_arg $ validate_arg
+      $ mode_arg)
+
 (* --- verify: translation-validate every mechanism ---------------------- *)
 
 let verify_cmd =
@@ -372,8 +665,16 @@ let verify_cmd =
      Workers return only printable strings — the cache itself does not
      cross the fork boundary. *)
   let verify_cell scale (name, m) =
-    let mechanism = make_mechanism ~scale ~threshold:50 name m in
-    let _stats, t = H.Experiment.run_mechanism_rt ~scale ~mechanism name in
+    let _stats, t =
+      match m with
+      | `Aot ->
+        let stats, t, _, _ = H.Experiment.run_aot_rt ~scale name in
+        (stats, t)
+      | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m
+        ->
+        let mechanism = make_mechanism ~scale ~threshold:50 name m in
+        H.Experiment.run_mechanism_rt ~scale ~mechanism name
+    in
     let cache = t.Bt.Runtime.cache in
     let mem = t.Bt.Runtime.cpu.Mda_machine.Cpu.mem in
     let block_of start =
@@ -391,13 +692,14 @@ let verify_cmd =
   let run mech bench scale jobs =
     let mechanisms =
       match mech with
-      | None -> [ `Direct; `Static; `Dynamic; `Eh; `Dpeh; `Sa ]
+      | None -> [ `Direct; `Static; `Dynamic; `Eh; `Dpeh; `Sa; `Aot ]
       | Some (`Interp | `Native) ->
         Printf.eprintf "mdabench verify: nothing to verify (no code cache in %s mode)\n"
           (mech_string (Option.get mech));
         exit 1
-      | Some ((`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m)
-        -> [ m ]
+      | Some
+          ((`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq
+           | `Aot ) as m) -> [ m ]
     in
     let benches =
       match bench with
@@ -440,6 +742,10 @@ let traced_run name mech scale =
     Printf.eprintf "mdabench: nothing to trace (no BT events in %s mode)\n"
       (mech_string mech);
     exit 1
+  | `Aot ->
+    let sink = Obs.Trace.create () in
+    let stats, rt, _, _ = H.Experiment.run_aot_rt ~scale ~sink name in
+    (sink, stats, rt)
   | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m ->
     let mechanism = make_mechanism ~scale ~threshold:50 name m in
     let sink = Obs.Trace.create () in
@@ -675,8 +981,8 @@ let chaos_cmd =
   in
   let mechs_arg =
     let doc =
-      "Comma-separated mechanism subset (default: all six of direct, static-profiling, \
-       dynamic-profiling, eh, dpeh, sa)."
+      "Comma-separated mechanism subset (default: all of direct, static-profiling, \
+       dynamic-profiling, eh, dpeh, sa, aot)."
     in
     Arg.(value & opt (some string) None & info [ "m"; "mechanisms" ] ~docv:"MECHS" ~doc)
   in
@@ -741,6 +1047,8 @@ let list_cmd =
       (fun (name, desc) -> Printf.printf "  %-16s %s\n" name desc)
       [ ("all", "regenerate every table and figure");
         ("run", "run one benchmark under one mechanism (--selfcheck, --validate, --trace-out)");
+        ("analyze", "dump the static congruence census of a benchmark (--compare)");
+        ("aot", "statically translate a whole image and execute it (--census, --validate)");
         ("verify", "translation-validate the cache every mechanism builds");
         ("chaos", "every mechanism under seeded fault plans, checked against the oracle");
         ("trace", "cycle-stamped BT events; JSONL emit (--out) and replay (--replay)");
@@ -768,8 +1076,8 @@ let info_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves")
   in
   let run name scale =
-    let row = W.Spec.find name in
     let w = W.Workload.instantiate ~scale name in
+    let row = W.Workload.paper_row w in
     Printf.printf "%s (%s)
 " name (W.Spec.suite_name row.W.Spec.suite);
     Printf.printf "paper: NMI %d, MDAs %s, ratio %.2f%%
@@ -895,7 +1203,7 @@ let () =
   let info = Cmd.info "mdabench" ~version:"1.0.0" ~doc in
   let cmds =
     List.map experiment_cmd experiments
-    @ [ all_cmd; run_cmd; verify_cmd; chaos_cmd; trace_cmd; hot_cmd; list_cmd; info_cmd;
-        disasm_cmd; disasm_host_cmd ]
+    @ [ all_cmd; run_cmd; analyze_cmd; aot_cmd; verify_cmd; chaos_cmd; trace_cmd;
+        hot_cmd; list_cmd; info_cmd; disasm_cmd; disasm_host_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

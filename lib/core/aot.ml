@@ -1,0 +1,148 @@
+(* Ahead-of-time translation of a whole guest image.
+
+   The fully static endpoint of the static-vs-dynamic axis: every
+   basic block reachable from the program entry is discovered by a
+   breadth-first walk of the *static* CFG (direct jump and branch
+   targets, call targets, call fall-throughs — x86lite's only indirect
+   transfer is Ret, which by the well-bracketed contract returns to a
+   call fall-through the walk already visits, so static discovery is
+   complete for conforming programs) and translated exactly once into
+   a fresh code cache, applying the same per-site policies the
+   [Static_analysis] mechanism uses at dynamic-translation time:
+   proven-misaligned sites get MDA sequences, proven-aligned sites
+   plain ops, unknown sites the configured [sa_policy]. A wrong or
+   missing verdict is therefore misclassification-safe — it degrades
+   to a trap plus OS fixup, never to wrong execution.
+
+   Every static block exit ([Monitor (Next_guest _)]) is then
+   pre-chained into a direct branch, so the finished cache is
+   *immutable at runtime*: the runtime dispatches into it with
+   translation disabled, the trap handler never patches
+   ([Mechanism.patches_on_trap] is false for [Aot]), and a dispatch
+   miss — the one way static discovery can be caught out — is a hard
+   error surfaced as [Run_stats.Aot_miss].
+
+   Discovery mirrors {!Runtime.block_of} ({!Block.discover} with the
+   default instruction limit), so the AOT image covers exactly the
+   blocks a dynamic run would decode. *)
+
+module GI = Mda_guest.Isa
+module H = Mda_host.Isa
+
+(* Static translation statistics — the offline analogue of the
+   translation counters a dynamic run accumulates in {!Run_stats}. *)
+type stats = {
+  blocks : int; (* guest blocks discovered and translated *)
+  guest_insns : int; (* static guest instructions covered *)
+  host_insns : int; (* host instructions emitted (cache footprint) *)
+  chains : int; (* block exits pre-chained into direct branches *)
+}
+
+(* The per-site policy of the [Aot] mechanism (same verdicts as
+   [Static_analysis]; no patched-site case — nothing patches). *)
+let policy ~summary ~unknown addr : Translate.policy =
+  match Mechanism.sa_classify summary addr with
+  | Mechanism.Align_misaligned -> Translate.Seq_always
+  | Mechanism.Align_aligned -> Translate.Normal
+  | Mechanism.Align_unknown -> (
+    match unknown with
+    | Mechanism.Sa_seq -> Translate.Seq_always
+    | Mechanism.Sa_fallback -> Translate.Normal)
+
+(* Static successors of a block: where the walk continues. Ret
+   contributes nothing (its successors are the call fall-throughs,
+   visited via the calls themselves); Halt ends the program. *)
+let successors (block : Block.t) =
+  let n = Array.length block.Block.insns in
+  match block.Block.insns.(n - 1) with
+  | GI.Jmp t -> [ t ]
+  | GI.Jcc { target; _ } -> [ target; block.Block.next ]
+  | GI.Call t -> [ t; block.Block.next ]
+  | GI.Ret | GI.Halt -> []
+  | _ ->
+    (* Block.discover only terminates blocks at control transfers *)
+    assert false
+
+let translate_image ?(max_blocks = 65536) ~summary ~unknown mem ~entry =
+  let policy_of = policy ~summary ~unknown in
+  (* breadth-first discovery, deterministic in queue order *)
+  let visited = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  Hashtbl.replace visited entry ();
+  Queue.push entry queue;
+  let order = ref [] (* reversed discovery order *) in
+  let count = ref 0 in
+  let error = ref None in
+  while !error = None && not (Queue.is_empty queue) do
+    let pc = Queue.pop queue in
+    if !count >= max_blocks then
+      error :=
+        Some
+          (Printf.sprintf "AOT discovery exceeded the %d-block budget at %#x"
+             max_blocks pc)
+    else begin
+      match Block.discover mem ~pc with
+      | Error e ->
+        error :=
+          Some
+            (Format.asprintf "AOT discovery hit undecodable code at %#x: %a" pc
+               Block.pp_error e)
+      | Ok block ->
+        incr count;
+        order := block :: !order;
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem visited s) then begin
+              Hashtbl.replace visited s ();
+              Queue.push s queue
+            end)
+          (successors block)
+    end
+  done;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    let blocks = List.rev !order in
+    let cache = Code_cache.create () in
+    let guest_insns = ref 0 in
+    (* emit every block once, in discovery order *)
+    List.iter
+      (fun (block : Block.t) ->
+        let brec = Code_cache.block cache block.Block.start in
+        let entry = Translate.translate ~cache ~block ~policy_of in
+        brec.entry <- Some entry;
+        brec.host_range <- Some (entry, Code_cache.length cache);
+        guest_insns := !guest_insns + Block.length block)
+      blocks;
+    (* pre-chain every static exit: with all entry points known, each
+       [Monitor (Next_guest g)] becomes a direct branch — the work the
+       dynamic runtime spreads over first executions, done offline. The
+       edges are recorded as in-chains so cache walkers (the validator
+       in particular) recognize them as block exits. *)
+    let chains = ref 0 in
+    List.iter
+      (fun (block : Block.t) ->
+        let brec = Code_cache.block cache block.Block.start in
+        match brec.Code_cache.host_range with
+        | None -> ()
+        | Some (lo, hi) ->
+          for at = lo to hi - 1 do
+            match Code_cache.insn_at cache at with
+            | Some (H.Monitor (Next_guest g)) -> begin
+              match Code_cache.find_block cache g with
+              | Some tb when tb.Code_cache.entry <> None ->
+                let target = Option.get tb.Code_cache.entry in
+                Code_cache.patch cache at (H.Br { ra = H.r31; target });
+                tb.Code_cache.in_chains <- at :: tb.Code_cache.in_chains;
+                incr chains
+              | _ -> ()
+            end
+            | _ -> ()
+          done)
+      blocks;
+    Ok
+      ( cache,
+        { blocks = List.length blocks;
+          guest_insns = !guest_insns;
+          host_insns = Code_cache.length cache;
+          chains = !chains } )

@@ -31,7 +31,16 @@
      sites follow a configurable policy: emit the sequence defensively
      ([Sa_seq], never traps) or translate aligned and let the
      exception handler patch first-trap sites ([Sa_fallback], the
-     EH treatment). *)
+     EH treatment).
+   - [Aot]: the fully static endpoint of that axis: the whole guest
+     image is translated ahead of time (see {!Mda_bt.Aot}) using the
+     same analysis verdicts and per-site policies as [Static_analysis],
+     into an immutable pre-populated code cache the runtime executes
+     with translation (and handler patching) disabled. A dispatch miss
+     at runtime is a hard error ([Run_stats.Aot_miss]) — the soundness
+     check that static discovery was complete — and unknown sites
+     under [Sa_fallback] are fixed up by the OS on every trap, since
+     the cache may not be patched. *)
 
 (* Verdict of the static alignment analysis for one memory operand
    (keyed by static guest instruction address). [Align_aligned] and
@@ -71,6 +80,7 @@ type t =
   | Exception_handling of { rearrange : bool }
   | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
   | Static_analysis of { summary : sa_summary; unknown : sa_policy }
+  | Aot of { summary : sa_summary; unknown : sa_policy }
 
 let name = function
   | Direct -> "direct"
@@ -84,6 +94,9 @@ let name = function
       (if multiversion then ",mv" else "")
   | Static_analysis { unknown; _ } ->
     Printf.sprintf "static-analysis(unknown=%s)"
+      (match unknown with Sa_seq -> "seq" | Sa_fallback -> "eh")
+  | Aot { unknown; _ } ->
+    Printf.sprintf "aot(unknown=%s)"
       (match unknown with Sa_seq -> "seq" | Sa_fallback -> "eh")
 
 (* DigitalBridge's default heating threshold: every mechanism that lives
@@ -101,15 +114,25 @@ let heating_threshold = function
     default_heating
   | Dynamic_profiling { threshold } -> threshold
   | Dpeh { threshold; _ } -> threshold
+  | Aot _ -> 0 (* no phase 1: every block is already translated *)
 
 (* Does phase 1 carry alignment-profiling instrumentation? *)
 let profiles_alignment = function
   | Dynamic_profiling _ | Dpeh _ -> true
-  | Direct | Static_profiling _ | Exception_handling _ | Static_analysis _ -> false
+  | Direct | Static_profiling _ | Exception_handling _ | Static_analysis _ | Aot _ ->
+    false
 
 (* Does the misalignment handler patch the code cache (Retry), or is the
-   access fixed up by the OS on every occurrence (Emulate)? *)
+   access fixed up by the OS on every occurrence (Emulate)? The AOT
+   cache is immutable, so even the Sa_fallback policy must emulate. *)
 let patches_on_trap = function
   | Exception_handling _ | Dpeh _ | Static_analysis { unknown = Sa_fallback; _ } -> true
   | Direct | Static_profiling _ | Dynamic_profiling _
-  | Static_analysis { unknown = Sa_seq; _ } -> false
+  | Static_analysis { unknown = Sa_seq; _ } | Aot _ -> false
+
+(* Is runtime translation disabled (the code cache pre-populated and
+   immutable)? *)
+let is_static = function
+  | Aot _ -> true
+  | Direct | Static_profiling _ | Dynamic_profiling _ | Exception_handling _
+  | Dpeh _ | Static_analysis _ -> false

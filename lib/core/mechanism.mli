@@ -2,9 +2,12 @@
     Table II): QEMU-style direct translation, FX!32-style static
     profiling, IA-32 EL-style dynamic profiling, the paper's
     exception-handling mechanism (optionally with code rearrangement),
-    DPEH with optional retranslation and multi-version code — plus a
-    sixth, purely static mechanism guided by the alignment-congruence
-    dataflow analysis of {!Mda_analysis.Dataflow}. *)
+    DPEH with optional retranslation and multi-version code — plus two
+    purely static mechanisms guided by the alignment-congruence
+    dataflow analysis of {!Mda_analysis.Dataflow}: [Static_analysis]
+    (analysis verdicts consulted during lazy dynamic translation) and
+    [Aot] (the whole image translated ahead of time into an immutable
+    pre-populated code cache, runtime translation disabled). *)
 
 (** Verdict of the static alignment analysis for one memory operand.
     [Align_aligned] / [Align_misaligned] are proofs over every
@@ -36,6 +39,11 @@ type t =
   | Exception_handling of { rearrange : bool }
   | Dpeh of { threshold : int; retranslate : int option; multiversion : bool }
   | Static_analysis of { summary : sa_summary; unknown : sa_policy }
+  | Aot of { summary : sa_summary; unknown : sa_policy }
+      (** ahead-of-time: same per-site policies as [Static_analysis],
+          but the cache is pre-populated by {!Mda_bt.Aot} and immutable
+          — a runtime dispatch miss is a hard error, and unknown sites
+          under [Sa_fallback] are OS-fixed-up on every trap *)
 
 val name : t -> string
 
@@ -50,5 +58,10 @@ val heating_threshold : t -> int
 val profiles_alignment : t -> bool
 
 (** Does the misalignment handler patch the code cache ([Retry]) rather
-    than fix the access up on every occurrence ([Emulate])? *)
+    than fix the access up on every occurrence ([Emulate])? Always
+    [false] for [Aot], whose cache is immutable. *)
 val patches_on_trap : t -> bool
+
+(** Is runtime translation disabled (the code cache pre-populated and
+    immutable)? True exactly for [Aot]. *)
+val is_static : t -> bool

@@ -4,19 +4,31 @@
 
 (* Why the run ended. [Fuel_exhausted] is the runaway-code guard firing:
    the run is cut short but its statistics are still reported (with this
-   reason surfaced) instead of the whole simulation aborting. *)
-type stop_reason = Halted | Fuel_exhausted | Insn_limit
+   reason surfaced) instead of the whole simulation aborting.
+   [Aot_miss] is an AOT run dispatching to a guest block the static
+   translation never emitted — the hard soundness failure of
+   ahead-of-time discovery, surfaced rather than silently interpreted
+   around. *)
+type stop_reason = Halted | Fuel_exhausted | Insn_limit | Aot_miss of { guest_addr : int }
 
 let stop_reason_to_string = function
   | Halted -> "halt"
   | Fuel_exhausted -> "fuel-exhausted"
   | Insn_limit -> "insn-limit"
+  | Aot_miss { guest_addr } -> Printf.sprintf "aot-miss:%#x" guest_addr
 
 let stop_reason_of_string = function
   | "halt" -> Ok Halted
   | "fuel-exhausted" -> Ok Fuel_exhausted
   | "insn-limit" -> Ok Insn_limit
-  | s -> Error (Printf.sprintf "unknown stop reason %S" s)
+  | s -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "aot-miss" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt rest with
+      | Some guest_addr -> Ok (Aot_miss { guest_addr })
+      | None -> Error (Printf.sprintf "malformed aot-miss address %S" rest))
+    | _ -> Error (Printf.sprintf "unknown stop reason %S" s))
 
 type t = {
   mechanism : string;
@@ -46,7 +58,10 @@ type t = {
    format. Field order is part of the format; bump the [format_version]
    when it changes so stale cache entries are rejected, not misparsed. *)
 
-let format_version = 3
+(* v4: the stop-reason value space grew ("aot-miss:<addr>"); older
+   readers must reject rather than misparse entries a newer writer
+   produced. *)
+let format_version = 4
 
 let to_kv t =
   [ ("mechanism", t.mechanism);

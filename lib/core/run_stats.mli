@@ -4,8 +4,11 @@
 
 (** Why the run ended. [Fuel_exhausted] is the runaway-code guard
     firing: the run is cut short with this reason surfaced in the
-    statistics rather than aborting the simulation. *)
-type stop_reason = Halted | Fuel_exhausted | Insn_limit
+    statistics rather than aborting the simulation. [Aot_miss] is an
+    AOT run dispatching to a guest block the static translation never
+    emitted — the soundness failure of ahead-of-time discovery,
+    surfaced rather than silently interpreted around. *)
+type stop_reason = Halted | Fuel_exhausted | Insn_limit | Aot_miss of { guest_addr : int }
 
 val stop_reason_to_string : stop_reason -> string
 

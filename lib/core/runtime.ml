@@ -137,21 +137,48 @@ type t = {
 }
 
 let create ?(config = default_config (Mechanism.Exception_handling { rearrange = false }))
-    ~mem () =
+    ?cache ~mem () =
+  (* An AOT cache is immutable: a capacity bound could only be enforced
+     by evicting translations the runtime can never regenerate, so the
+     combination is rejected here rather than silently violated. *)
+  (match config.faults.cache_capacity with
+  | Some _ when Mechanism.is_static config.mechanism ->
+    invalid_arg "Runtime.create: a bounded code cache cannot back an immutable AOT cache"
+  | _ -> ());
   let hier = Machine.Hierarchy.create config.cost in
   let cpu =
     Machine.Cpu.create ~code_base:Layout.code_cache_base ~mem ~hier ~cost:config.cost ()
   in
-  { cpu;
-    cache = Code_cache.create ();
-    profile = Profile.create ();
-    config;
-    blocks_decoded = Hashtbl.create 256;
-    counters = Counters.create ();
-    fuel_left = max 0 config.fuel;
-    lru_tick = 0;
-    degraded = Hashtbl.create 8;
-    patch_attempts = Hashtbl.create 8 }
+  let t =
+    { cpu;
+      cache = (match cache with Some c -> c | None -> Code_cache.create ());
+      profile = Profile.create ();
+      config;
+      blocks_decoded = Hashtbl.create 256;
+      counters = Counters.create ();
+      fuel_left = max 0 config.fuel;
+      lru_tick = 0;
+      degraded = Hashtbl.create 8;
+      patch_attempts = Hashtbl.create 8 }
+  in
+  (* A pre-populated (AOT) cache arrives with its translations already
+     emitted, so seed the expansion-ratio counters the dynamic path
+     accumulates per translation — the retired-guest-instruction
+     estimate depends on them. The blocks decode from the same image
+     the AOT driver walked, so the lengths agree with what
+     [translate_block] would have recorded. *)
+  Code_cache.iter_blocks t.cache (fun brec ->
+      match brec.Code_cache.host_range with
+      | None -> ()
+      | Some (lo, hi) -> begin
+        match Block.discover mem ~pc:brec.Code_cache.start with
+        | Ok block ->
+          Hashtbl.replace t.blocks_decoded brec.Code_cache.start block;
+          Counters.addi t.counters Counters.Translated_guest_len (Block.length block);
+          Counters.addi t.counters Counters.Translated_host_len (hi - lo)
+        | Error _ -> ()
+      end);
+  t
 
 let counters t = t.counters
 
@@ -217,6 +244,19 @@ let policy_for t (brec : Code_cache.block_rec) : int -> Translate.policy =
       | Sa_seq -> Seq_always
       | Sa_fallback -> if Hashtbl.mem brec.patched addr then Seq_always else Normal
     end
+  end
+  | Aot { summary; unknown } -> begin
+    (* Same verdict-driven policy as Static_analysis, but with no
+       patched-site case: the AOT cache is immutable, so Sa_fallback
+       unknowns stay plain and are OS-fixed-up on every trap. (Runtime
+       translation never happens under Aot — the cache is pre-populated
+       by {!Aot} with this same policy — but the arm keeps [policy_for]
+       total.) *)
+    match Mechanism.sa_classify summary addr with
+    | Align_misaligned -> Seq_always
+    | Align_aligned -> Normal
+    | Align_unknown -> (
+      match unknown with Sa_seq -> Seq_always | Sa_fallback -> Normal)
   end
 
 (* --- invalidation and bounded-cache eviction --------------------------- *)
@@ -499,6 +539,11 @@ let step t pc =
     let entry = rearrange_block t brec in
     enter_translated t brec entry
   | Some entry -> enter_translated t brec entry
+  | None when Mechanism.is_static t.config.mechanism ->
+    (* AOT dispatch miss: the pre-populated cache has no translation for
+       this block and runtime translation is disabled. Surfaced as a
+       hard stop — it means static discovery was incomplete. *)
+    `Aot_miss pc
   | None ->
     let threshold = Mechanism.heating_threshold t.config.mechanism in
     if brec.execs < threshold then begin
@@ -605,20 +650,27 @@ let run t ~entry =
   let pc = ref entry in
   let halted = ref false in
   let out_of_fuel = ref false in
-  while (not !halted) && (not !out_of_fuel) && total_guest_insns t < t.config.max_guest_insns
+  let aot_miss = ref None in
+  while
+    (not !halted) && (not !out_of_fuel) && !aot_miss = None
+    && total_guest_insns t < t.config.max_guest_insns
   do
     match step t !pc with
     | `Continue next -> pc := next
     | `Halt -> halted := true
+    | `Aot_miss g -> aot_miss := Some g
     | exception Machine.Cpu.Out_of_fuel -> out_of_fuel := true
   done;
   let c = t.counters in
   let stats : Run_stats.t =
     { mechanism = Mechanism.name t.config.mechanism;
       stop =
-        (if !out_of_fuel then Run_stats.Fuel_exhausted
-         else if !halted then Run_stats.Halted
-         else Run_stats.Insn_limit);
+        (match !aot_miss with
+        | Some guest_addr -> Run_stats.Aot_miss { guest_addr }
+        | None ->
+          if !out_of_fuel then Run_stats.Fuel_exhausted
+          else if !halted then Run_stats.Halted
+          else Run_stats.Insn_limit);
       cycles = t.cpu.Machine.Cpu.cycles;
       guest_insns = total_guest_insns t;
       interp_insns = Counters.get c Counters.Interp_insns;

@@ -87,8 +87,12 @@ type t = {
       (** guest addr → failed patch attempts so far *)
 }
 
-(** Fresh runtime over [mem] (which must already hold the guest image). *)
-val create : ?config:config -> mem:Mda_machine.Memory.t -> unit -> t
+(** Fresh runtime over [mem] (which must already hold the guest image).
+    [cache] supplies a pre-populated code cache — how an {!Aot} image
+    is executed; omitted, the runtime starts with an empty one. Raises
+    [Invalid_argument] when an immutable (AOT) mechanism is combined
+    with an injected cache-capacity bound. *)
+val create : ?config:config -> ?cache:Code_cache.t -> mem:Mda_machine.Memory.t -> unit -> t
 
 (** The runtime's counter registry (same value as the [counters] field). *)
 val counters : t -> Counters.t

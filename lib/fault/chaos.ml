@@ -28,7 +28,7 @@ type outcome = {
 }
 
 let mechanism_names =
-  [ "direct"; "static-profiling"; "dynamic-profiling"; "eh"; "dpeh"; "sa" ]
+  [ "direct"; "static-profiling"; "dynamic-profiling"; "eh"; "dpeh"; "sa"; "aot" ]
 
 (* --- running and snapshotting ------------------------------------------ *)
 
@@ -110,7 +110,90 @@ let degradation_final records =
       | _ -> None)
     records
 
+(* AOT cells execute an immutable pre-populated cache. A plan that
+   bounds the cache capacity is rejected *up front*: eviction from an
+   AOT cache could never be repaired (nothing retranslates), so
+   {!Bt.Runtime.create} must refuse the combination — and the cell's
+   check is exactly that the refusal happens, instead of running the
+   plan. Unbounded plans run the full oracle/termination/selfcheck/
+   replay battery; the remaining fault knobs (patch budget, refusals)
+   are vacuous by construction, since an AOT mechanism never patches. *)
+let check_aot plan =
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let outcome stats =
+    let problems = List.rev !problems in
+    { plan;
+      mech = "aot";
+      ok = problems = [];
+      problems;
+      evictions = (match stats with Some s -> s.Bt.Run_stats.evictions | None -> 0);
+      patch_faults = (match stats with Some s -> s.Bt.Run_stats.patch_faults | None -> 0);
+      degraded = (match stats with Some s -> s.Bt.Run_stats.degraded | None -> 0);
+      traps = (match stats with Some s -> Int64.to_int s.Bt.Run_stats.traps | None -> 0);
+      translations = (match stats with Some s -> s.Bt.Run_stats.translations | None -> 0) }
+  in
+  let groups = Plan.groups plan in
+  let entry, mem = fresh groups in
+  let summary = sa_summary groups in
+  let unknown = Bt.Mechanism.Sa_fallback in
+  match Bt.Aot.translate_image ~summary ~unknown mem ~entry with
+  | Error e ->
+    fail "AOT translation failed: %s" e;
+    outcome None
+  | Ok (cache, _) -> (
+    let mechanism = Bt.Mechanism.Aot { summary; unknown } in
+    let sink = Obs.Trace.create () in
+    let config =
+      { (Bt.Runtime.default_config mechanism) with
+        flush_policy = plan.Plan.flush_policy;
+        faults = Plan.faults plan;
+        on_event = Some (Obs.Trace.hook sink) }
+    in
+    match plan.Plan.cache_capacity with
+    | Some _ -> (
+      match Bt.Runtime.create ~config ~cache ~mem () with
+      | exception Invalid_argument _ -> outcome None (* the required rejection *)
+      | (_ : Bt.Runtime.t) ->
+        fail "bounded-capacity fault was accepted on the immutable AOT cache";
+        outcome None)
+    | None ->
+      let expected = oracle groups in
+      let rt = Bt.Runtime.create ~config ~cache ~mem () in
+      Obs.Trace.attach sink rt;
+      let stats = Bt.Runtime.run rt ~entry in
+      let got = snapshot rt.Bt.Runtime.cpu mem in
+      if not (state_eq expected got) then
+        fail "guest state diverged from the pure-interpreter oracle";
+      if stats.Bt.Run_stats.stop <> Bt.Run_stats.Halted then
+        fail "run did not halt (%s)"
+          (Bt.Run_stats.stop_reason_to_string stats.Bt.Run_stats.stop);
+      if stats.Bt.Run_stats.translations <> 0 || stats.Bt.Run_stats.patches <> 0 then
+        fail "immutable AOT cache was written at runtime (%d translations, %d patches)"
+          stats.Bt.Run_stats.translations stats.Bt.Run_stats.patches;
+      let report = A.Check.run rt.Bt.Runtime.cache in
+      if not (A.Check.ok report) then
+        fail "selfcheck: %d violation(s), first: %s"
+          (List.length report.A.Check.violations)
+          (match report.A.Check.violations with
+          | v :: _ -> Format.asprintf "%a" A.Check.pp_violation v
+          | [] -> "-");
+      let jsonl =
+        Obs.Trace.to_jsonl ~mechanism:"aot" ~bench:(Printf.sprintf "chaos-%d" plan.Plan.id)
+          ~scale:1.0 ~stats sink
+      in
+      (match Obs.Trace.of_jsonl jsonl with
+      | Error e -> fail "trace does not parse: %s" e
+      | Ok file -> (
+        match Obs.Trace.replay file with
+        | Error e -> fail "trace does not replay: %s" e
+        | Ok replayed ->
+          if replayed <> stats then fail "replayed stats differ from the run's own"));
+      outcome (Some stats))
+
 let check plan ~mech =
+  if String.equal mech "aot" then check_aot plan
+  else
   let groups = Plan.groups plan in
   let expected = oracle groups in
   let mechanism = mechanism_of groups mech in

@@ -32,9 +32,13 @@ type outcome = {
   translations : int;
 }
 
-(** The six mechanism labels the chaos runner exercises:
+(** The mechanism labels the chaos runner exercises:
     ["direct"], ["static-profiling"], ["dynamic-profiling"], ["eh"],
-    ["dpeh"], ["sa"]. *)
+    ["dpeh"], ["sa"], ["aot"]. AOT cells run the plan's workload from
+    an immutable pre-populated cache; a plan that bounds the cache
+    capacity is instead checked to be {e rejected up front} by
+    {!Mda_bt.Runtime.create} (eviction from an AOT cache could never be
+    repaired), which counts as the cell passing. *)
 val mechanism_names : string list
 
 (** Run one (plan, mechanism) cell and check every invariant. Unknown

@@ -42,16 +42,48 @@ let run_mechanism ?scale ?input ~mechanism name =
   fst (run_mechanism_rt ?scale ?input ~mechanism name)
 
 (* Static alignment analysis of a benchmark's program image — no
-   execution, no profile: what the translator gets to see. *)
-let sa_analyze ?(scale = 1.0) ?(input = W.Gen.Ref) name =
+   execution, no profile: what the translator gets to see. [mode]
+   selects the interprocedural (default) or the baseline
+   intraprocedural engine. *)
+let sa_analyze ?(scale = 1.0) ?(input = W.Gen.Ref) ?mode name =
   let w = W.Workload.instantiate ~scale ~input name in
   let mem = W.Workload.fresh_memory w in
-  Mda_analysis.Dataflow.analyze mem ~entry:(W.Workload.entry w)
+  Mda_analysis.Dataflow.analyze ?mode mem ~entry:(W.Workload.entry w)
 
 (* The SA-guided mechanism at the given unknown-operand policy. *)
 let sa_mechanism ?scale ?input ?(unknown = Bt.Mechanism.Sa_fallback) name =
   let a = sa_analyze ?scale ?input name in
   Bt.Mechanism.Static_analysis { summary = Mda_analysis.Dataflow.summary a; unknown }
+
+(* AOT: analyze the image, translate all of it ahead of time, then
+   execute the immutable pre-populated cache with translation disabled.
+   Returns the run statistics, the runtime (for cache inspection), the
+   static translation statistics, and the analysis itself. The default
+   unknown-operand policy is [Sa_seq] — defensively sequenced unknowns
+   make the AOT image trap-free by construction; [Sa_fallback] trades
+   that for leaner code paid for by an OS fixup on *every* unknown-site
+   MDA, since the immutable cache cannot be patched. *)
+let run_aot_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ?(unknown = Bt.Mechanism.Sa_seq)
+    ?sink ?mode name =
+  let w = W.Workload.instantiate ~scale ~input name in
+  let mem = W.Workload.fresh_memory w in
+  let entry = W.Workload.entry w in
+  let analysis = Mda_analysis.Dataflow.analyze ?mode mem ~entry in
+  let summary = Mda_analysis.Dataflow.summary analysis in
+  match Bt.Aot.translate_image ~summary ~unknown mem ~entry with
+  | Error msg -> failwith (Printf.sprintf "AOT translation of %s failed: %s" name msg)
+  | Ok (cache, tstats) ->
+    let mechanism = Bt.Mechanism.Aot { summary; unknown } in
+    let on_event = Option.map Mda_obs.Trace.hook sink in
+    let config = { (Bt.Runtime.default_config mechanism) with on_event } in
+    let t = Bt.Runtime.create ~config ~cache ~mem () in
+    Option.iter (fun s -> Mda_obs.Trace.attach s t) sink;
+    let stats = Bt.Runtime.run t ~entry in
+    (stats, t, tstats, analysis)
+
+let run_aot ?scale ?input ?unknown name =
+  let stats, _, _, _ = run_aot_rt ?scale ?input ?unknown name in
+  stats
 
 (* Pure-interpreter ground-truth run (Table I, Figure 15, train profiles). *)
 let run_interp ?(scale = 1.0) ?(input = W.Gen.Ref) ?(native = false) name =

@@ -38,9 +38,14 @@ val run_mechanism_rt :
   Mda_bt.Run_stats.t * Mda_bt.Runtime.t
 
 (** Static alignment analysis of a benchmark's program image — no
-    execution, no profile. *)
+    execution, no profile. [mode] selects the analysis engine
+    (default {!Mda_analysis.Dataflow.Interprocedural}). *)
 val sa_analyze :
-  ?scale:float -> ?input:Mda_workloads.Gen.input -> string -> Mda_analysis.Dataflow.t
+  ?scale:float ->
+  ?input:Mda_workloads.Gen.input ->
+  ?mode:Mda_analysis.Dataflow.mode ->
+  string ->
+  Mda_analysis.Dataflow.t
 
 (** The SA-guided mechanism for a benchmark, at the given
     unknown-operand policy (default {!Mda_bt.Mechanism.Sa_fallback}). *)
@@ -50,6 +55,30 @@ val sa_mechanism :
   ?unknown:Mda_bt.Mechanism.sa_policy ->
   string ->
   Mda_bt.Mechanism.t
+
+(** AOT run of a benchmark: analyze, statically translate the whole
+    image ({!Mda_bt.Aot.translate_image}), then execute the immutable
+    cache under {!Mda_bt.Mechanism.Aot} with translation disabled.
+    Returns run stats, the runtime (cache inspection), static
+    translation stats, and the analysis. [unknown] defaults to
+    {!Mda_bt.Mechanism.Sa_seq} (trap-free by construction); [mode]
+    selects the analysis engine. Fails on untranslatable images. *)
+val run_aot_rt :
+  ?scale:float ->
+  ?input:Mda_workloads.Gen.input ->
+  ?unknown:Mda_bt.Mechanism.sa_policy ->
+  ?sink:Mda_obs.Trace.t ->
+  ?mode:Mda_analysis.Dataflow.mode ->
+  string ->
+  Mda_bt.Run_stats.t * Mda_bt.Runtime.t * Mda_bt.Aot.stats * Mda_analysis.Dataflow.t
+
+(** Just the run statistics of {!run_aot_rt}. *)
+val run_aot :
+  ?scale:float ->
+  ?input:Mda_workloads.Gen.input ->
+  ?unknown:Mda_bt.Mechanism.sa_policy ->
+  string ->
+  Mda_bt.Run_stats.t
 
 (** Pure-interpreter ([native:false]) or native-x86 ground-truth run. *)
 val run_interp :

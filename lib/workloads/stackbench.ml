@@ -1,0 +1,126 @@
+(* A stack-frame microbenchmark: the interprocedural-analysis showcase.
+
+   Real compiled code keeps most of its 8-byte spills in `disp(%esp)`
+   slots, so proving them aligned requires knowing ESP's congruence *at
+   function entry* — which only survives if the analysis restores the
+   caller's ESP across each call (callee delta) instead of joining every
+   return site in the program. This workload is built to separate the
+   two engines:
+
+   - a main loop calling three distinct leaf functions, one of them with
+     a stack argument the caller cleans up (`push; call; add esp,4`), so
+     ret-time ESP values differ by 4 across callees;
+   - each callee makes an 8-aligned frame and performs width-8 accesses
+     to fixed frame slots — all aligned except one deliberately
+     4-skewed slot, which a precise analysis *proves misaligned*.
+
+   The intraprocedural engine's global return-site mixing joins the
+   differing ret-time ESPs into a stride-4 congruence, so every width-8
+   frame slot degrades to unknown. The interprocedural engine tracks
+   ESP through each call exactly and classifies all of them. The
+   difference is the committed-golden census gap (see
+   [test_analysis]/EXPERIMENTS).
+
+   Concrete addresses (stack_top = 0xFF000 ≡ 0 mod 8):
+
+     main loop            esp = 0xFF000
+     call f1              esp = 0xFEFFC   (ret addr)
+       f1: sub esp,12     esp = 0xFEFF0
+           [esp]    S8    aligned
+           [esp]    S8    aligned (load back)
+           [esp+4]  S8    misaligned — every execution
+       push eax           esp = 0xFEFFC   (argument)
+     call f2              esp = 0xFEFF8
+       f2: [esp+4]  S4    aligned (the argument)
+           sub esp,8      esp = 0xFEFF0
+           [esp]    S8    aligned (store, load back)
+       add esp,4          (caller cleans the argument)
+     call f3              esp = 0xFEFFC
+       f3: push ebx/esi   esp = 0xFEFF4
+           sub esp,12     esp = 0xFEFE8
+           [esp]    S8    aligned
+           add esp,12; pop esi/ebx, ret
+
+   Per iteration: 18 memory references (7 frame-slot sites + 11
+   call/ret/push/pop stack operations), exactly 1 of them misaligned. *)
+
+module G = Mda_guest
+module GI = Mda_guest.Isa
+
+let name = "stack.frames"
+
+let iterations = 64
+
+let refs_per_iter = 18
+
+(* A synthetic Table-I-style row so the workload reports like the SPEC
+   models: 7 static MDA-site instructions, one misaligning per
+   iteration. *)
+let row =
+  { Spec.name;
+    suite = Spec.Int2000;
+    nmi = 7;
+    mdas = float_of_int iterations;
+    ratio = 1.0 /. float_of_int refs_per_iter }
+
+let program ~input:_ =
+  let asm = G.Asm.create () in
+  let f1 = G.Asm.fresh_label asm in
+  let f2 = G.Asm.fresh_label asm in
+  let f3 = G.Asm.fresh_label asm in
+  let loop = G.Asm.fresh_label asm in
+  (* prologue *)
+  G.Asm.movi asm GI.ESP Mda_bt.Layout.stack_top;
+  G.Asm.movi asm GI.EBP 0;
+  G.Asm.movi asm GI.EAX 0x1234;
+  G.Asm.movi asm GI.EBX 0x5678;
+  G.Asm.movi asm GI.ESI 0;
+  G.Asm.movi asm GI.EDI iterations;
+  (* main loop *)
+  G.Asm.bind asm loop;
+  G.Asm.call asm f1;
+  G.Asm.insn asm (GI.Push GI.EAX);
+  G.Asm.call asm f2;
+  G.Asm.binop asm GI.Add GI.ESP (GI.Imm 4l);
+  G.Asm.call asm f3;
+  G.Asm.binop asm GI.Sub GI.EDI (GI.Imm 1l);
+  G.Asm.cmpi asm GI.EDI 0;
+  G.Asm.jcc asm GI.Ne loop;
+  G.Asm.halt asm;
+  (* f1: 12-byte frame; two aligned S8 slots and one 4-skewed one *)
+  G.Asm.bind asm f1;
+  G.Asm.binop asm GI.Sub GI.ESP (GI.Imm 12l);
+  G.Asm.store asm ~src:GI.EAX ~dst:(GI.addr_base GI.ESP) ~size:GI.S8 ();
+  G.Asm.load asm ~dst:GI.ECX ~src:(GI.addr_base GI.ESP) ~size:GI.S8 ();
+  G.Asm.store asm ~src:GI.EBX ~dst:(GI.addr_base ~disp:4 GI.ESP) ~size:GI.S8 ();
+  G.Asm.binop asm GI.Add GI.ESP (GI.Imm 12l);
+  G.Asm.ret asm;
+  (* f2: stack argument, 8-byte frame *)
+  G.Asm.bind asm f2;
+  G.Asm.load asm ~dst:GI.EDX ~src:(GI.addr_base ~disp:4 GI.ESP) ~size:GI.S4 ();
+  G.Asm.binop asm GI.Sub GI.ESP (GI.Imm 8l);
+  G.Asm.store asm ~src:GI.EDX ~dst:(GI.addr_base GI.ESP) ~size:GI.S8 ();
+  G.Asm.load asm ~dst:GI.ECX ~src:(GI.addr_base GI.ESP) ~size:GI.S8 ();
+  G.Asm.binop asm GI.Add GI.ESP (GI.Imm 8l);
+  G.Asm.ret asm;
+  (* f3: push/pop saves plus a 12-byte frame below them holding the
+     8-aligned S8 slot *)
+  G.Asm.bind asm f3;
+  G.Asm.insn asm (GI.Push GI.EBX);
+  G.Asm.insn asm (GI.Push GI.ESI);
+  G.Asm.binop asm GI.Sub GI.ESP (GI.Imm 12l);
+  G.Asm.store asm ~src:GI.EAX ~dst:(GI.addr_base GI.ESP) ~size:GI.S8 ();
+  G.Asm.binop asm GI.Add GI.ESP (GI.Imm 12l);
+  G.Asm.insn asm (GI.Pop GI.ESI);
+  G.Asm.insn asm (GI.Pop GI.EBX);
+  G.Asm.ret asm;
+  let base = Mda_bt.Layout.guest_code_base in
+  let asm_program = G.Asm.assemble ~base asm in
+  let init mem = Mda_machine.Memory.load_image mem ~addr:base asm_program.G.Asm.image in
+  { Gen.asm_program;
+    init;
+    entry = base;
+    expected_refs = iterations * refs_per_iter;
+    expected_mdas = iterations;
+    groups = [];
+    lib_boundary = None }

@@ -288,11 +288,22 @@ let apply_variant variant groups =
       groups
 
 let instantiate ?(scale = 1.0) ?(input = Gen.Ref) ?(variant = Default) name =
-  let row = Spec.find name in
-  let traits = Spec.traits_of name in
-  let groups = apply_variant variant (plan_groups row traits ~scale) in
-  let program = Gen.build ~input groups in
-  { name; row; traits; input; scale; program }
+  if String.equal name Stackbench.name then
+    (* the hand-assembled stack-frame microbenchmark: fixed shape
+       (scale and variant do not apply), synthetic paper row *)
+    { name;
+      row = Stackbench.row;
+      traits = Spec.default_traits;
+      input;
+      scale = 1.0;
+      program = Stackbench.program ~input }
+  else begin
+    let row = Spec.find name in
+    let traits = Spec.traits_of name in
+    let groups = apply_variant variant (plan_groups row traits ~scale) in
+    let program = Gen.build ~input groups in
+    { name; row; traits; input; scale; program }
+  end
 
 (* Fresh, initialized memory for a run of this workload. *)
 let fresh_memory t =

@@ -307,6 +307,92 @@ let sa_equiv_test (label, unknown) =
       in
       Test_equiv.state_eq (Test_equiv.run_interp p) (Test_equiv.run_mech mech p))
 
+(* --- the interprocedural engine on the stack-frame microbenchmark ------- *)
+
+(* stack.frames is hand-written so that the two engines separate
+   exactly: every effective address is an ESP-relative frame slot, so
+   verdicts hinge on tracking ESP through call/ret. The committed
+   golden file (test/golden/census-stack.txt) holds the full site
+   tables; these tests pin the structural claims. *)
+
+let stack_analysis ?max_blocks mode =
+  let w = Mda_workloads.Workload.instantiate "stack.frames" in
+  let mem = Mda_workloads.Workload.fresh_memory w in
+  let entry = Mda_workloads.Workload.entry w in
+  (A.Dataflow.analyze ?max_blocks ~mode mem ~entry, entry)
+
+let test_stack_census () =
+  let inter, _ = stack_analysis A.Dataflow.Interprocedural in
+  let intra, _ = stack_analysis A.Dataflow.Intraprocedural in
+  let ia, im, iu = A.Dataflow.census inter in
+  let xa, xm, xu = A.Dataflow.census intra in
+  Alcotest.(check (triple int int int)) "interprocedural census" (17, 1, 0) (ia, im, iu);
+  Alcotest.(check (triple int int int)) "intraprocedural census" (12, 0, 6) (xa, xm, xu);
+  (* the strict-improvement claims, independent of the exact counts *)
+  Alcotest.(check bool) "strictly fewer unknowns" true (iu < xu);
+  Alcotest.(check bool) "misaligned slot proven only interprocedurally" true (im > xm)
+
+(* Every callee of stack.frames is balanced: the ESP displacement
+   analysis must prove [fn_esp_delta = Some 0] for all three, with a
+   reached Ret and a complete body — that is the fact that lets the
+   callers keep an exact ESP across the calls. *)
+let test_stack_functions () =
+  let a, entry = stack_analysis A.Dataflow.Interprocedural in
+  let callees =
+    List.filter (fun f -> f.A.Dataflow.fn_entry <> entry) a.A.Dataflow.functions
+  in
+  Alcotest.(check int) "three callees discovered" 3 (List.length callees);
+  List.iter
+    (fun f ->
+      let name = Printf.sprintf "fn %#x" f.A.Dataflow.fn_entry in
+      Alcotest.(check bool) (name ^ " complete") true f.A.Dataflow.fn_complete;
+      Alcotest.(check bool) (name ^ " returns") true f.A.Dataflow.fn_returns;
+      Alcotest.(check (option int)) (name ^ " balanced") (Some 0) f.A.Dataflow.fn_esp_delta;
+      Alcotest.(check bool) (name ^ " has call sites") true (f.A.Dataflow.fn_calls > 0))
+    callees;
+  let main = List.filter (fun f -> f.A.Dataflow.fn_entry = entry) a.A.Dataflow.functions in
+  match main with
+  | [ f ] -> Alcotest.(check bool) "entry function complete" true f.A.Dataflow.fn_complete
+  | _ -> Alcotest.fail "entry function not discovered exactly once"
+
+(* A blown block budget must be *reported*, not silently degraded: the
+   result carries the region entry and the block count where discovery
+   stopped, and completeness drops. The blast radius differs by design:
+   the intraprocedural supergraph loses every verdict, while the
+   interprocedural engine contains the damage to the function that blew
+   the budget — callees that decoded completely keep their verdicts. *)
+let test_budget_overflow () =
+  List.iter
+    (fun mode ->
+      let a, entry = stack_analysis ~max_blocks:2 mode in
+      let name = A.Dataflow.mode_name mode in
+      Alcotest.(check bool) (name ^ ": incomplete") false a.A.Dataflow.complete;
+      (match a.A.Dataflow.overflow with
+      | None -> Alcotest.failf "%s: budget overflow not reported" name
+      | Some (region, seen) ->
+        Alcotest.(check int) (name ^ ": overflow region is the entry function") entry region;
+        Alcotest.(check bool) (name ^ ": blocks-seen recorded") true (seen > 0 && seen <= 2));
+      let aligned, misaligned, _unknown = A.Dataflow.census a in
+      (match mode with
+      | A.Dataflow.Intraprocedural ->
+        (* one overflow poisons the whole supergraph *)
+        Alcotest.(check (pair int int)) (name ^ ": no verdicts survive") (0, 0)
+          (aligned, misaligned)
+      | A.Dataflow.Interprocedural ->
+        (* damage contained: some callee verdicts survive, but strictly
+           fewer than at full budget (17 aligned + 1 misaligned) *)
+        Alcotest.(check bool) (name ^ ": complete callees keep verdicts") true
+          (aligned + misaligned > 0);
+        Alcotest.(check bool) (name ^ ": blown function's verdicts lost") true
+          (aligned + misaligned < 18));
+      (* and a full budget reports no overflow *)
+      let full, _ = stack_analysis mode in
+      Alcotest.(check bool) (name ^ ": full budget complete") true full.A.Dataflow.complete;
+      (match full.A.Dataflow.overflow with
+      | None -> ()
+      | Some _ -> Alcotest.failf "%s: spurious overflow at full budget" name))
+    [ A.Dataflow.Interprocedural; A.Dataflow.Intraprocedural ]
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_transfer_sound;
@@ -321,4 +407,8 @@ let suite =
       [ Alcotest.test_case "order and join" `Quick test_lattice_basics;
         Alcotest.test_case "classification" `Quick test_classify;
         Alcotest.test_case "generator not vacuous" `Quick test_generator_not_vacuous ] );
+    ( "analysis.interprocedural",
+      [ Alcotest.test_case "stack census: inter beats intra" `Quick test_stack_census;
+        Alcotest.test_case "callees balanced and complete" `Quick test_stack_functions;
+        Alcotest.test_case "budget overflow reported" `Quick test_budget_overflow ] );
     ("analysis.properties", qcheck_cases) ]

@@ -196,6 +196,48 @@ let flush_equiv_test =
         (run_bounded Bt.Runtime.Block_granularity groups)
         (run_bounded Bt.Runtime.Full_flush groups))
 
+(* AOT: the whole image is translated ahead of time from the same
+   congruence summary, then executed from the immutable pre-populated
+   cache with translation disabled. The final guest state must equal
+   both the pure interpreter's AND the dynamic Static_analysis run's on
+   the same summary and unknown-site policy — and the immutable cache
+   must show zero runtime translations and zero patches. *)
+let run_aot unknown groups =
+  let entry, mem = fresh groups in
+  let summary = sa_summary groups in
+  match Bt.Aot.translate_image ~summary ~unknown mem ~entry with
+  | Error msg -> failwith ("AOT translation failed: " ^ msg)
+  | Ok (cache, _) ->
+    let mechanism = Bt.Mechanism.Aot { summary; unknown } in
+    let t = Bt.Runtime.create ~config:(Bt.Runtime.default_config mechanism) ~cache ~mem () in
+    let stats = Bt.Runtime.run t ~entry in
+    if stats.Bt.Run_stats.translations <> 0 || stats.Bt.Run_stats.patches <> 0 then
+      failwith "AOT run translated or patched at runtime";
+    if stats.Bt.Run_stats.stop <> Bt.Run_stats.Halted then
+      failwith
+        ("AOT run did not halt: " ^ Bt.Run_stats.stop_reason_to_string stats.Bt.Run_stats.stop);
+    snapshot t.Bt.Runtime.cpu mem
+
+let aot_test (label, unknown) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "workload state: interp == aot(%s) == sa(%s)" label label)
+    ~count:60
+    (QCheck.make gen_spec ~print:print_spec)
+    (fun groups ->
+      QCheck.assume
+        (match W.Gen.build ~input:W.Gen.Ref groups with
+        | (_ : W.Gen.program) -> true
+        | exception Invalid_argument _ -> false);
+      let reference = run_reference groups in
+      let dynamic =
+        run_mechanism
+          (fun g -> Bt.Mechanism.Static_analysis { summary = sa_summary g; unknown })
+          groups
+      in
+      state_eq reference (run_aot unknown groups) && state_eq reference dynamic)
+
+let aot_policies = [ ("seq", Bt.Mechanism.Sa_seq); ("eh", Bt.Mechanism.Sa_fallback) ]
+
 (* Seeded: the sweep is deterministic run-to-run, and a reported
    counterexample replays exactly. *)
 let seed = 0x5eed_2026
@@ -206,6 +248,10 @@ let cases =
       QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |])
         (differential_test m))
     mechanisms
+  @ List.map
+      (fun p ->
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) (aot_test p))
+      aot_policies
   @ [ QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) flush_equiv_test ]
 
 let suite = [ ("differential", cases) ]

@@ -249,7 +249,7 @@ let test_plans_deterministic () =
 
 let test_chaos_smoke () =
   let outcomes = F.Chaos.run ~jobs:1 ~seed:7 ~plans:2 () in
-  Alcotest.(check int) "2 plans x 6 mechanisms" 12 (List.length outcomes);
+  Alcotest.(check int) "2 plans x 7 mechanisms" 14 (List.length outcomes);
   List.iter
     (fun (o : F.Chaos.outcome) ->
       if not o.F.Chaos.ok then
