@@ -12,15 +12,19 @@
 
    Part 3 (perf trajectory): measures the whole-program congruence
    analysis (blocks/sec to fixpoint) and AOT static translation
-   throughput over the Table-I workload images and writes the numbers
-   to BENCH_pr6.json — the first point of the repository's performance
-   trajectory.
+   throughput over the Table-I workload images.
+
+   Part 4 (assembler throughput): measures both textual assemblers —
+   guest parse+assemble and decode+pretty over the Table-I program
+   texts, host parse and encode/decode over AOT-translated code — and
+   writes all the numbers to BENCH_pr7.json, the next point of the
+   repository's performance trajectory.
 
    Environment:
      MDA_BENCH_SCALE        workload scale for part 2 (default 1.0)
      MDA_BENCH_QUOTA_MS     Bechamel time quota per test (default 1000)
      MDA_BENCH_SKIP_MEASURE=1   skip part 1
-     MDA_BENCH_JSON         part-3 output path (default BENCH_pr6.json) *)
+     MDA_BENCH_JSON         part-3/4 output path (default BENCH_pr7.json) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -88,7 +92,7 @@ let run_measurements () =
     tests;
   print_newline ()
 
-(* --- part 3: analysis / AOT throughput -> BENCH_pr6.json ---------------- *)
+(* --- parts 3+4: analysis / AOT / assembler throughput -> BENCH_pr7.json - *)
 
 (* Wall-clock a thunk by repetition until [min_s] elapses; returns
    (seconds, reps). The thunks are pure with respect to guest memory
@@ -105,7 +109,7 @@ let time_reps ~min_s f =
 
 let emit_bench_json () =
   let path =
-    match Sys.getenv_opt "MDA_BENCH_JSON" with Some p -> p | None -> "BENCH_pr6.json"
+    match Sys.getenv_opt "MDA_BENCH_JSON" with Some p -> p | None -> "BENCH_pr7.json"
   in
   let images =
     List.map
@@ -149,11 +153,89 @@ let emit_bench_json () =
   let aot_secs, aot_reps =
     time_reps ~min_s:0.5 (fun () -> List.iter (fun p -> ignore (translate p)) prepped)
   in
+  (* part 4: assembler/disassembler throughput. Guest corpus: the
+     pretty text and encoded image of every Table-I program (branch
+     targets are absolute, so the text reassembles standalone). Host
+     corpus: the AOT translation of the first workload — real
+     translator output, not synthetic streams. *)
+  let guest_programs =
+    List.map
+      (fun name ->
+        let w = W.Workload.instantiate name in
+        w.W.Workload.program.W.Gen.asm_program)
+      (W.Spec.selected_names @ [ "stack.frames" ])
+  in
+  let guest_texts =
+    List.map
+      (fun (p : Mda_guest.Asm.program) ->
+        let buf = Buffer.create 4096 in
+        Array.iter
+          (fun insn ->
+            Buffer.add_string buf (Mda_guest.Pretty.insn_to_string insn);
+            Buffer.add_char buf '\n')
+          p.Mda_guest.Asm.insns;
+        (Buffer.contents buf, p.Mda_guest.Asm.base))
+      guest_programs
+  in
+  let asm_guest_insns =
+    List.fold_left
+      (fun n (p : Mda_guest.Asm.program) -> n + Array.length p.Mda_guest.Asm.insns)
+      0 guest_programs
+  in
+  let gasm_secs, gasm_reps =
+    time_reps ~min_s:0.5 (fun () ->
+        List.iter
+          (fun (text, base) ->
+            match Mda_guest.Parse.program ~base text with
+            | Ok _ -> ()
+            | Error e ->
+              failwith
+                (Format.asprintf "BENCH guest reassembly failed: %a"
+                   Mda_guest.Parse.pp_error e))
+          guest_texts)
+  in
+  let gdis_secs, gdis_reps =
+    time_reps ~min_s:0.5 (fun () ->
+        List.iter
+          (fun (p : Mda_guest.Asm.program) ->
+            match Mda_guest.Decode.decode_all p.Mda_guest.Asm.image with
+            | Ok l -> List.iter (fun (_, i) -> ignore (Mda_guest.Pretty.insn_to_string i)) l
+            | Error e ->
+              failwith
+                (Format.asprintf "BENCH guest decode failed: %a" Mda_guest.Decode.pp_error
+                   e))
+          guest_programs)
+  in
+  let host_code =
+    let cache, _ = translate (List.hd prepped) in
+    Array.init (Bt.Code_cache.length cache) (Bt.Code_cache.fetch cache)
+  in
+  let host_insns_n = Array.length host_code in
+  let hasm_secs, hasm_reps =
+    time_reps ~min_s:0.5 (fun () ->
+        Array.iter
+          (fun insn ->
+            match Mda_host.Parse.insn (Mda_host.Pretty.insn_to_string insn) with
+            | Ok _ -> ()
+            | Error e ->
+              failwith
+                (Format.asprintf "BENCH host reparse failed: %a" Mda_host.Parse.pp_error e))
+          host_code)
+  in
+  let hcodec_secs, hcodec_reps =
+    time_reps ~min_s:0.5 (fun () ->
+        Array.iteri
+          (fun pc insn ->
+            match Mda_host.Encode.decode ~pc (Mda_host.Encode.encode ~pc insn) with
+            | Ok _ -> ()
+            | Error e -> failwith ("BENCH host codec failed: " ^ e.Mda_host.Encode.reason))
+          host_code)
+  in
   let per_sec count secs reps = float_of_int (count * reps) /. secs in
   let oc = open_out path in
   Printf.fprintf oc
     {|{
-  "pr": 6,
+  "pr": 7,
   "analysis": {
     "workloads": %d,
     "blocks": %d,
@@ -171,6 +253,14 @@ let emit_bench_json () =
     "reps": %d,
     "blocks_per_sec": %.1f,
     "host_insns_per_sec": %.1f
+  },
+  "assembler": {
+    "guest_insns": %d,
+    "guest_asm_insns_per_sec": %.1f,
+    "guest_disasm_insns_per_sec": %.1f,
+    "host_insns": %d,
+    "host_asm_insns_per_sec": %.1f,
+    "host_codec_insns_per_sec": %.1f
   }
 }
 |}
@@ -178,12 +268,21 @@ let emit_bench_json () =
     (per_sec !blocks an_secs an_reps)
     (List.length prepped) !aot_blocks !guest_insns !host_insns aot_secs aot_reps
     (per_sec !aot_blocks aot_secs aot_reps)
-    (per_sec !host_insns aot_secs aot_reps);
+    (per_sec !host_insns aot_secs aot_reps)
+    asm_guest_insns
+    (per_sec asm_guest_insns gasm_secs gasm_reps)
+    (per_sec asm_guest_insns gdis_secs gdis_reps)
+    host_insns_n
+    (per_sec host_insns_n hasm_secs hasm_reps)
+    (per_sec host_insns_n hcodec_secs hcodec_reps);
   close_out oc;
-  Printf.printf "== wrote %s (analysis %.0f blocks/s, aot %.0f host insns/s) ==\n\n%!"
+  Printf.printf
+    "== wrote %s (analysis %.0f blocks/s, aot %.0f host insns/s, asm %.0f guest \
+     insns/s) ==\n\n%!"
     path
     (per_sec !blocks an_secs an_reps)
     (per_sec !host_insns aot_secs aot_reps)
+    (per_sec asm_guest_insns gasm_secs gasm_reps)
 
 let () =
   let scale =

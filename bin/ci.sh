@@ -91,9 +91,39 @@ echo "== chaos gate: 20 fault plans x 7 mechanisms against the oracle"
 dune exec bin/mdabench.exe -- chaos --seed 42 --plans 20 --jobs 2 >/dev/null || {
   echo "FAIL: chaos gate"; exit 1; }
 
+echo "== assembler gate: roundtrip fuzz, examples through every runner"
+ASM_DIR=$(mktemp -d)
+trap 'rm -rf "$TRACE_DIR" "$BOUND_DIR" "$ASM_DIR"' EXIT
+# 10k seeded streams per ISA through insn -> pretty -> parse -> encode
+# -> decode -> insn; any mismatch writes a minimised reproducer and fails
+dune exec bin/mdabench.exe -- fuzz-asm --seed 7 --streams 10000 \
+  --repro-out "$ASM_DIR/repro.asm" || {
+  echo "FAIL: fuzz-asm found a roundtrip mismatch"; exit 1; }
+# the committed examples assemble, decode back byte-identically, and the
+# tour listing matches its golden disassembly
+dune exec bin/mdabench.exe -- asm examples/asm/tour.asm >/dev/null || {
+  echo "FAIL: tour.asm does not assemble"; exit 1; }
+dune exec bin/mdabench.exe -- asm examples/asm/stack.asm >/dev/null || {
+  echo "FAIL: stack.asm does not assemble"; exit 1; }
+dune exec bin/mdabench.exe -- disasm examples/asm/tour.asm 2>/dev/null \
+  | tail -n +2 >"$ASM_DIR/tour-disasm.txt"
+cmp "$ASM_DIR/tour-disasm.txt" test/golden/disasm-tour.txt || {
+  echo "FAIL: tour.asm disassembly differs from test/golden/disasm-tour.txt"; exit 1; }
+# a hand-written workload flows through every runner against the oracle
+dune exec bin/mdabench.exe -- run examples/asm/tour.asm -m eh \
+  --selfcheck --validate >/dev/null || {
+  echo "FAIL: run gate (tour.asm)"; exit 1; }
+dune exec bin/mdabench.exe -- aot --program examples/asm/tour.asm --validate >/dev/null || {
+  echo "FAIL: aot gate (tour.asm)"; exit 1; }
+dune exec bin/mdabench.exe -- verify --program examples/asm/tour.asm --jobs 2 >/dev/null || {
+  echo "FAIL: verify gate (tour.asm)"; exit 1; }
+dune exec bin/mdabench.exe -- chaos --program examples/asm/tour.asm \
+  --plans 5 --seed 7 --jobs 2 >/dev/null || {
+  echo "FAIL: chaos gate (tour.asm)"; exit 1; }
+
 echo "== bounded-cache table1 is byte-identical to the unbounded run"
 BOUND_DIR=$(mktemp -d)
-trap 'rm -rf "$TRACE_DIR" "$BOUND_DIR"' EXIT
+trap 'rm -rf "$TRACE_DIR" "$ASM_DIR" "$BOUND_DIR"' EXIT
 # table1 is interpreter ground truth: a code-cache bound on the
 # translator must not move a single byte of it
 dune exec bin/mdabench.exe -- table1 --scale 0.05 --no-cache \
@@ -106,7 +136,7 @@ cmp "$BOUND_DIR/unbounded.txt" "$BOUND_DIR/bounded.txt" || {
 echo "== parallel 'all' smoke run with result cache (scale 0.05)"
 CACHE_DIR=$(mktemp -d)
 OUT_DIR=$(mktemp -d)
-trap 'rm -rf "$TRACE_DIR" "$BOUND_DIR" "$CACHE_DIR" "$OUT_DIR"' EXIT
+trap 'rm -rf "$TRACE_DIR" "$ASM_DIR" "$BOUND_DIR" "$CACHE_DIR" "$OUT_DIR"' EXIT
 dune exec bin/mdabench.exe -- all --jobs 2 --scale 0.05 \
   --benchmarks 164.gzip,410.bwaves,188.ammp \
   --cache-dir "$CACHE_DIR" >"$OUT_DIR/cold.txt" 2>"$OUT_DIR/cold.err"

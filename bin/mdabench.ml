@@ -235,10 +235,34 @@ let make_mechanism ~scale ~threshold name = function
   | `Sa -> H.Experiment.sa_mechanism ~scale ~unknown:Bt.Mechanism.Sa_fallback name
   | `Sa_seq -> H.Experiment.sa_mechanism ~scale ~unknown:Bt.Mechanism.Sa_seq name
 
+(* Hand-written workloads: [Workload.instantiate] dispatches any name
+   ending in ".asm" to the textual assembler, so a file path can stand
+   wherever a benchmark name can. The [--program] flag is the explicit
+   spelling of that. *)
+let program_arg =
+  let doc =
+    "Run a hand-written assembly file as the workload (equivalent to passing the path as \
+     $(i,BENCHMARK); see $(b,mdabench asm) for the grammar)."
+  in
+  Arg.(value & opt (some string) None & info [ "program" ] ~docv:"FILE.asm" ~doc)
+
+let workload_name ~cmd bench program =
+  match (bench, program) with
+  | Some n, None -> n
+  | None, Some p -> p
+  | Some _, Some _ ->
+    Printf.eprintf "mdabench %s: give either BENCHMARK or --program, not both\n" cmd;
+    exit 1
+  | None, None ->
+    Printf.eprintf "mdabench %s: BENCHMARK or --program FILE.asm required\n" cmd;
+    exit 1
+
 let run_cmd =
   let doc = "Run one benchmark under one mechanism and print its statistics." in
   let bench_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves")
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves (or --program FILE.asm)")
   in
   let mech_arg =
     Arg.(
@@ -281,7 +305,8 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
-  let run name mech scale threshold selfcheck validate corrupt trace_out =
+  let run bench program mech scale threshold selfcheck validate corrupt trace_out =
+    let name = workload_name ~cmd:"run" bench program in
     match mech with
     | `Interp | `Native ->
       let s, _ = H.Experiment.run_interp ~scale ~native:(mech = `Native) name in
@@ -354,8 +379,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ bench_arg $ mech_arg $ scale_arg $ threshold_arg $ selfcheck_arg
-      $ validate_arg $ corrupt_arg $ trace_out_arg)
+      const run $ bench_arg $ program_arg $ mech_arg $ scale_arg $ threshold_arg
+      $ selfcheck_arg $ validate_arg $ corrupt_arg $ trace_out_arg)
 
 (* --- analyze: dump the static congruence census ------------------------ *)
 
@@ -515,8 +540,9 @@ let aot_cmd =
   in
   let bench_arg =
     Arg.(
-      required & pos 0 (some string) None
-      & info [] ~docv:"BENCHMARK" ~doc:"e.g. 410.bwaves or stack.frames")
+      value & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"e.g. 410.bwaves or stack.frames (or --program FILE.asm)")
   in
   let policy_arg =
     Arg.(
@@ -544,7 +570,8 @@ let aot_cmd =
       & opt analysis_mode_conv A.Dataflow.Interprocedural
       & info [ "mode" ] ~docv:"MODE" ~doc:"analysis engine: inter (default) | intra")
   in
-  let run name scale unknown census validate mode =
+  let run bench program scale unknown census validate mode =
+    let name = workload_name ~cmd:"aot" bench program in
     (* ground truth: a pure-interpreter run over an identical image *)
     let w = W.Workload.instantiate ~scale name in
     let imem = W.Workload.fresh_memory w in
@@ -634,8 +661,8 @@ let aot_cmd =
   in
   Cmd.v (Cmd.info "aot" ~doc)
     Term.(
-      const run $ bench_arg $ scale_arg $ policy_arg $ census_arg $ validate_arg
-      $ mode_arg)
+      const run $ bench_arg $ program_arg $ scale_arg $ policy_arg $ census_arg
+      $ validate_arg $ mode_arg)
 
 (* --- verify: translation-validate every mechanism ---------------------- *)
 
@@ -689,7 +716,7 @@ let verify_cmd =
       Mda_analysis.Check.ok c,
       Format.asprintf "%a" Mda_analysis.Check.pp_report c )
   in
-  let run mech bench scale jobs =
+  let run mech bench program scale jobs =
     let mechanisms =
       match mech with
       | None -> [ `Direct; `Static; `Dynamic; `Eh; `Dpeh; `Sa; `Aot ]
@@ -702,9 +729,15 @@ let verify_cmd =
            | `Aot ) as m) -> [ m ]
     in
     let benches =
-      match bench with
-      | Some s -> String.split_on_char ',' s |> List.map String.trim
-      | None -> [ List.hd W.Spec.selected_names ]
+      let named =
+        match bench with
+        | Some s -> String.split_on_char ',' s |> List.map String.trim
+        | None -> []
+      in
+      match (named, program) with
+      | [], None -> [ List.hd W.Spec.selected_names ]
+      | named, None -> named
+      | named, Some p -> named @ [ p ]
     in
     let cells =
       List.concat_map (fun b -> List.map (fun m -> (b, m)) mechanisms) benches
@@ -728,7 +761,7 @@ let verify_cmd =
     !rc
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ mech_arg $ bench_arg $ scale_arg $ jobs_arg)
+    Term.(const run $ mech_arg $ bench_arg $ program_arg $ scale_arg $ jobs_arg)
 
 (* --- trace: structured event tracing with JSONL emit and replay -------- *)
 
@@ -816,7 +849,15 @@ let trace_cmd =
         Format.printf "@.replay OK: event-derived counters match the recorded statistics@.";
         0)
   in
-  let run bench mech scale limit out filter replay =
+  let run bench program mech scale limit out filter replay =
+    let bench =
+      match (bench, program) with
+      | Some _, Some _ ->
+        Printf.eprintf "mdabench trace: give either BENCHMARK or --program, not both\n";
+        exit 1
+      | (Some _ as b), None -> b
+      | None, p -> p
+    in
     match (replay, bench) with
     | Some file, _ -> replay_file file
     | None, None ->
@@ -881,8 +922,8 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const run $ bench_arg $ mech_arg $ scale_arg $ limit_arg $ out_arg $ filter_arg
-      $ replay_arg)
+      const run $ bench_arg $ program_arg $ mech_arg $ scale_arg $ limit_arg $ out_arg
+      $ filter_arg $ replay_arg)
 
 (* --- hot: per-guest-site / per-block attribution ------------------------ *)
 
@@ -986,7 +1027,7 @@ let chaos_cmd =
     in
     Arg.(value & opt (some string) None & info [ "m"; "mechanisms" ] ~docv:"MECHS" ~doc)
   in
-  let run seed plans mechs jobs =
+  let run seed plans mechs program jobs =
     let mechs =
       match mechs with
       | None -> F.Chaos.mechanism_names
@@ -999,7 +1040,7 @@ let chaos_cmd =
       2
     | [] ->
       let t0 = Unix.gettimeofday () in
-      let outcomes = F.Chaos.run ~jobs ~mechs ~seed ~plans () in
+      let outcomes = F.Chaos.run ~jobs ~mechs ?program ~seed ~plans () in
       let failed = List.filter (fun o -> not o.F.Chaos.ok) outcomes in
       List.iter
         (fun (o : F.Chaos.outcome) ->
@@ -1033,7 +1074,7 @@ let chaos_cmd =
       if failed = [] && not harness_bad then 0 else 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ seed_arg $ plans_arg $ mechs_arg $ jobs_arg)
+    Term.(const run $ seed_arg $ plans_arg $ mechs_arg $ program_arg $ jobs_arg)
 
 let list_cmd =
   let doc = "List the experiments, utility commands and modelled benchmarks (Table I rows)." in
@@ -1054,7 +1095,9 @@ let list_cmd =
         ("trace", "cycle-stamped BT events; JSONL emit (--out) and replay (--replay)");
         ("hot", "hottest guest sites and blocks by trap/MDA cycle cost");
         ("info", "describe a benchmark's synthesized groups");
-        ("disasm", "show a benchmark's guest program");
+        ("asm", "assemble a hand-written .asm workload (parse, encode, census)");
+        ("fuzz-asm", "roundtrip-fuzz the textual assemblers with minimised reproducers");
+        ("disasm", "decode a benchmark's encoded image and show the guest program");
         ("disasm-host", "show translated host code for a block") ];
     Printf.printf "\nbenchmarks:\n";
     List.iter
@@ -1115,9 +1158,15 @@ let info_cmd =
   Cmd.v (Cmd.info "info" ~doc) Term.(const run $ bench_arg $ scale_arg)
 
 let disasm_cmd =
-  let doc = "Show the synthesized guest program of a benchmark." in
+  let doc =
+    "Decode a benchmark's encoded guest image back to text. The listing comes from the \
+     binary decoder, not from the instruction list the assembler kept, so every line \
+     also witnesses one decode(encode(i)) = i roundtrip."
+  in
   let bench_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc:"e.g. 470.lbm")
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK" ~doc:"e.g. 470.lbm or FILE.asm")
   in
   let limit_arg =
     Arg.(value & opt int 80 & info [ "limit" ] ~docv:"N" ~doc:"max instructions to print")
@@ -1125,17 +1174,23 @@ let disasm_cmd =
   let run name scale limit =
     let w = W.Workload.instantiate ~scale name in
     let p = w.W.Workload.program.W.Gen.asm_program in
-    let n = Array.length p.Mda_guest.Asm.insns in
-    Printf.printf "%s: %d guest instructions, %d bytes\n" name n
-      (Bytes.length p.Mda_guest.Asm.image);
-    Array.iteri
-      (fun i insn ->
-        if i < limit then
-          Format.printf "%#8x:  %a@." p.Mda_guest.Asm.offsets.(i) Mda_guest.Pretty.pp_insn
-            insn)
-      p.Mda_guest.Asm.insns;
-    if n > limit then Printf.printf "... (%d more)\n" (n - limit);
-    0
+    match Mda_guest.Decode.decode_all p.Mda_guest.Asm.image with
+    | Error e ->
+      Format.printf "disasm: %a@." Mda_guest.Decode.pp_error e;
+      2
+    | Ok decoded ->
+      let n = List.length decoded in
+      Printf.printf "%s: %d guest instructions, %d bytes\n" name n
+        (Bytes.length p.Mda_guest.Asm.image);
+      List.iteri
+        (fun i (pos, insn) ->
+          if i < limit then
+            Format.printf "%#8x:  %a@."
+              (p.Mda_guest.Asm.base + pos)
+              Mda_guest.Pretty.pp_insn insn)
+        decoded;
+      if n > limit then Printf.printf "... (%d more)\n" (n - limit);
+      0
   in
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ bench_arg $ scale_arg $ limit_arg)
 
@@ -1198,12 +1253,155 @@ let disasm_host_cmd =
   Cmd.v (Cmd.info "disasm-host" ~doc)
     Term.(const run $ bench_arg $ scale_arg $ limit_arg $ policy_arg)
 
+(* --- asm: assemble a hand-written workload ------------------------------ *)
+
+let asm_cmd =
+  let doc =
+    "Assemble a hand-written guest assembly file: parse the text, encode it to bytes, \
+     prove the binary decoder recovers the exact instruction stream, and print the \
+     static congruence census of the assembled image. See the README for the grammar."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.asm" ~doc:"assembly source")
+  in
+  let listing_arg =
+    let doc = "Also print the assembled program as a disassembly listing." in
+    Arg.(value & flag & info [ "listing" ] ~doc)
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt analysis_mode_conv A.Dataflow.Interprocedural
+      & info [ "mode" ] ~docv:"MODE" ~doc:"analysis engine: inter (default) | intra")
+  in
+  let run file listing mode =
+    let text =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "mdabench asm: %s\n" msg;
+        exit 1
+    in
+    match Mda_guest.Parse.program text with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Mda_guest.Parse.pp_error e;
+      1
+    | Ok p -> (
+      let n = Array.length p.Mda_guest.Asm.insns in
+      Printf.printf "%s: %d instructions, %d bytes at base %#x\n" file n
+        (Bytes.length p.Mda_guest.Asm.image)
+        p.Mda_guest.Asm.base;
+      (* every assembly doubles as a codec roundtrip check *)
+      match Mda_guest.Decode.decode_all p.Mda_guest.Asm.image with
+      | Error e ->
+        Format.printf "decode(encode(program)) FAILED: %a@." Mda_guest.Decode.pp_error e;
+        2
+      | Ok decoded ->
+        let expect =
+          Array.to_list
+            (Array.mapi
+               (fun i insn -> (p.Mda_guest.Asm.offsets.(i) - p.Mda_guest.Asm.base, insn))
+               p.Mda_guest.Asm.insns)
+        in
+        if decoded <> expect then begin
+          Printf.printf "decode(encode(program)) FAILED: decoded stream differs\n";
+          2
+        end
+        else begin
+          Printf.printf "roundtrip: decode(encode(program)) = program ok\n";
+          if listing then
+            List.iter
+              (fun (pos, insn) ->
+                Format.printf "%#8x:  %a@."
+                  (p.Mda_guest.Asm.base + pos)
+                  Mda_guest.Pretty.pp_insn insn)
+              decoded;
+          let mem = Mda_machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
+          Mda_machine.Memory.load_image mem ~addr:p.Mda_guest.Asm.base
+            p.Mda_guest.Asm.image;
+          Printf.printf "\n== static congruence analysis ==\n";
+          print_census (A.Dataflow.analyze ~mode mem ~entry:p.Mda_guest.Asm.base);
+          0
+        end)
+  in
+  Cmd.v (Cmd.info "asm" ~doc) Term.(const run $ file_arg $ listing_arg $ mode_arg)
+
+(* --- fuzz-asm: roundtrip fuzzing of both assemblers --------------------- *)
+
+let fuzz_asm_cmd =
+  let doc =
+    "Fuzz the textual assemblers of both ISAs: generate seeded random instruction \
+     streams and check the four-way roundtrip insn -> pretty -> parse -> encode -> \
+     decode -> insn, per instruction and per stream (whole-program text and binary \
+     image). The first mismatch is greedily minimised and written out as a runnable \
+     .asm reproducer; exit 1."
+  in
+  let isa_arg =
+    Arg.(
+      value & opt string "both"
+      & info [ "isa" ] ~docv:"ISA" ~doc:"guest | host | both (default)")
+  in
+  let streams_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "streams" ] ~docv:"N" ~doc:"instruction streams per ISA")
+  in
+  let len_arg =
+    Arg.(value & opt int 32 & info [ "len" ] ~docv:"N" ~doc:"max instructions per stream")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"generator seed")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt string "fuzz-asm.repro.asm"
+      & info [ "repro-out" ] ~docv:"FILE" ~doc:"where to write a minimised reproducer")
+  in
+  let run isa streams len seed repro_out =
+    let isas =
+      match isa with
+      | "guest" -> [ `Guest ]
+      | "host" -> [ `Host ]
+      | "both" -> [ `Guest; `Host ]
+      | s ->
+        Printf.eprintf "mdabench fuzz-asm: unknown --isa %S (guest | host | both)\n" s;
+        exit 1
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = W.Asmfuzz.run ~isas ~seed ~streams ~max_len:len () in
+    match r.W.Asmfuzz.failure with
+    | None ->
+      Printf.printf
+        "fuzz-asm OK: %d streams, %d instructions roundtripped, zero mismatches (seed \
+         %d)\n"
+        r.W.Asmfuzz.streams r.W.Asmfuzz.insns seed;
+      Printf.eprintf "[mdabench] fuzz-asm: %s\n%!"
+        (Mda_util.Stats.duration (Unix.gettimeofday () -. t0));
+      0
+    | Some f ->
+      let oc = open_out repro_out in
+      output_string oc f.W.Asmfuzz.repro;
+      close_out oc;
+      Printf.printf "fuzz-asm FAILED: %s %s at stream %d\n  %s\n" f.W.Asmfuzz.isa
+        f.W.Asmfuzz.stage f.W.Asmfuzz.stream f.W.Asmfuzz.detail;
+      Printf.printf "minimised reproducer written to %s:\n%s" repro_out
+        f.W.Asmfuzz.repro;
+      1
+  in
+  Cmd.v (Cmd.info "fuzz-asm" ~doc)
+    Term.(const run $ isa_arg $ streams_arg $ len_arg $ seed_arg $ repro_arg)
+
 let () =
   let doc = "reproduction of the CGO'09 MDA-handling evaluation" in
   let info = Cmd.info "mdabench" ~version:"1.0.0" ~doc in
   let cmds =
     List.map experiment_cmd experiments
     @ [ all_cmd; run_cmd; analyze_cmd; aot_cmd; verify_cmd; chaos_cmd; trace_cmd;
-        hot_cmd; list_cmd; info_cmd; disasm_cmd; disasm_host_cmd ]
+        hot_cmd; list_cmd; info_cmd; asm_cmd; fuzz_asm_cmd; disasm_cmd;
+        disasm_host_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

@@ -1,0 +1,57 @@
+# stack.frames, transcribed by hand from lib/workloads/stackbench.ml.
+# Assembles to the exact byte image of the generated benchmark — the
+# test suite asserts the two images are identical, so this file is also
+# a regression test for the assembler's layout decisions.
+#
+# Three leaf functions with differing ret-time ESP values (f2 takes a
+# stack argument the caller cleans up), each making an 8-aligned frame
+# with width-8 slot accesses; one slot in f1 is deliberately 4-skewed.
+
+.base 0x1000
+
+        movl $0xFF000, %esp     # stack_top, 8-aligned
+        movl $0, %ebp
+        movl $0x1234, %eax
+        movl $0x5678, %ebx
+        movl $0, %esi
+        movl $64, %edi          # iteration count
+
+loop:
+        call f1
+        pushl %eax              # argument for f2
+        call f2
+        addl $4, %esp           # caller cleans the argument
+        call f3
+        subl $1, %edi
+        cmpl $0, %edi
+        jne loop
+        hlt
+
+# f1: 12-byte frame; two aligned S8 slots and one 4-skewed one
+f1:
+        subl $12, %esp
+        movq %eax, (%esp)
+        movq (%esp), %ecx
+        movq %ebx, 0x4(%esp)    # misaligned every execution
+        addl $12, %esp
+        ret
+
+# f2: stack argument, 8-byte frame
+f2:
+        movl 0x4(%esp), %edx    # the argument
+        subl $8, %esp
+        movq %edx, (%esp)
+        movq (%esp), %ecx
+        addl $8, %esp
+        ret
+
+# f3: push/pop saves plus a 12-byte frame below them
+f3:
+        pushl %ebx
+        pushl %esi
+        subl $12, %esp
+        movq %eax, (%esp)
+        addl $12, %esp
+        popl %esi
+        popl %ebx
+        ret

@@ -1,0 +1,65 @@
+# A tour of the misaligned-access idioms the paper's mechanisms handle,
+# written against the textual assembler (see `mdabench asm`).  Every
+# width and every kind of access appears at least once in an aligned
+# and a misaligned flavour, so the static census, the runtime MDA
+# counters and every handling mechanism all have something to chew on.
+#
+# Runs under every runner:  mdabench run examples/asm/tour.asm -m eh
+
+.base 0x1000
+
+        movl $0xFF000, %esp     # stack, 8-aligned
+        movl $0x100000, %ebp    # data segment base (4096-aligned)
+
+# -- aligned contrast ----------------------------------------------------
+        movl $0x11223344, %eax
+        movl %eax, (%ebp)       # aligned S4 store
+        movl (%ebp), %ecx       # aligned S4 load
+        movq %eax, 0x8(%ebp)    # aligned S8 store
+
+# -- straight-line misaligned accesses, one per width --------------------
+        movw %eax, 0x3(%ebp)    # S2 store at offset 3
+        movw 0x3(%ebp), %edx    # S2 load, zero-extended
+        movsw 0x3(%ebp), %edx   # the same, sign-extended
+        movl %eax, 0x5(%ebp)    # S4 store crossing a word boundary
+        movl 0x5(%ebp), %ecx
+        movq %eax, 0x14(%ebp)   # S8 store, 4-skewed
+        movq 0x14(%ebp), %ecx
+
+# -- read-modify-write at a misaligned address ---------------------------
+        addl $1, 0x5(%ebp)      # misaligned S4 rmw, immediate
+        orw %eax, 0x3(%ebp)     # misaligned S2 rmw, register
+        xorb $0x5A, 0x7(%ebp)   # S1 rmw (bytes are always aligned)
+
+# -- a loop of guaranteed-misaligned halfword copies ---------------------
+        movl $64, %edi          # iterations: enough to cross the hot threshold
+        movl $0x100021, %esi    # odd base: every movw below misaligns
+copy:
+        movw (%esi), %eax       # misaligned S2 load
+        movw %eax, 0x40(%esi)   # misaligned S2 store
+        addl $2, %esi
+        subl $1, %edi
+        cmpl $0, %edi
+        jne copy
+
+# -- index addressing (EDI is 0 after the loop) --------------------------
+        movl 0x1(%ebp,%edi,4), %ecx     # misaligned S4 load
+        leal 0x3(%ebp,%edi,8), %edx     # address arithmetic, no access
+        testl $1, %edx
+        shll $2, %eax
+
+# -- calls, stack traffic, and an 8-byte frame slot ----------------------
+        call frob
+        pushl %eax
+        call frob
+        addl $4, %esp
+        hlt
+
+frob:
+        pushl %ebx
+        subl $8, %esp
+        movq %ecx, (%esp)       # aligned S8 frame slot
+        movq (%esp), %ebx
+        addl $8, %esp
+        popl %ebx
+        ret

@@ -41,6 +41,15 @@ let snapshot cpu mem =
 
 let state_eq a b = a.regs = b.regs && String.equal a.mem b.mem
 
+(* What a chaos cell runs: either a plan's generated workload groups or
+   a hand-written [.asm] program, behind a common face. [fresh] yields
+   (entry, loaded memory) for the Ref input; [train] yields the
+   static-profiling summary (Train input where the notion exists). *)
+type subject = {
+  fresh : unit -> int * Machine.Memory.t;
+  train : unit -> Bt.Profile.summary;
+}
+
 let fresh groups =
   let p = W.Gen.build ~input:W.Gen.Ref groups in
   let mem = Machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
@@ -48,17 +57,6 @@ let fresh groups =
     p.W.Gen.asm_program.Mda_guest.Asm.image;
   p.W.Gen.init mem;
   (p.W.Gen.entry, mem)
-
-(* The oracle never translates (threshold beyond any loop count), so no
-   fault knob can touch it: pure phase-1 interpretation. *)
-let oracle groups =
-  let entry, mem = fresh groups in
-  let config =
-    Bt.Runtime.default_config (Bt.Mechanism.Dynamic_profiling { threshold = 1_000_000 })
-  in
-  let t = Bt.Runtime.create ~config ~mem () in
-  let _ = Bt.Runtime.run t ~entry in
-  snapshot t.Bt.Runtime.cpu mem
 
 let train_summary groups =
   let p = W.Gen.build ~input:W.Gen.Train groups in
@@ -72,24 +70,52 @@ let train_summary groups =
   in
   Bt.Profile.summarize profile
 
-let sa_summary groups =
-  let entry, mem = fresh groups in
-  ignore entry;
+let subject_of_groups groups =
+  { fresh = (fun () -> fresh groups); train = (fun () -> train_summary groups) }
+
+(* A [.asm] file has no Train input: the profiling run uses the same
+   program (its data init is part of the source). *)
+let subject_of_program path =
+  let w = W.Workload.instantiate path in
+  let fresh () = (W.Workload.entry w, W.Workload.fresh_memory w) in
+  let train () =
+    let entry, mem = fresh () in
+    let _, profile =
+      Bt.Runtime.interpret_program ~mode:(Bt.Interp.Interpreted { profile = true }) ~mem
+        ~entry ()
+    in
+    Bt.Profile.summarize profile
+  in
+  { fresh; train }
+
+(* The oracle never translates (threshold beyond any loop count), so no
+   fault knob can touch it: pure phase-1 interpretation. *)
+let oracle subject =
+  let entry, mem = subject.fresh () in
+  let config =
+    Bt.Runtime.default_config (Bt.Mechanism.Dynamic_profiling { threshold = 1_000_000 })
+  in
+  let t = Bt.Runtime.create ~config ~mem () in
+  let _ = Bt.Runtime.run t ~entry in
+  snapshot t.Bt.Runtime.cpu mem
+
+let sa_summary subject =
+  let entry, mem = subject.fresh () in
   A.Dataflow.summary (A.Dataflow.analyze mem ~entry)
 
 (* Per-mechanism preparation exactly as the harness does it: static
    profiling trains on the Train input, static analysis runs the
    congruence dataflow on the binary. Thresholds are low so translation
    (and with it the bounded cache and the trap handler) engages. *)
-let mechanism_of groups = function
+let mechanism_of subject = function
   | "direct" -> Bt.Mechanism.Direct
-  | "static-profiling" -> Bt.Mechanism.Static_profiling (train_summary groups)
+  | "static-profiling" -> Bt.Mechanism.Static_profiling (subject.train ())
   | "dynamic-profiling" -> Bt.Mechanism.Dynamic_profiling { threshold = 3 }
   | "eh" -> Bt.Mechanism.Exception_handling { rearrange = true }
   | "dpeh" -> Bt.Mechanism.Dpeh { threshold = 2; retranslate = Some 2; multiversion = true }
   | "sa" ->
     Bt.Mechanism.Static_analysis
-      { summary = sa_summary groups; unknown = Bt.Mechanism.Sa_fallback }
+      { summary = sa_summary subject; unknown = Bt.Mechanism.Sa_fallback }
   | m -> invalid_arg ("Chaos.check: unknown mechanism " ^ m)
 
 (* --- the per-cell invariants ------------------------------------------- *)
@@ -118,7 +144,12 @@ let degradation_final records =
    plan. Unbounded plans run the full oracle/termination/selfcheck/
    replay battery; the remaining fault knobs (patch budget, refusals)
    are vacuous by construction, since an AOT mechanism never patches. *)
-let check_aot plan =
+let check_aot ?program plan =
+  let subject =
+    match program with
+    | Some p -> subject_of_program p
+    | None -> subject_of_groups (Plan.groups plan)
+  in
   let problems = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
   let outcome stats =
@@ -133,9 +164,8 @@ let check_aot plan =
       traps = (match stats with Some s -> Int64.to_int s.Bt.Run_stats.traps | None -> 0);
       translations = (match stats with Some s -> s.Bt.Run_stats.translations | None -> 0) }
   in
-  let groups = Plan.groups plan in
-  let entry, mem = fresh groups in
-  let summary = sa_summary groups in
+  let entry, mem = subject.fresh () in
+  let summary = sa_summary subject in
   let unknown = Bt.Mechanism.Sa_fallback in
   match Bt.Aot.translate_image ~summary ~unknown mem ~entry with
   | Error e ->
@@ -158,7 +188,7 @@ let check_aot plan =
         fail "bounded-capacity fault was accepted on the immutable AOT cache";
         outcome None)
     | None ->
-      let expected = oracle groups in
+      let expected = oracle subject in
       let rt = Bt.Runtime.create ~config ~cache ~mem () in
       Obs.Trace.attach sink rt;
       let stats = Bt.Runtime.run rt ~entry in
@@ -191,12 +221,16 @@ let check_aot plan =
           if replayed <> stats then fail "replayed stats differ from the run's own"));
       outcome (Some stats))
 
-let check plan ~mech =
-  if String.equal mech "aot" then check_aot plan
+let check ?program plan ~mech =
+  if String.equal mech "aot" then check_aot ?program plan
   else
-  let groups = Plan.groups plan in
-  let expected = oracle groups in
-  let mechanism = mechanism_of groups mech in
+  let subject =
+    match program with
+    | Some p -> subject_of_program p
+    | None -> subject_of_groups (Plan.groups plan)
+  in
+  let expected = oracle subject in
+  let mechanism = mechanism_of subject mech in
   let sink = Obs.Trace.create () in
   let config =
     { (Bt.Runtime.default_config mechanism) with
@@ -204,7 +238,7 @@ let check plan ~mech =
       faults = Plan.faults plan;
       on_event = Some (Obs.Trace.hook sink) }
   in
-  let entry, mem = fresh groups in
+  let entry, mem = subject.fresh () in
   let rt = Bt.Runtime.create ~config ~mem () in
   Obs.Trace.attach sink rt;
   let stats = Bt.Runtime.run rt ~entry in
@@ -337,11 +371,11 @@ let harness_faults () =
 
 (* --- the sweep ---------------------------------------------------------- *)
 
-let run ?(jobs = 1) ?(mechs = mechanism_names) ~seed ~plans () =
+let run ?(jobs = 1) ?(mechs = mechanism_names) ?program ~seed ~plans () =
   let rng = Mda_util.Rng.create (Int64.of_int seed) in
   let ps = List.init plans (fun id -> Plan.random ~rng ~id) in
   let cells = List.concat_map (fun p -> List.map (fun m -> (p, m)) mechs) ps in
-  let results = H.Pool.map ~jobs ~f:(fun (p, m) -> check p ~mech:m) cells in
+  let results = H.Pool.map ~jobs ~f:(fun (p, m) -> check ?program p ~mech:m) cells in
   List.mapi
     (fun i (p, m) ->
       match results.(i) with

@@ -42,8 +42,11 @@ type outcome = {
 val mechanism_names : string list
 
 (** Run one (plan, mechanism) cell and check every invariant. Unknown
-    mechanism labels raise [Invalid_argument]. *)
-val check : Plan.t -> mech:string -> outcome
+    mechanism labels raise [Invalid_argument]. With [?program] (a
+    [.asm] file path) the cell runs that hand-written program instead
+    of the plan's generated workload — the plan still supplies the
+    fault knobs — so textual workloads face the same battery. *)
+val check : ?program:string -> Plan.t -> mech:string -> outcome
 
 (** Deterministic harness-fault checks (run once per chaos invocation,
     not per plan): a worker killed mid-item is contained by the pool
@@ -56,5 +59,13 @@ val harness_faults : unit -> (string * (bool * string)) list
     checks every requested mechanism under each, fanning cells over
     [jobs] pool workers. Outcomes are ordered (plan 0 × mechs, plan 1 ×
     mechs, …); a cell whose worker died yields a failed outcome rather
-    than an exception. *)
-val run : ?jobs:int -> ?mechs:string list -> seed:int -> plans:int -> unit -> outcome list
+    than an exception. [?program] substitutes a hand-written [.asm]
+    workload for every cell, as in {!check}. *)
+val run :
+  ?jobs:int ->
+  ?mechs:string list ->
+  ?program:string ->
+  seed:int ->
+  plans:int ->
+  unit ->
+  outcome list

@@ -13,6 +13,7 @@ type label = int
    addresses during assembly. *)
 type item =
   | Raw of insn (* must not be a branch with a target *)
+  | Abs of insn (* a branch whose absolute target is already known *)
   | Jmp_l of label
   | Jcc_l of cond * label
   | Call_l of label
@@ -48,6 +49,15 @@ let insn t i =
     invalid_arg "Asm.insn: use jmp/jcc/call with labels for branches"
   | _ -> ());
   push_item t (Raw i)
+
+(* The textual assembler ({!Parse}) accepts numeric branch targets —
+   pre-resolved absolute addresses, as printed by {!Pretty} — which
+   bypass label resolution entirely. *)
+let branch_abs t i =
+  (match i with
+  | Jmp _ | Jcc _ | Call _ -> ()
+  | _ -> invalid_arg "Asm.branch_abs: not a branch");
+  push_item t (Abs i)
 
 let jmp t l = push_item t (Jmp_l l)
 
@@ -103,7 +113,7 @@ let assemble ?(base = 0x1000) t =
   (* Pass 1: layout. Branch encodings have fixed length regardless of the
      target value, so we can encode with a placeholder to measure. *)
   let proto = function
-    | Raw i -> i
+    | Raw i | Abs i -> i
     | Jmp_l _ -> Jmp unresolved
     | Jcc_l (c, _) -> Jcc { cond = c; target = unresolved }
     | Call_l _ -> Call unresolved
@@ -137,7 +147,7 @@ let assemble ?(base = 0x1000) t =
       (List.map
          (fun (_, it) ->
            match it with
-           | Raw i -> i
+           | Raw i | Abs i -> i
            | Jmp_l l -> Jmp (resolve l)
            | Jcc_l (c, l) -> Jcc { cond = c; target = resolve l }
            | Call_l l -> Call (resolve l)

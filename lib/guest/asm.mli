@@ -24,6 +24,11 @@ val def_label : t -> label
     [Jmp]/[Jcc]/[Call] — use the label-based emitters. *)
 val insn : t -> Isa.insn -> unit
 
+(** Append a branch ([Jmp]/[Jcc]/[Call]) whose absolute target is
+    already resolved — how the textual assembler ({!Parse}) handles
+    numeric targets. Raises [Invalid_argument] on non-branches. *)
+val branch_abs : t -> Isa.insn -> unit
+
 val jmp : t -> label -> unit
 
 val jcc : t -> Isa.cond -> label -> unit

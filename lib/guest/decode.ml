@@ -35,6 +35,11 @@ let reg bytes pos =
 let addr bytes pos =
   let flags = u8 bytes pos in
   if flags land lnot 0x0F <> 0 then raise (Fail (Printf.sprintf "bad addr flags %#x" flags));
+  (* canonicality: scale bits are meaningful only with an index; the
+     encoder never sets them otherwise, and accepting them would give
+     one addressing mode two encodings *)
+  if flags land 2 = 0 && (flags lsr 2) land 3 <> 0 then
+    raise (Fail (Printf.sprintf "non-canonical addr flags %#x (scale without index)" flags));
   let pos = pos + 1 in
   let base, pos = if flags land 1 <> 0 then (Some (reg bytes pos), pos + 1) else (None, pos) in
   let index, pos =

@@ -55,6 +55,10 @@ let scale_log2 = function
   | n -> invalid_arg (Printf.sprintf "Encode.scale_log2: %d" n)
 
 let add_addr buf { base; index; disp } =
+  (* The field is 32 bits; Int32.of_int would wrap a larger displacement
+     silently and break decode(encode a) = a. *)
+  if disp < -0x8000_0000 || disp > 0x7FFF_FFFF then
+    invalid_arg (Printf.sprintf "Encode: displacement %d exceeds the 32-bit field" disp);
   let flags =
     (match base with Some _ -> 1 | None -> 0)
     lor (match index with Some _ -> 2 | None -> 0)
@@ -72,6 +76,11 @@ let add_operand buf = function
   | Imm i ->
     add_u8 buf 1;
     add_i32 buf i
+
+(* Branch targets are stored unsigned; guest addresses are positive. *)
+let check_target t =
+  if t < 0 || t > 0xFFFF_FFFF then
+    invalid_arg (Printf.sprintf "Encode: branch target %#x exceeds the 32-bit field" t)
 
 let emit buf insn =
   match insn with
@@ -126,13 +135,16 @@ let emit buf insn =
     add_u8 buf 0x0A;
     add_u8 buf (reg_index r)
   | Jmp t ->
+    check_target t;
     add_u8 buf 0x0B;
     add_u32 buf t
   | Jcc { cond; target } ->
+    check_target target;
     add_u8 buf 0x0C;
     add_u8 buf (cond_index cond);
     add_u32 buf target
   | Call t ->
+    check_target t;
     add_u8 buf 0x0D;
     add_u32 buf t
   | Ret -> add_u8 buf 0x0E

@@ -6,8 +6,14 @@ open Isa
 let pp_size fmt s =
   Format.pp_print_char fmt (match s with S1 -> 'b' | S2 -> 'w' | S4 -> 'l' | S8 -> 'q')
 
+(* Signed hex literal. OCaml's %#x renders a negative int as its 63-bit
+   two's complement (-4 -> 0x7ffffffffffffffc), which no assembler — in
+   particular not {!Parse} — reads back; print the sign explicitly. *)
+let pp_hex fmt v =
+  if v < 0 then Format.fprintf fmt "-%#x" (-v) else Format.fprintf fmt "%#x" v
+
 let pp_addr fmt { base; index; disp } =
-  if disp <> 0 || (base = None && index = None) then Format.fprintf fmt "%#x" disp;
+  if disp <> 0 || (base = None && index = None) then pp_hex fmt disp;
   match (base, index) with
   | None, None -> ()
   | Some b, None -> Format.fprintf fmt "(%s)" (reg_name b)
@@ -37,9 +43,9 @@ let pp_insn fmt = function
       pp_addr dst
   | Push r -> Format.fprintf fmt "pushl %s" (reg_name r)
   | Pop r -> Format.fprintf fmt "popl %s" (reg_name r)
-  | Jmp t -> Format.fprintf fmt "jmp %#x" t
-  | Jcc { cond; target } -> Format.fprintf fmt "j%s %#x" (cond_name cond) target
-  | Call t -> Format.fprintf fmt "call %#x" t
+  | Jmp t -> Format.fprintf fmt "jmp %a" pp_hex t
+  | Jcc { cond; target } -> Format.fprintf fmt "j%s %a" (cond_name cond) pp_hex target
+  | Call t -> Format.fprintf fmt "call %a" pp_hex t
   | Ret -> Format.pp_print_string fmt "ret"
   | Nop -> Format.pp_print_string fmt "nop"
   | Halt -> Format.pp_print_string fmt "hlt"

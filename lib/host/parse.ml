@@ -1,0 +1,343 @@
+(* Textual assembler for alphalite: the exact inverse of {!Pretty}.
+
+   Alpha assembly style:
+
+     ; comment (';' and "//" start comments; '#' is literal syntax)
+     loop:
+       ldq_u r21, 7(r3)
+       extql r21, r3, r21
+       addq r21, #1, r21
+       bne r12, loop
+       monitor halt
+
+   Labels name instruction indices (host "pcs" are code-cache slot
+   numbers, not byte addresses). Errors carry the 1-based line and
+   column of the offending token. *)
+
+open Isa
+module C = Mda_util.Cursor
+
+type error = { line : int; col : int; msg : string }
+
+let pp_error fmt { line; col; msg } = Format.fprintf fmt "line %d, column %d: %s" line col msg
+
+(* --- token-level helpers ------------------------------------------------ *)
+
+(* "zero" or "rN"; [reg_name] prints r31 as "zero", but accept both. *)
+let reg_of_name start name =
+  if name = "zero" then r31
+  else begin
+    let n = String.length name in
+    if n < 2 || name.[0] <> 'r' then C.error start "unknown register %S" name
+    else
+      match int_of_string_opt (String.sub name 1 (n - 1)) with
+      | Some r when r >= 0 && r < num_regs -> r
+      | _ -> C.error start "unknown register %S" name
+  end
+
+let reg c =
+  let start = C.col c in
+  reg_of_name start (C.ident c)
+
+let comma c =
+  C.skip_ws c;
+  C.expect c ',';
+  C.skip_ws c
+
+(* Register or "#lit" 8-bit literal. *)
+let operand c =
+  if C.eat c '#' then begin
+    let start = C.col c in
+    let v = C.number c in
+    if v < 0 || v > 0xFF then C.error start "literal %d does not fit in 8 bits" v;
+    Lit v
+  end
+  else Rb (reg c)
+
+let mem_disp c =
+  C.skip_ws c;
+  let start = C.col c in
+  let disp = if C.at_number c then C.number c else 0 in
+  if disp < -0x8000 || disp > 0x7FFF then
+    C.error start "displacement %d does not fit in 16 bits" disp;
+  C.expect c '(';
+  let rb = reg c in
+  C.expect c ')';
+  (disp, rb)
+
+(* A branch target: a label (identifier) or an absolute instruction
+   index. *)
+type target = T_abs of int | T_label of string * int (* name, column *)
+
+let target c =
+  C.skip_ws c;
+  let start = C.col c in
+  if C.at_number c then begin
+    let v = C.number c in
+    if v < 0 then C.error start "branch target %d out of range" v;
+    T_abs v
+  end
+  else
+    match C.peek c with
+    | Some ch when C.is_ident_start ch -> T_label (C.ident c, start)
+    | _ -> C.error start "expected a label or an absolute target"
+
+(* One parsed line item: a complete instruction, or a branch against a
+   not-yet-resolved label (filled in by {!program}'s second pass). *)
+type parsed =
+  | P_insn of insn
+  | P_br of reg * string * int
+  | P_bcond of bcond * reg * string * int
+
+(* --- mnemonic dispatch -------------------------------------------------- *)
+
+let mem_table =
+  [ ("ldbu", fun ra rb disp -> Ldbu { ra; rb; disp });
+    ("ldwu", fun ra rb disp -> Ldwu { ra; rb; disp });
+    ("ldl", fun ra rb disp -> Ldl { ra; rb; disp });
+    ("ldq", fun ra rb disp -> Ldq { ra; rb; disp });
+    ("ldq_u", fun ra rb disp -> Ldq_u { ra; rb; disp });
+    ("stb", fun ra rb disp -> Stb { ra; rb; disp });
+    ("stw", fun ra rb disp -> Stw { ra; rb; disp });
+    ("stl", fun ra rb disp -> Stl { ra; rb; disp });
+    ("stq", fun ra rb disp -> Stq { ra; rb; disp });
+    ("stq_u", fun ra rb disp -> Stq_u { ra; rb; disp });
+    ("lda", fun ra rb disp -> Lda { ra; rb; disp });
+    ("ldah", fun ra rb disp -> Ldah { ra; rb; disp }) ]
+
+let find_oper name =
+  let rec go i =
+    if i >= Array.length all_opers then None
+    else if oper_name all_opers.(i) = name then Some all_opers.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let find_bcond name =
+  let rec go i =
+    if i >= Array.length all_bconds then None
+    else if bcond_name all_bconds.(i) = name then Some all_bconds.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* extwl / inslh / mskqh ... : group + width letter + l/h. *)
+let find_bytem name =
+  if String.length name <> 5 then None
+  else
+    let group =
+      match String.sub name 0 3 with
+      | "ext" -> Some Ext
+      | "ins" -> Some Ins
+      | "msk" -> Some Msk
+      | _ -> None
+    in
+    let width = match name.[3] with 'w' -> Some 2 | 'l' -> Some 4 | 'q' -> Some 8 | _ -> None in
+    let high = match name.[4] with 'l' -> Some false | 'h' -> Some true | _ -> None in
+    match (group, width, high) with
+    | Some op, Some width, Some high -> Some (op, width, high)
+    | _ -> None
+
+let monitor c mcol =
+  C.skip_ws c;
+  let kcol = C.col c in
+  match C.ident c with
+  | "halt" -> Monitor Prog_halt
+  | "next_guest" ->
+    C.expect c '=';
+    let vcol = C.col c in
+    let v = C.number c in
+    if v < 0 || v > 0xFF_FFFF then C.error vcol "guest address %d does not fit in 24 bits" v;
+    Monitor (Next_guest v)
+  | "dyn_guest" ->
+    C.expect c '=';
+    Monitor (Dyn_guest (reg c))
+  | k -> C.error kcol "unknown monitor kind %S (after column %d)" k mcol
+
+let insn_body c =
+  C.skip_ws c;
+  let mcol = C.col c in
+  let m = C.ident c in
+  match m with
+  | "nop" -> P_insn Nop
+  | "monitor" -> P_insn (monitor c mcol)
+  | "jmp" ->
+    C.skip_ws c;
+    let ra = reg c in
+    comma c;
+    C.expect c '(';
+    let rb = reg c in
+    C.expect c ')';
+    P_insn (Jmp { ra; rb })
+  | "br" -> (
+    C.skip_ws c;
+    (* "br target" (ra = zero) or "br ra, target"; an identifier is a
+       register only when a comma follows — else it is a label, even
+       one spelled like "r5loop". *)
+    let ra, t =
+      if C.at_number c then (r31, target c)
+      else begin
+        let start = C.col c in
+        let name = C.ident c in
+        C.skip_ws c;
+        if C.eat c ',' then (reg_of_name start name, target c) else (r31, T_label (name, start))
+      end
+    in
+    match t with
+    | T_abs target -> P_insn (Br { ra; target })
+    | T_label (l, col) -> P_br (ra, l, col))
+  | _ -> (
+    match List.assoc_opt m mem_table with
+    | Some mk ->
+      C.skip_ws c;
+      let ra = reg c in
+      comma c;
+      let disp, rb = mem_disp c in
+      P_insn (mk ra rb disp)
+    | None -> (
+      match find_bcond m with
+      | Some cond -> (
+        C.skip_ws c;
+        let ra = reg c in
+        comma c;
+        match target c with
+        | T_abs target -> P_insn (Bcond { cond; ra; target })
+        | T_label (l, col) -> P_bcond (cond, ra, l, col))
+      | None -> (
+        match find_bytem m with
+        | Some (op, width, high) ->
+          C.skip_ws c;
+          let ra = reg c in
+          comma c;
+          let rb = operand c in
+          comma c;
+          let rc = reg c in
+          P_insn (Bytem { op; width; high; ra; rb; rc })
+        | None -> (
+          match find_oper m with
+          | Some op ->
+            C.skip_ws c;
+            let ra = reg c in
+            comma c;
+            let rb = operand c in
+            comma c;
+            let rc = reg c in
+            P_insn (Opr { op; ra; rb; rc })
+          | None -> C.error mcol "unknown mnemonic %S" m))))
+
+(* --- lines and programs ------------------------------------------------- *)
+
+(* '#' introduces literals ("addq r1, #8, r2"), so unlike the guest
+   syntax it cannot start a comment here. *)
+let strip_comment line =
+  let n = String.length line in
+  let rec cut i =
+    if i >= n then line
+    else
+      match line.[i] with
+      | ';' -> String.sub line 0 i
+      | '/' when i + 1 < n && line.[i + 1] = '/' -> String.sub line 0 i
+      | _ -> cut (i + 1)
+  in
+  cut 0
+
+let is_blank s = String.for_all (fun ch -> ch = ' ' || ch = '\t' || ch = '\r') s
+
+let fail line col fmt = Printf.ksprintf (fun msg -> Error { line; col; msg }) fmt
+
+let insn text =
+  let stripped = strip_comment text in
+  if is_blank stripped then fail 1 1 "expected an instruction"
+  else
+    let c = C.make stripped in
+    match
+      match insn_body c with
+      | P_insn i ->
+        C.finish c;
+        Ok i
+      | P_br (_, l, col) | P_bcond (_, _, l, col) ->
+        fail 1 col "label %S cannot be resolved outside a program" l
+    with
+    | r -> r
+    | exception C.Error (col, msg) -> Error { line = 1; col; msg }
+
+(* Two-pass assembly over instruction indices: pass 1 parses lines and
+   records label positions, pass 2 patches label branches. *)
+let program text =
+  let items = ref [] (* reversed: line, parsed *)
+  and count = ref 0 in
+  let bound : (string, int * int) Hashtbl.t = Hashtbl.create 16 (* name -> index, def line *) in
+  let exception Stop of error in
+  let line_no = ref 0 in
+  try
+    String.split_on_char '\n' text
+    |> List.iter (fun raw ->
+           incr line_no;
+           let line = !line_no in
+           let text = strip_comment raw in
+           if not (is_blank text) then begin
+             let c = C.make text in
+             try
+               C.skip_ws c;
+               (* leading `name:` definitions *)
+               let rec labels_here () =
+                 match C.peek c with
+                 | Some ch when C.is_ident_start ch ->
+                   let start = C.col c in
+                   let name = C.ident c in
+                   if C.eat c ':' then begin
+                     (match Hashtbl.find_opt bound name with
+                     | Some (_, dl) ->
+                       raise
+                         (Stop
+                            { line;
+                              col = start;
+                              msg = Printf.sprintf "label %S already defined on line %d" name dl
+                            })
+                     | None -> ());
+                     Hashtbl.replace bound name (!count, line);
+                     C.skip_ws c;
+                     labels_here ()
+                   end
+                   else Some start
+                 | _ -> None
+               in
+               let rest =
+                 match labels_here () with
+                 | Some start ->
+                   let c2 = C.make text in
+                   while C.col c2 < start do
+                     C.advance c2
+                   done;
+                   Some c2
+                 | None ->
+                   C.skip_ws c;
+                   if C.peek c = None then None else Some c
+               in
+               match rest with
+               | None -> ()
+               | Some c ->
+                 let p = insn_body c in
+                 C.finish c;
+                 items := (line, p) :: !items;
+                 incr count
+             with C.Error (col, msg) -> raise (Stop { line; col; msg })
+           end);
+    let resolve name line col =
+      match Hashtbl.find_opt bound name with
+      | Some (idx, _) -> idx
+      | None -> raise (Stop { line; col; msg = Printf.sprintf "undefined label %S" name })
+    in
+    let code =
+      List.rev !items
+      |> List.map (fun (line, p) ->
+             match p with
+             | P_insn i -> i
+             | P_br (ra, l, col) -> Br { ra; target = resolve l line col }
+             | P_bcond (cond, ra, l, col) -> Bcond { cond; ra; target = resolve l line col })
+      |> Array.of_list
+    in
+    if Array.length code = 0 then
+      raise (Stop { line = max 1 !line_no; col = 1; msg = "program has no instructions" });
+    Ok code
+  with Stop e -> Error e

@@ -2,6 +2,11 @@
 
 open Isa
 
+(* Signed hex literal: %#x would render a negative int as its 63-bit
+   two's complement, which {!Parse} could never read back. *)
+let pp_hex fmt v =
+  if v < 0 then Format.fprintf fmt "-%#x" (-v) else Format.fprintf fmt "%#x" v
+
 let pp_operand fmt = function
   | Rb r -> Format.pp_print_string fmt (reg_name r)
   | Lit v -> Format.fprintf fmt "#%d" v
@@ -30,12 +35,12 @@ let pp_insn fmt = function
       (if high then "h" else "l")
       (reg_name ra) pp_operand rb (reg_name rc)
   | Br { ra; target } ->
-    if ra = r31 then Format.fprintf fmt "br %#x" target
-    else Format.fprintf fmt "br %s, %#x" (reg_name ra) target
+    if ra = r31 then Format.fprintf fmt "br %a" pp_hex target
+    else Format.fprintf fmt "br %s, %a" (reg_name ra) pp_hex target
   | Bcond { cond; ra; target } ->
-    Format.fprintf fmt "%s %s, %#x" (bcond_name cond) (reg_name ra) target
+    Format.fprintf fmt "%s %s, %a" (bcond_name cond) (reg_name ra) pp_hex target
   | Jmp { ra; rb } -> Format.fprintf fmt "jmp %s, (%s)" (reg_name ra) (reg_name rb)
-  | Monitor (Next_guest g) -> Format.fprintf fmt "monitor next_guest=%#x" g
+  | Monitor (Next_guest g) -> Format.fprintf fmt "monitor next_guest=%a" pp_hex g
   | Monitor (Dyn_guest r) -> Format.fprintf fmt "monitor dyn_guest=%s" (reg_name r)
   | Monitor Prog_halt -> Format.pp_print_string fmt "monitor halt"
   | Nop -> Format.pp_print_string fmt "nop"

@@ -1,0 +1,85 @@
+(* Character cursor over one line of assembly text, shared by the guest
+   (x86lite) and host (alphalite) parsers. Keeps a 1-based column so
+   parse errors point at the offending character. *)
+
+exception Error of int * string (* 1-based column, message *)
+
+let error col fmt = Printf.ksprintf (fun s -> raise (Error (col, s))) fmt
+
+type t = { text : string; mutable pos : int }
+
+let make text = { text; pos = 0 }
+
+let col c = c.pos + 1
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let is_space ch = ch = ' ' || ch = '\t' || ch = '\r'
+
+let skip_ws c =
+  while match peek c with Some ch when is_space ch -> true | _ -> false do
+    advance c
+  done
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_' || ch = '.'
+
+let is_ident ch = is_ident_start ch || (ch >= '0' && ch <= '9')
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+(* Characters that may appear in a numeric literal after the sign:
+   digits, hex digits and the radix marker. *)
+let is_num ch =
+  is_digit ch || (ch >= 'a' && ch <= 'f') || (ch >= 'A' && ch <= 'F') || ch = 'x'
+  || ch = 'X' || ch = 'o' || ch = 'O' || ch = 'b' || ch = 'B'
+
+let ident c =
+  let start = c.pos in
+  while match peek c with Some ch when is_ident ch -> true | _ -> false do
+    advance c
+  done;
+  if c.pos = start then error (col c) "expected an identifier";
+  String.sub c.text start (c.pos - start)
+
+(* A number starts with a digit or a sign; identifiers never do, which
+   is how branch targets disambiguate labels from absolute addresses. *)
+let at_number c =
+  match peek c with
+  | Some ch when is_digit ch -> true
+  | Some ('-' | '+') -> true
+  | _ -> false
+
+let number c =
+  let start = c.pos in
+  (match peek c with Some ('-' | '+') -> advance c | _ -> ());
+  while match peek c with Some ch when is_num ch -> true | _ -> false do
+    advance c
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> error (start + 1) "bad number %S" (if s = "" then "" else s)
+
+let expect c ch =
+  match peek c with
+  | Some k when k = ch -> advance c
+  | Some k -> error (col c) "expected '%c', found '%c'" ch k
+  | None -> error (col c) "expected '%c' at end of line" ch
+
+let eat c ch =
+  match peek c with
+  | Some k when k = ch ->
+    advance c;
+    true
+  | _ -> false
+
+(* End of the significant part of a line (comments were stripped before
+   the cursor was built). *)
+let finish c =
+  skip_ws c;
+  match peek c with
+  | None -> ()
+  | Some ch -> error (col c) "trailing input starting at '%c'" ch

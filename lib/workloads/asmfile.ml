@@ -1,0 +1,78 @@
+(* Hand-written `.asm` workloads.
+
+   [Workload.instantiate] dispatches any name ending in ".asm" here, so
+   a textual program can flow through every runner (run, trace, aot,
+   verify, chaos) exactly like a generated benchmark. The paper-style
+   row (NMI, MDA count, ratio) is measured by a profiled interpreter
+   run — the same ground-truth engine behind Table I — rather than
+   predicted, since hand-written programs have no generator model. *)
+
+module G = Mda_guest
+module Machine = Mda_machine
+module Bt = Mda_bt
+
+let is_asm_name name = Filename.check_suffix name ".asm"
+
+(* One full interpretation per file is enough: memoize, keyed by path. *)
+let cache : (string, Gen.program * Spec.row) Hashtbl.t = Hashtbl.create 4
+
+(* Guard against non-halting hand-written programs. *)
+let insn_budget = 50_000_000L
+
+let load_uncached path =
+  let text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> invalid_arg (Printf.sprintf "cannot read %s: %s" path msg)
+  in
+  let asm_program =
+    match G.Parse.program text with
+    | Ok p -> p
+    | Error e -> invalid_arg (Format.asprintf "%s: %a" path G.Parse.pp_error e)
+  in
+  let base = asm_program.G.Asm.base in
+  let init mem = Machine.Memory.load_image mem ~addr:base asm_program.G.Asm.image in
+  (* measure refs/MDAs/NMI with the profiled interpreter *)
+  let mem = Machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
+  init mem;
+  let stats, profile =
+    Bt.Runtime.interpret_program
+      ~mode:(Bt.Interp.Interpreted { profile = true })
+      ~max_guest_insns:insn_budget ~mem ~entry:base ()
+  in
+  (match stats.Bt.Run_stats.stop with
+  | Bt.Run_stats.Halted -> ()
+  | r ->
+    invalid_arg
+      (Printf.sprintf "%s: program did not halt (%s); end it with hlt" path
+         (Bt.Run_stats.stop_reason_to_string r)));
+  let refs = Int64.to_int stats.Bt.Run_stats.memrefs in
+  let mdas = Int64.to_int stats.Bt.Run_stats.mdas in
+  let program =
+    { Gen.asm_program;
+      init;
+      entry = base;
+      expected_refs = refs;
+      expected_mdas = mdas;
+      groups = [];
+      lib_boundary = None }
+  in
+  let row =
+    { Spec.name = path;
+      suite = Spec.Int2000;
+      nmi = Bt.Profile.nmi profile;
+      mdas = float_of_int mdas;
+      ratio = (if refs = 0 then 0.0 else float_of_int mdas /. float_of_int refs) }
+  in
+  (program, row)
+
+let load path =
+  match Hashtbl.find_opt cache path with
+  | Some r -> r
+  | None ->
+    let r = load_uncached path in
+    Hashtbl.replace cache path r;
+    r

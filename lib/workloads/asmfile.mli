@@ -1,0 +1,12 @@
+(** Hand-written [.asm] workloads: {!Workload.instantiate} dispatches
+    any name ending in [".asm"] here, so textual programs flow through
+    every runner like generated benchmarks. *)
+
+(** Does this workload name denote an assembly file? *)
+val is_asm_name : string -> bool
+
+(** Parse, assemble and profile [path]. The row's NMI/MDA/ratio columns
+    are measured by a profiled interpreter run (the program must halt).
+    Raises [Invalid_argument] on unreadable files, parse errors, or
+    non-halting programs. Memoized per path. *)
+val load : string -> Gen.program * Spec.row

@@ -1,0 +1,420 @@
+(* Seeded roundtrip fuzzer for the textual assemblers.
+
+   Generates random instruction streams for each ISA and checks the
+   four-way roundtrip
+
+     insn --pretty--> text --parse--> insn --encode--> bits --decode--> insn
+
+   both per instruction and per stream (whole-image decode_all for the
+   guest; per-pc words for the host; whole-program reparse for both).
+   On a mismatch the failing stream is greedily minimised — drop
+   instructions, then simplify fields — while it still fails, and the
+   result is rendered as a ready-to-commit `.asm` reproducer. *)
+
+module Rng = Mda_util.Rng
+module G = Mda_guest
+module H = Mda_host
+
+type failure = {
+  isa : string;
+  stream : int; (* index of the failing stream *)
+  stage : string; (* which leg of the roundtrip broke *)
+  detail : string;
+  repro : string; (* minimised .asm reproducer *)
+}
+
+type result = {
+  streams : int; (* streams fully checked *)
+  insns : int; (* instructions generated *)
+  failure : failure option; (* fuzzing stops at the first failure *)
+}
+
+(* --- guest generator ---------------------------------------------------- *)
+
+(* Displacement classes an MDA study cares about: every congruence class
+   mod 8, the byte/word/long/quad boundaries, and the field extremes. *)
+let guest_disps =
+  [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 12; 16; -1; -2; -4; -8; 0x3; 0x1000; -0x1000;
+     0x7FFF; -0x8000; 0x7FFF_FFFF; -0x8000_0000 |]
+
+let guest_imms = [| 0l; 1l; -1l; 7l; 0x100l; -0x8000l; Int32.max_int; Int32.min_int |]
+
+let scales = [| 1; 2; 4; 8 |]
+
+let gen_guest_addr rng =
+  let open G.Isa in
+  let disp = Rng.choice rng guest_disps in
+  let base = Rng.choice rng all_regs and index = Rng.choice rng all_regs in
+  let scale = Rng.choice rng scales in
+  match Rng.int rng 4 with
+  | 0 -> { base = None; index = None; disp }
+  | 1 -> { base = Some base; index = None; disp }
+  | 2 -> { base = Some base; index = Some (index, scale); disp }
+  | _ -> { base = None; index = Some (index, scale); disp }
+
+let gen_guest_operand rng =
+  let open G.Isa in
+  if Rng.bool rng 0.5 then Reg (Rng.choice rng all_regs) else Imm (Rng.choice rng guest_imms)
+
+let guest_rmw_ops = [| G.Isa.Add; G.Isa.Sub; G.Isa.And; G.Isa.Or; G.Isa.Xor |]
+
+let guest_rmw_sizes = [| G.Isa.S1; G.Isa.S2; G.Isa.S4 |]
+
+let gen_guest_target rng = Rng.int rng 0x20000
+
+let gen_guest_insn rng =
+  let open G.Isa in
+  let reg () = Rng.choice rng all_regs in
+  match Rng.int rng 17 with
+  | 0 ->
+    Load
+      { dst = reg ();
+        src = gen_guest_addr rng;
+        size = Rng.choice rng all_sizes;
+        signed = Rng.bool rng 0.3 }
+  | 1 -> Store { src = reg (); dst = gen_guest_addr rng; size = Rng.choice rng all_sizes }
+  | 2 -> Mov_imm { dst = reg (); imm = Rng.choice rng guest_imms }
+  | 3 -> Mov_reg { dst = reg (); src = reg () }
+  | 4 -> Binop { op = Rng.choice rng all_binops; dst = reg (); src = gen_guest_operand rng }
+  | 5 -> Cmp { a = reg (); b = gen_guest_operand rng }
+  | 6 -> Test { a = reg (); b = gen_guest_operand rng }
+  | 7 -> Lea { dst = reg (); src = gen_guest_addr rng }
+  | 8 ->
+    Rmw
+      { op = Rng.choice rng guest_rmw_ops;
+        dst = gen_guest_addr rng;
+        src = gen_guest_operand rng;
+        size = Rng.choice rng guest_rmw_sizes }
+  | 9 -> Push (reg ())
+  | 10 -> Pop (reg ())
+  | 11 -> Jmp (gen_guest_target rng)
+  | 12 -> Jcc { cond = Rng.choice rng all_conds; target = gen_guest_target rng }
+  | 13 -> Call (gen_guest_target rng)
+  | 14 -> Ret
+  | 15 -> Nop
+  | _ -> Halt
+
+(* --- host generator ----------------------------------------------------- *)
+
+let host_disps = [| 0; 1; 2; 3; 4; 5; 6; 7; 8; -1; -4; -8; 0x10; 0x7FFF; -0x8000 |]
+
+let host_lits = [| 0; 1; 3; 7; 8; 63; 0xFF |]
+
+let gen_host_operand rng =
+  if Rng.bool rng 0.5 then H.Isa.Rb (Rng.int rng 32) else H.Isa.Lit (Rng.choice rng host_lits)
+
+let host_mem_ops : (H.Isa.reg -> H.Isa.reg -> int -> H.Isa.insn) array =
+  let open H.Isa in
+  [| (fun ra rb disp -> Ldbu { ra; rb; disp });
+     (fun ra rb disp -> Ldwu { ra; rb; disp });
+     (fun ra rb disp -> Ldl { ra; rb; disp });
+     (fun ra rb disp -> Ldq { ra; rb; disp });
+     (fun ra rb disp -> Ldq_u { ra; rb; disp });
+     (fun ra rb disp -> Stb { ra; rb; disp });
+     (fun ra rb disp -> Stw { ra; rb; disp });
+     (fun ra rb disp -> Stl { ra; rb; disp });
+     (fun ra rb disp -> Stq { ra; rb; disp });
+     (fun ra rb disp -> Stq_u { ra; rb; disp });
+     (fun ra rb disp -> Lda { ra; rb; disp });
+     (fun ra rb disp -> Ldah { ra; rb; disp }) |]
+
+let bytem_widths = [| 2; 4; 8 |]
+
+let bytem_groups = [| H.Isa.Ext; H.Isa.Ins; H.Isa.Msk |]
+
+(* [len] bounds branch targets so they stay within the stream's pc
+   range (and thus trivially within the 21-bit branch displacement). *)
+let gen_host_insn rng ~len =
+  let open H.Isa in
+  let reg () = Rng.int rng 32 in
+  let target () = Rng.int rng (max 1 len) in
+  match Rng.int rng 8 with
+  | 0 -> (Rng.choice rng host_mem_ops) (reg ()) (reg ()) (Rng.choice rng host_disps)
+  | 1 -> Opr { op = Rng.choice rng all_opers; ra = reg (); rb = gen_host_operand rng; rc = reg () }
+  | 2 ->
+    Bytem
+      { op = Rng.choice rng bytem_groups;
+        width = Rng.choice rng bytem_widths;
+        high = Rng.bool rng 0.5;
+        ra = reg ();
+        rb = gen_host_operand rng;
+        rc = reg () }
+  | 3 -> Br { ra = (if Rng.bool rng 0.5 then r31 else reg ()); target = target () }
+  | 4 -> Bcond { cond = Rng.choice rng all_bconds; ra = reg (); target = target () }
+  | 5 -> Jmp { ra = reg (); rb = reg () }
+  | 6 ->
+    Monitor
+      (match Rng.int rng 3 with
+      | 0 -> Next_guest (Rng.choice rng [| 0; 1; 0x1234; 0x1000; 0xFF_FFFF |])
+      | 1 -> Dyn_guest (reg ())
+      | _ -> Prog_halt)
+  | _ -> Nop
+
+(* --- roundtrip checks --------------------------------------------------- *)
+
+(* [Some (stage, detail)] if the stream breaks any roundtrip leg. *)
+let check_guest (arr : G.Isa.insn array) =
+  let n = Array.length arr in
+  let rec per i =
+    if i >= n then None
+    else begin
+      let insn = arr.(i) in
+      let s = G.Pretty.insn_to_string insn in
+      match G.Parse.insn s with
+      | Error e -> Some ("parse", Format.asprintf "%S: %a" s G.Parse.pp_error e)
+      | Ok j when j <> insn ->
+        Some ("parse", Printf.sprintf "%S reparsed as %S" s (G.Pretty.insn_to_string j))
+      | Ok _ -> (
+        let bytes = G.Encode.encode insn in
+        match G.Decode.decode bytes ~pos:0 with
+        | Error e -> Some ("decode", Format.asprintf "%S: %a" s G.Decode.pp_error e)
+        | Ok (j, _) when j <> insn ->
+          Some
+            ("decode", Printf.sprintf "%S decoded back as %S" s (G.Pretty.insn_to_string j))
+        | Ok (_, next) when next <> Bytes.length bytes ->
+          Some ("decode", Printf.sprintf "%S: length %d <> %d" s next (Bytes.length bytes))
+        | Ok _ -> per (i + 1))
+    end
+  in
+  match per 0 with
+  | Some f -> Some f
+  | None -> (
+    let image, offsets = G.Encode.encode_program arr in
+    match G.Decode.decode_all image with
+    | Error e -> Some ("decode_all", Format.asprintf "%a" G.Decode.pp_error e)
+    | Ok l ->
+      let expect = List.init n (fun i -> (offsets.(i), arr.(i))) in
+      if l <> expect then Some ("decode_all", "stream decode mismatch")
+      else begin
+        let text =
+          String.concat "\n" (List.map G.Pretty.insn_to_string (Array.to_list arr))
+        in
+        match G.Parse.program text with
+        | Error e -> Some ("program-parse", Format.asprintf "%a" G.Parse.pp_error e)
+        | Ok p when p.G.Asm.insns <> arr -> Some ("program-parse", "stream reparse mismatch")
+        | Ok _ -> None
+      end)
+
+let check_host (arr : H.Isa.insn array) =
+  let n = Array.length arr in
+  let rec per i =
+    if i >= n then None
+    else begin
+      let insn = arr.(i) in
+      let s = H.Pretty.insn_to_string insn in
+      match H.Parse.insn s with
+      | Error e -> Some ("parse", Format.asprintf "%S: %a" s H.Parse.pp_error e)
+      | Ok j when j <> insn ->
+        Some ("parse", Printf.sprintf "%S reparsed as %S" s (H.Pretty.insn_to_string j))
+      | Ok _ -> (
+        let word = H.Encode.encode ~pc:i insn in
+        match H.Encode.decode ~pc:i word with
+        | Error e -> Some ("decode", Format.asprintf "%S: %a" s H.Encode.pp_error e)
+        | Ok j when j <> insn ->
+          Some
+            ("decode", Printf.sprintf "%S decoded back as %S" s (H.Pretty.insn_to_string j))
+        | Ok _ -> per (i + 1))
+    end
+  in
+  match per 0 with
+  | Some f -> Some f
+  | None -> (
+    let text = String.concat "\n" (List.map H.Pretty.insn_to_string (Array.to_list arr)) in
+    match H.Parse.program text with
+    | Error e -> Some ("program-parse", Format.asprintf "%a" H.Parse.pp_error e)
+    | Ok code when code <> arr -> Some ("program-parse", "stream reparse mismatch")
+    | Ok _ -> None)
+
+(* --- shrinking ---------------------------------------------------------- *)
+
+(* Candidate strictly-simpler variants of one instruction; all stay
+   within encodable ranges. *)
+let simplify_guest_addr (a : G.Isa.addr) =
+  let open G.Isa in
+  [ { a with disp = 0 };
+    { a with disp = a.disp / 2 };
+    { a with index = None };
+    { a with base = None };
+    { a with base = (match a.base with Some _ -> Some EAX | None -> None) };
+    { a with index = (match a.index with Some _ -> Some (EAX, 1) | None -> None) } ]
+
+let simplify_guest insn =
+  let open G.Isa in
+  let ops o = match o with Imm 0l -> [] | Imm _ -> [ Imm 0l ] | Reg EAX -> [] | Reg _ -> [ Reg EAX ] in
+  match insn with
+  | Load f ->
+    List.map (fun src -> Load { f with src }) (simplify_guest_addr f.src)
+    @ [ Load { f with dst = EAX }; Load { f with size = S4 }; Load { f with signed = false } ]
+  | Store f ->
+    List.map (fun dst -> Store { f with dst }) (simplify_guest_addr f.dst)
+    @ [ Store { f with src = EAX }; Store { f with size = S4 } ]
+  | Mov_imm f -> [ Mov_imm { f with imm = 0l }; Mov_imm { f with dst = EAX } ]
+  | Mov_reg f -> [ Mov_reg { f with dst = EAX }; Mov_reg { f with src = EAX } ]
+  | Binop f -> List.map (fun src -> Binop { f with src }) (ops f.src) @ [ Binop { f with dst = EAX } ]
+  | Cmp f -> List.map (fun b -> Cmp { f with b }) (ops f.b) @ [ Cmp { f with a = EAX } ]
+  | Test f -> List.map (fun b -> Test { f with b }) (ops f.b) @ [ Test { f with a = EAX } ]
+  | Lea f -> List.map (fun src -> Lea { f with src }) (simplify_guest_addr f.src) @ [ Lea { f with dst = EAX } ]
+  | Rmw f ->
+    List.map (fun dst -> Rmw { f with dst }) (simplify_guest_addr f.dst)
+    @ List.map (fun src -> Rmw { f with src }) (ops f.src)
+    @ [ Rmw { f with size = S4 } ]
+  | Push _ -> [ Push EAX ]
+  | Pop _ -> [ Pop EAX ]
+  | Jmp t -> if t = 0 then [] else [ Jmp 0; Jmp (t / 2) ]
+  | Jcc f -> (if f.target = 0 then [] else [ Jcc { f with target = 0 } ]) @ [ Jmp f.target ]
+  | Call t -> if t = 0 then [] else [ Call 0; Call (t / 2) ]
+  | Ret | Nop | Halt -> []
+
+let mem_simp mk ra rb disp =
+  (if disp <> 0 then [ mk ra rb 0; mk ra rb (disp / 2) ] else [])
+  @ (if ra <> 0 then [ mk 0 rb disp ] else [])
+  @ if rb <> 0 then [ mk ra 0 disp ] else []
+
+let simplify_host insn =
+  let open H.Isa in
+  let reg r = if r = 0 then [] else [ 0 ] in
+  let op o = match o with Lit 0 -> [] | Lit _ -> [ Lit 0 ] | Rb 0 -> [] | Rb _ -> [ Rb 0 ] in
+  match insn with
+  | Ldbu { ra; rb; disp } -> mem_simp (fun ra rb disp -> Ldbu { ra; rb; disp }) ra rb disp
+  | Ldwu { ra; rb; disp } -> mem_simp (fun ra rb disp -> Ldwu { ra; rb; disp }) ra rb disp
+  | Ldl { ra; rb; disp } -> mem_simp (fun ra rb disp -> Ldl { ra; rb; disp }) ra rb disp
+  | Ldq { ra; rb; disp } -> mem_simp (fun ra rb disp -> Ldq { ra; rb; disp }) ra rb disp
+  | Ldq_u { ra; rb; disp } -> mem_simp (fun ra rb disp -> Ldq_u { ra; rb; disp }) ra rb disp
+  | Stb { ra; rb; disp } -> mem_simp (fun ra rb disp -> Stb { ra; rb; disp }) ra rb disp
+  | Stw { ra; rb; disp } -> mem_simp (fun ra rb disp -> Stw { ra; rb; disp }) ra rb disp
+  | Stl { ra; rb; disp } -> mem_simp (fun ra rb disp -> Stl { ra; rb; disp }) ra rb disp
+  | Stq { ra; rb; disp } -> mem_simp (fun ra rb disp -> Stq { ra; rb; disp }) ra rb disp
+  | Stq_u { ra; rb; disp } -> mem_simp (fun ra rb disp -> Stq_u { ra; rb; disp }) ra rb disp
+  | Lda { ra; rb; disp } -> mem_simp (fun ra rb disp -> Lda { ra; rb; disp }) ra rb disp
+  | Ldah { ra; rb; disp } -> mem_simp (fun ra rb disp -> Ldah { ra; rb; disp }) ra rb disp
+  | Opr f ->
+    List.map (fun rb -> Opr { f with rb }) (op f.rb)
+    @ List.map (fun ra -> Opr { f with ra }) (reg f.ra)
+    @ List.map (fun rc -> Opr { f with rc }) (reg f.rc)
+  | Bytem f ->
+    List.map (fun rb -> Bytem { f with rb }) (op f.rb)
+    @ List.map (fun ra -> Bytem { f with ra }) (reg f.ra)
+    @ List.map (fun rc -> Bytem { f with rc }) (reg f.rc)
+  | Br f -> (if f.target = 0 then [] else [ Br { f with target = 0 } ]) @ (if f.ra = r31 then [] else [ Br { f with ra = r31 } ])
+  | Bcond f -> if f.target = 0 then [] else [ Bcond { f with target = 0 } ]
+  | Jmp f -> List.map (fun ra -> Jmp { f with ra }) (reg f.ra) @ List.map (fun rb -> Jmp { f with rb }) (reg f.rb)
+  | Monitor (Next_guest g) -> if g = 0 then [] else [ Monitor (Next_guest 0) ]
+  | Monitor (Dyn_guest r) -> List.map (fun r -> Monitor (Dyn_guest r)) (reg r)
+  | Monitor Prog_halt | Nop -> []
+
+(* Greedy minimisation: repeatedly drop instructions and simplify
+   fields while the stream still fails, under a step budget. *)
+let minimise check simplify insns =
+  let failing l = check (Array.of_list l) <> None in
+  let budget = ref 600 in
+  let cur = ref insns in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    (* drop one instruction, scanning from the back *)
+    let n = List.length !cur in
+    (try
+       for i = n - 1 downto 0 do
+         if n > 1 && !budget > 0 then begin
+           decr budget;
+           let cand = List.filteri (fun j _ -> j <> i) !cur in
+           if failing cand then begin
+             cur := cand;
+             progress := true;
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    (* simplify fields in place *)
+    List.iteri
+      (fun i insn ->
+        List.iter
+          (fun insn' ->
+            if insn' <> insn && !budget > 0 then begin
+              decr budget;
+              let cand = List.mapi (fun j x -> if j = i then insn' else x) !cur in
+              if failing cand then begin
+                cur := cand;
+                progress := true
+              end
+            end)
+          (simplify insn))
+      !cur
+  done;
+  !cur
+
+(* --- driver ------------------------------------------------------------- *)
+
+let render_repro ~comment ~isa ~seed ~stream ~stage ~detail ~pp insns =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%s fuzz-asm reproducer: %s roundtrip mismatch\n" comment isa);
+  Buffer.add_string b (Printf.sprintf "%s seed=%d stream=%d stage=%s\n" comment seed stream stage);
+  Buffer.add_string b (Printf.sprintf "%s %s\n" comment detail);
+  List.iter (fun i -> Buffer.add_string b (pp i ^ "\n")) insns;
+  Buffer.contents b
+
+let run ?(isas = [ `Guest; `Host ]) ~seed ~streams ~max_len () =
+  let checked = ref 0 and insns = ref 0 in
+  let failure = ref None in
+  let one isa stream rng =
+    let len = 1 + Rng.int rng (max 1 max_len) in
+    match isa with
+    | `Guest ->
+      let arr = Array.init len (fun _ -> gen_guest_insn rng) in
+      insns := !insns + len;
+      (match check_guest arr with
+      | None -> ()
+      | Some (stage, detail) ->
+        let min_insns = minimise check_guest simplify_guest (Array.to_list arr) in
+        let stage, detail =
+          match check_guest (Array.of_list min_insns) with
+          | Some sd -> sd
+          | None -> (stage, detail)
+        in
+        failure :=
+          Some
+            { isa = "guest";
+              stream;
+              stage;
+              detail;
+              repro =
+                render_repro ~comment:"#" ~isa:"guest" ~seed ~stream ~stage ~detail
+                  ~pp:G.Pretty.insn_to_string min_insns })
+    | `Host ->
+      let arr = Array.init len (fun _ -> gen_host_insn rng ~len) in
+      insns := !insns + len;
+      (match check_host arr with
+      | None -> ()
+      | Some (stage, detail) ->
+        let min_insns = minimise check_host simplify_host (Array.to_list arr) in
+        let stage, detail =
+          match check_host (Array.of_list min_insns) with
+          | Some sd -> sd
+          | None -> (stage, detail)
+        in
+        failure :=
+          Some
+            { isa = "host";
+              stream;
+              stage;
+              detail;
+              repro =
+                render_repro ~comment:";" ~isa:"host" ~seed ~stream ~stage ~detail
+                  ~pp:H.Pretty.insn_to_string min_insns })
+  in
+  let rng = Rng.create (Int64.of_int seed) in
+  (try
+     for stream = 0 to streams - 1 do
+       List.iter
+         (fun isa ->
+           if !failure = None then begin
+             one isa stream rng;
+             if !failure = None then incr checked
+           end)
+         isas;
+       if !failure <> None then raise Exit
+     done
+   with Exit -> ());
+  { streams = !checked; insns = !insns; failure = !failure }

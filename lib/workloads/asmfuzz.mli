@@ -1,0 +1,25 @@
+(** Seeded roundtrip fuzzer for the textual assemblers: random
+    instruction streams checked through
+    [insn -> pretty -> parse -> encode -> decode -> insn], with greedy
+    minimisation of the first failing stream into a [.asm]
+    reproducer. *)
+
+type failure = {
+  isa : string;  (** "guest" or "host" *)
+  stream : int;  (** index of the failing stream *)
+  stage : string;  (** which leg of the roundtrip broke *)
+  detail : string;
+  repro : string;  (** minimised [.asm] reproducer, comment header included *)
+}
+
+type result = {
+  streams : int;  (** streams fully checked *)
+  insns : int;  (** instructions generated *)
+  failure : failure option;  (** fuzzing stops at the first failure *)
+}
+
+(** [run ~seed ~streams ~max_len ()] fuzzes [streams] random streams of
+    1..[max_len] instructions per ISA (default both). Deterministic in
+    [seed]. *)
+val run :
+  ?isas:[ `Guest | `Host ] list -> seed:int -> streams:int -> max_len:int -> unit -> result

@@ -297,6 +297,12 @@ let instantiate ?(scale = 1.0) ?(input = Gen.Ref) ?(variant = Default) name =
       input;
       scale = 1.0;
       program = Stackbench.program ~input }
+  else if Asmfile.is_asm_name name then begin
+    (* hand-written assembly file: shape is fixed by the source text;
+       the row is measured, not predicted *)
+    let program, row = Asmfile.load name in
+    { name; row; traits = Spec.default_traits; input; scale = 1.0; program }
+  end
   else begin
     let row = Spec.find name in
     let traits = Spec.traits_of name in

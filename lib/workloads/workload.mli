@@ -25,7 +25,10 @@ type variant = Default | Aligned_opt
 
 (** [instantiate ?scale ?input ?variant name] synthesizes the benchmark.
     The binary is identical across inputs (only data initialization
-    differs), as static profiling requires. *)
+    differs), as static profiling requires. A [name] ending in [".asm"]
+    is instead loaded as a hand-written assembly file via {!Asmfile}
+    ([scale] and [variant] do not apply; the paper row is measured by a
+    profiled interpreter run). *)
 val instantiate : ?scale:float -> ?input:Gen.input -> ?variant:variant -> string -> t
 
 (** Fresh simulated memory with the program image and input data
