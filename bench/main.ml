@@ -20,11 +20,18 @@
    writes all the numbers to BENCH_pr7.json, the next point of the
    repository's performance trajectory.
 
+   Part 5 (peephole tier): times the superoptimizer-style rule miner
+   from scratch on a two-workload corpus at the committed seed, then
+   measures the installed tier — rewrite hits per 1k block translations
+   and modelled cycles saved with/without the committed rule file under
+   the direct mechanism — and writes BENCH_pr8.json.
+
    Environment:
      MDA_BENCH_SCALE        workload scale for part 2 (default 1.0)
      MDA_BENCH_QUOTA_MS     Bechamel time quota per test (default 1000)
      MDA_BENCH_SKIP_MEASURE=1   skip part 1
-     MDA_BENCH_JSON         part-3/4 output path (default BENCH_pr7.json) *)
+     MDA_BENCH_JSON         part-3/4 output path (default BENCH_pr7.json)
+     MDA_BENCH_PR8_JSON     part-5 output path (default BENCH_pr8.json) *)
 
 open Bechamel
 open Bechamel.Toolkit
@@ -284,6 +291,138 @@ let emit_bench_json () =
     (per_sec !host_insns aot_secs aot_reps)
     (per_sec asm_guest_insns gasm_secs gasm_reps)
 
+(* --- part 5: peephole mining / rewrite-tier numbers -> BENCH_pr8.json --- *)
+
+(* The committed rule file, found from the repo root (the usual
+   [dune exec] cwd) or through the workspace root when run elsewhere. *)
+let committed_rules_path =
+  let local = Filename.concat "rules" "pr8.rules" in
+  if Sys.file_exists local then local
+  else
+    match Sys.getenv_opt "DUNE_SOURCEROOT" with
+    | Some root -> Filename.concat root local
+    | None -> local
+
+let emit_peephole_json () =
+  let path =
+    match Sys.getenv_opt "MDA_BENCH_PR8_JSON" with
+    | Some p -> p
+    | None -> "BENCH_pr8.json"
+  in
+  (* mining throughput: the full mine-screen-prove pipeline re-run from
+     scratch on a reduced corpus at the committed seed *)
+  let mine_corpus = [ "164.gzip"; "410.bwaves" ] in
+  let mine_scale = 0.05 and budget = 400 and max_len = 4 and seed = 42 in
+  let images =
+    List.map
+      (fun name ->
+        let w = W.Workload.instantiate ~scale:mine_scale name in
+        (name, W.Workload.fresh_memory w, W.Workload.entry w))
+      mine_corpus
+  in
+  let mine () = A.Miner.mine ~budget ~max_len ~seed ~images () in
+  let o = mine () in
+  if o.A.Miner.rules = [] then failwith "BENCH miner found no rules";
+  let mine_secs, mine_reps = time_reps ~min_s:0.5 (fun () -> ignore (mine ())) in
+  let rules_per_sec =
+    float_of_int (List.length o.A.Miner.rules * mine_reps) /. mine_secs
+  in
+  (* installed tier: direct-mechanism runs with and without the
+     committed rule file on representative Table-I workloads *)
+  let rules =
+    match Mda_host.Peephole.load committed_rules_path with
+    | Ok [] -> failwith "BENCH committed rule file is empty"
+    | Ok rs -> rs
+    | Error msg -> failwith ("BENCH cannot load committed rules: " ^ msg)
+  in
+  let run_direct ?rules name =
+    let w = W.Workload.instantiate ~scale:0.05 name in
+    let mem = W.Workload.fresh_memory w in
+    let rules = Option.map Mda_host.Peephole.activate rules in
+    let config =
+      { (Bt.Runtime.default_config Bt.Mechanism.Direct) with Bt.Runtime.rules }
+    in
+    let t = Bt.Runtime.create ~config ~mem () in
+    let stats = Bt.Runtime.run t ~entry:(W.Workload.entry w) in
+    (stats, t)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let (base : Bt.Run_stats.t), _ = run_direct name in
+        let (tier : Bt.Run_stats.t), t = run_direct ~rules name in
+        let counter c = Int64.to_int (Bt.Counters.get t.Bt.Runtime.counters c) in
+        let hits = counter Bt.Counters.Peephole_hits in
+        let saved = counter Bt.Counters.Peephole_saved in
+        let cycles_saved = Int64.sub base.Bt.Run_stats.cycles tier.Bt.Run_stats.cycles in
+        Printf.sprintf
+          {|      {
+        "name": "%s",
+        "scale": 0.05,
+        "translations": %d,
+        "rewrite_hits": %d,
+        "hits_per_1k_translations": %.1f,
+        "static_cycles_saved": %d,
+        "cycles_without_rules": %Ld,
+        "cycles_with_rules": %Ld,
+        "modelled_cycles_saved": %Ld,
+        "saved_pct": %.2f,
+        "code_len_without_rules": %d,
+        "code_len_with_rules": %d
+      }|}
+          name tier.Bt.Run_stats.translations hits
+          (1000.0 *. float_of_int hits /. float_of_int (max 1 tier.Bt.Run_stats.translations))
+          saved base.Bt.Run_stats.cycles tier.Bt.Run_stats.cycles cycles_saved
+          (100.0
+          *. Int64.to_float cycles_saved
+          /. Int64.to_float (Int64.max 1L base.Bt.Run_stats.cycles))
+          base.Bt.Run_stats.code_len tier.Bt.Run_stats.code_len)
+      [ "164.gzip"; "410.bwaves"; "188.ammp" ]
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "pr": 8,
+  "miner": {
+    "corpus": [%s],
+    "scale": %.2f,
+    "budget": %d,
+    "max_len": %d,
+    "seed": %d,
+    "windows": %d,
+    "screened": %d,
+    "proof_attempts": %d,
+    "proof_failures": %d,
+    "rules": %d,
+    "survivors": %d,
+    "seconds": %.6f,
+    "reps": %d,
+    "rules_mined_per_sec": %.2f
+  },
+  "tier": {
+    "rules_file": "rules/pr8.rules",
+    "digest": "%s",
+    "mechanism": "direct",
+    "workloads": [
+%s
+    ]
+  }
+}
+|}
+    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") mine_corpus))
+    mine_scale budget max_len seed o.A.Miner.windows o.A.Miner.screened
+    o.A.Miner.proof_attempts o.A.Miner.proof_failures
+    (List.length o.A.Miner.rules)
+    (List.length o.A.Miner.survivors)
+    mine_secs mine_reps rules_per_sec
+    (Mda_host.Peephole.digest rules)
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "== wrote %s (%d rule(s) mined at %.2f rules/s, digest %s) ==\n\n%!" path
+    (List.length o.A.Miner.rules)
+    rules_per_sec
+    (Mda_host.Peephole.digest rules)
+
 let () =
   let scale =
     match Sys.getenv_opt "MDA_BENCH_SCALE" with
@@ -294,6 +433,7 @@ let () =
   | Some "1" -> ()
   | _ -> run_measurements ());
   emit_bench_json ();
+  emit_peephole_json ();
   Printf.printf "== Regenerating all tables and figures (scale %.2f) ==\n\n%!" scale;
   let opts = { H.Experiment.default_options with H.Experiment.scale } in
   List.iter

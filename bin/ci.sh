@@ -34,6 +34,27 @@ dune exec bin/mdabench.exe -- run 453.povray -m dpeh --scale 0.05 --selfcheck >/
 echo "== translation-validation gate (mdabench verify)"
 dune exec bin/mdabench.exe -- verify --scale 0.05 --jobs 2
 
+echo "== peephole gate: re-prove committed rules, kill ratio with the tier"
+# every committed rule's equivalence proof is replayed from scratch; a
+# rule the validator can no longer prove fails CI
+dune exec bin/mdabench.exe -- mine --replay rules/pr8.rules || {
+  echo "FAIL: committed peephole rules no longer prove"; exit 1; }
+# seeded mutation harness with the rewrite tier enabled: the validator
+# must still kill >= 95% of semantic mutants of the rewritten cache
+dune exec bin/mdabench.exe -- mine --kill-check examples/asm/killable.asm \
+  --rules rules/pr8.rules --seed 7 >/dev/null || {
+  echo "FAIL: mutation kill ratio below 95% with the peephole tier"; exit 1; }
+# rewritten caches still pass the full validator + invariant checker
+dune exec bin/mdabench.exe -- run 164.gzip -m direct --scale 0.05 \
+  --rules rules/pr8.rules --selfcheck --validate >/dev/null || {
+  echo "FAIL: run gate with peephole tier"; exit 1; }
+dune exec bin/mdabench.exe -- aot 164.gzip --scale 0.05 \
+  --rules rules/pr8.rules --validate >/dev/null || {
+  echo "FAIL: aot gate with peephole tier"; exit 1; }
+dune exec bin/mdabench.exe -- verify --scale 0.05 --jobs 2 \
+  --rules rules/pr8.rules >/dev/null || {
+  echo "FAIL: verify gate with peephole tier"; exit 1; }
+
 echo "== AOT gate: oracle differential + validator, both unknown-site policies"
 # `mdabench aot` checks the static translation of the whole image
 # against the pure-interpreter oracle (registers + memory digest), that

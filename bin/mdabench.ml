@@ -257,6 +257,33 @@ let workload_name ~cmd bench program =
     Printf.eprintf "mdabench %s: BENCHMARK or --program FILE.asm required\n" cmd;
     exit 1
 
+(* --- the peephole rewrite tier ----------------------------------------- *)
+
+module P = Mda_host.Peephole
+
+let rules_arg =
+  let doc =
+    "Enable the validator-proved peephole rewrite tier with the rule file $(docv) (mined \
+     by $(b,mdabench mine)); applications are counted in the peephole_hits / \
+     peephole_saved counters."
+  in
+  Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE" ~doc)
+
+(* Load + well-formedness-check a rule file; hard exit on any problem —
+   a malformed rule file must never silently run without its tier. *)
+let load_rules = function
+  | None -> None
+  | Some path -> (
+    match P.load path with
+    | Error msg ->
+      Printf.eprintf "mdabench: cannot load rules: %s\n" msg;
+      exit 1
+    | Ok rs -> (
+      try Some (P.activate rs)
+      with Invalid_argument msg ->
+        Printf.eprintf "mdabench: bad rule file %s: %s\n" path msg;
+        exit 1))
+
 let run_cmd =
   let doc = "Run one benchmark under one mechanism and print its statistics." in
   let bench_arg =
@@ -305,8 +332,9 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
-  let run bench program mech scale threshold selfcheck validate corrupt trace_out =
+  let run bench program mech scale threshold selfcheck validate corrupt trace_out rules_file =
     let name = workload_name ~cmd:"run" bench program in
+    let rules = load_rules rules_file in
     match mech with
     | `Interp | `Native ->
       let s, _ = H.Experiment.run_interp ~scale ~native:(mech = `Native) name in
@@ -326,12 +354,12 @@ let run_cmd =
           (* static translation first, then execution of the immutable
              cache — the selfcheck/validate flags then inspect the AOT
              cache exactly as they would a dynamically built one *)
-          let stats, t, _, _ = H.Experiment.run_aot_rt ~scale ?sink name in
+          let stats, t, _, _ = H.Experiment.run_aot_rt ~scale ?sink ?rules name in
           (stats, t)
         | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m
           ->
           let mechanism = make_mechanism ~scale ~threshold name m in
-          H.Experiment.run_mechanism_rt ~scale ?sink ~mechanism name
+          H.Experiment.run_mechanism_rt ~scale ?sink ?rules ~mechanism name
       in
       (match (trace_out, sink) with
       | Some file, Some s ->
@@ -344,6 +372,11 @@ let run_cmd =
         Printf.eprintf "[mdabench] wrote %s (%d events)\n%!" file (Mda_obs.Trace.length s)
       | _ -> ());
       Format.printf "%a@." Bt.Run_stats.pp stats;
+      (match rules with
+      | None -> ()
+      | Some rs ->
+        Printf.printf "peephole: %d rewrite(s) applied, %d modelled cycle(s) saved (static, digest %s)\n"
+          (P.total_hits rs) (P.total_saved rs) (P.file_digest rs));
       let cache = t.Bt.Runtime.cache in
       if corrupt then
         (* a site record outside the code store and naming an unknown
@@ -380,7 +413,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ bench_arg $ program_arg $ mech_arg $ scale_arg $ threshold_arg
-      $ selfcheck_arg $ validate_arg $ corrupt_arg $ trace_out_arg)
+      $ selfcheck_arg $ validate_arg $ corrupt_arg $ trace_out_arg $ rules_arg)
 
 (* --- analyze: dump the static congruence census ------------------------ *)
 
@@ -570,20 +603,23 @@ let aot_cmd =
       & opt analysis_mode_conv A.Dataflow.Interprocedural
       & info [ "mode" ] ~docv:"MODE" ~doc:"analysis engine: inter (default) | intra")
   in
-  let run bench program scale unknown census validate mode =
+  let run bench program scale unknown census validate mode rules_file =
     let name = workload_name ~cmd:"aot" bench program in
+    let rules = load_rules rules_file in
     (* ground truth: a pure-interpreter run over an identical image *)
     let w = W.Workload.instantiate ~scale name in
     let imem = W.Workload.fresh_memory w in
     let istats, _ = Bt.Runtime.interpret_program ~mem:imem ~entry:(W.Workload.entry w) () in
     let idigest = Digest.bytes (Mda_machine.Memory.raw imem) in
     (* the AOT run *)
-    let astats, rt, tstats, analysis = H.Experiment.run_aot_rt ~scale ~unknown ~mode name in
+    let astats, rt, tstats, analysis =
+      H.Experiment.run_aot_rt ~scale ~unknown ~mode ?rules name
+    in
     let adigest = Digest.bytes (Mda_machine.Memory.raw rt.Bt.Runtime.cpu.Mda_machine.Cpu.mem) in
     (* the same verdicts applied dynamically (translation at dispatch) *)
     let summary = A.Dataflow.summary analysis in
     let dstats, _ =
-      H.Experiment.run_mechanism_rt ~scale
+      H.Experiment.run_mechanism_rt ~scale ?rules
         ~mechanism:(Bt.Mechanism.Static_analysis { summary; unknown })
         name
     in
@@ -662,7 +698,7 @@ let aot_cmd =
   Cmd.v (Cmd.info "aot" ~doc)
     Term.(
       const run $ bench_arg $ program_arg $ scale_arg $ policy_arg $ census_arg
-      $ validate_arg $ mode_arg)
+      $ validate_arg $ mode_arg $ rules_arg)
 
 (* --- verify: translation-validate every mechanism ---------------------- *)
 
@@ -691,16 +727,19 @@ let verify_cmd =
      (mechanism, benchmark) cell re-executes the benchmark, then checks.
      Workers return only printable strings — the cache itself does not
      cross the fork boundary. *)
-  let verify_cell scale (name, m) =
+  let verify_cell scale plain_rules (name, m) =
+    (* activate per cell: [active] carries mutable hit counters, and the
+       cell may run in a forked worker *)
+    let rules = Option.map P.activate plain_rules in
     let _stats, t =
       match m with
       | `Aot ->
-        let stats, t, _, _ = H.Experiment.run_aot_rt ~scale name in
+        let stats, t, _, _ = H.Experiment.run_aot_rt ~scale ?rules name in
         (stats, t)
       | (`Direct | `Static | `Dynamic | `Eh | `Eh_rearrange | `Dpeh | `Sa | `Sa_seq) as m
         ->
         let mechanism = make_mechanism ~scale ~threshold:50 name m in
-        H.Experiment.run_mechanism_rt ~scale ~mechanism name
+        H.Experiment.run_mechanism_rt ~scale ?rules ~mechanism name
     in
     let cache = t.Bt.Runtime.cache in
     let mem = t.Bt.Runtime.cpu.Mda_machine.Cpu.mem in
@@ -708,15 +747,22 @@ let verify_cmd =
       match Bt.Block.discover mem ~pc:start with Ok b -> Some b | Error _ -> None
     in
     let v = Mda_analysis.Validator.run ~cache ~block_of in
+    let bailouts = Mda_analysis.Validator.budget_bailouts v in
+    (* the observation lands in the run's counter registry too, so any
+       consumer reading the registry sees proof-coverage gaps *)
+    Bt.Counters.addi t.Bt.Runtime.counters Bt.Counters.Validator_bailouts bailouts;
     let c = Mda_analysis.Check.run cache in
     ( name,
       mech_string m,
       Mda_analysis.Validator.ok v,
       Format.asprintf "%a" Mda_analysis.Validator.pp_report v,
       Mda_analysis.Check.ok c,
-      Format.asprintf "%a" Mda_analysis.Check.pp_report c )
+      Format.asprintf "%a" Mda_analysis.Check.pp_report c,
+      bailouts )
   in
-  let run mech bench program scale jobs =
+  let run mech bench program scale jobs rules_file =
+    (* load (and well-formedness check) once; ship plain data to workers *)
+    let plain_rules = Option.map P.rules (load_rules rules_file) in
     let mechanisms =
       match mech with
       | None -> [ `Direct; `Static; `Dynamic; `Eh; `Dpeh; `Sa; `Aot ]
@@ -742,18 +788,23 @@ let verify_cmd =
     let cells =
       List.concat_map (fun b -> List.map (fun m -> (b, m)) mechanisms) benches
     in
-    let results = H.Pool.map ~jobs ~f:(verify_cell scale) cells in
+    let results = H.Pool.map ~jobs ~f:(verify_cell scale plain_rules) cells in
     let rc = ref 0 in
+    let bailouts = ref 0 in
     Array.iter
       (fun r ->
         match r with
         | Error e ->
           Printf.printf "verify worker FAILED: %s\n" e;
           rc := 1
-        | Ok (bench, mname, v_ok, v_text, c_ok, c_text) ->
+        | Ok (bench, mname, v_ok, v_text, c_ok, c_text, cell_bailouts) ->
           Printf.printf "=== %s / %s ===\n%s\n%s\n" bench mname v_text c_text;
+          bailouts := !bailouts + cell_bailouts;
           if not (v_ok && c_ok) then rc := 1)
       results;
+    Printf.printf "validator budget bail-outs: %d across %d cells%s\n" !bailouts
+      (List.length cells)
+      (if !bailouts = 0 then " (full proof coverage)" else "");
     if !rc = 0 then
       Printf.printf "verify OK: %d mechanism/benchmark cells validated\n"
         (List.length cells)
@@ -761,7 +812,208 @@ let verify_cmd =
     !rc
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ mech_arg $ bench_arg $ program_arg $ scale_arg $ jobs_arg)
+    Term.(
+      const run $ mech_arg $ bench_arg $ program_arg $ scale_arg $ jobs_arg $ rules_arg)
+
+(* --- mine: superoptimize peephole rules out of the workload corpus ----- *)
+
+let mine_cmd =
+  let doc =
+    "Mine validator-proved peephole rewrite rules from the workload corpus: enumerate \
+     register-only host windows from static translations of every image, search for \
+     strictly shorter replacements (seeded enumerative search, concrete screening), and \
+     keep only candidates the symbolic validator proves fully equivalent — all 32 \
+     registers, memory, every residue case, no budget bail-out. Accepted rules are \
+     written as a textual rule file ($(b,--rules-out)) that $(b,run)/$(b,aot)/$(b,verify) \
+     install with $(b,--rules); screened-but-unproved candidates are exported alongside \
+     as validator test fodder. $(b,--replay) re-proves a committed rule file from \
+     scratch (the CI gate); $(b,--explain) pretty-prints one rule; $(b,--kill-check) \
+     runs the mutation harness with the tier enabled and gates the kill ratio at 95%."
+  in
+  let benchmarks_arg =
+    let doc = "Comma-separated corpus subset (defaults to the paper's 21 selected)." in
+    Arg.(value & opt (some string) None & info [ "benchmarks" ] ~docv:"NAMES" ~doc)
+  in
+  let scale_arg =
+    let doc = "Workload volume multiplier for corpus images (mining is static)." in
+    Arg.(value & opt float 0.05 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+  in
+  let budget_arg =
+    let doc = "Cap on validator proof attempts across the whole mining run." in
+    Arg.(value & opt int 400 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let max_len_arg =
+    let doc = "Longest window (in host instructions) to mine." in
+    Arg.(value & opt int 4 & info [ "max-len" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for vocabulary order and concrete screening vectors." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let rules_out_arg =
+    let doc =
+      "Write accepted rules to $(docv) (and unproved survivors to $(docv).survivors); \
+       without it the rule file is printed to stdout."
+    in
+    Arg.(value & opt (some string) None & info [ "rules-out" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Re-prove every rule of $(docv) from scratch instead of mining; non-zero exit if \
+       any rule no longer proves."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let explain_arg =
+    let doc =
+      "Pretty-print one rule of the $(b,--rules) file (guest idiom, host before/after, \
+       proof summary) instead of mining."
+    in
+    Arg.(value & opt (some string) None & info [ "explain" ] ~docv:"RULE_ID" ~doc)
+  in
+  let kill_check_arg =
+    let doc =
+      "Run the seeded mutation harness over $(docv)'s code cache with the $(b,--rules) \
+       tier enabled; non-zero exit if the validator kill ratio drops below 95%."
+    in
+    Arg.(value & opt (some string) None & info [ "kill-check" ] ~docv:"BENCHMARK" ~doc)
+  in
+  let replay_file file =
+    match P.load file with
+    | Error msg ->
+      Printf.printf "replay FAILED: %s\n" msg;
+      1
+    | Ok rs -> (
+      match (try Ok (P.activate rs) with Invalid_argument m -> Error m) with
+      | Error m ->
+        Printf.printf "replay FAILED: malformed rule file: %s\n" m;
+        1
+      | Ok _ ->
+        let rc = ref 0 in
+        List.iter
+          (fun ((r : P.rule), (report : A.Validator.report)) ->
+            if A.Validator.proves report then
+              Printf.printf "rule %-8s re-proved: %d residue case(s), %d path pair(s)\n"
+                r.P.id report.A.Validator.envs_checked report.A.Validator.paths_checked
+            else begin
+              Printf.printf "rule %-8s FAILED to re-prove:\n%s" r.P.id
+                (Format.asprintf "%a" A.Validator.pp_report report);
+              rc := 1
+            end)
+          (A.Miner.replay rs);
+        if !rc = 0 then
+          Printf.printf "replay OK: %d rule(s) re-proved from scratch (digest %s)\n"
+            (List.length rs) (P.digest rs)
+        else Printf.printf "replay FAILED\n";
+        !rc)
+  in
+  let run_kill_check bench seed rules_file =
+    match load_rules rules_file with
+    | None ->
+      Printf.eprintf "mdabench mine: --kill-check requires --rules FILE\n";
+      1
+    | Some _ as rules ->
+      let _stats, t =
+        H.Experiment.run_mechanism_rt ?rules ~mechanism:Bt.Mechanism.Direct bench
+      in
+      let cache = t.Bt.Runtime.cache in
+      let mem = t.Bt.Runtime.cpu.Mda_machine.Cpu.mem in
+      let block_of start =
+        match Bt.Block.discover mem ~pc:start with Ok b -> Some b | Error _ -> None
+      in
+      let o = A.Mutate.run ~cache ~block_of ~seed () in
+      Format.printf "%a@." A.Mutate.pp_outcome o;
+      let ratio = A.Mutate.kill_ratio o in
+      Printf.printf "kill ratio with peephole tier: %.3f (gate 0.950)\n" ratio;
+      if ratio >= 0.95 then 0 else 1
+  in
+  let mine benchmarks program scale budget max_len seed rules_out =
+    let names =
+      match (benchmarks, program) with
+      | None, None -> W.Spec.selected_names
+      | None, Some p -> [ p ]
+      | Some s, p ->
+        (String.split_on_char ',' s |> List.map String.trim) @ Option.to_list p
+    in
+    let images =
+      List.map
+        (fun n ->
+          let w = W.Workload.instantiate ~scale n in
+          (n, W.Workload.fresh_memory w, W.Workload.entry w))
+        names
+    in
+    let t0 = Unix.gettimeofday () in
+    let o = A.Miner.mine ~budget ~max_len ~seed ~images () in
+    let secs = Unix.gettimeofday () -. t0 in
+    Printf.eprintf "[mdabench] mine: %s\n%!" (Mda_util.Stats.duration secs);
+    Printf.printf
+      "mined %d rule(s): %d window(s), %d screened candidate(s), %d proof attempt(s), %d \
+       proof failure(s), %d unproved survivor(s)\n"
+      (List.length o.A.Miner.rules)
+      o.A.Miner.windows o.A.Miner.screened o.A.Miner.proof_attempts
+      o.A.Miner.proof_failures
+      (List.length o.A.Miner.survivors);
+    List.iter
+      (fun (r : P.rule) ->
+        Printf.printf "  %-8s %d -> %d insns, saves %d cycle(s)/application — %s\n" r.P.id
+          (List.length r.P.pattern)
+          (List.length r.P.replacement)
+          r.P.saves r.P.idiom)
+      o.A.Miner.rules;
+    (match rules_out with
+    | None -> if o.A.Miner.rules <> [] then print_string (P.print o.A.Miner.rules)
+    | Some out ->
+      P.save out o.A.Miner.rules;
+      Printf.printf "wrote %s (digest %s)\n" out (P.digest o.A.Miner.rules);
+      if o.A.Miner.survivors <> [] then begin
+        let sout = out ^ ".survivors" in
+        let oc = open_out sout in
+        output_string oc
+          "# screened-but-unproved rewrite candidates: each passed concrete screening\n\
+           # on random register files but carries no validator theorem — test fodder\n\
+           # that must keep failing Validator.check_rewrite.\n";
+        List.iteri
+          (fun i (window, cand) ->
+            Printf.fprintf oc "survivor %d\nwindow:\n" (i + 1);
+            List.iter
+              (fun insn ->
+                Printf.fprintf oc "  %s\n" (Mda_host.Pretty.insn_to_string insn))
+              window;
+            output_string oc "candidate:\n";
+            List.iter
+              (fun insn ->
+                Printf.fprintf oc "  %s\n" (Mda_host.Pretty.insn_to_string insn))
+              cand)
+          o.A.Miner.survivors;
+        close_out oc;
+        Printf.printf "wrote %s (%d survivor(s))\n" sout (List.length o.A.Miner.survivors)
+      end);
+    0
+  in
+  let run benchmarks program scale budget max_len seed rules_out replay explain rules_file
+      kill_check =
+    match (explain, replay, kill_check) with
+    | Some id, _, _ -> (
+      match load_rules rules_file with
+      | None ->
+        Printf.eprintf "mdabench mine: --explain requires --rules FILE\n";
+        1
+      | Some active -> (
+        match P.find (P.rules active) id with
+        | None ->
+          Printf.printf "no rule %S in %s\n" id (Option.get rules_file);
+          1
+        | Some r ->
+          print_string (P.explain r);
+          0))
+    | None, Some file, _ -> replay_file file
+    | None, None, Some bench -> run_kill_check bench seed rules_file
+    | None, None, None -> mine benchmarks program scale budget max_len seed rules_out
+  in
+  Cmd.v (Cmd.info "mine" ~doc)
+    Term.(
+      const run $ benchmarks_arg $ program_arg $ scale_arg $ budget_arg $ max_len_arg
+      $ seed_arg $ rules_out_arg $ replay_arg $ explain_arg $ rules_arg $ kill_check_arg)
 
 (* --- trace: structured event tracing with JSONL emit and replay -------- *)
 
@@ -1090,7 +1342,8 @@ let list_cmd =
         ("run", "run one benchmark under one mechanism (--selfcheck, --validate, --trace-out)");
         ("analyze", "dump the static congruence census of a benchmark (--compare)");
         ("aot", "statically translate a whole image and execute it (--census, --validate)");
-        ("verify", "translation-validate the cache every mechanism builds");
+        ("verify", "translation-validate the cache every mechanism builds (--rules)");
+        ("mine", "mine validator-proved peephole rules (--replay, --explain, --kill-check)");
         ("chaos", "every mechanism under seeded fault plans, checked against the oracle");
         ("trace", "cycle-stamped BT events; JSONL emit (--out) and replay (--replay)");
         ("hot", "hottest guest sites and blocks by trap/MDA cycle cost");
@@ -1230,7 +1483,7 @@ let disasm_host_cmd =
     (match Bt.Block.discover mem ~pc:(W.Workload.entry w) with
     | Error e -> Format.printf "block discovery failed: %a@." Bt.Block.pp_error e
     | Ok block ->
-      let entry = Bt.Translate.translate ~cache ~block ~policy_of:(fun _ -> policy) in
+      let entry = Bt.Translate.translate ~cache ~policy_of:(fun _ -> policy) block in
       Format.printf "block %#x: %d guest insns -> %d host insns (entry %d)@.@."
         block.Bt.Block.start (Bt.Block.length block)
         (Bt.Code_cache.length cache) entry;
@@ -1400,8 +1653,8 @@ let () =
   let info = Cmd.info "mdabench" ~version:"1.0.0" ~doc in
   let cmds =
     List.map experiment_cmd experiments
-    @ [ all_cmd; run_cmd; analyze_cmd; aot_cmd; verify_cmd; chaos_cmd; trace_cmd;
-        hot_cmd; list_cmd; info_cmd; asm_cmd; fuzz_asm_cmd; disasm_cmd;
+    @ [ all_cmd; run_cmd; analyze_cmd; aot_cmd; verify_cmd; mine_cmd; chaos_cmd;
+        trace_cmd; hot_cmd; list_cmd; info_cmd; asm_cmd; fuzz_asm_cmd; disasm_cmd;
         disasm_host_cmd ]
   in
   exit (Cmd.eval' (Cmd.group info cmds))

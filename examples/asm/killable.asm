@@ -1,0 +1,77 @@
+# A mutation-killability workload: the textual-assembler port of the
+# validator test suite's "rich build".  Every base register is set
+# *before* its loop, so inside a loop-body block the bases are symbolic
+# block inputs and the validator covers all eight address residues —
+# which is what gives the mutation harness teeth (constant addresses
+# leave the quad-crossing code provably dead and its mutants
+# semantically neutral).  Loop tails compare against 1 so no emitted
+# host instruction has an all-zero second operand (a zero there makes
+# the subq/addq mutant pair semantically equal, i.e. unkillable).
+#
+# CI runs the mutation harness over this program with the peephole tier
+# enabled and gates the kill ratio at 95%:
+#   mdabench mine --kill-check examples/asm/killable.asm --rules rules/pr8.rules
+
+.base 0x1000
+
+        movl $0xFF000, %esp
+        movl $0x100002, %ebx    # misaligned S4 root
+        movl $0x100000, %esi    # aligned root
+        movl $2, %edx           # scaled index
+        movl $0x100021, %ebp    # misaligned S2 root
+
+# -- loop A: misaligned S4 traffic + stack + shifts (roots: EBX, ESP) ----
+        movl $300, %ecx
+        jmp loopa
+loopa:
+        movl (%ebx), %eax
+        addl $3, %eax
+        movl %eax, (%ebx)
+        pushl %eax
+        popl %edi
+        shll $3, %edi
+        sarl $2, %edi
+        xorl %eax, %edi
+        subl $1, %ecx
+        cmpl $1, %ecx
+        jge loopa
+
+# -- loop B: aligned S8 scaled-index + lea/imul (root: ESI+EDX*8) --------
+        movl $300, %ecx
+        jmp loopb
+loopb:
+        movq 16(%esi,%edx,8), %eax
+        movq %eax, 24(%esi,%edx,8)
+        leal 7(%esi,%edx,4), %edi
+        imull %edx, %edi
+        subl $1, %ecx
+        cmpl $1, %ecx
+        jge loopb
+
+# -- loop C: misaligned signed S2 + misaligned RMW (root: EBP) -----------
+        movl $300, %ecx
+        jmp loopc
+loopc:
+        movsw (%ebp), %edi
+        movw %edi, (%ebp)
+        addl $5, 29(%ebp)
+        subl $1, %ecx
+        cmpl $1, %ecx
+        jge loopc
+
+# -- loop D: unsigned-compare branch over a store (root: ESI) ------------
+        movl $300, %ecx
+        jmp loopd
+loopd:
+        movl 80(%esi), %eax
+        cmpl $100, %eax
+        jb skipd
+        movl %ecx, 44(%esi)
+skipd:
+        subl $1, %ecx
+        cmpl $1, %ecx
+        jge loopd
+
+# a Test whose flags are live at the exit, so its host code is not dead
+        testl $6, %eax
+        hlt

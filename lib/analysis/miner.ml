@@ -1,0 +1,394 @@
+(* A bounded superoptimizer-style miner for peephole rules.
+
+   Pipeline, per guest image of the corpus:
+
+   1. {b idiom enumeration} — the image is statically translated twice:
+      under the interprocedural congruence classes {!Dataflow} proves
+      (the [sa]/AOT per-site policies) and under [Seq_always]
+      everywhere (the direct mechanism's shape, also what every
+      patched-then-rearranged site converges to). Every maximal run of
+      register-only host instructions — bounded by control flow, memory
+      traffic, patchable site slots and branch targets, exactly the
+      barriers the installed rewrite tier respects — contributes its
+      sub-windows of length 2..max_len, tallied across the corpus.
+
+   2. {b candidate search} — for each window (most frequent first) a
+      seeded enumerative search proposes strictly shorter sequences:
+      every deletion subset of the window, optionally refilled with one
+      instruction from a vocabulary of window instructions, their
+      register-only {!Mutate} mutants, and synthesized operates over
+      the window's registers and literals. Shorter candidates are tried
+      first; the seed shuffles vocabulary order and generates the
+      screening vectors. Candidates are screened by concrete execution
+      ({!Mda_host.Semantics}) on random register files before any proof
+      is attempted.
+
+   3. {b proof discharge} — every screened candidate goes through
+      {!Validator.check_rewrite}; only a full equivalence proof over
+      all 32 registers and memory for every residue case — no budget
+      bail-out — makes a rule ({!Validator.proves}). The first proven
+      candidate wins the window; screened candidates the validator
+      could not prove are exported as survivors (test fodder
+      documenting the symbolic domain's incompleteness: they passed
+      differential screening but have no theorem).
+
+   Cost is modelled cycles via {!Mda_machine.Cost_model}: every
+   register-only instruction issues for [base_insn] cycles, so a
+   k-instruction-shorter replacement saves [k * base_insn] cycles per
+   execution of the rewritten code. *)
+
+module H = Mda_host.Isa
+module P = Mda_host.Peephole
+module Sem = Mda_host.Semantics
+module Bt = Mda_bt
+module Cc = Mda_bt.Code_cache
+
+type outcome = {
+  rules : P.t; (* accepted, id order = acceptance order *)
+  survivors : (H.insn list * H.insn list) list; (* screened but unproved *)
+  windows : int; (* distinct windows enumerated from the corpus *)
+  screened : int; (* candidates that survived concrete screening *)
+  proof_attempts : int;
+  proof_failures : int;
+}
+
+(* --- seeded prng (splitmix64) ------------------------------------------ *)
+
+let splitmix s =
+  let s = Int64.add s 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (s, Int64.logxor z (Int64.shift_right_logical z 31))
+
+let stream seed =
+  let state = ref (Int64.of_int seed) in
+  fun () ->
+    let s, v = splitmix !state in
+    state := s;
+    v
+
+(* --- window enumeration ------------------------------------------------ *)
+
+type window_info = { count : int; first : string; order : int }
+
+let scan_cache tbl order ~label cache =
+  let len = Cc.length cache in
+  (* branch targets must stay addressable: they are rewrite barriers *)
+  let targets = Hashtbl.create 64 in
+  for pc = 0 to len - 1 do
+    match Cc.insn_at cache pc with
+    | Some (H.Br { target; _ }) | Some (H.Bcond { target; _ }) ->
+      Hashtbl.replace targets target ()
+    | _ -> ()
+  done;
+  let run = ref [] in
+  let flush max_len =
+    let insns = Array.of_list (List.rev !run) in
+    run := [];
+    let n = Array.length insns in
+    for i = 0 to n - 1 do
+      for l = 2 to max_len do
+        if i + l <= n then begin
+          let w = Array.to_list (Array.sub insns i l) in
+          match Hashtbl.find_opt tbl w with
+          | Some info -> Hashtbl.replace tbl w { info with count = info.count + 1 }
+          | None ->
+            incr order;
+            Hashtbl.replace tbl w { count = 1; first = label; order = !order }
+        end
+      done
+    done
+  in
+  fun max_len ->
+    for pc = 0 to len - 1 do
+      match Cc.insn_at cache pc with
+      | Some i
+        when P.pure_insn i
+             && (not (Hashtbl.mem targets pc))
+             && Cc.find_site cache pc = None -> run := i :: !run
+      | _ -> flush max_len
+    done;
+    flush max_len
+
+let collect_windows ~max_len images =
+  let tbl = Hashtbl.create 512 in
+  let order = ref 0 in
+  List.iter
+    (fun (name, mem, entry) ->
+      let a = Dataflow.analyze mem ~entry in
+      let summary = Dataflow.summary a in
+      match Bt.Aot.translate_image ~summary ~unknown:Bt.Mechanism.Sa_seq mem ~entry with
+      | Error _ -> () (* unreachable for the shipped corpus; just skip *)
+      | Ok (sa_cache, _) ->
+        (* the congruence-class (sa) translation shape *)
+        scan_cache tbl order ~label:(Printf.sprintf "sa:%s" name) sa_cache max_len;
+        (* the Seq_always-everywhere (direct-mechanism) shape, reusing
+           the AOT walk's block discovery *)
+        let direct = Cc.create () in
+        List.iter
+          (fun (brec : Cc.block_rec) ->
+            match Bt.Block.discover mem ~pc:brec.Cc.start with
+            | Error _ -> ()
+            | Ok block ->
+              ignore
+                (Bt.Translate.translate ~cache:direct
+                   ~policy_of:(fun _ -> Bt.Translate.Seq_always)
+                   block))
+          (Cc.blocks_sorted sa_cache);
+        scan_cache tbl order ~label:(Printf.sprintf "direct:%s" name) direct max_len)
+    images;
+  let l = Hashtbl.fold (fun w info acc -> (w, info) :: acc) tbl [] in
+  (* most frequent first; first-seen order as the deterministic tie-break *)
+  List.sort
+    (fun (_, a) (_, b) ->
+      match compare b.count a.count with 0 -> compare a.order b.order | c -> c)
+    l
+
+(* --- candidate vocabulary and enumeration ------------------------------ *)
+
+let insn_writes = function
+  | H.Lda { ra; _ } | H.Ldah { ra; _ } -> [ ra ]
+  | H.Opr { rc; _ } | H.Bytem { rc; _ } -> [ rc ]
+  | _ -> []
+
+let insn_reads = function
+  | H.Lda { rb; _ } | H.Ldah { rb; _ } -> [ rb ]
+  | H.Opr { ra; rb; _ } | H.Bytem { ra; rb; _ } -> (
+    ra :: (match rb with H.Rb r -> [ r ] | H.Lit _ -> []))
+  | _ -> []
+
+let uniq l = List.sort_uniq compare l
+
+(* Window instructions, their register-only mutants, and synthesized
+   operates over the window's registers and literals — the alphabet the
+   enumerative search refills deleted positions from. *)
+let vocabulary window =
+  let regs =
+    uniq
+      (List.filter
+         (fun r -> r <> 31)
+         (List.concat_map (fun i -> insn_reads i @ insn_writes i) window))
+  in
+  let dests = uniq (List.filter (fun r -> r <> 31) (List.concat_map insn_writes window)) in
+  let lits =
+    uniq
+      (List.concat_map
+         (function
+           | H.Lda { disp; _ } when disp >= 0 && disp <= 255 -> [ disp ]
+           | H.Opr { rb = H.Lit v; _ } -> [ v ]
+           | _ -> [])
+         window)
+  in
+  let mutants = List.concat_map Mutate.mutants_of window in
+  let synth =
+    List.concat_map
+      (fun op ->
+        List.concat_map
+          (fun ra ->
+            List.concat_map
+              (fun rb ->
+                List.map (fun rc -> H.Opr { op; ra; rb; rc }) dests)
+              (List.map (fun r -> H.Rb r) regs @ List.map (fun v -> H.Lit v) lits))
+          (31 :: regs))
+      [ H.Addq; H.Subq; H.Addl; H.Bis; H.And; H.Xor; H.Sextb; H.Sextw ]
+  in
+  uniq (List.filter P.pure_insn (window @ mutants @ synth))
+
+(* Fisher–Yates with the seeded stream: the "seeded" in seeded
+   enumerative search — candidate order (and so which proven candidate
+   wins a tie) is a deterministic function of the seed. *)
+let shuffle next arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Int64.to_int (Int64.rem (Int64.logand (next ()) Int64.max_int) (Int64.of_int (i + 1))) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+(* Every strictly shorter candidate: each nonempty deletion subset of
+   the window, bare, and (for subsets of >= 2) refilled with one
+   vocabulary instruction at the first deleted position. Produced
+   shortest-replacement-first. *)
+let candidates window vocab =
+  let w = Array.of_list window in
+  let n = Array.length w in
+  let masks = ref [] in
+  for m = 1 to (1 lsl n) - 1 do
+    masks := m :: !masks
+  done;
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  let drop m = (* window minus positions in mask [m] *)
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if m land (1 lsl i) = 0 then out := w.(i) :: !out
+    done;
+    !out
+  in
+  let refill m v = (* deleted positions collapsed into one insn [v] *)
+    let first = ref n in
+    for i = n - 1 downto 0 do
+      if m land (1 lsl i) <> 0 then first := i
+    done;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if m land (1 lsl i) = 0 then out := w.(i) :: !out
+      else if i = !first then out := v :: !out
+    done;
+    !out
+  in
+  (* group masks by resulting bare length, shortest first *)
+  let by_len = List.sort (fun a b -> compare (popcount b) (popcount a)) !masks in
+  List.concat_map
+    (fun m ->
+      let d = popcount m in
+      let bare = if d >= 1 then [ drop m ] else [] in
+      let filled = if d >= 2 then List.map (refill m) vocab else [] in
+      bare @ filled)
+    by_len
+
+(* --- concrete screening ------------------------------------------------ *)
+
+let exec_pure regs insn =
+  let get r = if r = 31 then 0L else regs.(r) in
+  let set r v = if r <> 31 then regs.(r) <- v in
+  let operand = function H.Rb r -> get r | H.Lit v -> Int64.of_int v in
+  match insn with
+  | H.Nop -> ()
+  | H.Lda { ra; rb; disp } -> set ra (Int64.add (get rb) (Int64.of_int disp))
+  | H.Ldah { ra; rb; disp } -> set ra (Int64.add (get rb) (Int64.of_int (disp * 65536)))
+  | H.Opr { op; ra; rb; rc } -> set rc (Sem.oper op (get ra) (operand rb))
+  | H.Bytem { op; width; high; ra; rb; rc } ->
+    set rc (Sem.bytemanip op ~width ~high (get ra) (operand rb))
+  | _ -> invalid_arg "Miner.exec_pure: not a register-only instruction"
+
+let test_vectors next count =
+  Array.init count (fun _ -> Array.init 32 (fun _ -> next ()))
+
+(* Final register files of [window] on every test vector, computed once
+   per window; a candidate screens by matching them on the registers
+   either side writes. *)
+let screen ~vectors ~expected ~watched cand =
+  let ok = ref true in
+  let k = ref 0 in
+  while !ok && !k < Array.length vectors do
+    let regs = Array.copy vectors.(!k) in
+    (try List.iter (exec_pure regs) cand with Invalid_argument _ -> ok := false);
+    if !ok then
+      List.iter (fun r -> if regs.(r) <> expected.(!k).(r) then ok := false) watched;
+    incr k
+  done;
+  !ok
+
+(* --- mining ------------------------------------------------------------- *)
+
+let classify window =
+  if
+    List.exists (function H.Bytem { op = H.Ext; _ } -> true | _ -> false) window
+    && List.exists (function H.Opr { op = H.Bis; _ } | H.Opr { op = H.Addl; _ } -> true | _ -> false)
+       window
+  then "MDA load extract/merge tail"
+  else if List.exists (function H.Bytem _ -> true | _ -> false) window then
+    "MDA byte-manipulation window"
+  else "register-only window"
+
+let mine ?(budget = 400) ?(max_len = 4) ?(seed = 0) ~images () =
+  let cost = Mda_machine.Cost_model.default in
+  let windows = collect_windows ~max_len images in
+  let next = stream seed in
+  let vectors = test_vectors next 16 in
+  let accepted = ref [] (* reversed *) in
+  let survivors = ref [] in
+  let screened = ref 0 in
+  let attempts = ref 0 in
+  let failures = ref 0 in
+  let infix sub l =
+    (* [sub] occurs contiguously in [l] *)
+    let rec prefix a b =
+      match (a, b) with [], _ -> true | x :: a, y :: b when x = y -> prefix a b | _ -> false
+    in
+    let rec go = function
+      | [] -> false
+      | _ :: rest as l -> prefix sub l || go rest
+    in
+    go l
+  in
+  List.iter
+    (fun (window, info) ->
+      if
+        !attempts < budget
+        (* a sub-window already proven optimizes this window too *)
+        && not (List.exists (fun (r : P.rule) -> infix r.P.pattern window) !accepted)
+      then begin
+        let expected =
+          Array.map
+            (fun v ->
+              let regs = Array.copy v in
+              List.iter (exec_pure regs) window;
+              regs)
+            vectors
+        in
+        let vocab = Array.of_list (vocabulary window) in
+        shuffle next vocab;
+        let vocab = Array.to_list vocab in
+        let found = ref None in
+        List.iter
+          (fun cand ->
+            if !found = None && !attempts < budget then begin
+              let watched =
+                uniq
+                  (List.filter
+                     (fun r -> r <> 31)
+                     (List.concat_map insn_writes window @ List.concat_map insn_writes cand))
+              in
+              if screen ~vectors ~expected ~watched cand then begin
+                incr screened;
+                incr attempts;
+                let report =
+                  Validator.check_rewrite ~pattern:window ~replacement:cand
+                in
+                if Validator.proves report then begin
+                  let id = Printf.sprintf "pr8-%03d" (List.length !accepted + 1) in
+                  let saves = (List.length window - List.length cand) * cost.base_insn in
+                  let rule =
+                    { P.id;
+                      idiom =
+                        Printf.sprintf "%s (first seen in %s, %d occurrence(s) across the corpus)"
+                          (classify window) info.first info.count;
+                      pattern = window;
+                      replacement = cand;
+                      saves;
+                      proof =
+                        Printf.sprintf
+                          "equivalence over all 32 registers and memory; %d residue case(s), no bail-out"
+                          report.Validator.envs_checked }
+                  in
+                  found := Some rule
+                end
+                else begin
+                  incr failures;
+                  if List.length !survivors < 50 && not (List.mem (window, cand) !survivors)
+                  then survivors := (window, cand) :: !survivors
+                end
+              end
+            end)
+          (candidates window vocab);
+        match !found with Some r -> accepted := r :: !accepted | None -> ()
+      end)
+    windows;
+  { rules = List.rev !accepted;
+    survivors = List.rev !survivors;
+    windows = List.length windows;
+    screened = !screened;
+    proof_attempts = !attempts;
+    proof_failures = !failures }
+
+(* --- proof replay (the CI re-prove gate) -------------------------------- *)
+
+let replay (rules : P.t) =
+  List.map
+    (fun (r : P.rule) ->
+      (r, Validator.check_rewrite ~pattern:r.P.pattern ~replacement:r.P.replacement))
+    rules

@@ -1,0 +1,46 @@
+(** A bounded superoptimizer-style miner for validator-proved peephole
+    rules.
+
+    Guest idioms are enumerated by statically translating each corpus
+    image under both the congruence classes {!Dataflow} proves (the
+    [sa]/AOT per-site policies) and [Seq_always] everywhere (the direct
+    mechanism's shape); every register-only host window between rewrite
+    barriers is a mining target. A seeded enumerative search proposes
+    strictly shorter replacements (deletion subsets refilled from a
+    vocabulary of window instructions, {!Mutate} mutants, and
+    synthesized operates), screens them by concrete execution, and
+    discharges the screened ones through {!Validator.check_rewrite}.
+    Only a full equivalence proof — all 32 registers, memory, every
+    residue case, no budget bail-out — makes a rule; screened
+    candidates without a theorem are exported as survivors (validator
+    test fodder). Cost is modelled cycles via
+    {!Mda_machine.Cost_model.t.base_insn}. *)
+
+type outcome = {
+  rules : Mda_host.Peephole.t;  (** accepted, in acceptance order *)
+  survivors : (Mda_host.Isa.insn list * Mda_host.Isa.insn list) list;
+      (** (window, candidate) pairs that passed concrete screening but
+          could not be proved — each must keep failing {!replay} *)
+  windows : int;  (** distinct windows enumerated from the corpus *)
+  screened : int;  (** candidates that survived concrete screening *)
+  proof_attempts : int;
+  proof_failures : int;
+}
+
+(** [mine ~images ()] runs the pipeline over [(label, memory, entry)]
+    guest images. [budget] caps validator proof attempts (default 400),
+    [max_len] the window length (default 4), [seed] drives vocabulary
+    order and screening vectors — the outcome is a deterministic
+    function of (corpus, budget, max_len, seed). *)
+val mine :
+  ?budget:int ->
+  ?max_len:int ->
+  ?seed:int ->
+  images:(string * Mda_machine.Memory.t * int) list ->
+  unit ->
+  outcome
+
+(** Re-prove every rule from scratch — the CI re-prove gate. A rule is
+    still sound iff its report satisfies {!Validator.proves}. *)
+val replay :
+  Mda_host.Peephole.t -> (Mda_host.Peephole.rule * Validator.report) list

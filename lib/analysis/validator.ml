@@ -308,7 +308,15 @@ let eval_oper ctx env (op : H.oper) a b =
     | H.Addl -> begin
       match (a, b) with
       | Const 0L, v | v, Const 0L -> sext_bytes ctx ~width:4 v
-      | _ -> opaque ctx op a b
+      | _ -> begin
+        (* byte-disjoint operands cannot carry, so the add *is* an OR
+           (the EXT-low/EXT-high merge shape): this is the fold that
+           lets a mined rule collapse a [bis; addl] load tail into a
+           single [addl] and still prove equivalent. *)
+        match bis_bytes ctx a b with
+        | Some v -> sext_bytes ctx ~width:4 v
+        | None -> opaque ctx op a b
+      end
     end
     | H.Bis -> begin
       match (a, b) with
@@ -1213,6 +1221,37 @@ let check_block ~cache ~(block : Bt.Block.t) =
     let ctx = create_ctx () in
     validate_block acc ctx cache (chains_table cache) block brec
   | None -> ());
+  report_of acc
+
+(* --- context-free rewrite-rule proofs (the peephole miner) -------------- *)
+
+let budget_bailouts r =
+  List.length (List.filter (fun v -> v.kind = "budget") r.violations)
+
+let proves r = r.violations = []
+
+let check_rewrite ~pattern ~replacement =
+  let acc = empty_acc () in
+  let ctx = create_ctx () in
+  with_residue_cases acc 0 (fun env ->
+      let regs_a, mem_a = eval_linear ctx env pattern in
+      let regs_b, mem_b = eval_linear ctx env replacement in
+      acc.a_paths <- acc.a_paths + 1;
+      (* all 32 registers — temporaries included — so the rule is
+         context-free: it may be applied at any position of any
+         register-only run without looking at the surrounding code *)
+      for r = 0 to 31 do
+        if regs_a.(r) <> regs_b.(r) then
+          add_violation acc
+            { block_start = 0; host_pc = None; kind = "equivalence";
+              detail =
+                Format.asprintf "r%d differs: pattern %a, replacement %a" r pp_value
+                  regs_a.(r) pp_value regs_b.(r) }
+      done;
+      if canonical_mem mem_a <> canonical_mem mem_b then
+        add_violation acc
+          { block_start = 0; host_pc = None; kind = "equivalence";
+            detail = "memory effects differ between pattern and replacement" });
   report_of acc
 
 let run ~cache ~block_of =

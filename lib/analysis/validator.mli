@@ -44,6 +44,16 @@ val hard_violations : report -> violation list
     are reported but do not fail the check). *)
 val ok : report -> bool
 
+(** Number of soft ["budget"] bail-outs carried by the report — the
+    residue cases or split depths the checker gave up on. Surfaced as a
+    summary line by [mdabench verify] so proof coverage is visible. *)
+val budget_bailouts : report -> int
+
+(** Strict success: no violation at all, not even a budget bail-out.
+    This is the acceptance bar for peephole rules — a rule whose proof
+    bailed out is not a theorem and is rejected. *)
+val proves : report -> bool
+
 val pp_violation : Format.formatter -> violation -> unit
 
 (** Prints the [*_checked] counters in both the success and the failure
@@ -53,6 +63,17 @@ val pp_report : Format.formatter -> report -> unit
 (** Validate one translated block (a no-op report if [block]'s start
     has no live translation in [cache]). *)
 val check_block : cache:Mda_bt.Code_cache.t -> block:Mda_bt.Block.t -> report
+
+(** Prove a peephole rewrite rule: starting from a fully symbolic
+    register file and empty store, [pattern] and [replacement] must
+    compute identical values for {e all} 32 registers (temporaries
+    included) and identical byte-granular memory effects, for every
+    address residue case. Both sequences must be straight-line; control
+    flow is reported as a ["walk"] violation. Accept a rule only under
+    {!proves} — a budget bail-out means the equivalence was not
+    established. *)
+val check_rewrite :
+  pattern:Mda_host.Isa.insn list -> replacement:Mda_host.Isa.insn list -> report
 
 (** Validate every live block in the cache. [block_of start] re-decodes
     the guest block at [start] (typically [Block.discover] against the

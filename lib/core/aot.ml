@@ -63,7 +63,7 @@ let successors (block : Block.t) =
     (* Block.discover only terminates blocks at control transfers *)
     assert false
 
-let translate_image ?(max_blocks = 65536) ~summary ~unknown mem ~entry =
+let translate_image ?(max_blocks = 65536) ?rules ~summary ~unknown mem ~entry =
   let policy_of = policy ~summary ~unknown in
   (* breadth-first discovery, deterministic in queue order *)
   let visited = Hashtbl.create 256 in
@@ -109,7 +109,7 @@ let translate_image ?(max_blocks = 65536) ~summary ~unknown mem ~entry =
     List.iter
       (fun (block : Block.t) ->
         let brec = Code_cache.block cache block.Block.start in
-        let entry = Translate.translate ~cache ~block ~policy_of in
+        let entry = Translate.translate ?rules ~cache ~policy_of block in
         brec.entry <- Some entry;
         brec.host_range <- Some (entry, Code_cache.length cache);
         guest_insns := !guest_insns + Block.length block)

@@ -29,11 +29,13 @@ val policy :
   Translate.policy
 
 (** Translate the whole image reachable from [entry] in [mem].
-    [max_blocks] (default 65536) bounds discovery. Fails — rather than
-    emitting a partial cache — on undecodable reachable code or budget
-    exhaustion. *)
+    [max_blocks] (default 65536) bounds discovery. [?rules] applies the
+    validator-proved peephole tier to every emitted translation (see
+    {!Translate.translate}). Fails — rather than emitting a partial
+    cache — on undecodable reachable code or budget exhaustion. *)
 val translate_image :
   ?max_blocks:int ->
+  ?rules:Mda_host.Peephole.active ->
   summary:Mechanism.sa_summary ->
   unknown:Mechanism.sa_policy ->
   Mda_machine.Memory.t ->

@@ -22,6 +22,9 @@ type id =
   | Evictions
   | Patch_faults
   | Degrades
+  | Peephole_hits
+  | Peephole_saved
+  | Validator_bailouts
 
 (* Declared once; [index] mirrors the order. *)
 let all =
@@ -40,7 +43,13 @@ let all =
      "sum of host lengths over translations (expansion-ratio denominator)");
     (Evictions, "evictions", "blocks evicted from a bounded code cache");
     (Patch_faults, "patch_faults", "patch attempts refused by an injected fault");
-    (Degrades, "degrades", "sites permanently degraded to OS-style fixup") ]
+    (Degrades, "degrades", "sites permanently degraded to OS-style fixup");
+    (Peephole_hits, "peephole_hits",
+     "peephole rule applications over emitted host code (static, per translation)");
+    (Peephole_saved, "peephole_saved",
+     "modelled cycles shaved per translation by peephole rewrites (static)");
+    (Validator_bailouts, "validator_bailouts",
+     "symbolic-validator budget bail-outs observed by verification consumers") ]
 
 let index = function
   | Guest_insns -> 0
@@ -57,6 +66,9 @@ let index = function
   | Evictions -> 11
   | Patch_faults -> 12
   | Degrades -> 13
+  | Peephole_hits -> 14
+  | Peephole_saved -> 15
+  | Validator_bailouts -> 16
 
 let size = List.length all
 

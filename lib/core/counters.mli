@@ -19,6 +19,9 @@ type id =
   | Evictions
   | Patch_faults
   | Degrades
+  | Peephole_hits
+  | Peephole_saved
+  | Validator_bailouts
 
 (** The declared-once table: id, stable name, one-line description. *)
 val all : (id * string * string) list

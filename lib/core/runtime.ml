@@ -101,6 +101,7 @@ type config = {
   chaining : bool; (* link translated block exits directly (standard) *)
   flush_policy : flush_policy;
   faults : faults; (* injected-fault knobs; [no_faults] = unbounded, reliable *)
+  rules : Mda_host.Peephole.active option; (* the peephole rewrite tier *)
   on_event : (event -> unit) option; (* tracing hook *)
 }
 
@@ -112,6 +113,7 @@ let default_config mechanism =
     chaining = true;
     flush_policy = Block_granularity;
     faults = no_faults;
+    rules = None;
     on_event = None }
 
 type t = {
@@ -420,7 +422,22 @@ let install_handler t =
 
 let translate_block ?(charge = true) t (brec : Code_cache.block_rec) =
   let block = block_of t brec.start in
-  let entry = Translate.translate ~cache:t.cache ~block ~policy_of:(policy_for t brec) in
+  let hits_before, saved_before =
+    match t.config.rules with
+    | None -> (0, 0)
+    | Some rs -> (Mda_host.Peephole.total_hits rs, Mda_host.Peephole.total_saved rs)
+  in
+  let entry =
+    Translate.translate ?rules:t.config.rules ~cache:t.cache
+      ~policy_of:(policy_for t brec) block
+  in
+  (match t.config.rules with
+  | None -> ()
+  | Some rs ->
+    Counters.addi t.counters Counters.Peephole_hits
+      (Mda_host.Peephole.total_hits rs - hits_before);
+    Counters.addi t.counters Counters.Peephole_saved
+      (Mda_host.Peephole.total_saved rs - saved_before));
   let hi = Code_cache.length t.cache in
   brec.entry <- Some entry;
   brec.host_range <- Some (entry, hi);

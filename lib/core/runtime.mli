@@ -64,6 +64,10 @@ type config = {
   flush_policy : flush_policy;
   faults : faults;
       (** injected-fault knobs; [no_faults] = unbounded, reliable *)
+  rules : Mda_host.Peephole.active option;
+      (** validator-proved peephole rewrite tier applied to every
+          translation (see {!Translate.translate}); applications are
+          counted under [Counters.Peephole_hits]/[Peephole_saved] *)
   on_event : (event -> unit) option; (** tracing hook *)
 }
 

@@ -372,11 +372,34 @@ let layout items ~start =
     items;
   (List.rev !insns, List.rev !sites)
 
+(* The peephole tier: rewrite maximal runs of plain [Ins] items through
+   the mined, validator-proved rule set. [Ins_site] slots, labels and
+   local branches act as barriers, so site pcs, branch targets and the
+   patch-slot shapes the resumability lint relies on are never moved or
+   rewritten — a rule only ever replaces register-only straight-line
+   code, which its proof covers context-free. *)
+let rewrite_items rules items =
+  let flush run acc =
+    if run = [] then acc
+    else
+      let insns = List.rev_map (function Ins i -> i | _ -> assert false) run in
+      List.rev_append
+        (List.map (fun i -> Ins i) (Mda_host.Peephole.rewrite rules insns))
+        acc
+  in
+  let rec go acc run = function
+    | [] -> List.rev (flush run acc)
+    | (Ins _ as it) :: rest -> go acc (it :: run) rest
+    | it :: rest -> go (it :: flush run acc) [] rest
+  in
+  go [] [] items
+
 (* Translate [block] and install it in [cache]; returns the entry pc. *)
-let translate ~cache ~block ~policy_of =
+let translate ?rules ~cache ~policy_of block =
   let b = { items = []; next_label = 0; policy_of } in
   Array.iteri (fun i _ -> guest_insn b block i) block.Block.insns;
   let items = List.rev b.items in
+  let items = match rules with None -> items | Some rs -> rewrite_items rs items in
   let start = Code_cache.length cache in
   let insns, sites = layout items ~start in
   let entry = Code_cache.emit cache insns in

@@ -13,8 +13,19 @@
     - [Multi]: alignment-tested two-version code (paper Figure 8). *)
 type policy = Normal | Seq_always | Multi
 
-(** [translate ~cache ~block ~policy_of] appends the translation to the
+(** [translate ~cache ~policy_of block] appends the translation to the
     cache, registers its patch sites, and returns the entry pc.
     [policy_of] maps a guest instruction address to its policy (byte
-    accesses are always [Normal]: they cannot trap). *)
-val translate : cache:Code_cache.t -> block:Block.t -> policy_of:(int -> policy) -> int
+    accesses are always [Normal]: they cannot trap).
+
+    [?rules] enables the peephole tier: after code generation, maximal
+    runs of plain register-only instructions are rewritten through the
+    activated, validator-proved rule set (deterministic single pass).
+    Labels, local branches and patchable site slots are barriers, so
+    branch targets and site pcs are never disturbed. *)
+val translate :
+  ?rules:Mda_host.Peephole.active ->
+  cache:Code_cache.t ->
+  policy_of:(int -> policy) ->
+  Block.t ->
+  int

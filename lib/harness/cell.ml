@@ -36,14 +36,17 @@ type t = {
   trap_cost : int option; (* override cost model's align_trap cycles *)
   chaining : bool;
   capacity : int option; (* bounded code cache, in live host insns *)
+  rules : Mda_host.Peephole.t option;
+      (* peephole rules as plain data (not [active]) so cells marshal
+         across worker processes; [compute] activates them *)
 }
 
 let make ?(input = W.Gen.Ref) ?(variant = W.Workload.Default) ?trap_cost ?(chaining = true)
-    ?capacity ~scale kind bench =
-  { bench; scale; input; variant; kind; trap_cost; chaining; capacity }
+    ?capacity ?rules ~scale kind bench =
+  { bench; scale; input; variant; kind; trap_cost; chaining; capacity; rules }
 
-let mech ?input ?variant ?trap_cost ?chaining ?capacity ~scale spec bench =
-  make ?input ?variant ?trap_cost ?chaining ?capacity ~scale (Mech spec) bench
+let mech ?input ?variant ?trap_cost ?chaining ?capacity ?rules ~scale spec bench =
+  make ?input ?variant ?trap_cost ?chaining ?capacity ?rules ~scale (Mech spec) bench
 
 let interp ?input ?variant ?trap_cost ?chaining ~scale bench =
   make ?input ?variant ?trap_cost ?chaining ~scale (Interp { native = false }) bench
@@ -71,10 +74,12 @@ let kind_describe = function
   | Interp { native } -> if native then "native" else "interp"
 
 (* Injective over everything that can change a cell's result; %h prints
-   floats losslessly. v2 adds the bounded-cache capacity. *)
+   floats losslessly. v2 added the bounded-cache capacity; v3 adds the
+   peephole rule-file digest, so a changed rule file can never alias a
+   cached result mined under different rules. *)
 let describe t =
   Printf.sprintf
-    "cell-v2 bench=%s scale=%h input=%s variant=%s kind=%s trap=%s chain=%b cap=%s"
+    "cell-v3 bench=%s scale=%h input=%s variant=%s kind=%s trap=%s chain=%b cap=%s rules=%s"
     t.bench t.scale
     (match t.input with W.Gen.Train -> "train" | W.Gen.Ref -> "ref")
     (match t.variant with W.Workload.Default -> "default" | W.Workload.Aligned_opt -> "aligned-opt")
@@ -82,6 +87,7 @@ let describe t =
     (match t.trap_cost with None -> "default" | Some c -> string_of_int c)
     t.chaining
     (match t.capacity with None -> "unbounded" | Some c -> string_of_int c)
+    (match t.rules with None -> "none" | Some rs -> Mda_host.Peephole.digest rs)
 
 (* --- results ----------------------------------------------------------- *)
 
@@ -152,12 +158,14 @@ let compute ?sink t =
   | Mech spec ->
     let mechanism = mechanism_of_spec ~scale:t.scale ~input:t.input t.bench spec in
     let on_event = Option.map Mda_obs.Trace.hook sink in
+    let rules = Option.map Mda_host.Peephole.activate t.rules in
     let config =
       { (Bt.Runtime.default_config mechanism) with
         cost = cost_of t;
         chaining = t.chaining;
         faults = { Bt.Runtime.no_faults with cache_capacity = t.capacity };
-        on_event }
+        on_event;
+        rules }
     in
     let rt = Bt.Runtime.create ~config ~mem () in
     Option.iter (fun s -> Mda_obs.Trace.attach s rt) sink;

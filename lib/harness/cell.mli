@@ -32,6 +32,11 @@ type t = {
   capacity : int option;
       (** bounded code cache, in live host insns ([Mech] cells only;
           the interpreter has no code cache) *)
+  rules : Mda_host.Peephole.t option;
+      (** validator-proved peephole rules, carried as plain data (not
+          {!Mda_host.Peephole.active}) so cells marshal across worker
+          processes; {!compute} activates them. The rule-file digest is
+          part of {!describe}, hence of the result-cache key. *)
 }
 
 val make :
@@ -40,6 +45,7 @@ val make :
   ?trap_cost:int ->
   ?chaining:bool ->
   ?capacity:int ->
+  ?rules:Mda_host.Peephole.t ->
   scale:float ->
   kind ->
   string ->
@@ -52,6 +58,7 @@ val mech :
   ?trap_cost:int ->
   ?chaining:bool ->
   ?capacity:int ->
+  ?rules:Mda_host.Peephole.t ->
   scale:float ->
   mech_spec ->
   string ->

@@ -28,11 +28,11 @@ let exec_of opts = match opts.exec with Some e -> e | None -> Exec.create ()
    the paper measures whole executions. The runtime is returned alongside
    the statistics so callers can inspect the code cache afterwards (the
    invariant checker does). *)
-let run_mechanism_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ?sink ~mechanism name =
+let run_mechanism_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ?sink ?rules ~mechanism name =
   let w = W.Workload.instantiate ~scale ~input name in
   let mem = W.Workload.fresh_memory w in
   let on_event = Option.map Mda_obs.Trace.hook sink in
-  let config = { (Bt.Runtime.default_config mechanism) with on_event } in
+  let config = { (Bt.Runtime.default_config mechanism) with on_event; rules } in
   let t = Bt.Runtime.create ~config ~mem () in
   Option.iter (fun s -> Mda_obs.Trace.attach s t) sink;
   let stats = Bt.Runtime.run t ~entry:(W.Workload.entry w) in
@@ -64,18 +64,18 @@ let sa_mechanism ?scale ?input ?(unknown = Bt.Mechanism.Sa_fallback) name =
    that for leaner code paid for by an OS fixup on *every* unknown-site
    MDA, since the immutable cache cannot be patched. *)
 let run_aot_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ?(unknown = Bt.Mechanism.Sa_seq)
-    ?sink ?mode name =
+    ?sink ?mode ?rules name =
   let w = W.Workload.instantiate ~scale ~input name in
   let mem = W.Workload.fresh_memory w in
   let entry = W.Workload.entry w in
   let analysis = Mda_analysis.Dataflow.analyze ?mode mem ~entry in
   let summary = Mda_analysis.Dataflow.summary analysis in
-  match Bt.Aot.translate_image ~summary ~unknown mem ~entry with
+  match Bt.Aot.translate_image ?rules ~summary ~unknown mem ~entry with
   | Error msg -> failwith (Printf.sprintf "AOT translation of %s failed: %s" name msg)
   | Ok (cache, tstats) ->
     let mechanism = Bt.Mechanism.Aot { summary; unknown } in
     let on_event = Option.map Mda_obs.Trace.hook sink in
-    let config = { (Bt.Runtime.default_config mechanism) with on_event } in
+    let config = { (Bt.Runtime.default_config mechanism) with on_event; rules } in
     let t = Bt.Runtime.create ~config ~cache ~mem () in
     Option.iter (fun s -> Mda_obs.Trace.attach s t) sink;
     let stats = Bt.Runtime.run t ~entry in

@@ -28,11 +28,14 @@ val run_mechanism :
 (** Like {!run_mechanism}, also returning the runtime so the code cache
     can be inspected afterwards (the {!Mda_analysis.Check} invariant
     checker, [mdabench run --selfcheck]). [sink] attaches a trace sink
-    to the run's event hook ([mdabench trace]/[hot]). *)
+    to the run's event hook ([mdabench trace]/[hot]); [rules] enables
+    the validator-proved peephole rewrite tier on every translation
+    ([mdabench run --rules]). *)
 val run_mechanism_rt :
   ?scale:float ->
   ?input:Mda_workloads.Gen.input ->
   ?sink:Mda_obs.Trace.t ->
+  ?rules:Mda_host.Peephole.active ->
   mechanism:Mda_bt.Mechanism.t ->
   string ->
   Mda_bt.Run_stats.t * Mda_bt.Runtime.t
@@ -62,13 +65,15 @@ val sa_mechanism :
     Returns run stats, the runtime (cache inspection), static
     translation stats, and the analysis. [unknown] defaults to
     {!Mda_bt.Mechanism.Sa_seq} (trap-free by construction); [mode]
-    selects the analysis engine. Fails on untranslatable images. *)
+    selects the analysis engine; [rules] applies the peephole tier to
+    the static translation. Fails on untranslatable images. *)
 val run_aot_rt :
   ?scale:float ->
   ?input:Mda_workloads.Gen.input ->
   ?unknown:Mda_bt.Mechanism.sa_policy ->
   ?sink:Mda_obs.Trace.t ->
   ?mode:Mda_analysis.Dataflow.mode ->
+  ?rules:Mda_host.Peephole.active ->
   string ->
   Mda_bt.Run_stats.t * Mda_bt.Runtime.t * Mda_bt.Aot.stats * Mda_analysis.Dataflow.t
 

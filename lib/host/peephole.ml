@@ -1,0 +1,267 @@
+(* Validator-verified peephole rewrite rules over alphalite host code.
+
+   A rule replaces one straight-line, register-only host instruction
+   window with a shorter sequence computing the same final state. Rules
+   are mined offline (Mda_analysis.Miner), proved equivalent by the
+   symbolic validator over all 32 registers and memory for every
+   address residue (Mda_analysis.Validator.check_rewrite), serialized
+   to a textual rule file together with their proof obligations, and
+   applied at translation time as a deterministic static pass
+   (Mda_bt.Translate). This module owns the rule representation, the
+   textual file format, and the rewrite engine; it knows nothing about
+   proofs — a rule file is trusted only because CI replays every proof
+   from scratch.
+
+   Because a rule's equivalence proof starts from a fully symbolic
+   register file and requires *all* registers (temporaries included)
+   and all memory effects equal, a rule is context-free: it may be
+   applied at any position of any straight-line run without looking at
+   the surrounding code. The rewrite engine correspondingly never
+   crosses a label, a branch, a memory access, or a patchable site
+   slot — the translator only feeds it maximal register-only runs. *)
+
+module H = Isa
+
+type rule = {
+  id : string; (* unique within a file, e.g. "pr8-001" *)
+  idiom : string; (* the guest idiom the window was mined from *)
+  pattern : H.insn list; (* matched verbatim, register-only *)
+  replacement : H.insn list; (* emitted verbatim, register-only *)
+  saves : int; (* modelled cycles saved per application *)
+  proof : string; (* one-line proof-obligation summary *)
+}
+
+type t = rule list
+
+(* Only these shapes may appear in a rule: no memory traffic, no
+   control flow, so a rewrite can never move a trap, a patch site, or
+   a branch target. *)
+let pure_insn = function
+  | H.Lda _ | H.Ldah _ | H.Opr _ | H.Bytem _ | H.Nop -> true
+  | _ -> false
+
+let rule_error r =
+  if r.pattern = [] then Some (r.id ^ ": empty pattern")
+  else if List.length r.replacement >= List.length r.pattern then
+    Some (r.id ^ ": replacement is not shorter than the pattern")
+  else if not (List.for_all pure_insn r.pattern) then
+    Some (r.id ^ ": pattern contains a memory or control-flow instruction")
+  else if not (List.for_all pure_insn r.replacement) then
+    Some (r.id ^ ": replacement contains a memory or control-flow instruction")
+  else None
+
+(* --- textual rule file -------------------------------------------------- *)
+
+let print_rule b (r : rule) =
+  Buffer.add_string b (Printf.sprintf "rule %s\n" r.id);
+  Buffer.add_string b (Printf.sprintf "idiom: %s\n" r.idiom);
+  Buffer.add_string b "match:\n";
+  List.iter (fun i -> Buffer.add_string b ("  " ^ Pretty.insn_to_string i ^ "\n")) r.pattern;
+  Buffer.add_string b "rewrite:\n";
+  List.iter
+    (fun i -> Buffer.add_string b ("  " ^ Pretty.insn_to_string i ^ "\n"))
+    r.replacement;
+  Buffer.add_string b (Printf.sprintf "saves: %d\n" r.saves);
+  Buffer.add_string b (Printf.sprintf "proof: %s\n" r.proof);
+  Buffer.add_string b "end\n"
+
+let print (rules : t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "# alphalite peephole rules v1\n";
+  Buffer.add_string b
+    "# every rule carries a symbolic-validator equivalence proof; replay with\n";
+  Buffer.add_string b "#   mdabench mine --replay FILE\n";
+  List.iter
+    (fun r ->
+      Buffer.add_char b '\n';
+      print_rule b r)
+    rules;
+  Buffer.contents b
+
+let digest (rules : t) = Digest.to_hex (Digest.string (print rules))
+
+(* Line-oriented parser, the exact inverse of [print]. *)
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let err n msg = Error (Printf.sprintf "rules: line %d: %s" n msg) in
+  let parse_insn n s =
+    match Parse.insn s with
+    | Ok i -> Ok i
+    | Error e -> err n (Printf.sprintf "bad instruction %S: %s" s e.Parse.msg)
+  in
+  let strip s = String.trim s in
+  (* state: outside a rule, or inside one with partially parsed fields *)
+  let rec outside acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let s = strip line in
+      if s = "" || s.[0] = '#' then outside acc (n + 1) rest
+      else if String.length s > 5 && String.sub s 0 5 = "rule " then
+        rule_header acc (n + 1) (strip (String.sub s 5 (String.length s - 5))) rest
+      else err n (Printf.sprintf "expected 'rule <id>', got %S" s)
+  and rule_header acc n id lines =
+    if id = "" then err (n - 1) "rule with an empty id"
+    else if List.exists (fun r -> r.id = id) acc then
+      err (n - 1) (Printf.sprintf "duplicate rule id %S" id)
+    else body acc n ~id ~idiom:None ~pat:None ~rep:None ~saves:None ~proof:None lines
+  and body acc n ~id ~idiom ~pat ~rep ~saves ~proof = function
+    | [] -> err n (Printf.sprintf "rule %s: missing 'end'" id)
+    | line :: rest -> (
+      let s = strip line in
+      let field prefix = function
+        | s when String.length s >= String.length prefix
+                 && String.sub s 0 (String.length prefix) = prefix ->
+          Some (strip (String.sub s (String.length prefix) (String.length s - String.length prefix)))
+        | _ -> None
+      in
+      if s = "" || s.[0] = '#' then body acc (n + 1) ~id ~idiom ~pat ~rep ~saves ~proof rest
+      else if s = "end" then begin
+        match (idiom, pat, rep, saves, proof) with
+        | Some idiom, Some pattern, Some replacement, Some saves, Some proof ->
+          let r =
+            { id; idiom; pattern = List.rev pattern; replacement = List.rev replacement;
+              saves; proof }
+          in
+          (match rule_error r with
+          | Some msg -> err n msg
+          | None -> outside (r :: acc) (n + 1) rest)
+        | _ -> err n (Printf.sprintf "rule %s: missing field before 'end'" id)
+      end
+      else
+        match field "idiom:" s with
+        | Some v -> body acc (n + 1) ~id ~idiom:(Some v) ~pat ~rep ~saves ~proof rest
+        | None -> (
+          match field "proof:" s with
+          | Some v -> body acc (n + 1) ~id ~idiom ~pat ~rep ~saves ~proof:(Some v) rest
+          | None -> (
+            match field "saves:" s with
+            | Some v -> (
+              match int_of_string_opt v with
+              | Some k -> body acc (n + 1) ~id ~idiom ~pat ~rep ~saves:(Some k) ~proof rest
+              | None -> err n (Printf.sprintf "rule %s: bad saves %S" id v))
+            | None ->
+              if s = "match:" then
+                body acc (n + 1) ~id ~idiom ~pat:(Some []) ~rep ~saves ~proof rest
+              else if s = "rewrite:" then
+                body acc (n + 1) ~id ~idiom ~pat ~rep:(Some []) ~saves ~proof rest
+              else (
+                (* an instruction line belongs to the section opened last *)
+                match (rep, pat) with
+                | Some is, _ -> (
+                  match parse_insn n s with
+                  | Ok i -> body acc (n + 1) ~id ~idiom ~pat ~rep:(Some (i :: is)) ~saves ~proof rest
+                  | Error e -> Error e)
+                | None, Some is -> (
+                  match parse_insn n s with
+                  | Ok i -> body acc (n + 1) ~id ~idiom ~pat:(Some (i :: is)) ~rep ~saves ~proof rest
+                  | Error e -> Error e)
+                | None, None ->
+                  err n (Printf.sprintf "rule %s: unexpected line %S" id s)))))
+  in
+  outside [] 1 lines
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> parse text
+
+let save path rules =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (print rules))
+
+let find rules id = List.find_opt (fun r -> r.id = id) rules
+
+(* --- the rewrite engine -------------------------------------------------- *)
+
+type active = {
+  source : t; (* as loaded, original order *)
+  by_len : rule array; (* longest pattern first, stable *)
+  hits : int array; (* applications, indexed like [by_len] *)
+  file_digest : string;
+}
+
+let activate (rules : t) =
+  (match List.filter_map rule_error rules with
+  | [] -> ()
+  | msg :: _ -> invalid_arg ("Peephole.activate: " ^ msg));
+  let by_len =
+    Array.of_list
+      (List.stable_sort
+         (fun a b -> compare (List.length b.pattern) (List.length a.pattern))
+         rules)
+  in
+  { source = rules; by_len; hits = Array.make (Array.length by_len) 0;
+    file_digest = digest rules }
+
+let rules (a : active) = a.source
+
+let file_digest (a : active) = a.file_digest
+
+(* One deterministic left-to-right pass. At each position the rules are
+   tried longest-pattern-first; on a match the replacement is emitted
+   verbatim and scanning resumes *after* it (replacement text is never
+   re-matched, so the pass terminates and is insensitive to rule
+   interactions). *)
+let rewrite (a : active) (insns : H.insn list) =
+  let rec matches pat xs =
+    match (pat, xs) with
+    | [], rest -> Some rest
+    | p :: ps, x :: xs when p = x -> matches ps xs
+    | _ -> None
+  in
+  let n = Array.length a.by_len in
+  let rec first_match i xs =
+    if i >= n then None
+    else
+      match matches a.by_len.(i).pattern xs with
+      | Some rest -> Some (i, rest)
+      | None -> first_match (i + 1) xs
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | x :: rest as xs -> (
+      match first_match 0 xs with
+      | Some (i, tail) ->
+        a.hits.(i) <- a.hits.(i) + 1;
+        go (List.rev_append a.by_len.(i).replacement acc) tail
+      | None -> go (x :: acc) rest)
+  in
+  if n = 0 then insns else go [] insns
+
+let hits (a : active) =
+  Array.to_list (Array.mapi (fun i n -> (a.by_len.(i), n)) a.hits)
+
+let total_hits (a : active) = Array.fold_left ( + ) 0 a.hits
+
+let total_saved (a : active) =
+  let s = ref 0 in
+  Array.iteri (fun i n -> s := !s + (n * a.by_len.(i).saves)) a.hits;
+  !s
+
+(* --- pretty explanation (mdabench mine --explain) ----------------------- *)
+
+let explain (r : rule) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "rule %s\n" r.id);
+  Buffer.add_string b (Printf.sprintf "  guest idiom : %s\n" r.idiom);
+  Buffer.add_string b
+    (Printf.sprintf "  host before (%d insns):\n" (List.length r.pattern));
+  List.iter
+    (fun i -> Buffer.add_string b ("    " ^ Pretty.insn_to_string i ^ "\n"))
+    r.pattern;
+  Buffer.add_string b
+    (Printf.sprintf "  host after  (%d insns):\n" (List.length r.replacement));
+  List.iter
+    (fun i -> Buffer.add_string b ("    " ^ Pretty.insn_to_string i ^ "\n"))
+    r.replacement;
+  Buffer.add_string b
+    (Printf.sprintf "  saves       : %d modelled cycle(s) per application\n" r.saves);
+  Buffer.add_string b (Printf.sprintf "  proof       : %s\n" r.proof);
+  Buffer.contents b

@@ -1,0 +1,75 @@
+(** Validator-verified peephole rewrite rules over alphalite host code.
+
+    A rule rewrites one straight-line, register-only host instruction
+    window into a strictly shorter sequence with the same final state —
+    all 32 registers (temporaries included) and all memory effects, for
+    every address residue. That proof obligation is discharged by
+    {!Mda_analysis.Validator.check_rewrite} when the rule is mined and
+    replayed by CI from the committed rule file; this module only
+    represents, serializes, and applies rules. Because the proof is
+    over a fully symbolic register file, an accepted rule is
+    context-free and may be applied at any position of a register-only
+    run. *)
+
+type rule = {
+  id : string;  (** unique within a file, e.g. ["pr8-001"] *)
+  idiom : string;  (** the guest idiom the window was mined from *)
+  pattern : Isa.insn list;  (** matched verbatim; register-only *)
+  replacement : Isa.insn list;  (** emitted verbatim; register-only *)
+  saves : int;  (** modelled cycles saved per application *)
+  proof : string;  (** one-line proof-obligation summary *)
+}
+
+type t = rule list
+
+(** No memory traffic, no control flow: the shapes a rule may contain. *)
+val pure_insn : Isa.insn -> bool
+
+(** [None] when the rule is well-formed: non-empty register-only
+    pattern, strictly shorter register-only replacement. *)
+val rule_error : rule -> string option
+
+(** Textual rule file, parsed back by {!parse} (exact inverse). *)
+val print : t -> string
+
+val parse : string -> (t, string) result
+
+(** Hex digest of the printed form — the harness mixes it into result
+    cache keys so runs with different rule files never collide. *)
+val digest : t -> string
+
+val load : string -> (t, string) result
+
+val save : string -> t -> unit
+
+val find : t -> string -> rule option
+
+(** An activated rule set: match order fixed (longest pattern first,
+    file order as tie-break) plus mutable per-rule hit counters. *)
+type active
+
+(** Raises [Invalid_argument] on a malformed rule. *)
+val activate : t -> active
+
+(** The rules as loaded, original file order. *)
+val rules : active -> t
+
+val file_digest : active -> string
+
+(** One deterministic left-to-right pass over a register-only run.
+    Replacements are emitted verbatim and never re-matched. Increments
+    the per-rule hit counters. *)
+val rewrite : active -> Isa.insn list -> Isa.insn list
+
+(** Per-rule application counts, in match order. *)
+val hits : active -> (rule * int) list
+
+val total_hits : active -> int
+
+(** Sum over rules of [hits * saves] — modelled cycles saved, counted
+    once per rewrite (static, per translation). *)
+val total_saved : active -> int
+
+(** Multi-line rendering of one rule: guest idiom, host before/after,
+    proof summary ([mdabench mine --explain]). *)
+val explain : rule -> string

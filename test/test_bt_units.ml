@@ -178,7 +178,7 @@ let translate_one ?(policy = Bt.Translate.Normal) insns =
   | Error e -> Alcotest.failf "discover: %a" Bt.Block.pp_error e
   | Ok block ->
     let cache = Bt.Code_cache.create () in
-    let entry = Bt.Translate.translate ~cache ~block ~policy_of:(fun _ -> policy) in
+    let entry = Bt.Translate.translate ~cache ~policy_of:(fun _ -> policy) block in
     (cache, entry)
 
 let host_insns cache = Array.sub cache.Bt.Code_cache.code 0 (Bt.Code_cache.length cache)

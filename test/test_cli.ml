@@ -116,6 +116,88 @@ let test_trace_out_does_not_change_stdout () =
   Alcotest.(check string) "stdout byte-identical with --trace-out" (read out_a) (read out_b);
   Alcotest.(check bool) "trace artifact written" true (Sys.file_exists trace)
 
+(* --- the peephole tier on the command line ----------------------------- *)
+
+let rules_file = Test_util.committed_rules
+
+let read_all f =
+  let ic = open_in f in
+  let t = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  t
+
+let contains ~needle hay =
+  let nh = String.length needle and h = String.length hay in
+  let rec go i = i + nh <= h && (String.sub hay i nh = needle || go (i + 1)) in
+  go 0
+
+(* [mdabench verify] always prints the bail-out summary line, whether or
+   not any proof bailed out — proof coverage must be visible, not only
+   its absence. *)
+let test_verify_bailout_summary () =
+  let out =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mda_cli_verify_%d.txt" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ()) @@ fun () ->
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s verify --bench %s -m eh --scale 0.05 > %s 2>/dev/null" exe bench
+         out)
+  in
+  Alcotest.(check int) "verify exits 0" 0 rc;
+  Alcotest.(check bool) "bail-out summary line printed" true
+    (contains ~needle:"validator budget bail-outs:" (read_all out))
+
+let test_mine_replay_and_explain () =
+  (* the committed rule file re-proves, and --explain pretty-prints *)
+  check_rc (Printf.sprintf "mine --replay %s" rules_file) 0;
+  check_rc (Printf.sprintf "mine --explain pr8-001 --rules %s" rules_file) 0;
+  check_rc (Printf.sprintf "mine --explain no-such-rule --rules %s" rules_file) 1;
+  check_rc "mine --explain pr8-001" 1;
+  check_rc "mine --replay /nonexistent.rules" 1
+
+let test_mine_replay_rejects_unprovable () =
+  (* a well-formed rule with no theorem behind it must fail the re-prove
+     gate: [bis a,b,c; addq c,#1,c] is not [addq a,#1,c] unless b = 0 *)
+  let file =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mda_cli_bogus_%d.rules" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ()) @@ fun () ->
+  let oc = open_out file in
+  output_string oc
+    "rule bogus-001\n\
+     idiom: hand-written counterexample\n\
+     match:\n\
+    \  bis r1, r2, r3\n\
+    \  addq r3, #1, r3\n\
+     rewrite:\n\
+    \  addq r1, #1, r3\n\
+     saves: 1\n\
+     proof: none\n\
+     end\n";
+  close_out oc;
+  check_rc (Printf.sprintf "mine --replay %s" file) 1
+
+let test_run_with_rules () =
+  (* the tier is accepted by every checked runner and reported on stdout *)
+  let out =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mda_cli_rules_%d.txt" (Unix.getpid ()))
+  in
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ()) @@ fun () ->
+  let rc =
+    Sys.command
+      (Printf.sprintf
+         "%s run 164.gzip -m direct --scale 0.05 --rules %s --validate > %s 2>/dev/null"
+         exe rules_file out)
+  in
+  Alcotest.(check int) "run --rules --validate exits 0" 0 rc;
+  Alcotest.(check bool) "peephole summary printed" true
+    (contains ~needle:"peephole:" (read_all out));
+  check_rc "run 164.gzip -m direct --scale 0.05 --rules /nonexistent.rules" 1
+
 let suite =
   [ ( "cli",
     [ Alcotest.test_case "run --selfcheck exits 0 on clean caches" `Quick
@@ -130,4 +212,10 @@ let suite =
       Alcotest.test_case "trace emits and replays" `Quick test_trace_emit_and_replay;
       Alcotest.test_case "hot attributes or refuses" `Quick test_hot_command;
       Alcotest.test_case "--trace-out leaves stdout identical" `Quick
-        test_trace_out_does_not_change_stdout ] ) ]
+        test_trace_out_does_not_change_stdout;
+      Alcotest.test_case "verify prints the bail-out summary" `Quick
+        test_verify_bailout_summary;
+      Alcotest.test_case "mine --replay and --explain" `Quick test_mine_replay_and_explain;
+      Alcotest.test_case "mine --replay rejects unprovable rules" `Quick
+        test_mine_replay_rejects_unprovable;
+      Alcotest.test_case "run accepts --rules" `Quick test_run_with_rules ] ) ]

@@ -238,6 +238,85 @@ let aot_test (label, unknown) =
 
 let aot_policies = [ ("seq", Bt.Mechanism.Sa_seq); ("eh", Bt.Mechanism.Sa_fallback) ]
 
+(* --- the peephole tier is guest-invisible ------------------------------- *)
+
+(* The committed, validator-proved rule file, resolved through
+   [Test_util.committed_rules] so it is found under both [dune runtest]
+   and [dune exec]. *)
+let committed_rules =
+  lazy
+    (match Mda_host.Peephole.load Test_util.committed_rules with
+    | Ok [] -> failwith "rules/pr8.rules is empty"
+    | Ok rs -> rs
+    | Error e -> failwith e)
+
+let run_mechanism_full ?rules make groups =
+  let mechanism = make groups in
+  let entry, mem = fresh groups in
+  let rules = Option.map Mda_host.Peephole.activate rules in
+  let config = { (Bt.Runtime.default_config mechanism) with rules } in
+  let t = Bt.Runtime.create ~config ~mem () in
+  let stats = Bt.Runtime.run t ~entry in
+  (snapshot t.Bt.Runtime.cpu mem, stats)
+
+(* With and without the rewrite tier: identical guest state, memory
+   digest and trap/patch/degradation counters. Only host cycles,
+   host-instruction counts and code-cache bytes may differ — the tier
+   only shortens host code. [guest_insns] is deliberately absent: its
+   translated-code share is estimated from the average host expansion
+   ratio, which the tier changes by design; the exactly-counted
+   [interp_insns]/[memrefs]/[mdas] stand in for it. *)
+let guest_invisible (a, (sa : Bt.Run_stats.t)) (b, (sb : Bt.Run_stats.t)) =
+  state_eq a b
+  && sa.Bt.Run_stats.stop = sb.Bt.Run_stats.stop
+  && Int64.equal sa.Bt.Run_stats.interp_insns sb.Bt.Run_stats.interp_insns
+  && Int64.equal sa.Bt.Run_stats.memrefs sb.Bt.Run_stats.memrefs
+  && Int64.equal sa.Bt.Run_stats.mdas sb.Bt.Run_stats.mdas
+  && Int64.equal sa.Bt.Run_stats.traps sb.Bt.Run_stats.traps
+  && sa.Bt.Run_stats.patches = sb.Bt.Run_stats.patches
+  && sa.Bt.Run_stats.translations = sb.Bt.Run_stats.translations
+  && sa.Bt.Run_stats.retranslations = sb.Bt.Run_stats.retranslations
+  && sa.Bt.Run_stats.degraded = sb.Bt.Run_stats.degraded
+
+let rules_equiv_test (label, make) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "peephole tier guest-invisible: %s" label)
+    ~count:30
+    (QCheck.make gen_spec ~print:print_spec)
+    (fun groups ->
+      QCheck.assume
+        (match W.Gen.build ~input:W.Gen.Ref groups with
+        | (_ : W.Gen.program) -> true
+        | exception Invalid_argument _ -> false);
+      guest_invisible
+        (run_mechanism_full make groups)
+        (run_mechanism_full ~rules:(Lazy.force committed_rules) make groups))
+
+let run_aot_full ?rules unknown groups =
+  let entry, mem = fresh groups in
+  let summary = sa_summary groups in
+  let rules = Option.map Mda_host.Peephole.activate rules in
+  match Bt.Aot.translate_image ?rules ~summary ~unknown mem ~entry with
+  | Error msg -> failwith ("AOT translation failed: " ^ msg)
+  | Ok (cache, _) ->
+    let mechanism = Bt.Mechanism.Aot { summary; unknown } in
+    let config = { (Bt.Runtime.default_config mechanism) with rules } in
+    let t = Bt.Runtime.create ~config ~cache ~mem () in
+    let stats = Bt.Runtime.run t ~entry in
+    (snapshot t.Bt.Runtime.cpu mem, stats)
+
+let rules_aot_test =
+  QCheck.Test.make ~name:"peephole tier guest-invisible: aot(seq)" ~count:30
+    (QCheck.make gen_spec ~print:print_spec)
+    (fun groups ->
+      QCheck.assume
+        (match W.Gen.build ~input:W.Gen.Ref groups with
+        | (_ : W.Gen.program) -> true
+        | exception Invalid_argument _ -> false);
+      guest_invisible
+        (run_aot_full Bt.Mechanism.Sa_seq groups)
+        (run_aot_full ~rules:(Lazy.force committed_rules) Bt.Mechanism.Sa_seq groups))
+
 (* Seeded: the sweep is deterministic run-to-run, and a reported
    counterexample replays exactly. *)
 let seed = 0x5eed_2026
@@ -253,5 +332,11 @@ let cases =
         QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) (aot_test p))
       aot_policies
   @ [ QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) flush_equiv_test ]
+  @ List.map
+      (fun m ->
+        QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |])
+          (rules_equiv_test m))
+      mechanisms
+  @ [ QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) rules_aot_test ]
 
 let suite = [ ("differential", cases) ]

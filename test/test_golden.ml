@@ -43,11 +43,20 @@ let census_stack () =
     [ Mda_analysis.Dataflow.Interprocedural; Mda_analysis.Dataflow.Intraprocedural ];
   Buffer.contents buf
 
+(* Every committed peephole rule pretty-printed as [mdabench mine
+   --explain] would show it: the committed, diffable evidence of what
+   each installed rewrite does and the proof obligation it carries. *)
+let explain_rules () =
+  match Mda_host.Peephole.load Test_util.committed_rules with
+  | Error e -> failwith e
+  | Ok rules -> String.concat "\n" (List.map Mda_host.Peephole.explain rules)
+
 let cases =
   [ ("table1", fun () -> H.Experiment.render (H.Table1.run ~opts:golden_opts ()));
     ("fig16", fun () -> H.Experiment.render (H.Fig16.run ~opts:golden_opts ()));
     ("figsa", fun () -> H.Experiment.render (H.Figsa.run ~opts:golden_opts ()));
-    ("census-stack", census_stack) ]
+    ("census-stack", census_stack);
+    ("explain-pr8", explain_rules) ]
 
 (* Tests run in _build/default/test; the source tree sits behind the
    workspace root recorded by dune. *)

@@ -9,6 +9,7 @@ let () =
          Test_runtime.suite;
          Test_analysis.suite;
          Test_validator.suite;
+         Test_peephole.suite;
          Test_bt_units.suite;
          Test_bt.suite;
          Test_asm.suite;

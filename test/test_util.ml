@@ -2,6 +2,17 @@
 
 open Mda_util
 
+(* The committed peephole rule file, found whether the suite runs from
+   the dune sandbox (the [rules/*.rules] dep is materialised next to the
+   test) or via [dune exec] (resolved through the workspace root). *)
+let committed_rules =
+  let local = Filename.concat ".." (Filename.concat "rules" "pr8.rules") in
+  if Sys.file_exists local then local
+  else
+    match Sys.getenv_opt "DUNE_SOURCEROOT" with
+    | Some root -> Filename.concat root (Filename.concat "rules" "pr8.rules")
+    | None -> local
+
 let check_float = Alcotest.(check (float 1e-9))
 
 (* --- Rng ------------------------------------------------------------- *)

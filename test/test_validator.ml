@@ -154,6 +154,39 @@ let test_mutation_kill_ratio () =
           (Format.asprintf "%a" Mda_analysis.Mutate.pp_outcome o))
     [ Bt.Mechanism.Exception_handling { rearrange = false }; Bt.Mechanism.Direct ]
 
+(* The same sweep with the committed peephole tier installed: rewritten
+   caches must stay exactly as auditable as canonical ones — the
+   validator still validates them clean and still kills >= 95% of
+   semantic mutants of the (shorter) host code. *)
+let test_mutation_kill_ratio_with_rules () =
+  let rules =
+    match Mda_host.Peephole.load Test_util.committed_rules with
+    | Ok rs -> Mda_host.Peephole.activate rs
+    | Error e -> Alcotest.failf "cannot load committed rules: %s" e
+  in
+  List.iter
+    (fun mech ->
+      let program, mem = Test_runtime.load_program rich_build in
+      let config =
+        { (Bt.Runtime.default_config mech) with rules = Some rules }
+      in
+      let t = Bt.Runtime.create ~config ~mem () in
+      let _ = Bt.Runtime.run t ~entry:program.G.Asm.base in
+      ignore (assert_clean (Bt.Mechanism.name mech ^ "+rules") t);
+      let o =
+        Mda_analysis.Mutate.run ~cache:t.Bt.Runtime.cache
+          ~block_of:(block_of_runtime t) ~max_mutants:300 ()
+      in
+      Alcotest.(check bool)
+        (Bt.Mechanism.name mech ^ "+rules mutated something")
+        true (o.total > 100);
+      if Mda_analysis.Mutate.kill_ratio o < 0.95 then
+        Alcotest.failf "%s+rules: kill ratio %.1f%% below 95%%:@\n%s"
+          (Bt.Mechanism.name mech)
+          (100.0 *. Mda_analysis.Mutate.kill_ratio o)
+          (Format.asprintf "%a" Mda_analysis.Mutate.pp_outcome o))
+    [ Bt.Mechanism.Exception_handling { rearrange = false }; Bt.Mechanism.Direct ]
+
 (* --- soundness over the differential suite's random workloads ---------- *)
 
 (* Piggyback on test_differential's seeded workload generator: every
@@ -196,4 +229,6 @@ let suite =
           test_zoo_validates_clean ] );
     ("validator.workloads", differential_cases);
     ( "validator.mutation",
-      [ Alcotest.test_case "seeded mutants are killed" `Slow test_mutation_kill_ratio ] ) ]
+      [ Alcotest.test_case "seeded mutants are killed" `Slow test_mutation_kill_ratio;
+        Alcotest.test_case "mutants killed with peephole tier" `Slow
+          test_mutation_kill_ratio_with_rules ] ) ]
