@@ -26,12 +26,30 @@
    and modelled cycles saved with/without the committed rule file under
    the direct mechanism — and writes BENCH_pr8.json.
 
+   Part 6 (translation throughput): measures the single-pass template
+   emitter against the frozen list-based reference over the Table-I
+   block corpus — translations/sec, emitted host insns/sec, allocation
+   words/block (Gc.minor_words), patch latency — and writes
+   BENCH_pr9.json, which bin/ci.sh gates regressions against.
+
+   All repetition timing runs on the monotonic clock
+   (Mda_util.Timing over Monotonic_clock.now) and reports
+   median-of-rounds, so the BENCH_*.json trajectory is stable under
+   wall-clock adjustments.
+
    Environment:
      MDA_BENCH_SCALE        workload scale for part 2 (default 1.0)
      MDA_BENCH_QUOTA_MS     Bechamel time quota per test (default 1000)
      MDA_BENCH_SKIP_MEASURE=1   skip part 1
+     MDA_BENCH_PART         run only this part: pr7 | pr8 | pr9 (default all)
      MDA_BENCH_JSON         part-3/4 output path (default BENCH_pr7.json)
-     MDA_BENCH_PR8_JSON     part-5 output path (default BENCH_pr8.json) *)
+     MDA_BENCH_PR8_JSON     part-5 output path (default BENCH_pr8.json)
+     MDA_BENCH_PR9_JSON     part-6 output path (default BENCH_pr9.json) *)
+
+(* The raw clock stubs; aliased before the opens because
+   [Bechamel.Toolkit] shadows [Monotonic_clock] with a MEASURE wrapper
+   that has no [now]. *)
+module Mclock = Monotonic_clock
 
 open Bechamel
 open Bechamel.Toolkit
@@ -101,18 +119,22 @@ let run_measurements () =
 
 (* --- parts 3+4: analysis / AOT / assembler throughput -> BENCH_pr7.json - *)
 
-(* Wall-clock a thunk by repetition until [min_s] elapses; returns
-   (seconds, reps). The thunks are pure with respect to guest memory
-   (neither the analysis nor translate_image mutates the image), so
-   repetition needs no re-setup. *)
-let time_reps ~min_s f =
-  let t0 = Unix.gettimeofday () in
-  let reps = ref 0 in
-  while Unix.gettimeofday () -. t0 < min_s do
-    f ();
-    incr reps
-  done;
-  (Unix.gettimeofday () -. t0, !reps)
+let now () = Mclock.now ()
+
+(* Time a thunk on the monotonic clock: 3 rounds, each repeating until
+   0.2 s elapses; the sample's median ns-per-rep is what gets recorded.
+   The thunks are pure with respect to guest memory (neither the
+   analysis nor translate_image mutates the image), so repetition needs
+   no re-setup. *)
+let time_reps f = Mda_util.Timing.measure ~now ~rounds:3 ~min_ns:200_000_000L f
+
+(* (items processed per rep) -> items/sec at the sample's median rate. *)
+let per_sec count (s : Mda_util.Timing.sample) = Mda_util.Timing.per_sec ~count s
+
+(* A/B comparison in interleaved rounds, so machine-load drift lands on
+   both sides about equally — the speedup figures in BENCH_pr9.json are
+   ratios of these paired samples. *)
+let time_pair f g = Mda_util.Timing.measure_pair ~now ~rounds:5 ~min_ns:200_000_000L f g
 
 let emit_bench_json () =
   let path =
@@ -133,8 +155,8 @@ let emit_bench_json () =
       blocks := !blocks + a.A.Dataflow.blocks;
       iterations := !iterations + a.A.Dataflow.iterations)
     images;
-  let an_secs, an_reps =
-    time_reps ~min_s:0.5 (fun () ->
+  let an =
+    time_reps (fun () ->
         List.iter (fun (mem, entry) -> ignore (A.Dataflow.analyze mem ~entry)) images)
   in
   (* AOT throughput isolates translate_image: summaries precomputed *)
@@ -157,8 +179,8 @@ let emit_bench_json () =
       guest_insns := !guest_insns + s.Bt.Aot.guest_insns;
       host_insns := !host_insns + s.Bt.Aot.host_insns)
     prepped;
-  let aot_secs, aot_reps =
-    time_reps ~min_s:0.5 (fun () -> List.iter (fun p -> ignore (translate p)) prepped)
+  let aot =
+    time_reps (fun () -> List.iter (fun p -> ignore (translate p)) prepped)
   in
   (* part 4: assembler/disassembler throughput. Guest corpus: the
      pretty text and encoded image of every Table-I program (branch
@@ -189,8 +211,8 @@ let emit_bench_json () =
       (fun n (p : Mda_guest.Asm.program) -> n + Array.length p.Mda_guest.Asm.insns)
       0 guest_programs
   in
-  let gasm_secs, gasm_reps =
-    time_reps ~min_s:0.5 (fun () ->
+  let gasm =
+    time_reps (fun () ->
         List.iter
           (fun (text, base) ->
             match Mda_guest.Parse.program ~base text with
@@ -201,8 +223,8 @@ let emit_bench_json () =
                    Mda_guest.Parse.pp_error e))
           guest_texts)
   in
-  let gdis_secs, gdis_reps =
-    time_reps ~min_s:0.5 (fun () ->
+  let gdis =
+    time_reps (fun () ->
         List.iter
           (fun (p : Mda_guest.Asm.program) ->
             match Mda_guest.Decode.decode_all p.Mda_guest.Asm.image with
@@ -218,8 +240,8 @@ let emit_bench_json () =
     Array.init (Bt.Code_cache.length cache) (Bt.Code_cache.fetch cache)
   in
   let host_insns_n = Array.length host_code in
-  let hasm_secs, hasm_reps =
-    time_reps ~min_s:0.5 (fun () ->
+  let hasm =
+    time_reps (fun () ->
         Array.iter
           (fun insn ->
             match Mda_host.Parse.insn (Mda_host.Pretty.insn_to_string insn) with
@@ -229,8 +251,8 @@ let emit_bench_json () =
                 (Format.asprintf "BENCH host reparse failed: %a" Mda_host.Parse.pp_error e))
           host_code)
   in
-  let hcodec_secs, hcodec_reps =
-    time_reps ~min_s:0.5 (fun () ->
+  let hcodec =
+    time_reps (fun () ->
         Array.iteri
           (fun pc insn ->
             match Mda_host.Encode.decode ~pc (Mda_host.Encode.encode ~pc insn) with
@@ -238,7 +260,6 @@ let emit_bench_json () =
             | Error e -> failwith ("BENCH host codec failed: " ^ e.Mda_host.Encode.reason))
           host_code)
   in
-  let per_sec count secs reps = float_of_int (count * reps) /. secs in
   let oc = open_out path in
   Printf.fprintf oc
     {|{
@@ -247,7 +268,7 @@ let emit_bench_json () =
     "workloads": %d,
     "blocks": %d,
     "fixpoint_iterations": %d,
-    "seconds": %.6f,
+    "median_ns_per_rep": %.1f,
     "reps": %d,
     "blocks_per_sec": %.1f
   },
@@ -256,7 +277,7 @@ let emit_bench_json () =
     "blocks": %d,
     "guest_insns": %d,
     "host_insns": %d,
-    "seconds": %.6f,
+    "median_ns_per_rep": %.1f,
     "reps": %d,
     "blocks_per_sec": %.1f,
     "host_insns_per_sec": %.1f
@@ -271,25 +292,23 @@ let emit_bench_json () =
   }
 }
 |}
-    (List.length images) !blocks !iterations an_secs an_reps
-    (per_sec !blocks an_secs an_reps)
-    (List.length prepped) !aot_blocks !guest_insns !host_insns aot_secs aot_reps
-    (per_sec !aot_blocks aot_secs aot_reps)
-    (per_sec !host_insns aot_secs aot_reps)
+    (List.length images) !blocks !iterations an.Mda_util.Timing.median_ns
+    an.Mda_util.Timing.total_reps (per_sec !blocks an)
+    (List.length prepped) !aot_blocks !guest_insns !host_insns
+    aot.Mda_util.Timing.median_ns aot.Mda_util.Timing.total_reps
+    (per_sec !aot_blocks aot) (per_sec !host_insns aot)
     asm_guest_insns
-    (per_sec asm_guest_insns gasm_secs gasm_reps)
-    (per_sec asm_guest_insns gdis_secs gdis_reps)
+    (per_sec asm_guest_insns gasm)
+    (per_sec asm_guest_insns gdis)
     host_insns_n
-    (per_sec host_insns_n hasm_secs hasm_reps)
-    (per_sec host_insns_n hcodec_secs hcodec_reps);
+    (per_sec host_insns_n hasm)
+    (per_sec host_insns_n hcodec);
   close_out oc;
   Printf.printf
     "== wrote %s (analysis %.0f blocks/s, aot %.0f host insns/s, asm %.0f guest \
      insns/s) ==\n\n%!"
-    path
-    (per_sec !blocks an_secs an_reps)
-    (per_sec !host_insns aot_secs aot_reps)
-    (per_sec asm_guest_insns gasm_secs gasm_reps)
+    path (per_sec !blocks an) (per_sec !host_insns aot)
+    (per_sec asm_guest_insns gasm)
 
 (* --- part 5: peephole mining / rewrite-tier numbers -> BENCH_pr8.json --- *)
 
@@ -323,10 +342,8 @@ let emit_peephole_json () =
   let mine () = A.Miner.mine ~budget ~max_len ~seed ~images () in
   let o = mine () in
   if o.A.Miner.rules = [] then failwith "BENCH miner found no rules";
-  let mine_secs, mine_reps = time_reps ~min_s:0.5 (fun () -> ignore (mine ())) in
-  let rules_per_sec =
-    float_of_int (List.length o.A.Miner.rules * mine_reps) /. mine_secs
-  in
+  let mine_sample = time_reps (fun () -> ignore (mine ())) in
+  let rules_per_sec = per_sec (List.length o.A.Miner.rules) mine_sample in
   (* installed tier: direct-mechanism runs with and without the
      committed rule file on representative Table-I workloads *)
   let rules =
@@ -395,7 +412,7 @@ let emit_peephole_json () =
     "proof_failures": %d,
     "rules": %d,
     "survivors": %d,
-    "seconds": %.6f,
+    "median_ns_per_rep": %.1f,
     "reps": %d,
     "rules_mined_per_sec": %.2f
   },
@@ -414,7 +431,8 @@ let emit_peephole_json () =
     o.A.Miner.proof_attempts o.A.Miner.proof_failures
     (List.length o.A.Miner.rules)
     (List.length o.A.Miner.survivors)
-    mine_secs mine_reps rules_per_sec
+    mine_sample.Mda_util.Timing.median_ns mine_sample.Mda_util.Timing.total_reps
+    rules_per_sec
     (Mda_host.Peephole.digest rules)
     (String.concat ",\n" rows);
   close_out oc;
@@ -423,22 +441,216 @@ let emit_peephole_json () =
     rules_per_sec
     (Mda_host.Peephole.digest rules)
 
+(* --- part 6: translation throughput -> BENCH_pr9.json ------------------- *)
+
+(* Static block discovery, mirroring the AOT walk: every block reachable
+   from the entry via direct jump/branch/call targets and fall-throughs. *)
+let discover_blocks mem ~entry =
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace visited entry ();
+  Queue.push entry queue;
+  let out = ref [] in
+  while not (Queue.is_empty queue) do
+    let pc = Queue.pop queue in
+    match Bt.Block.discover mem ~pc with
+    | Error _ -> ()
+    | Ok block ->
+      out := block :: !out;
+      let n = Array.length block.Bt.Block.insns in
+      let succs =
+        match block.Bt.Block.insns.(n - 1) with
+        | Mda_guest.Isa.Jmp t -> [ t ]
+        | Mda_guest.Isa.Jcc { target; _ } -> [ target; block.Bt.Block.next ]
+        | Mda_guest.Isa.Call t -> [ t; block.Bt.Block.next ]
+        | _ -> []
+      in
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem visited s) then begin
+            Hashtbl.replace visited s ();
+            Queue.push s queue
+          end)
+        succs
+  done;
+  List.rev !out
+
+let emit_translation_json () =
+  let path =
+    match Sys.getenv_opt "MDA_BENCH_PR9_JSON" with
+    | Some p -> p
+    | None -> "BENCH_pr9.json"
+  in
+  (* corpus: every statically reachable block of the Table-I workloads *)
+  let blocks =
+    List.concat_map
+      (fun name ->
+        let w = W.Workload.instantiate name in
+        discover_blocks (W.Workload.fresh_memory w) ~entry:(W.Workload.entry w))
+      (W.Spec.selected_names @ [ "stack.frames" ])
+  in
+  let n_blocks = List.length blocks in
+  let guest_insns = List.fold_left (fun n b -> n + Bt.Block.length b) 0 blocks in
+  let plain_rules =
+    match Mda_host.Peephole.load committed_rules_path with
+    | Ok rs -> rs
+    | Error msg -> failwith ("BENCH cannot load committed rules: " ^ msg)
+  in
+  let scratch = Bt.Translate.create_scratch () in
+  (* One corpus pass per repetition into a flushed long-lived cache —
+     the way a real DBT re-translates into its reserved cache region —
+     so the emitted range (and the work) is identical every time and
+     neither emitter is charged for growing a throwaway store. *)
+  let fast_cache = Bt.Code_cache.create () in
+  let ref_cache = Bt.Code_cache.create () in
+  let fast_pass ?rules policy () =
+    Bt.Code_cache.flush fast_cache;
+    List.iter
+      (fun b ->
+        ignore
+          (Bt.Translate.translate ?rules ~scratch ~cache:fast_cache
+             ~policy_of:(fun _ -> policy) b))
+      blocks;
+    fast_cache
+  in
+  let ref_pass ?rules policy () =
+    Bt.Code_cache.flush ref_cache;
+    List.iter
+      (fun b ->
+        ignore
+          (Bt.Translate_ref.translate ?rules ~cache:ref_cache
+             ~policy_of:(fun _ -> policy) b))
+      blocks;
+    ref_cache
+  in
+  (* allocation per block, averaged over enough passes to drown setup *)
+  let alloc_words_per_block pass =
+    let passes = 10 in
+    let before = Gc.minor_words () in
+    for _ = 1 to passes do
+      ignore (pass ())
+    done;
+    (Gc.minor_words () -. before) /. float_of_int (passes * n_blocks)
+  in
+  let measure_config label policy ~with_rules =
+    let rules_for () =
+      if with_rules then Some (Mda_host.Peephole.activate plain_rules) else None
+    in
+    let fast_rules = rules_for () and ref_rules = rules_for () in
+    let fast = fast_pass ?rules:fast_rules policy in
+    let reference = ref_pass ?rules:ref_rules policy in
+    let host_insns = Bt.Code_cache.length (fast ()) in
+    let host_insns_ref = Bt.Code_cache.length (reference ()) in
+    if host_insns <> host_insns_ref then
+      failwith
+        (Printf.sprintf "BENCH %s: fast/reference cache lengths differ (%d vs %d)"
+           label host_insns host_insns_ref);
+    let fast_s, ref_s =
+      time_pair (fun () -> ignore (fast ())) (fun () -> ignore (reference ()))
+    in
+    let fast_alloc = alloc_words_per_block fast in
+    let ref_alloc = alloc_words_per_block reference in
+    let speedup = per_sec n_blocks fast_s /. per_sec n_blocks ref_s in
+    Printf.printf
+      "  %-14s fast %10.0f tr/s (%5.1f words/block)   reference %9.0f tr/s (%6.1f \
+       words/block)   speedup %.2fx\n%!"
+      label (per_sec n_blocks fast_s) fast_alloc (per_sec n_blocks ref_s) ref_alloc
+      speedup;
+    let json =
+      Printf.sprintf
+        {|      {
+        "policy": "%s",
+        "host_insns": %d,
+        "fast": {
+          "per_sec": %.1f,
+          "host_insns_per_sec": %.1f,
+          "median_ns_per_block": %.1f,
+          "alloc_words_per_block": %.1f
+        },
+        "reference": {
+          "per_sec": %.1f,
+          "host_insns_per_sec": %.1f,
+          "median_ns_per_block": %.1f,
+          "alloc_words_per_block": %.1f
+        },
+        "speedup": %.3f
+      }|}
+        label host_insns (per_sec n_blocks fast_s) (per_sec host_insns fast_s)
+        (fast_s.Mda_util.Timing.median_ns /. float_of_int n_blocks)
+        fast_alloc (per_sec n_blocks ref_s) (per_sec host_insns ref_s)
+        (ref_s.Mda_util.Timing.median_ns /. float_of_int n_blocks)
+        ref_alloc speedup
+    in
+    (json, per_sec n_blocks fast_s, speedup)
+  in
+  Printf.printf "== translation throughput (%d blocks, %d guest insns) ==\n%!" n_blocks
+    guest_insns;
+  let j_seq, seq_rate, seq_speedup = measure_config "seq_always" Bt.Translate.Seq_always ~with_rules:false in
+  let j_norm, _, norm_speedup = measure_config "normal" Bt.Translate.Normal ~with_rules:false in
+  let j_rules, _, rules_speedup = measure_config "normal+rules" Bt.Translate.Normal ~with_rules:true in
+  (* patch latency: rewrite one live slot over and over — the handler's
+     hot operation when servicing a trap *)
+  let cache = fast_pass Bt.Translate.Normal () in
+  let patches_per_rep = 1000 in
+  let patch_s =
+    time_reps (fun () ->
+        for _ = 1 to patches_per_rep do
+          Bt.Code_cache.patch cache 0 Mda_host.Isa.Nop
+        done)
+  in
+  let patch_ns = patch_s.Mda_util.Timing.median_ns /. float_of_int patches_per_rep in
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "pr": 9,
+  "translation": {
+    "workloads": %d,
+    "blocks": %d,
+    "guest_insns": %d,
+    "configs": [
+%s
+    ],
+    "translations_per_sec": %.1f,
+    "speedup_vs_reference": %.3f
+  },
+  "patch": {
+    "median_ns": %.1f,
+    "patches_per_sec": %.1f
+  }
+}
+|}
+    (List.length (W.Spec.selected_names @ [ "stack.frames" ]))
+    n_blocks guest_insns
+    (String.concat ",\n" [ j_seq; j_norm; j_rules ])
+    seq_rate seq_speedup patch_ns
+    (1e9 /. patch_ns);
+  close_out oc;
+  Printf.printf
+    "== wrote %s (headline %.0f translations/s, speedup %.2fx seq / %.2fx normal / \
+     %.2fx rules) ==\n\n%!"
+    path seq_rate seq_speedup norm_speedup rules_speedup
+
 let () =
   let scale =
     match Sys.getenv_opt "MDA_BENCH_SCALE" with
     | Some s -> float_of_string s
     | None -> 1.0
   in
-  (match Sys.getenv_opt "MDA_BENCH_SKIP_MEASURE" with
-  | Some "1" -> ()
+  let part = Sys.getenv_opt "MDA_BENCH_PART" in
+  let want p = match part with None -> true | Some s -> s = p in
+  (match (Sys.getenv_opt "MDA_BENCH_SKIP_MEASURE", part) with
+  | Some "1", _ | _, Some _ -> ()
   | _ -> run_measurements ());
-  emit_bench_json ();
-  emit_peephole_json ();
-  Printf.printf "== Regenerating all tables and figures (scale %.2f) ==\n\n%!" scale;
-  let opts = { H.Experiment.default_options with H.Experiment.scale } in
-  List.iter
-    (fun ((_, run) : string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) ->
-      let rendered = run ~opts () in
-      print_string (H.Experiment.render rendered);
-      print_newline ())
-    experiments
+  if want "pr7" then emit_bench_json ();
+  if want "pr8" then emit_peephole_json ();
+  if want "pr9" then emit_translation_json ();
+  if part = None then begin
+    Printf.printf "== Regenerating all tables and figures (scale %.2f) ==\n\n%!" scale;
+    let opts = { H.Experiment.default_options with H.Experiment.scale } in
+    List.iter
+      (fun ((_, run) : string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) ->
+        let rendered = run ~opts () in
+        print_string (H.Experiment.render rendered);
+        print_newline ())
+      experiments
+  end

@@ -1,0 +1,115 @@
+(* Micro-profile for the single-pass emitter: per-block-shape
+   throughput and allocation, plus the raw store/match floor the
+   emitter loop sits on. A developer tool, not part of the benchmark
+   suite — run it with [dune exec bench/profile.exe] when chasing a
+   translation-throughput regression; BENCH_pr9.json and the ci.sh
+   gate come from [bench/main.exe] part 6. *)
+
+module Mclock = Monotonic_clock
+module G = Mda_guest.Isa
+module Bt = Mda_bt
+
+let now () = Mclock.now ()
+
+let time_reps f = Mda_util.Timing.measure ~now ~rounds:3 ~min_ns:200_000_000L f
+
+let per_sec count s = Mda_util.Timing.per_sec ~count s
+
+let mk_block start insns =
+  let n = Array.length insns in
+  { Bt.Block.start;
+    insns;
+    addrs = Array.init n (fun i -> start + (i * 4));
+    next = start + (n * 4) }
+
+(* [k] copies of [insn] ending in a Halt *)
+let kind_block insn start k =
+  mk_block start (Array.init (k + 1) (fun i -> if i = k then G.Halt else insn))
+
+let alu_block = kind_block (G.Binop { op = G.Add; dst = G.EAX; src = G.Imm 1l })
+
+let mem_block =
+  kind_block
+    (G.Load
+       { dst = G.EBX;
+         src = { base = Some G.ESI; index = None; disp = 8 };
+         size = G.S4;
+         signed = false })
+
+(* Translate [blocks] repeatedly into a flushed long-lived cache (the
+   bench methodology: neither growth nor a throwaway store is charged
+   to the emitter) and report throughput and GC traffic per block. *)
+let run label blocks policy =
+  let scratch = Bt.Translate.create_scratch () in
+  let n = List.length blocks in
+  let cache = Bt.Code_cache.create () in
+  let policy_of _ = policy in
+  let pass () =
+    Bt.Code_cache.flush cache;
+    List.iter
+      (fun b -> ignore (Bt.Translate.translate ~scratch ~cache ~policy_of b))
+      blocks
+  in
+  let s = time_reps pass in
+  let passes = 20 in
+  let g0 = Gc.quick_stat () in
+  let m0 = Gc.minor_words () in
+  for _ = 1 to passes do
+    pass ()
+  done;
+  let m1 = Gc.minor_words () in
+  let g1 = Gc.quick_stat () in
+  let per x = x /. float_of_int (n * passes) in
+  Printf.printf
+    "  %-28s %9.0f blk/s  %7.1f ns/blk  minor %6.1f w/blk  promoted %6.1f w/blk  \
+     major %6.1f w/blk\n\
+     %!"
+    label (per_sec n s)
+    (s.Mda_util.Timing.median_ns /. float_of_int n)
+    (per (m1 -. m0))
+    (per (g1.promoted_words -. g0.promoted_words))
+    (per (g1.major_words -. g0.major_words))
+
+(* The floor under the emitter loop: one allocated-record store per
+   slot, and one match+store per slot. *)
+let raw () =
+  let module H = Mda_host.Isa in
+  let arr = Array.make 4096 H.Nop in
+  let n = 4096 in
+  let s =
+    time_reps (fun () ->
+        for i = 0 to n - 1 do
+          arr.(i) <- H.Opr { op = Addl; ra = 1; rb = Lit 1; rc = 1 }
+        done)
+  in
+  Printf.printf "  %-28s %7.2f ns/insn (alloc+store floor)\n%!" "raw Opr"
+    (s.Mda_util.Timing.median_ns /. float_of_int n);
+  let sink = ref 0 in
+  let s2 =
+    time_reps (fun () ->
+        for i = 0 to n - 1 do
+          (match arr.(i) with H.Opr { rc; _ } -> sink := !sink + rc | _ -> ());
+          arr.(i) <- H.Nop
+        done)
+  in
+  Printf.printf "  %-28s %7.2f ns/insn (match+clear)\n%!" "raw match"
+    (s2.Mda_util.Timing.median_ns /. float_of_int n)
+
+let () =
+  raw ();
+  let mk f k = List.init 512 (fun i -> f (0x1000 + (i * 0x1000)) k) in
+  run "alu k=0 (Halt only)" (mk alu_block 0) Bt.Translate.Normal;
+  run "movreg k=32"
+    (mk (kind_block (G.Mov_reg { dst = G.EAX; src = G.EBX })) 32)
+    Bt.Translate.Normal;
+  run "addreg k=32"
+    (mk (kind_block (G.Binop { op = G.Add; dst = G.EAX; src = G.Reg G.EBX })) 32)
+    Bt.Translate.Normal;
+  run "nop k=32" (mk (kind_block G.Nop) 32) Bt.Translate.Normal;
+  run "alu k=1" (mk alu_block 1) Bt.Translate.Normal;
+  run "alu k=8" (mk alu_block 8) Bt.Translate.Normal;
+  run "alu k=32" (mk alu_block 32) Bt.Translate.Normal;
+  run "mem k=4 normal" (mk mem_block 4) Bt.Translate.Normal;
+  run "mem k=4 seq" (mk mem_block 4) Bt.Translate.Seq_always;
+  run "mem k=16 normal" (mk mem_block 16) Bt.Translate.Normal;
+  run "mem k=16 seq" (mk mem_block 16) Bt.Translate.Seq_always

@@ -55,6 +55,26 @@ dune exec bin/mdabench.exe -- verify --scale 0.05 --jobs 2 \
   --rules rules/pr8.rules >/dev/null || {
   echo "FAIL: verify gate with peephole tier"; exit 1; }
 
+echo "== translation fast-path perf gate (>=5x, <=30% throughput regression)"
+# re-measure part 6 (the single-pass emitter vs the frozen reference)
+# into a scratch json and gate against the committed trajectory point;
+# the speedup is an interleaved-round ratio, so it is stable under
+# machine load even when the absolute rates drift
+PERF_DIR=$(mktemp -d)
+MDA_BENCH_SKIP_MEASURE=1 MDA_BENCH_PART=pr9 MDA_BENCH_PR9_JSON="$PERF_DIR/pr9.json" \
+  dune exec bench/main.exe || { echo "FAIL: perf bench run"; exit 1; }
+NEW_RATE=$(sed -n 's/.*"translations_per_sec": \([0-9.]*\).*/\1/p' "$PERF_DIR/pr9.json")
+OLD_RATE=$(sed -n 's/.*"translations_per_sec": \([0-9.]*\).*/\1/p' BENCH_pr9.json)
+SPEEDUP=$(sed -n 's/.*"speedup_vs_reference": \([0-9.]*\).*/\1/p' "$PERF_DIR/pr9.json")
+rm -rf "$PERF_DIR"
+[ -n "$NEW_RATE" ] && [ -n "$OLD_RATE" ] && [ -n "$SPEEDUP" ] || {
+  echo "FAIL: could not read translation rates from BENCH_pr9.json"; exit 1; }
+awk -v new="$NEW_RATE" -v old="$OLD_RATE" 'BEGIN { exit !(new >= 0.7 * old) }' || {
+  echo "FAIL: translations/sec regressed >30%: $NEW_RATE vs committed $OLD_RATE"; exit 1; }
+awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 5.0) }' || {
+  echo "FAIL: fast-path speedup ${SPEEDUP}x < 5x over the reference emitter"; exit 1; }
+echo "fast path: $NEW_RATE tr/s (committed $OLD_RATE), speedup ${SPEEDUP}x"
+
 echo "== AOT gate: oracle differential + validator, both unknown-site policies"
 # `mdabench aot` checks the static translation of the whole image
 # against the pure-interpreter oracle (registers + memory digest), that

@@ -1657,4 +1657,27 @@ let () =
         trace_cmd; hot_cmd; list_cmd; info_cmd; asm_cmd; fuzz_asm_cmd; disasm_cmd;
         disasm_host_cmd ]
   in
-  exit (Cmd.eval' (Cmd.group info cmds))
+  (* Typed failures from the translation layer surface as diagnostics,
+     not backtraces: a guest instruction the code generator cannot lower
+     ([Translate.Error], also re-raised by the runtime as
+     [Runtime_error]) is a property of the input program. The code cache
+     is guaranteed untouched when these fire. [~catch:false]: cmdliner
+     would otherwise swallow the exception as "internal error" before
+     this match could see it. *)
+  match Cmd.eval' ~catch:false (Cmd.group info cmds) with
+  | rc -> exit rc
+  | exception Bt.Translate.Error e ->
+    Printf.eprintf "mdabench: %s\n" (Bt.Translate.error_to_string e);
+    exit 3
+  | exception Bt.Runtime.Runtime_error msg ->
+    Printf.eprintf "mdabench: %s\n" msg;
+    exit 3
+  (* bad user input that bubbles up as a stdlib exception (unknown
+     benchmark name, missing trace file): a one-line diagnostic, not a
+     backtrace *)
+  | exception Invalid_argument msg ->
+    Printf.eprintf "mdabench: %s\n" msg;
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "mdabench: %s\n" msg;
+    exit 2

@@ -104,16 +104,30 @@ let translate_image ?(max_blocks = 65536) ?rules ~summary ~unknown mem ~entry =
   | None ->
     let blocks = List.rev !order in
     let cache = Code_cache.create () in
+    let scratch = Translate.create_scratch () in
     let guest_insns = ref 0 in
-    (* emit every block once, in discovery order *)
+    (* emit every block once, in discovery order, through one arena. A
+       lowering failure aborts the whole image — the failed block never
+       reached the cache, but a partial image would dispatch-miss at
+       runtime anyway, so surface it as the image-level error it is. *)
+    let trans_error = ref None in
     List.iter
       (fun (block : Block.t) ->
-        let brec = Code_cache.block cache block.Block.start in
-        let entry = Translate.translate ?rules ~cache ~policy_of block in
-        brec.entry <- Some entry;
-        brec.host_range <- Some (entry, Code_cache.length cache);
-        guest_insns := !guest_insns + Block.length block)
+        if !trans_error = None then begin
+          let brec = Code_cache.block cache block.Block.start in
+          match Translate.translate ?rules ~scratch ~cache ~policy_of block with
+          | entry ->
+            brec.entry <- Some entry;
+            brec.host_range <- Some (entry, Code_cache.length cache);
+            guest_insns := !guest_insns + Block.length block
+          | exception Translate.Error e ->
+            trans_error :=
+              Some (Printf.sprintf "AOT %s" (Translate.error_to_string e))
+        end)
       blocks;
+    match !trans_error with
+    | Some msg -> Error msg
+    | None ->
     (* pre-chain every static exit: with all entry points known, each
        [Monitor (Next_guest g)] becomes a direct branch — the work the
        dynamic runtime spreads over first executions, done offline. The

@@ -60,6 +60,15 @@ let create ?(initial = 4096) () =
 
 let length t = t.len
 
+(* Full cache flush: drop all translated code, sites and block records
+   but keep the backing store (real DBTs reserve the cache once and
+   flush in place). [Hashtbl.clear] rather than [reset] so the bucket
+   arrays keep their grown size across flush/refill cycles. *)
+let flush t =
+  t.len <- 0;
+  Hashtbl.clear t.sites;
+  Hashtbl.clear t.blocks
+
 let ensure t extra =
   if t.len + extra > Array.length t.code then begin
     let cap = ref (Array.length t.code) in
@@ -71,6 +80,28 @@ let ensure t extra =
     t.code <- code
   end
 
+(* Direct-emission support for the single-pass translator: it writes a
+   block straight into the backing store past [len], then publishes the
+   new length with one store once the block has resolved. [reserve]
+   only grows capacity — the whole old array is copied, because the
+   unpublished tail may already hold the block being emitted. An
+   abandoned (error) block needs no undo: it was never published. *)
+let reserve t n =
+  if n > Array.length t.code then begin
+    let cap = ref (max 16 (Array.length t.code)) in
+    while n > !cap do
+      cap := !cap * 2
+    done;
+    let code = Array.make !cap H.Nop in
+    Array.blit t.code 0 code 0 (Array.length t.code);
+    t.code <- code
+  end
+
+let publish t n =
+  if n < t.len || n > Array.length t.code then
+    invalid_arg (Printf.sprintf "Code_cache.publish: bad length %d" n);
+  t.len <- n
+
 (* Append instructions; returns the pc of the first one. *)
 let emit t insns =
   let n = List.length insns in
@@ -78,6 +109,16 @@ let emit t insns =
   let start = t.len in
   List.iteri (fun i insn -> t.code.(start + i) <- insn) insns;
   t.len <- start + n;
+  start
+
+(* Append the first [len] instructions of [src] in one blit; returns the
+   pc of the first one. The single-pass emitter's whole block lands in
+   the cache through this. *)
+let emit_blit t src ~len =
+  ensure t len;
+  let start = t.len in
+  Array.blit src 0 t.code start len;
+  t.len <- start + len;
   start
 
 let fetch t pc =

@@ -49,8 +49,29 @@ val create : ?initial:int -> unit -> t
 
 val length : t -> int
 
+(** Full cache flush: drop all translated code, sites and block records
+    but keep the backing store, as a real DBT flushing its reserved
+    cache region does. The [patches] statistic survives. *)
+val flush : t -> unit
+
 (** Append instructions; returns the pc of the first. *)
 val emit : t -> H.insn list -> int
+
+(** [emit_blit t src ~len] appends the first [len] instructions of
+    [src] in one array blit; returns the pc of the first. *)
+val emit_blit : t -> H.insn array -> len:int -> int
+
+(** [reserve t n] grows the backing store to at least [n] slots without
+    publishing anything. The single-pass translator emits each block
+    directly into the store past [length t], then commits it with
+    {!publish}; an abandoned block simply never gets published. *)
+val reserve : t -> int -> unit
+
+(** [publish t n] makes the instructions up to (exclusive) index [n] —
+    written directly into [t.code] after a {!reserve} — visible as
+    translated code. Raises [Invalid_argument] if [n] shrinks the cache
+    or exceeds the reserved capacity. *)
+val publish : t -> int -> unit
 
 (** Raises {!Mda_machine.Cpu.Fatal} out of range (a wild branch). *)
 val fetch : t -> int -> H.insn

@@ -136,6 +136,8 @@ type t = {
   (* guest addrs permanently degraded to OS fixup; keyed outside the
      code cache so the verdict survives eviction and retranslation *)
   patch_attempts : (int, int) Hashtbl.t; (* guest addr -> failed patch attempts *)
+  scratch : Translate.scratch;
+  (* this runtime's emission arena, reused across every translation *)
 }
 
 let create ?(config = default_config (Mechanism.Exception_handling { rearrange = false }))
@@ -161,7 +163,8 @@ let create ?(config = default_config (Mechanism.Exception_handling { rearrange =
       fuel_left = max 0 config.fuel;
       lru_tick = 0;
       degraded = Hashtbl.create 8;
-      patch_attempts = Hashtbl.create 8 }
+      patch_attempts = Hashtbl.create 8;
+      scratch = Translate.create_scratch () }
   in
   (* A pre-populated (AOT) cache arrives with its translations already
      emitted, so seed the expansion-ratio counters the dynamic path
@@ -428,8 +431,13 @@ let translate_block ?(charge = true) t (brec : Code_cache.block_rec) =
     | Some rs -> (Mda_host.Peephole.total_hits rs, Mda_host.Peephole.total_saved rs)
   in
   let entry =
-    Translate.translate ?rules:t.config.rules ~cache:t.cache
-      ~policy_of:(policy_for t brec) block
+    try
+      Translate.translate ?rules:t.config.rules ~scratch:t.scratch ~cache:t.cache
+        ~policy_of:(policy_for t brec) block
+    with Translate.Error e ->
+      (* the arena never touched the cache, so the runtime state is
+         intact; surface the lowering failure as a runtime error *)
+      fail "%s" (Translate.error_to_string e)
   in
   (match t.config.rules with
   | None -> ()

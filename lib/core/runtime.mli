@@ -89,6 +89,8 @@ type t = {
           the code cache so the verdict survives eviction *)
   patch_attempts : (int, int) Hashtbl.t;
       (** guest addr → failed patch attempts so far *)
+  scratch : Translate.scratch;
+      (** this runtime's emission arena, reused across translations *)
 }
 
 (** Fresh runtime over [mem] (which must already hold the guest image).
@@ -101,6 +103,9 @@ val create : ?config:config -> ?cache:Code_cache.t -> mem:Mda_machine.Memory.t -
 (** The runtime's counter registry (same value as the [counters] field). *)
 val counters : t -> Counters.t
 
+(** Unrecoverable run failure: undecodable guest code, or a block the
+    code generator cannot lower ({!Translate.Error}, re-raised here with
+    the faulting guest address — the code cache is left untouched). *)
 exception Runtime_error of string
 
 (** Pure-interpreter (or native-x86) execution of a whole program with

@@ -1,8 +1,7 @@
-(* Guest→host code generation.
+(* Guest→host code generation: the single-pass template emitter.
 
-   Translates one guest basic block into alphalite code in the code
-   cache, applying a per-instruction MDA policy decided by the active
-   mechanism:
+   Translates one guest basic block into alphalite code, applying a
+   per-instruction MDA policy decided by the active mechanism:
 
    - [Normal]: emit the plain aligned load/store. If the address turns
      out misaligned at run time, the host traps — and the exception-
@@ -20,7 +19,30 @@
    and Test — the canonical producers — always materialize the flag
    registers; arithmetic instructions do not. Well-formed guest programs
    (and our workload generators) test conditions only through Cmp/Test,
-   so the two execution engines agree on all observable state. *)
+   so the two execution engines agree on all observable state.
+
+   Emission strategy. Host instructions go straight into the code
+   cache's backing store, past its published length ({!Code_cache.reserve}
+   grows capacity without publishing), in one pass over the guest
+   instructions. Block-local labels (multi-version code, conditional-
+   exit shapes) are always *forward* references, so they are resolved
+   by backpatching the recorded branch slots once the block is fully
+   emitted; there is no separate layout pass and no final copy — the
+   finished block is committed by a single {!Code_cache.publish}
+   pointer bump. MDA sequences are blitted from the
+   {!Mda_host.Mda_seq.template} memo. The reference list-based emitter
+   this replaces is kept verbatim in {!Translate_ref}; a qcheck
+   property holds the two byte-identical.
+
+   The peephole tier survives the restructure as an in-place compaction:
+   during emission every patchable site slot and local-branch slot is
+   recorded as a width-1 "cut" and every label binding as a width-0 cut,
+   in position order. Applying rules then rewrites each maximal plain
+   run between cuts in place ({!Mda_host.Peephole.rewrite_in_place}),
+   sliding barrier instructions down and remapping site pcs, branch
+   slots and label positions monotonically — so patch-slot shapes,
+   their pcs relative to the block, and branch targets remain exactly
+   what the resumability lint and the trap handler expect. *)
 
 module G = Mda_guest.Isa
 module H = Mda_host.Isa
@@ -28,32 +50,415 @@ module Seq = Mda_host.Mda_seq
 
 type policy = Normal | Seq_always | Multi
 
-(* Local items: host instructions plus block-local label references
-   (multi-version code and conditional-exit shapes need short forward
-   branches whose pcs are unknown until layout). *)
-type item =
-  | Ins of H.insn
-  | Ins_site of H.insn * Seq.mem_op * int (* restricted access + guest addr *)
-  | Lbl of int
-  | Br_local of int
-  | Bc_local of H.bcond * H.reg * int
+(* --- typed translation errors ------------------------------------------ *)
 
-type builder = {
-  mutable items : item list; (* reversed *)
-  mutable next_label : int;
-  policy_of : int -> policy;
+(* A guest instruction the code generator cannot lower (an immediate or
+   displacement beyond the 32-bit ldah/lda range) must not escape as
+   [Invalid_argument] mid-emission: callers need to know which guest
+   address is at fault, and the code cache must be left untouched.
+   Direct emission makes the latter automatic — the partial block sits
+   beyond the cache's published length and is never published. *)
+type error = { guest_addr : int; reason : string }
+
+exception Error of error
+
+let error_to_string e =
+  Printf.sprintf "translate: guest %#x: %s" e.guest_addr e.reason
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (error_to_string e)
+    | _ -> None)
+
+(* --- the scratch arena -------------------------------------------------- *)
+
+let dummy_op : Seq.mem_op =
+  { kind = `Load; data = 0; base = 0; disp = 0; width = 2; signed = false }
+
+(* --- instruction interning ---------------------------------------------
+
+   Every emitted instruction lands in the cache as a boxed, immutable
+   record. Allocating those records fresh makes the whole block young
+   at the next minor collection — and since the cache keeps them live,
+   the GC promotes every single one, which costs far more than the
+   emission itself (measured ~80ns/insn of write-barrier + promotion +
+   major-heap churn, against ~4ns to allocate).
+
+   The MDA templates already dodge this by blitting shared arrays of
+   old records. Interning extends the same idea to individual
+   instructions: a scratch-owned table maps a packed integer key to a
+   canonical (major-heap) record, so steady-state translation emits
+   pointers to old values and allocates nothing that survives. Safe
+   because [H.insn] is immutable and every consumer — the validator,
+   the peephole tier, [Code_cache.patch] — compares structurally or
+   replaces whole slots.
+
+   Instructions are keyed by {!Mda_host.Isa.pack} (injective over the
+   packable subset; unpackable instructions are simply emitted fresh)
+   in a small open-addressing table — one multiply hash and a couple of
+   array reads on a hit, with no bucket or option allocation. *)
+
+type imap = {
+  mutable ikeys : int array; (* -1 = empty slot; power-of-two length *)
+  mutable ivals : H.insn array;
+  mutable iused : int;
 }
 
-let push b it = b.items <- it :: b.items
+let imap_max = 1 lsl 16
 
-let ins b i = push b (Ins i)
+let imap_create () =
+  { ikeys = Array.make 1024 (-1); ivals = Array.make 1024 H.Nop; iused = 0 }
 
-let ins_site b i op guest_addr = push b (Ins_site (i, op, guest_addr))
+(* Slot of [key], or of the empty slot where it belongs (linear
+   probing; the load factor is kept below 3/4, so this terminates).
+   Toplevel recursion rather than an inner [go]: a local closure would
+   be allocated afresh on every probe, and this runs once per emitted
+   instruction. [i] is masked, hence in bounds. *)
+let rec imap_probe keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key || k = -1 then i else imap_probe keys mask key ((i + 1) land mask)
+
+let imap_slot keys key =
+  let mask = Array.length keys - 1 in
+  imap_probe keys mask key ((key * 0x9E3779B1) land mask)
+
+let imap_grow t =
+  let old_keys = t.ikeys and old_vals = t.ivals in
+  let cap = Array.length old_keys in
+  if cap >= imap_max then begin
+    (* bounded like the template memo: a long-lived arena cannot leak *)
+    Array.fill t.ikeys 0 cap (-1);
+    Array.fill t.ivals 0 cap H.Nop;
+    t.iused <- 0
+  end
+  else begin
+    t.ikeys <- Array.make (2 * cap) (-1);
+    t.ivals <- Array.make (2 * cap) H.Nop;
+    t.iused <- 0;
+    for i = 0 to cap - 1 do
+      let k = old_keys.(i) in
+      if k >= 0 then begin
+        let s = imap_slot t.ikeys k in
+        t.ikeys.(s) <- k;
+        t.ivals.(s) <- old_vals.(i);
+        t.iused <- t.iused + 1
+      end
+    done
+  end
+
+type scratch = {
+  (* Where the block is being emitted: an alias of [dst.code], written
+     at absolute index [base + len]. All recorded positions (sites,
+     labels, fixups, cuts) stay relative to [base]. The alias is
+     refreshed whenever {!Code_cache.reserve} swaps the backing
+     array. *)
+  mutable dst : Code_cache.t;
+  mutable base : int;
+  mutable code : H.insn array;
+  mutable len : int;
+  (* patchable sites, in emission (= pc) order *)
+  mutable site_pc : int array;
+  mutable site_op : Seq.mem_op array;
+  mutable site_ga : int array;
+  mutable n_sites : int;
+  (* block-local labels: position once bound, -1 while only referenced *)
+  mutable lbl_pos : int array;
+  mutable next_label : int;
+  (* local-branch slots awaiting backpatch, in emission order *)
+  mutable fix_pc : int array;
+  mutable fix_lbl : int array;
+  mutable n_fix : int;
+  (* peephole cuts, in emission order: a label binding (width 0, the
+     label id) or a barrier instruction (width 1, tagged -1: a site or
+     a local-branch slot) *)
+  mutable cut_pos : int array;
+  mutable cut_lbl : int array;
+  mutable n_cuts : int;
+  mutable want_cuts : bool; (* recording is pointless without rules *)
+  (* current guest address, for error reports and site records *)
+  mutable cur_guest : int;
+  mutable policy_of : int -> policy;
+  templates : Seq.templates;
+  (* packed key -> canonical instruction record (see above) *)
+  itab : imap;
+}
+
+let no_policy : int -> policy = fun _ -> Normal
+
+let create_scratch ?(initial = 256) () =
+  (* [dst] is rebound to the caller's cache on every translation; the
+     private one only gives the arena a well-typed resting state. *)
+  let dst = Code_cache.create ~initial () in
+  { dst;
+    base = 0;
+    code = dst.Code_cache.code;
+    len = 0;
+    site_pc = Array.make 16 0;
+    site_op = Array.make 16 dummy_op;
+    site_ga = Array.make 16 0;
+    n_sites = 0;
+    lbl_pos = Array.make 16 (-1);
+    next_label = 0;
+    fix_pc = Array.make 16 0;
+    fix_lbl = Array.make 16 0;
+    n_fix = 0;
+    cut_pos = Array.make 32 0;
+    cut_lbl = Array.make 32 0;
+    n_cuts = 0;
+    want_cuts = false;
+    cur_guest = 0;
+    policy_of = no_policy;
+    templates = Seq.create_templates ();
+    itab = imap_create () }
+
+let fail b fmt =
+  Printf.ksprintf
+    (fun reason -> raise (Error { guest_addr = b.cur_guest; reason }))
+    fmt
+
+let grow_int a =
+  let n = Array.length a in
+  let a' = Array.make (2 * n) 0 in
+  Array.blit a 0 a' 0 n;
+  a'
+
+let ensure_code b extra =
+  let need = b.base + b.len + extra in
+  if need > Array.length b.code then begin
+    Code_cache.reserve b.dst need;
+    b.code <- b.dst.Code_cache.code
+  end
+
+(* Capacity is checked once per guest instruction, not per store: the
+   translation loop calls [ensure_code b insn_room] before each guest
+   instruction, and no single lowering emits more than ~40 host
+   instructions (the worst case is a read-modify-write under [Multi]
+   with a shifted index and a split displacement: two alignment-tested
+   access shapes plus the staged operand). Every emit helper below runs
+   within that reservation, so the stores are unchecked. *)
+let insn_room = 64
+
+let ins b i =
+  Array.unsafe_set b.code (b.base + b.len) i;
+  b.len <- b.len + 1
+
+(* Append a shared template array (treated read-only). Templates are
+   short (7–11 instructions), where a direct store loop beats the
+   [Array.blit] C call; the [insn_room] reservation bounds the
+   destination. *)
+let blit_ins b src =
+  let n = Array.length src in
+  let code = b.code and off = b.base + b.len in
+  for i = 0 to n - 1 do
+    Array.unsafe_set code (off + i) (Array.unsafe_get src i)
+  done;
+  b.len <- b.len + n
+
+(* Install [i] as the canonical record for [key] at empty slot [s]. *)
+let imiss b s key (i : H.insn) =
+  let t = b.itab in
+  t.ikeys.(s) <- key;
+  t.ivals.(s) <- i;
+  t.iused <- t.iused + 1;
+  if 4 * t.iused > 3 * Array.length t.ikeys then imap_grow t;
+  i
+
+(* The canonical record for [i], adopting [i] itself as canonical on a
+   miss. For a record already in hand; the emit helpers below instead
+   compute the key straight from the fields, so on a hit nothing is
+   allocated at all — the record is only built when the table has never
+   seen that key. *)
+let icanon b (i : H.insn) =
+  let key = H.pack i in
+  if key < 0 then i
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then Array.unsafe_get t.ivals s else imiss b s key i
+  end
+
+(* Operate format with the second operand known statically to be a
+   register / a small literal: no [H.operand] value is built at all on
+   an intern hit. *)
+let ins_opr_r b op ra rb rc =
+  let key = H.pack_opr_r op ra rb rc in
+  if key < 0 then ins b (H.Opr { op; ra; rb = Rb rb; rc })
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Opr { op; ra; rb = H.Rb rb; rc }))
+  end
+
+let ins_opr_l b op ra v rc =
+  let key = H.pack_opr_l op ra v rc in
+  if key < 0 then ins b (H.Opr { op; ra; rb = Lit v; rc })
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Opr { op; ra; rb = H.Lit v; rc }))
+  end
+
+let ins_bytem b op width high ra rb rc =
+  let key = H.pack_bytem op ~width ~high ra rb rc in
+  if key < 0 then ins b (H.Bytem { op; width; high; ra; rb; rc })
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Bytem { op; width; high; ra; rb; rc }))
+  end
+
+let ins_lda b ra rb disp =
+  let key = H.pack_lda ra rb disp in
+  if key < 0 then ins b (H.Lda { ra; rb; disp })
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Lda { ra; rb; disp }))
+  end
+
+let ins_ldah b ra rb disp =
+  let key = H.pack_ldah ra rb disp in
+  if key < 0 then ins b (H.Ldah { ra; rb; disp })
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Ldah { ra; rb; disp }))
+  end
+
+let ins_next_guest b target =
+  let key = H.pack_next_guest target in
+  if key < 0 then ins b (H.Monitor (Next_guest target))
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Monitor (Next_guest target)))
+  end
+
+let ins_dyn_guest b r =
+  let key = H.pack_dyn_guest r in
+  if key < 0 then ins b (H.Monitor (Dyn_guest r))
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Monitor (Dyn_guest r)))
+  end
+
+let ins_halt b =
+  let key = H.pack_halt in
+  let t = b.itab in
+  let s = imap_slot t.ikeys key in
+  if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+  else ins b (imiss b s key (H.Monitor Prog_halt))
+
+let ins_bcond b cond ra target =
+  let key = H.pack_bcond cond ra target in
+  if key < 0 then ins b (H.Bcond { cond; ra; target })
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then ins b (Array.unsafe_get t.ivals s)
+    else ins b (imiss b s key (H.Bcond { cond; ra; target }))
+  end
+
+(* Interned branch records for the backpatch pass (returned, not
+   emitted: resolution rewrites slots in place). Retranslations of the
+   same blocks — cache flush and refill, the steady state a long-lived
+   DBT reaches — hit these like any other interned instruction. *)
+let ibr b ra target =
+  let key = H.pack_br ra target in
+  if key < 0 then H.Br { ra; target }
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then Array.unsafe_get t.ivals s
+    else imiss b s key (H.Br { ra; target })
+  end
+
+let ibcond b cond ra target =
+  let key = H.pack_bcond cond ra target in
+  if key < 0 then H.Bcond { cond; ra; target }
+  else begin
+    let t = b.itab in
+    let s = imap_slot t.ikeys key in
+    if t.ikeys.(s) = key then Array.unsafe_get t.ivals s
+    else imiss b s key (H.Bcond { cond; ra; target })
+  end
+
+(* Cuts delimit the peephole tier's rewrite runs; they are consumed
+   only by [apply_rules], so recording them is skipped entirely when no
+   rule set is active. *)
+let cut b tag =
+  if b.want_cuts then begin
+    if b.n_cuts = Array.length b.cut_pos then begin
+      b.cut_pos <- grow_int b.cut_pos;
+      b.cut_lbl <- grow_int b.cut_lbl
+    end;
+    b.cut_pos.(b.n_cuts) <- b.len;
+    b.cut_lbl.(b.n_cuts) <- tag;
+    b.n_cuts <- b.n_cuts + 1
+  end
+
+let ins_site b i op guest_addr =
+  if b.n_sites = Array.length b.site_pc then begin
+    b.site_pc <- grow_int b.site_pc;
+    b.site_ga <- grow_int b.site_ga;
+    let n = Array.length b.site_op in
+    let a = Array.make (2 * n) dummy_op in
+    Array.blit b.site_op 0 a 0 n;
+    b.site_op <- a
+  end;
+  b.site_pc.(b.n_sites) <- b.len;
+  b.site_op.(b.n_sites) <- op;
+  b.site_ga.(b.n_sites) <- guest_addr;
+  b.n_sites <- b.n_sites + 1;
+  cut b (-1);
+  ins b i
 
 let fresh b =
   let l = b.next_label in
+  if l = Array.length b.lbl_pos then begin
+    let a = Array.make (2 * l) (-1) in
+    Array.blit b.lbl_pos 0 a 0 l;
+    b.lbl_pos <- a
+  end;
+  (* the arena is reused across blocks; clear any stale binding *)
+  b.lbl_pos.(l) <- -1;
   b.next_label <- l + 1;
   l
+
+let bind b l =
+  b.lbl_pos.(l) <- b.len;
+  cut b l
+
+let fixup b l =
+  if b.n_fix = Array.length b.fix_pc then begin
+    b.fix_pc <- grow_int b.fix_pc;
+    b.fix_lbl <- grow_int b.fix_lbl
+  end;
+  b.fix_pc.(b.n_fix) <- b.len;
+  b.fix_lbl.(b.n_fix) <- l;
+  b.n_fix <- b.n_fix + 1;
+  cut b (-1)
+
+(* Local branches carry target 0 until the backpatch pass. *)
+let br_placeholder = H.Br { ra = H.r31; target = 0 }
+
+let br_local b l =
+  fixup b l;
+  ins b br_placeholder
+
+let bc_local b cond ra l =
+  fixup b l;
+  ins_bcond b cond ra 0
+
+(* --- code generation ---------------------------------------------------- *)
 
 (* Scratch registers. *)
 let sc_val = H.scratch0 (* R13: condition / immediate staging *)
@@ -68,21 +473,31 @@ let fits16 v = v >= -32768 && v <= 32767
 
 (* Load a 32-bit immediate, Alpha-style (ldah/lda pair). *)
 let li b dst imm =
-  if fits16 imm then ins b (H.Lda { ra = dst; rb = H.r31; disp = imm })
+  if fits16 imm then ins_lda b dst H.r31 imm
   else begin
     let lo = ((imm land 0xFFFF) lxor 0x8000) - 0x8000 in
     let hi = (imm - lo) asr 16 in
-    if not (fits16 hi) then
-      invalid_arg (Printf.sprintf "Translate.li: immediate %d out of range" imm);
-    ins b (H.Ldah { ra = dst; rb = H.r31; disp = hi });
-    if lo <> 0 then ins b (H.Lda { ra = dst; rb = dst; disp = lo })
+    if not (fits16 hi) then fail b "immediate %d out of ldah/lda range" imm;
+    ins_ldah b dst H.r31 hi;
+    if lo <> 0 then ins_lda b dst dst lo
   end
 
-let mov b ~dst ~src = ins b (H.Opr { op = Bis; ra = src; rb = Rb H.r31; rc = dst })
+let mov b ~dst ~src = ins_opr_r b H.Bis src H.r31 dst
 
-(* Materialize a guest addressing-mode computation; returns the host base
-   register and a 16-bit displacement such that [base + disp] is the
-   effective address. May emit into [sc_addr]. *)
+(* Re-establish the longword convention: dst <- sext32(dst). *)
+let sext32 b dst = ins_opr_r b H.Addl H.r31 dst dst
+
+(* Materialize a guest addressing-mode computation; returns the host
+   base register and a 16-bit displacement such that [base + disp] is
+   the effective address, packed into one int ([(base lsl 17) lor
+   (disp + 0x8000)] — a result tuple would be the hot path's last
+   per-instruction allocation). May emit into [sc_addr]. *)
+let eff_pack base disp = (base lsl 17) lor (disp + 0x8000)
+
+let eff_base p = p lsr 17
+
+let eff_disp p = (p land 0x1FFFF) - 0x8000
+
 let eff b ({ base; index; disp } : G.addr) =
   let base_reg =
     match (base, index) with
@@ -94,7 +509,7 @@ let eff b ({ base; index; disp } : G.addr) =
         if scale = 1 then idx
         else begin
           let log2 = match scale with 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false in
-          ins b (H.Opr { op = Sll; ra = idx; rb = Lit log2; rc = sc_addr });
+          ins_opr_l b H.Sll idx log2 sc_addr;
           sc_addr
         end
       in
@@ -106,36 +521,35 @@ let eff b ({ base; index; disp } : G.addr) =
         end
         else shifted
       | Some br ->
-        ins b (H.Opr { op = Addq; ra = G.reg_index br; rb = Rb shifted; rc = sc_addr });
+        ins_opr_r b H.Addq (G.reg_index br) shifted sc_addr;
         sc_addr)
   in
-  if fits16 disp then (base_reg, disp)
+  if fits16 disp then eff_pack base_reg disp
   else begin
     let lo = ((disp land 0xFFFF) lxor 0x8000) - 0x8000 in
     let hi = (disp - lo) asr 16 in
-    if not (fits16 hi) then
-      invalid_arg (Printf.sprintf "Translate.eff: displacement %d out of range" disp);
-    ins b (H.Ldah { ra = sc_addr; rb = base_reg; disp = hi });
-    (sc_addr, lo)
+    if not (fits16 hi) then fail b "displacement %d out of ldah/lda range" disp;
+    ins_ldah b sc_addr base_reg hi;
+    eff_pack sc_addr lo
   end
 
-(* Operate-format second operand for a guest operand, staging large
-   immediates in [stage]. *)
-let operand b ~stage = function
-  | G.Reg r -> H.Rb (G.reg_index r)
+(* dst <- dst OP src for a guest operand, staging large immediates in
+   [sc_val]. *)
+let binop_rhs b op dst src =
+  match src with
+  | G.Reg sr -> ins_opr_r b op dst (G.reg_index sr) dst
   | G.Imm i ->
     let v = Int32.to_int i in
-    if v >= 0 && v <= 255 then H.Lit v
+    if v >= 0 && v <= 255 then ins_opr_l b op dst v dst
     else begin
-      li b stage v;
-      H.Rb stage
+      li b sc_val v;
+      ins_opr_r b op dst sc_val dst
     end
 
-(* Emit an aligned memory access with its patch site, per [policy]. *)
-let mem_access b ~guest_addr ~kind ~data ~base ~disp ~width ~signed =
-  let site : Seq.mem_op = { kind; data; base; disp; width; signed } in
-  let aligned_insn =
-    match (kind, width) with
+(* The plain aligned instruction for an access, interned. *)
+let aligned_access b ~kind ~data ~base ~disp ~width =
+  icanon b
+    (match (kind, width) with
     | `Load, 1 -> H.Ldbu { ra = data; rb = base; disp }
     | `Load, 2 -> H.Ldwu { ra = data; rb = base; disp }
     | `Load, 4 -> H.Ldl { ra = data; rb = base; disp }
@@ -144,157 +558,174 @@ let mem_access b ~guest_addr ~kind ~data ~base ~disp ~width ~signed =
     | `Store, 2 -> H.Stw { ra = data; rb = base; disp }
     | `Store, 4 -> H.Stl { ra = data; rb = base; disp }
     | `Store, 8 -> H.Stq { ra = data; rb = base; disp }
-    | _ -> assert false
-  in
-  let fixup () =
-    (* post-load canonicalization to the guest value convention *)
-    match (kind, width, signed) with
-    | `Load, 1, true -> ins b (H.Opr { op = Sextb; ra = H.r31; rb = Rb data; rc = data })
-    | `Load, 2, true -> ins b (H.Opr { op = Sextw; ra = H.r31; rb = Rb data; rc = data })
-    | _ -> () (* Ldl sign-extends; Ldbu/Ldwu zero-extend; Ldq is full width *)
-  in
+    | _ -> assert false)
+
+(* Post-load canonicalization to the guest value convention. *)
+let load_fixup b ~kind ~width ~signed ~data =
+  match (kind, width, signed) with
+  | `Load, 1, true -> ins_opr_r b H.Sextb H.r31 data data
+  | `Load, 2, true -> ins_opr_r b H.Sextw H.r31 data data
+  | _ -> () (* Ldl sign-extends; Ldbu/Ldwu zero-extend; Ldq is full width *)
+
+(* Emit an aligned memory access with its patch site, per [policy]. MDA
+   sequences come from the template memo: a table lookup plus one blit;
+   the site {!Seq.mem_op} is only built on the path that registers
+   it. *)
+let mem_access b ~guest_addr ~kind ~data ~base ~disp ~width ~signed =
   let policy = if width = 1 then Normal else b.policy_of guest_addr in
   match policy with
   | Normal ->
-    if width = 1 then ins b aligned_insn else ins_site b aligned_insn site guest_addr;
-    fixup ()
+    if width = 1 then ins b (aligned_access b ~kind ~data ~base ~disp ~width)
+    else
+      ins_site b
+        (aligned_access b ~kind ~data ~base ~disp ~width)
+        { kind; data; base; disp; width; signed }
+        guest_addr;
+    load_fixup b ~kind ~width ~signed ~data
   | Seq_always ->
-    List.iter (ins b) (Seq.emit site);
-    (match (kind, width, signed) with
-    | `Load, 1, true | `Load, 2, true -> () (* sequence already fixes up *)
-    | _ -> ())
+    (* the sequence already performs any sign/zero fixup *)
+    blit_ins b (Seq.template_op b.templates ~kind ~data ~base ~disp ~width ~signed)
   | Multi ->
     (* Figure 8 (left): test the effective address, run the plain access
        when aligned, the MDA sequence otherwise. *)
     let l_mda = fresh b and l_next = fresh b in
-    ins b (H.Lda { ra = sc_ea; rb = base; disp });
-    ins b (H.Opr { op = And; ra = sc_ea; rb = Lit (width - 1); rc = sc_val });
-    push b (Bc_local (H.Bne, sc_val, l_mda));
-    ins b aligned_insn;
-    fixup ();
-    push b (Br_local l_next);
-    push b (Lbl l_mda);
-    List.iter (ins b) (Seq.emit { site with base = sc_ea; disp = 0 });
-    push b (Lbl l_next)
+    ins_lda b sc_ea base disp;
+    ins_opr_l b H.And sc_ea (width - 1) sc_val;
+    bc_local b H.Bne sc_val l_mda;
+    ins b (aligned_access b ~kind ~data ~base ~disp ~width);
+    load_fixup b ~kind ~width ~signed ~data;
+    br_local b l_next;
+    bind b l_mda;
+    blit_ins b (Seq.template_op b.templates ~kind ~data ~base:sc_ea ~disp:0 ~width ~signed);
+    bind b l_next
 
 (* Conditional exit on a guest condition: branch to [l_taken] when the
    condition (over R10/R11/R12) holds. *)
 let cond_branch b (c : G.cond) l_taken =
-  let cmp op =
-    ins b (H.Opr { op; ra = H.cmp_a; rb = Rb H.cmp_b; rc = sc_val });
-    sc_val
-  in
-  let zext32 src dst =
-    ins b (H.Bytem { op = Ext; width = 4; high = false; ra = src; rb = Lit 0; rc = dst })
-  in
   match c with
-  | Eq -> push b (Bc_local (H.Beq, H.cmp_diff, l_taken))
-  | Ne -> push b (Bc_local (H.Bne, H.cmp_diff, l_taken))
-  | Lt -> push b (Bc_local (H.Bne, cmp Cmplt, l_taken))
-  | Le -> push b (Bc_local (H.Bne, cmp Cmple, l_taken))
-  | Gt -> push b (Bc_local (H.Beq, cmp Cmple, l_taken))
-  | Ge -> push b (Bc_local (H.Beq, cmp Cmplt, l_taken))
+  | Eq -> bc_local b H.Beq H.cmp_diff l_taken
+  | Ne -> bc_local b H.Bne H.cmp_diff l_taken
+  | Lt ->
+    ins_opr_r b H.Cmplt H.cmp_a H.cmp_b sc_val;
+    bc_local b H.Bne sc_val l_taken
+  | Le ->
+    ins_opr_r b H.Cmple H.cmp_a H.cmp_b sc_val;
+    bc_local b H.Bne sc_val l_taken
+  | Gt ->
+    ins_opr_r b H.Cmple H.cmp_a H.cmp_b sc_val;
+    bc_local b H.Beq sc_val l_taken
+  | Ge ->
+    ins_opr_r b H.Cmplt H.cmp_a H.cmp_b sc_val;
+    bc_local b H.Beq sc_val l_taken
   | Ult | Ule ->
     (* unsigned compares act on the 32-bit patterns *)
-    zext32 H.cmp_a sc_val;
-    zext32 H.cmp_b sc_x;
-    let op : H.oper = if c = Ult then Cmpult else Cmpule in
-    ins b (H.Opr { op; ra = sc_val; rb = Rb sc_x; rc = sc_val });
-    push b (Bc_local (H.Bne, sc_val, l_taken))
+    ins_bytem b H.Ext 4 false H.cmp_a (H.Lit 0) sc_val;
+    ins_bytem b H.Ext 4 false H.cmp_b (H.Lit 0) sc_x;
+    ins_opr_r b (if c = Ult then H.Cmpult else H.Cmpule) sc_val sc_x sc_val;
+    bc_local b H.Bne sc_val l_taken
 
-(* Translate one guest instruction. *)
+let esp = G.reg_index G.ESP
+
+(* Translate one guest instruction. [i] is a valid index of [block]
+   (the translation loop iterates its length), so the reads are
+   unchecked. *)
 let guest_insn b block i =
-  let guest_addr = block.Block.addrs.(i) in
+  let guest_addr = Array.unsafe_get block.Block.addrs i in
+  b.cur_guest <- guest_addr;
   let r = G.reg_index in
-  let esp = r G.ESP in
-  match block.Block.insns.(i) with
+  match Array.unsafe_get block.Block.insns i with
   | G.Load { dst; src; size; signed } ->
-    let base, disp = eff b src in
+    let ea = eff b src in
+    let base = eff_base ea and disp = eff_disp ea in
     let width = G.size_bytes size in
     (* 32-bit loads always re-establish the longword convention *)
     let signed = match size with G.S4 -> true | G.S8 -> false | _ -> signed in
     mem_access b ~guest_addr ~kind:`Load ~data:(r dst) ~base ~disp ~width ~signed
   | G.Store { src; dst; size } ->
-    let base, disp = eff b dst in
+    let ea = eff b dst in
+    let base = eff_base ea and disp = eff_disp ea in
     mem_access b ~guest_addr ~kind:`Store ~data:(r src) ~base ~disp
       ~width:(G.size_bytes size) ~signed:false
   | G.Mov_imm { dst; imm } -> li b (r dst) (Int32.to_int imm)
   | G.Mov_reg { dst; src } -> mov b ~dst:(r dst) ~src:(r src)
   | G.Binop { op; dst; src } -> begin
     let dst = r dst in
-    let sext () = ins b (H.Opr { op = Addl; ra = H.r31; rb = Rb dst; rc = dst }) in
     match op with
-    | G.Add ->
-      let rb = operand b ~stage:sc_val src in
-      ins b (H.Opr { op = Addl; ra = dst; rb; rc = dst })
-    | G.Sub ->
-      let rb = operand b ~stage:sc_val src in
-      ins b (H.Opr { op = Subl; ra = dst; rb; rc = dst })
-    | G.And ->
-      let rb = operand b ~stage:sc_val src in
-      ins b (H.Opr { op = And; ra = dst; rb; rc = dst })
-    | G.Or ->
-      let rb = operand b ~stage:sc_val src in
-      ins b (H.Opr { op = Bis; ra = dst; rb; rc = dst })
-    | G.Xor ->
-      let rb = operand b ~stage:sc_val src in
-      ins b (H.Opr { op = Xor; ra = dst; rb; rc = dst })
+    | G.Add -> binop_rhs b H.Addl dst src
+    | G.Sub -> binop_rhs b H.Subl dst src
+    | G.And -> binop_rhs b H.And dst src
+    | G.Or -> binop_rhs b H.Bis dst src
+    | G.Xor -> binop_rhs b H.Xor dst src
     | G.Imul ->
-      let rb = operand b ~stage:sc_val src in
-      ins b (H.Opr { op = Mulq; ra = dst; rb; rc = dst });
-      sext ()
+      binop_rhs b H.Mulq dst src;
+      sext32 b dst
     | G.Shl | G.Shr | G.Sar ->
       (* x86 masks shift counts to 5 bits *)
       let amount =
         match src with
-        | G.Imm i -> H.Lit (Int32.to_int i land 31)
+        | G.Imm i -> Int32.to_int i land 31
         | G.Reg sr ->
-          ins b (H.Opr { op = And; ra = r sr; rb = Lit 31; rc = sc_val });
-          H.Rb sc_val
+          ins_opr_l b H.And (r sr) 31 sc_val;
+          -1 (* staged in sc_val *)
+      in
+      let shift sh =
+        if amount >= 0 then ins_opr_l b sh dst amount dst
+        else ins_opr_r b sh dst sc_val dst
       in
       (match op with
       | G.Shl ->
-        ins b (H.Opr { op = Sll; ra = dst; rb = amount; rc = dst });
-        sext ()
+        shift H.Sll;
+        sext32 b dst
       | G.Shr ->
         (* logical shift of the 32-bit pattern *)
-        ins b (H.Bytem { op = Ext; width = 4; high = false; ra = dst; rb = Lit 0; rc = dst });
-        ins b (H.Opr { op = Srl; ra = dst; rb = amount; rc = dst });
-        sext ()
+        ins_bytem b H.Ext 4 false dst (H.Lit 0) dst;
+        shift H.Srl;
+        sext32 b dst
       | G.Sar ->
-        ins b (H.Opr { op = Sra; ra = dst; rb = amount; rc = dst });
+        shift H.Sra;
         (* re-canonicalize: the source may hold a raw 64-bit value (an
            S8 load), whose arithmetic shift is not 32-bit clean *)
-        sext ()
+        sext32 b dst
       | _ -> assert false)
   end
   | G.Cmp { a; b = rhs } ->
     mov b ~dst:H.cmp_a ~src:(r a);
-    (match operand b ~stage:H.cmp_b rhs with
-    | H.Rb reg when reg = H.cmp_b -> () (* already staged *)
-    | H.Rb reg -> mov b ~dst:H.cmp_b ~src:reg
-    | H.Lit v -> ins b (H.Lda { ra = H.cmp_b; rb = H.r31; disp = v }));
-    ins b (H.Opr { op = Subq; ra = H.cmp_a; rb = Rb H.cmp_b; rc = H.cmp_diff })
+    (match rhs with
+    | G.Reg sr ->
+      let reg = r sr in
+      if reg <> H.cmp_b then mov b ~dst:H.cmp_b ~src:reg
+    | G.Imm i ->
+      let v = Int32.to_int i in
+      if v >= 0 && v <= 255 then ins_lda b H.cmp_b H.r31 v else li b H.cmp_b v);
+    ins_opr_r b H.Subq H.cmp_a H.cmp_b H.cmp_diff
   | G.Test { a; b = rhs } ->
-    let rb = operand b ~stage:sc_val rhs in
-    ins b (H.Opr { op = And; ra = r a; rb; rc = H.cmp_a });
-    ins b (H.Lda { ra = H.cmp_b; rb = H.r31; disp = 0 });
+    (match rhs with
+    | G.Reg sr -> ins_opr_r b H.And (r a) (r sr) H.cmp_a
+    | G.Imm i ->
+      let v = Int32.to_int i in
+      if v >= 0 && v <= 255 then ins_opr_l b H.And (r a) v H.cmp_a
+      else begin
+        li b sc_val v;
+        ins_opr_r b H.And (r a) sc_val H.cmp_a
+      end);
+    ins_lda b H.cmp_b H.r31 0;
     mov b ~dst:H.cmp_diff ~src:H.cmp_a
   | G.Lea { dst; src } ->
-    let base, disp = eff b src in
-    ins b (H.Lda { ra = r dst; rb = base; disp });
-    ins b (H.Opr { op = Addl; ra = H.r31; rb = Rb (r dst); rc = r dst })
+    let ea = eff b src in
+    let base = eff_base ea and disp = eff_disp ea in
+    ins_lda b (r dst) base disp;
+    sext32 b (r dst)
   | G.Rmw { op; dst; src; size } ->
     (* load into the accumulator, operate, store back. Both halves get
        their own patch site / policy treatment; the ordering keeps the
        scratch registers disjoint (the operand is staged only after the
        load path, which may use sc_val/sc_ea for its multi-version
        check). *)
-    let base, disp = eff b dst in
+    let ea = eff b dst in
+    let base = eff_base ea and disp = eff_disp ea in
     let width = G.size_bytes size in
     mem_access b ~guest_addr ~kind:`Load ~data:sc_x ~base ~disp ~width
       ~signed:(size = G.S4);
-    let rb = operand b ~stage:sc_val src in
     let host_op : H.oper =
       match op with
       | G.Add -> Addl
@@ -302,111 +733,147 @@ let guest_insn b block i =
       | G.And -> And
       | G.Or -> Bis
       | G.Xor -> Xor
-      | _ -> invalid_arg "Translate: illegal RMW operation"
+      | _ -> fail b "illegal RMW operation"
     in
-    ins b (H.Opr { op = host_op; ra = sc_x; rb; rc = sc_x });
+    binop_rhs b host_op sc_x src;
     mem_access b ~guest_addr ~kind:`Store ~data:sc_x ~base ~disp ~width ~signed:false
   | G.Push src ->
-    ins b (H.Lda { ra = esp; rb = esp; disp = -4 });
+    ins_lda b esp esp (-4);
     mem_access b ~guest_addr ~kind:`Store ~data:(r src) ~base:esp ~disp:0 ~width:4
       ~signed:false
   | G.Pop dst ->
     mem_access b ~guest_addr ~kind:`Load ~data:(r dst) ~base:esp ~disp:0 ~width:4
       ~signed:true;
-    ins b (H.Lda { ra = esp; rb = esp; disp = 4 })
-  | G.Jmp t -> ins b (H.Monitor (Next_guest t))
+    ins_lda b esp esp 4
+  | G.Jmp t -> ins_next_guest b t
   | G.Jcc { cond; target } ->
     let l_taken = fresh b in
     cond_branch b cond l_taken;
-    ins b (H.Monitor (Next_guest (Block.addr_after block i)));
-    push b (Lbl l_taken);
-    ins b (H.Monitor (Next_guest target))
+    ins_next_guest b (Block.addr_after block i);
+    bind b l_taken;
+    ins_next_guest b target
   | G.Call t ->
     li b sc_val (Block.addr_after block i);
-    ins b (H.Lda { ra = esp; rb = esp; disp = -4 });
+    ins_lda b esp esp (-4);
     mem_access b ~guest_addr ~kind:`Store ~data:sc_val ~base:esp ~disp:0 ~width:4
       ~signed:false;
-    ins b (H.Monitor (Next_guest t))
+    ins_next_guest b t
   | G.Ret ->
     mem_access b ~guest_addr ~kind:`Load ~data:sc_val ~base:esp ~disp:0 ~width:4
       ~signed:true;
-    ins b (H.Lda { ra = esp; rb = esp; disp = 4 });
-    ins b (H.Monitor (Dyn_guest sc_val))
+    ins_lda b esp esp 4;
+    ins_dyn_guest b sc_val
   | G.Nop -> ()
-  | G.Halt -> ins b (H.Monitor Prog_halt)
+  | G.Halt -> ins_halt b
 
-(* Lay the item list out at [start], resolving local labels, and collect
-   (relative pc, site) registrations. *)
-let layout items ~start =
-  let label_pos = Hashtbl.create 16 in
-  let pc = ref start in
-  (* pass 1: label addresses *)
-  List.iter
-    (fun it ->
-      match it with
-      | Lbl l -> Hashtbl.replace label_pos l !pc
-      | Ins _ | Ins_site _ | Br_local _ | Bc_local _ -> incr pc)
-    items;
-  let resolve l =
-    match Hashtbl.find_opt label_pos l with
-    | Some p -> p
-    | None -> invalid_arg (Printf.sprintf "Translate.layout: unbound local label %d" l)
-  in
-  (* pass 2: emit *)
-  let insns = ref [] and sites = ref [] in
-  let pc = ref start in
-  List.iter
-    (fun it ->
-      let emit i =
-        insns := i :: !insns;
-        incr pc
-      in
-      match it with
-      | Lbl _ -> ()
-      | Ins i -> emit i
-      | Ins_site (i, op, guest_addr) ->
-        sites := (!pc, op, guest_addr) :: !sites;
-        emit i
-      | Br_local l -> emit (H.Br { ra = H.r31; target = resolve l })
-      | Bc_local (cond, ra, l) -> emit (H.Bcond { cond; ra; target = resolve l }))
-    items;
-  (List.rev !insns, List.rev !sites)
+(* --- the peephole tier -------------------------------------------------- *)
 
-(* The peephole tier: rewrite maximal runs of plain [Ins] items through
-   the mined, validator-proved rule set. [Ins_site] slots, labels and
-   local branches act as barriers, so site pcs, branch targets and the
-   patch-slot shapes the resumability lint relies on are never moved or
-   rewritten — a rule only ever replaces register-only straight-line
-   code, which its proof covers context-free. *)
-let rewrite_items rules items =
-  let flush run acc =
-    if run = [] then acc
-    else
-      let insns = List.rev_map (function Ins i -> i | _ -> assert false) run in
-      List.rev_append
-        (List.map (fun i -> Ins i) (Mda_host.Peephole.rewrite rules insns))
-        acc
-  in
-  let rec go acc run = function
-    | [] -> List.rev (flush run acc)
-    | (Ins _ as it) :: rest -> go acc (it :: run) rest
-    | it :: rest -> go (it :: flush run acc) [] rest
-  in
-  go [] [] items
+(* Rewrite maximal runs of plain instructions between cuts through the
+   mined, validator-proved rule set, compacting the buffer in place.
+   Site slots and local-branch slots are width-1 barriers that slide
+   down to the write position; labels are width-0 barriers rebound to
+   it. Both the site table and the fixup table were appended in pc
+   order, so one walking pointer each suffices to remap them — a rule
+   only ever replaces register-only straight-line code, which its proof
+   covers context-free, and no slot shape is ever touched. Runs are
+   delimited exactly as in the reference emitter (labels flush runs
+   there too), so the rewritten text is identical. *)
+let apply_rules b rules =
+  let module P = Mda_host.Peephole in
+  (* recorded positions are relative to [base]; the buffer is absolute *)
+  let off = b.base in
+  let read = ref 0 and write = ref 0 in
+  let si = ref 0 and fi = ref 0 in
+  for c = 0 to b.n_cuts - 1 do
+    let pos = b.cut_pos.(c) in
+    write :=
+      P.rewrite_in_place rules b.code ~pos:(off + !read) ~stop:(off + pos)
+        ~write:(off + !write)
+      - off;
+    let tag = b.cut_lbl.(c) in
+    if tag >= 0 then begin
+      b.lbl_pos.(tag) <- !write;
+      read := pos
+    end
+    else begin
+      (* barrier instruction: slide it down and remap its table entry *)
+      if !write <> pos then b.code.(off + !write) <- b.code.(off + pos);
+      if !si < b.n_sites && b.site_pc.(!si) = pos then begin
+        b.site_pc.(!si) <- !write;
+        incr si
+      end
+      else begin
+        assert (!fi < b.n_fix && b.fix_pc.(!fi) = pos);
+        b.fix_pc.(!fi) <- !write;
+        incr fi
+      end;
+      incr write;
+      read := pos + 1
+    end
+  done;
+  write :=
+    P.rewrite_in_place rules b.code ~pos:(off + !read) ~stop:(off + b.len)
+      ~write:(off + !write)
+    - off;
+  assert (!si = b.n_sites && !fi = b.n_fix);
+  b.len <- !write
+
+(* --- resolution and installation ---------------------------------------- *)
+
+(* Backpatch every local-branch slot to its label's final position (all
+   local labels are forward references, bound by now), then commit the
+   block — already sitting in the cache's backing store — with one
+   {!Code_cache.publish} and register its sites. *)
+let resolve_and_publish b cache block_start =
+  let start = b.base in
+  for k = 0 to b.n_fix - 1 do
+    let l = b.fix_lbl.(k) in
+    let pos = b.lbl_pos.(l) in
+    if pos < 0 then fail b "unbound local label %d" l;
+    let target = start + pos in
+    let fp = start + b.fix_pc.(k) in
+    match b.code.(fp) with
+    | H.Br { ra; _ } -> b.code.(fp) <- ibr b ra target
+    | H.Bcond { cond; ra; _ } -> b.code.(fp) <- ibcond b cond ra target
+    | _ -> assert false
+  done;
+  Code_cache.publish cache (start + b.len);
+  for k = 0 to b.n_sites - 1 do
+    Code_cache.register_site cache ~pc:(start + b.site_pc.(k))
+      { Code_cache.guest_addr = b.site_ga.(k); block_start; op = b.site_op.(k) }
+  done;
+  start
+
+let reset b cache policy_of =
+  b.dst <- cache;
+  b.base <- Code_cache.length cache;
+  b.code <- cache.Code_cache.code;
+  b.len <- 0;
+  b.n_sites <- 0;
+  b.next_label <- 0;
+  b.n_fix <- 0;
+  b.n_cuts <- 0;
+  b.cur_guest <- 0;
+  b.policy_of <- policy_of
+
+(* Shared fallback arena for callers that don't own one (the CLI's
+   one-shot [translate] command, unit tests). Long-lived translators —
+   {!Runtime}, {!Aot} — pass their own. *)
+let default_scratch = create_scratch ()
 
 (* Translate [block] and install it in [cache]; returns the entry pc. *)
-let translate ?rules ~cache ~policy_of block =
-  let b = { items = []; next_label = 0; policy_of } in
-  Array.iteri (fun i _ -> guest_insn b block i) block.Block.insns;
-  let items = List.rev b.items in
-  let items = match rules with None -> items | Some rs -> rewrite_items rs items in
-  let start = Code_cache.length cache in
-  let insns, sites = layout items ~start in
-  let entry = Code_cache.emit cache insns in
-  assert (entry = start);
-  List.iter
-    (fun (pc, op, guest_addr) ->
-      Code_cache.register_site cache ~pc
-        { Code_cache.guest_addr; block_start = block.Block.start; op })
-    sites;
+let translate ?rules ?(scratch = default_scratch) ~cache ~policy_of block =
+  let b = scratch in
+  reset b cache policy_of;
+  b.want_cuts <- (match rules with None -> false | Some _ -> true);
+  let n = Array.length block.Block.insns in
+  for i = 0 to n - 1 do
+    (* one capacity check per guest instruction; see [insn_room] *)
+    ensure_code b insn_room;
+    guest_insn b block i
+  done;
+  (match rules with None -> () | Some rs -> apply_rules b rs);
+  let entry = resolve_and_publish b cache block.Block.start in
+  b.policy_of <- no_policy;
+  (* drop the closure *)
   entry

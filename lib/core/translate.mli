@@ -1,10 +1,19 @@
-(** Guest→host code generation.
+(** Guest→host code generation: the single-pass template emitter.
 
     Translates one guest basic block into alphalite code in the code
     cache, applying a per-instruction MDA policy decided by the active
     mechanism. Flags are handled lazily as real DBT back ends do: only
     [Cmp]/[Test] materialize the flag registers, so guest programs must
-    test conditions through them (as compiled code does). *)
+    test conditions through them (as compiled code does).
+
+    Host instructions are emitted in one pass directly into the code
+    cache's backing store past its published length: block-local labels
+    (always forward references) are resolved by backpatching, MDA
+    sequences are blitted from a template memo, and the finished block
+    is committed by a single {!Code_cache.publish} pointer bump — a
+    failed translation never becomes visible. The list-based reference
+    emitter is preserved in {!Translate_ref} and a qcheck property
+    holds the two byte-identical. *)
 
 (** Per-memory-instruction policy:
     - [Normal]: plain aligned access; a patch {!Code_cache.site} is
@@ -13,18 +22,45 @@
     - [Multi]: alignment-tested two-version code (paper Figure 8). *)
 type policy = Normal | Seq_always | Multi
 
+(** A guest instruction the code generator cannot lower — an immediate
+    or displacement beyond the 32-bit ldah/lda range. Raised as
+    {!Error} before anything reaches the code cache, so a failed
+    translation never leaves a half-built block behind. *)
+type error = { guest_addr : int; reason : string }
+
+exception Error of error
+
+val error_to_string : error -> string
+
+(** The translator-owned scratch arena: a growable host-instruction
+    buffer plus site/label/branch-slot tables, reused across blocks so
+    steady-state translation allocates (almost) nothing. Not
+    thread-safe; one arena per translator. *)
+type scratch
+
+val create_scratch : ?initial:int -> unit -> scratch
+
 (** [translate ~cache ~policy_of block] appends the translation to the
     cache, registers its patch sites, and returns the entry pc.
     [policy_of] maps a guest instruction address to its policy (byte
     accesses are always [Normal]: they cannot trap).
 
+    [?scratch] names the arena to emit through; when omitted a shared
+    module-level arena is used (fine for one-shot callers, not for
+    concurrent translators).
+
     [?rules] enables the peephole tier: after code generation, maximal
-    runs of plain register-only instructions are rewritten through the
-    activated, validator-proved rule set (deterministic single pass).
-    Labels, local branches and patchable site slots are barriers, so
-    branch targets and site pcs are never disturbed. *)
+    runs of plain register-only instructions are rewritten in place
+    through the activated, validator-proved rule set (deterministic
+    single pass). Labels, local branches and patchable site slots are
+    barriers, so branch targets and site pcs are never disturbed —
+    only remapped monotonically as the buffer compacts.
+
+    Raises {!Error} (leaving the cache untouched) when the block
+    contains an immediate the code generator cannot lower. *)
 val translate :
   ?rules:Mda_host.Peephole.active ->
+  ?scratch:scratch ->
   cache:Code_cache.t ->
   policy_of:(int -> policy) ->
   Block.t ->

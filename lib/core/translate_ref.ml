@@ -1,0 +1,403 @@
+(* The reference list-based emitter: the translator exactly as it stood
+   before the single-pass restructure, kept verbatim as the oracle the
+   fast path is checked against. A qcheck property (test_fastpath)
+   holds {!Translate.translate} byte-identical to this module — same
+   cache instructions, same site pcs, same patch-slot shapes — over
+   random workloads, the Table-I corpus and the .asm examples, with and
+   without rules. Nothing in the runtime calls this; it exists only as
+   a differential baseline and must not be "improved".
+
+   See {!Translate} for the documentation of the translation scheme
+   itself; the code generation here is the same scheme, built through a
+   reversed item list, an optional list-rewriting peephole pass, and a
+   two-pass label layout. *)
+
+module G = Mda_guest.Isa
+module H = Mda_host.Isa
+module Seq = Mda_host.Mda_seq
+
+type policy = Translate.policy = Normal | Seq_always | Multi
+
+(* Local items: host instructions plus block-local label references
+   (multi-version code and conditional-exit shapes need short forward
+   branches whose pcs are unknown until layout). *)
+type item =
+  | Ins of H.insn
+  | Ins_site of H.insn * Seq.mem_op * int (* restricted access + guest addr *)
+  | Lbl of int
+  | Br_local of int
+  | Bc_local of H.bcond * H.reg * int
+
+type builder = {
+  mutable items : item list; (* reversed *)
+  mutable next_label : int;
+  policy_of : int -> policy;
+}
+
+let push b it = b.items <- it :: b.items
+
+let ins b i = push b (Ins i)
+
+let ins_site b i op guest_addr = push b (Ins_site (i, op, guest_addr))
+
+let fresh b =
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+(* Scratch registers. *)
+let sc_val = H.scratch0 (* R13: condition / immediate staging *)
+
+let sc_addr = H.scratch1 (* R14: address materialization *)
+
+let sc_ea = H.scratch2 (* R15: multi-version effective address *)
+
+let sc_x = H.scratch3 (* R16: second operand staging *)
+
+let fits16 v = v >= -32768 && v <= 32767
+
+(* Load a 32-bit immediate, Alpha-style (ldah/lda pair). *)
+let li b dst imm =
+  if fits16 imm then ins b (H.Lda { ra = dst; rb = H.r31; disp = imm })
+  else begin
+    let lo = ((imm land 0xFFFF) lxor 0x8000) - 0x8000 in
+    let hi = (imm - lo) asr 16 in
+    if not (fits16 hi) then
+      invalid_arg (Printf.sprintf "Translate_ref.li: immediate %d out of range" imm);
+    ins b (H.Ldah { ra = dst; rb = H.r31; disp = hi });
+    if lo <> 0 then ins b (H.Lda { ra = dst; rb = dst; disp = lo })
+  end
+
+let mov b ~dst ~src = ins b (H.Opr { op = Bis; ra = src; rb = Rb H.r31; rc = dst })
+
+(* Materialize a guest addressing-mode computation; returns the host base
+   register and a 16-bit displacement such that [base + disp] is the
+   effective address. May emit into [sc_addr]. *)
+let eff b ({ base; index; disp } : G.addr) =
+  let base_reg =
+    match (base, index) with
+    | None, None -> H.r31
+    | Some r, None -> G.reg_index r
+    | base, Some (ir, scale) ->
+      let idx = G.reg_index ir in
+      let shifted =
+        if scale = 1 then idx
+        else begin
+          let log2 = match scale with 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false in
+          ins b (H.Opr { op = Sll; ra = idx; rb = Lit log2; rc = sc_addr });
+          sc_addr
+        end
+      in
+      (match base with
+      | None ->
+        if shifted = idx then begin
+          (* no shift was emitted; use the index register directly *)
+          idx
+        end
+        else shifted
+      | Some br ->
+        ins b (H.Opr { op = Addq; ra = G.reg_index br; rb = Rb shifted; rc = sc_addr });
+        sc_addr)
+  in
+  if fits16 disp then (base_reg, disp)
+  else begin
+    let lo = ((disp land 0xFFFF) lxor 0x8000) - 0x8000 in
+    let hi = (disp - lo) asr 16 in
+    if not (fits16 hi) then
+      invalid_arg (Printf.sprintf "Translate_ref.eff: displacement %d out of range" disp);
+    ins b (H.Ldah { ra = sc_addr; rb = base_reg; disp = hi });
+    (sc_addr, lo)
+  end
+
+(* Operate-format second operand for a guest operand, staging large
+   immediates in [stage]. *)
+let operand b ~stage = function
+  | G.Reg r -> H.Rb (G.reg_index r)
+  | G.Imm i ->
+    let v = Int32.to_int i in
+    if v >= 0 && v <= 255 then H.Lit v
+    else begin
+      li b stage v;
+      H.Rb stage
+    end
+
+(* Emit an aligned memory access with its patch site, per [policy]. *)
+let mem_access b ~guest_addr ~kind ~data ~base ~disp ~width ~signed =
+  let site : Seq.mem_op = { kind; data; base; disp; width; signed } in
+  let aligned_insn =
+    match (kind, width) with
+    | `Load, 1 -> H.Ldbu { ra = data; rb = base; disp }
+    | `Load, 2 -> H.Ldwu { ra = data; rb = base; disp }
+    | `Load, 4 -> H.Ldl { ra = data; rb = base; disp }
+    | `Load, 8 -> H.Ldq { ra = data; rb = base; disp }
+    | `Store, 1 -> H.Stb { ra = data; rb = base; disp }
+    | `Store, 2 -> H.Stw { ra = data; rb = base; disp }
+    | `Store, 4 -> H.Stl { ra = data; rb = base; disp }
+    | `Store, 8 -> H.Stq { ra = data; rb = base; disp }
+    | _ -> assert false
+  in
+  let fixup () =
+    (* post-load canonicalization to the guest value convention *)
+    match (kind, width, signed) with
+    | `Load, 1, true -> ins b (H.Opr { op = Sextb; ra = H.r31; rb = Rb data; rc = data })
+    | `Load, 2, true -> ins b (H.Opr { op = Sextw; ra = H.r31; rb = Rb data; rc = data })
+    | _ -> () (* Ldl sign-extends; Ldbu/Ldwu zero-extend; Ldq is full width *)
+  in
+  let policy = if width = 1 then Normal else b.policy_of guest_addr in
+  match policy with
+  | Normal ->
+    if width = 1 then ins b aligned_insn else ins_site b aligned_insn site guest_addr;
+    fixup ()
+  | Seq_always ->
+    List.iter (ins b) (Seq.emit site);
+    (match (kind, width, signed) with
+    | `Load, 1, true | `Load, 2, true -> () (* sequence already fixes up *)
+    | _ -> ())
+  | Multi ->
+    (* Figure 8 (left): test the effective address, run the plain access
+       when aligned, the MDA sequence otherwise. *)
+    let l_mda = fresh b and l_next = fresh b in
+    ins b (H.Lda { ra = sc_ea; rb = base; disp });
+    ins b (H.Opr { op = And; ra = sc_ea; rb = Lit (width - 1); rc = sc_val });
+    push b (Bc_local (H.Bne, sc_val, l_mda));
+    ins b aligned_insn;
+    fixup ();
+    push b (Br_local l_next);
+    push b (Lbl l_mda);
+    List.iter (ins b) (Seq.emit { site with base = sc_ea; disp = 0 });
+    push b (Lbl l_next)
+
+(* Conditional exit on a guest condition: branch to [l_taken] when the
+   condition (over R10/R11/R12) holds. *)
+let cond_branch b (c : G.cond) l_taken =
+  let cmp op =
+    ins b (H.Opr { op; ra = H.cmp_a; rb = Rb H.cmp_b; rc = sc_val });
+    sc_val
+  in
+  let zext32 src dst =
+    ins b (H.Bytem { op = Ext; width = 4; high = false; ra = src; rb = Lit 0; rc = dst })
+  in
+  match c with
+  | Eq -> push b (Bc_local (H.Beq, H.cmp_diff, l_taken))
+  | Ne -> push b (Bc_local (H.Bne, H.cmp_diff, l_taken))
+  | Lt -> push b (Bc_local (H.Bne, cmp Cmplt, l_taken))
+  | Le -> push b (Bc_local (H.Bne, cmp Cmple, l_taken))
+  | Gt -> push b (Bc_local (H.Beq, cmp Cmple, l_taken))
+  | Ge -> push b (Bc_local (H.Beq, cmp Cmplt, l_taken))
+  | Ult | Ule ->
+    (* unsigned compares act on the 32-bit patterns *)
+    zext32 H.cmp_a sc_val;
+    zext32 H.cmp_b sc_x;
+    let op : H.oper = if c = Ult then Cmpult else Cmpule in
+    ins b (H.Opr { op; ra = sc_val; rb = Rb sc_x; rc = sc_val });
+    push b (Bc_local (H.Bne, sc_val, l_taken))
+
+(* Translate one guest instruction. *)
+let guest_insn b block i =
+  let guest_addr = block.Block.addrs.(i) in
+  let r = G.reg_index in
+  let esp = r G.ESP in
+  match block.Block.insns.(i) with
+  | G.Load { dst; src; size; signed } ->
+    let base, disp = eff b src in
+    let width = G.size_bytes size in
+    (* 32-bit loads always re-establish the longword convention *)
+    let signed = match size with G.S4 -> true | G.S8 -> false | _ -> signed in
+    mem_access b ~guest_addr ~kind:`Load ~data:(r dst) ~base ~disp ~width ~signed
+  | G.Store { src; dst; size } ->
+    let base, disp = eff b dst in
+    mem_access b ~guest_addr ~kind:`Store ~data:(r src) ~base ~disp
+      ~width:(G.size_bytes size) ~signed:false
+  | G.Mov_imm { dst; imm } -> li b (r dst) (Int32.to_int imm)
+  | G.Mov_reg { dst; src } -> mov b ~dst:(r dst) ~src:(r src)
+  | G.Binop { op; dst; src } -> begin
+    let dst = r dst in
+    let sext () = ins b (H.Opr { op = Addl; ra = H.r31; rb = Rb dst; rc = dst }) in
+    match op with
+    | G.Add ->
+      let rb = operand b ~stage:sc_val src in
+      ins b (H.Opr { op = Addl; ra = dst; rb; rc = dst })
+    | G.Sub ->
+      let rb = operand b ~stage:sc_val src in
+      ins b (H.Opr { op = Subl; ra = dst; rb; rc = dst })
+    | G.And ->
+      let rb = operand b ~stage:sc_val src in
+      ins b (H.Opr { op = And; ra = dst; rb; rc = dst })
+    | G.Or ->
+      let rb = operand b ~stage:sc_val src in
+      ins b (H.Opr { op = Bis; ra = dst; rb; rc = dst })
+    | G.Xor ->
+      let rb = operand b ~stage:sc_val src in
+      ins b (H.Opr { op = Xor; ra = dst; rb; rc = dst })
+    | G.Imul ->
+      let rb = operand b ~stage:sc_val src in
+      ins b (H.Opr { op = Mulq; ra = dst; rb; rc = dst });
+      sext ()
+    | G.Shl | G.Shr | G.Sar ->
+      (* x86 masks shift counts to 5 bits *)
+      let amount =
+        match src with
+        | G.Imm i -> H.Lit (Int32.to_int i land 31)
+        | G.Reg sr ->
+          ins b (H.Opr { op = And; ra = r sr; rb = Lit 31; rc = sc_val });
+          H.Rb sc_val
+      in
+      (match op with
+      | G.Shl ->
+        ins b (H.Opr { op = Sll; ra = dst; rb = amount; rc = dst });
+        sext ()
+      | G.Shr ->
+        (* logical shift of the 32-bit pattern *)
+        ins b (H.Bytem { op = Ext; width = 4; high = false; ra = dst; rb = Lit 0; rc = dst });
+        ins b (H.Opr { op = Srl; ra = dst; rb = amount; rc = dst });
+        sext ()
+      | G.Sar ->
+        ins b (H.Opr { op = Sra; ra = dst; rb = amount; rc = dst });
+        (* re-canonicalize: the source may hold a raw 64-bit value (an
+           S8 load), whose arithmetic shift is not 32-bit clean *)
+        sext ()
+      | _ -> assert false)
+  end
+  | G.Cmp { a; b = rhs } ->
+    mov b ~dst:H.cmp_a ~src:(r a);
+    (match operand b ~stage:H.cmp_b rhs with
+    | H.Rb reg when reg = H.cmp_b -> () (* already staged *)
+    | H.Rb reg -> mov b ~dst:H.cmp_b ~src:reg
+    | H.Lit v -> ins b (H.Lda { ra = H.cmp_b; rb = H.r31; disp = v }));
+    ins b (H.Opr { op = Subq; ra = H.cmp_a; rb = Rb H.cmp_b; rc = H.cmp_diff })
+  | G.Test { a; b = rhs } ->
+    let rb = operand b ~stage:sc_val rhs in
+    ins b (H.Opr { op = And; ra = r a; rb; rc = H.cmp_a });
+    ins b (H.Lda { ra = H.cmp_b; rb = H.r31; disp = 0 });
+    mov b ~dst:H.cmp_diff ~src:H.cmp_a
+  | G.Lea { dst; src } ->
+    let base, disp = eff b src in
+    ins b (H.Lda { ra = r dst; rb = base; disp });
+    ins b (H.Opr { op = Addl; ra = H.r31; rb = Rb (r dst); rc = r dst })
+  | G.Rmw { op; dst; src; size } ->
+    (* load into the accumulator, operate, store back. Both halves get
+       their own patch site / policy treatment; the ordering keeps the
+       scratch registers disjoint (the operand is staged only after the
+       load path, which may use sc_val/sc_ea for its multi-version
+       check). *)
+    let base, disp = eff b dst in
+    let width = G.size_bytes size in
+    mem_access b ~guest_addr ~kind:`Load ~data:sc_x ~base ~disp ~width
+      ~signed:(size = G.S4);
+    let rb = operand b ~stage:sc_val src in
+    let host_op : H.oper =
+      match op with
+      | G.Add -> Addl
+      | G.Sub -> Subl
+      | G.And -> And
+      | G.Or -> Bis
+      | G.Xor -> Xor
+      | _ -> invalid_arg "Translate_ref: illegal RMW operation"
+    in
+    ins b (H.Opr { op = host_op; ra = sc_x; rb; rc = sc_x });
+    mem_access b ~guest_addr ~kind:`Store ~data:sc_x ~base ~disp ~width ~signed:false
+  | G.Push src ->
+    ins b (H.Lda { ra = esp; rb = esp; disp = -4 });
+    mem_access b ~guest_addr ~kind:`Store ~data:(r src) ~base:esp ~disp:0 ~width:4
+      ~signed:false
+  | G.Pop dst ->
+    mem_access b ~guest_addr ~kind:`Load ~data:(r dst) ~base:esp ~disp:0 ~width:4
+      ~signed:true;
+    ins b (H.Lda { ra = esp; rb = esp; disp = 4 })
+  | G.Jmp t -> ins b (H.Monitor (Next_guest t))
+  | G.Jcc { cond; target } ->
+    let l_taken = fresh b in
+    cond_branch b cond l_taken;
+    ins b (H.Monitor (Next_guest (Block.addr_after block i)));
+    push b (Lbl l_taken);
+    ins b (H.Monitor (Next_guest target))
+  | G.Call t ->
+    li b sc_val (Block.addr_after block i);
+    ins b (H.Lda { ra = esp; rb = esp; disp = -4 });
+    mem_access b ~guest_addr ~kind:`Store ~data:sc_val ~base:esp ~disp:0 ~width:4
+      ~signed:false;
+    ins b (H.Monitor (Next_guest t))
+  | G.Ret ->
+    mem_access b ~guest_addr ~kind:`Load ~data:sc_val ~base:esp ~disp:0 ~width:4
+      ~signed:true;
+    ins b (H.Lda { ra = esp; rb = esp; disp = 4 });
+    ins b (H.Monitor (Dyn_guest sc_val))
+  | G.Nop -> ()
+  | G.Halt -> ins b (H.Monitor Prog_halt)
+
+(* Lay the item list out at [start], resolving local labels, and collect
+   (relative pc, site) registrations. *)
+let layout items ~start =
+  let label_pos = Hashtbl.create 16 in
+  let pc = ref start in
+  (* pass 1: label addresses *)
+  List.iter
+    (fun it ->
+      match it with
+      | Lbl l -> Hashtbl.replace label_pos l !pc
+      | Ins _ | Ins_site _ | Br_local _ | Bc_local _ -> incr pc)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt label_pos l with
+    | Some p -> p
+    | None ->
+      invalid_arg (Printf.sprintf "Translate_ref.layout: unbound local label %d" l)
+  in
+  (* pass 2: emit *)
+  let insns = ref [] and sites = ref [] in
+  let pc = ref start in
+  List.iter
+    (fun it ->
+      let emit i =
+        insns := i :: !insns;
+        incr pc
+      in
+      match it with
+      | Lbl _ -> ()
+      | Ins i -> emit i
+      | Ins_site (i, op, guest_addr) ->
+        sites := (!pc, op, guest_addr) :: !sites;
+        emit i
+      | Br_local l -> emit (H.Br { ra = H.r31; target = resolve l })
+      | Bc_local (cond, ra, l) -> emit (H.Bcond { cond; ra; target = resolve l }))
+    items;
+  (List.rev !insns, List.rev !sites)
+
+(* The peephole tier: rewrite maximal runs of plain [Ins] items through
+   the mined, validator-proved rule set. [Ins_site] slots, labels and
+   local branches act as barriers, so site pcs, branch targets and the
+   patch-slot shapes the resumability lint relies on are never moved or
+   rewritten — a rule only ever replaces register-only straight-line
+   code, which its proof covers context-free. *)
+let rewrite_items rules items =
+  let flush run acc =
+    if run = [] then acc
+    else
+      let insns = List.rev_map (function Ins i -> i | _ -> assert false) run in
+      List.rev_append
+        (List.map (fun i -> Ins i) (Mda_host.Peephole.rewrite rules insns))
+        acc
+  in
+  let rec go acc run = function
+    | [] -> List.rev (flush run acc)
+    | (Ins _ as it) :: rest -> go acc (it :: run) rest
+    | it :: rest -> go (it :: flush run acc) [] rest
+  in
+  go [] [] items
+
+(* Translate [block] and install it in [cache]; returns the entry pc. *)
+let translate ?rules ~cache ~policy_of block =
+  let b = { items = []; next_label = 0; policy_of } in
+  Array.iteri (fun i _ -> guest_insn b block i) block.Block.insns;
+  let items = List.rev b.items in
+  let items = match rules with None -> items | Some rs -> rewrite_items rs items in
+  let start = Code_cache.length cache in
+  let insns, sites = layout items ~start in
+  let entry = Code_cache.emit cache insns in
+  assert (entry = start);
+  List.iter
+    (fun (pc, op, guest_addr) ->
+      Code_cache.register_site cache ~pc
+        { Code_cache.guest_addr; block_start = block.Block.start; op })
+    sites;
+  entry

@@ -1,0 +1,20 @@
+(** The reference list-based emitter: the translator exactly as it stood
+    before the single-pass restructure, kept verbatim as a differential
+    baseline. A qcheck property holds {!Translate.translate}
+    byte-identical to this module — same cache instructions, same site
+    pcs, same patch-slot shapes — over random workloads, the Table-I
+    corpus and the [.asm] examples, with and without rules. Nothing in
+    the runtime calls this; do not "improve" it. *)
+
+type policy = Translate.policy = Normal | Seq_always | Multi
+
+(** Same contract as {!Translate.translate}, via the original reversed
+    item list, list-rewriting peephole pass and two-pass label layout.
+    Unlowerable immediates escape as [Invalid_argument], the pre-PR9
+    behaviour. *)
+val translate :
+  ?rules:Mda_host.Peephole.active ->
+  cache:Code_cache.t ->
+  policy_of:(int -> Translate.policy) ->
+  Block.t ->
+  int

@@ -71,7 +71,13 @@ let run_aot_rt ?(scale = 1.0) ?(input = W.Gen.Ref) ?(unknown = Bt.Mechanism.Sa_s
   let analysis = Mda_analysis.Dataflow.analyze ?mode mem ~entry in
   let summary = Mda_analysis.Dataflow.summary analysis in
   match Bt.Aot.translate_image ?rules ~summary ~unknown mem ~entry with
-  | Error msg -> failwith (Printf.sprintf "AOT translation of %s failed: %s" name msg)
+  | Error msg ->
+    (* an unlowerable instruction (or undecodable code) is a property
+       of the input image, not an internal error — surface it the way
+       the dynamic runtime surfaces a mid-run lowering failure *)
+    raise
+      (Bt.Runtime.Runtime_error
+         (Printf.sprintf "AOT translation of %s failed: %s" name msg))
   | Ok (cache, tstats) ->
     let mechanism = Bt.Mechanism.Aot { summary; unknown } in
     let on_event = Option.map Mda_obs.Trace.hook sink in

@@ -145,6 +145,103 @@ let is_control = function
   | Br _ | Bcond _ | Jmp _ | Monitor _ -> true
   | _ -> false
 
+(* --- packed instruction keys -------------------------------------------- *)
+
+let oper_code = function
+  | Addq -> 0 | Subq -> 1 | Mulq -> 2 | Addl -> 3 | Subl -> 4
+  | And -> 5 | Bis -> 6 | Xor -> 7 | Sll -> 8 | Srl -> 9 | Sra -> 10
+  | Cmpeq -> 11 | Cmplt -> 12 | Cmple -> 13 | Cmpult -> 14 | Cmpule -> 15
+  | Sextb -> 16 | Sextw -> 17
+[@@ocamlformat "disable"]
+
+let bytemanip_code = function Ext -> 0 | Ins -> 1 | Msk -> 2
+
+let bcond_code = function Beq -> 0 | Bne -> 1 | Blt -> 2 | Ble -> 3 | Bgt -> 4 | Bge -> 5
+
+(* 9 bits: registers 0..31, literals 256+v for v in 0..255. *)
+let pack_operand = function
+  | Rb r -> if r land -32 = 0 then r else -1
+  | Lit v -> if v >= 0 && v <= 255 then 256 + v else -1
+
+(* Memory format, [mtag] numbering the constructor (0..11 in
+   declaration order). *)
+let pack_mem mtag ra rb disp =
+  if (ra lor rb) land -32 <> 0 || disp < -32768 || disp > 32767 then -1
+  else (((((((mtag * 32) + ra) * 32) + rb) * 131072) + (disp + 32768)) * 16) + 1
+
+let pack_lda ra rb disp = pack_mem 10 ra rb disp
+
+let pack_ldah ra rb disp = pack_mem 11 ra rb disp
+
+let pack_opr op ra rb rc =
+  let rbc = pack_operand rb in
+  if rbc < 0 || (ra lor rc) land -32 <> 0 then -1
+  else ((((((oper_code op * 32) + ra) * 512) + rbc) * 32) + rc) * 16
+
+(* [pack_opr] with the second operand known to be a register / a
+   literal — the key without an [operand] value in hand. *)
+let pack_opr_r op ra rb rc =
+  if (ra lor rb lor rc) land -32 <> 0 then -1
+  else ((((((oper_code op * 32) + ra) * 512) + rb) * 32) + rc) * 16
+
+let pack_opr_l op ra v rc =
+  if v land -256 <> 0 || (ra lor rc) land -32 <> 0 then -1
+  else ((((((oper_code op * 32) + ra) * 512) + (256 + v)) * 32) + rc) * 16
+
+let pack_bytem op ~width ~high ra rb rc =
+  let rbc = pack_operand rb in
+  if rbc < 0 || (ra lor rc) land -32 <> 0 || width land -16 <> 0 then -1
+  else
+    (((((((((bytemanip_code op * 16) + width) * 2) + Bool.to_int high) * 32 + ra)
+        * 512
+       + rbc)
+        * 32)
+     + rc)
+       * 16)
+    + 2
+
+let pack_next_guest t = if t < 0 then -1 else (t * 4 * 16) + 3
+
+let pack_dyn_guest r = if r land -32 <> 0 then -1 else (((r * 4) + 1) * 16) + 3
+
+let pack_halt = (2 * 16) + 3
+
+let pack_br ra target =
+  if target < 0 || ra land -32 <> 0 then -1 else (((target * 32) + ra) * 16) + 4
+
+let pack_bcond cond ra target =
+  if target < 0 || ra land -32 <> 0 then -1
+  else (((((target * 8) + bcond_code cond) * 32) + ra) * 16) + 5
+
+(* Injective over the packable subset: the low 4 bits tag the
+   constructor family, the rest pack the fields, each checked against
+   its expected range (so two distinct packable instructions can never
+   share a key, and anything out of range gets -1 instead of a
+   colliding key). *)
+let pack insn =
+  match insn with
+  | Ldbu { ra; rb; disp } -> pack_mem 0 ra rb disp
+  | Ldwu { ra; rb; disp } -> pack_mem 1 ra rb disp
+  | Ldl { ra; rb; disp } -> pack_mem 2 ra rb disp
+  | Ldq { ra; rb; disp } -> pack_mem 3 ra rb disp
+  | Ldq_u { ra; rb; disp } -> pack_mem 4 ra rb disp
+  | Stb { ra; rb; disp } -> pack_mem 5 ra rb disp
+  | Stw { ra; rb; disp } -> pack_mem 6 ra rb disp
+  | Stl { ra; rb; disp } -> pack_mem 7 ra rb disp
+  | Stq { ra; rb; disp } -> pack_mem 8 ra rb disp
+  | Stq_u { ra; rb; disp } -> pack_mem 9 ra rb disp
+  | Lda { ra; rb; disp } -> pack_mem 10 ra rb disp
+  | Ldah { ra; rb; disp } -> pack_mem 11 ra rb disp
+  | Opr { op; ra; rb; rc } -> pack_opr op ra rb rc
+  | Bytem { op; width; high; ra; rb; rc } -> pack_bytem op ~width ~high ra rb rc
+  | Monitor (Next_guest t) -> pack_next_guest t
+  | Monitor (Dyn_guest r) -> pack_dyn_guest r
+  | Monitor Prog_halt -> pack_halt
+  | Br { ra; target } -> pack_br ra target
+  | Bcond { cond; ra; target } -> pack_bcond cond ra target
+  | Jmp { ra; rb } -> if (ra lor rb) land -32 <> 0 then -1 else (((ra * 32) + rb) * 16) + 6
+  | Nop -> 7
+
 (* Registers conventionally reserved for the BT runtime. *)
 let tmp_regs = [| 21; 22; 23; 24; 25; 26; 27; 28 |]
 

@@ -113,6 +113,45 @@ val alignment_requirement : insn -> ([ `Load | `Store ] * int) option
 
 val is_control : insn -> bool
 
+(** Packs an instruction into a nonnegative int when every field fits
+    its expected range (registers 0..31, 16-bit displacements, 8-bit
+    literals, nonnegative branch targets and guest addresses); [-1]
+    otherwise. Injective over the packable subset, so key equality is
+    instruction equality there — the translator's instruction interning
+    and the peephole tier's match prefilter both key on it. *)
+val pack : insn -> int
+
+(** Family-specific views of {!pack}, for emitters that know the
+    constructor statically and want the key without building the
+    record. Each equals [pack] applied to the corresponding
+    instruction. *)
+
+val pack_lda : reg -> reg -> int -> int
+
+val pack_ldah : reg -> reg -> int -> int
+
+val pack_opr : oper -> reg -> operand -> reg -> int
+
+(** [pack_opr] with the second operand known to be a register
+    ([pack_opr_r op ra rb rc = pack_opr op ra (Rb rb) rc]) or a
+    literal ([pack_opr_l op ra v rc = pack_opr op ra (Lit v) rc]). *)
+
+val pack_opr_r : oper -> reg -> reg -> reg -> int
+
+val pack_opr_l : oper -> reg -> int -> reg -> int
+
+val pack_bytem : bytemanip -> width:int -> high:bool -> reg -> operand -> reg -> int
+
+val pack_next_guest : int -> int
+
+val pack_dyn_guest : reg -> int
+
+val pack_br : reg -> int -> int
+
+val pack_bcond : bcond -> reg -> int -> int
+
+val pack_halt : int
+
 (** BT-reserved temporaries (R21..R28). *)
 val tmp_regs : reg array
 

@@ -113,3 +113,107 @@ let clobbers (m : mem_op) =
 (* Instruction counts, used by the cost discussions in the paper
    (Section IV-D compares sequence lengths). *)
 let length (m : mem_op) = List.length (emit m)
+
+(* --- fused templates for the single-pass emitter ----------------------- *)
+
+(* A sequence is a pure function of its [mem_op], and instruction values
+   are immutable, so fully-constructed sequences can be memoized and
+   blitted straight into an instruction buffer — the same template is
+   safely shared by every code-cache slot that needs it. This is what
+   makes template-based translation cheap: the common case is a hash
+   lookup plus an [Array.blit], not a fresh list build. *)
+(* Open-addressing int-keyed memo: one multiply hash and a couple of
+   array reads on the hot (hit) path, with no generic hashing and no
+   bucket allocation. [keys] has power-of-two length; -1 marks an empty
+   slot. *)
+type templates = {
+  mutable keys : int array;
+  mutable vals : Isa.insn array array;
+  mutable used : int;
+  max_entries : int; (* reset bound, so a long-lived arena cannot leak *)
+}
+
+let no_seq : Isa.insn array = [||]
+
+let create_templates ?(max_entries = 4096) () =
+  { keys = Array.make 64 (-1); vals = Array.make 64 no_seq; used = 0; max_entries }
+
+(* Slot of [key], or of the empty slot where it belongs (linear
+   probing; the load factor stays below 3/4, so this terminates).
+   Toplevel recursion rather than an inner closure — this runs on
+   every template lookup, and a local [go] would allocate each time.
+   [i] is masked, hence in bounds. *)
+let rec probe keys mask key i =
+  let k = Array.unsafe_get keys i in
+  if k = key || k = -1 then i else probe keys mask key ((i + 1) land mask)
+
+let slot keys key =
+  let mask = Array.length keys - 1 in
+  probe keys mask key ((key * 0x9E3779B1) land mask)
+
+(* A [mem_op] packed into one int, so the memo avoids generic hashing
+   on the hot translation path. Registers are 5 bits, width fits 4,
+   and translated displacements always fit 16 bits (the emitter's
+   ldah/lda splitting guarantees it); -1 means "don't memoize". *)
+let pack_fields ~kind ~data ~base ~disp ~width ~signed =
+  if disp < -32768 || disp > 32767 then -1
+  else
+    ((((((match kind with `Load -> 0 | `Store -> 1) * 32 + data) * 32 + base)
+       * 131072
+      + (disp + 32768))
+       * 16
+     + width)
+       * 2)
+    + Bool.to_int signed
+
+let pack (m : mem_op) =
+  pack_fields ~kind:m.kind ~data:m.data ~base:m.base ~disp:m.disp ~width:m.width
+    ~signed:m.signed
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = Array.length old_keys in
+  t.keys <- Array.make (2 * cap) (-1);
+  t.vals <- Array.make (2 * cap) no_seq;
+  for i = 0 to cap - 1 do
+    let k = old_keys.(i) in
+    if k >= 0 then begin
+      let s = slot t.keys k in
+      t.keys.(s) <- k;
+      t.vals.(s) <- old_vals.(i)
+    end
+  done
+
+(* Build, insert and return the sequence for [m] under [key]. *)
+let template_miss t key (m : mem_op) =
+  let a = Array.of_list (emit m) in
+  if t.used >= t.max_entries then begin
+    Array.fill t.keys 0 (Array.length t.keys) (-1);
+    Array.fill t.vals 0 (Array.length t.vals) no_seq;
+    t.used <- 0
+  end
+  else if 4 * (t.used + 1) > 3 * Array.length t.keys then grow t;
+  let s = slot t.keys key in
+  t.keys.(s) <- key;
+  t.vals.(s) <- a;
+  t.used <- t.used + 1;
+  a
+
+let template t (m : mem_op) =
+  let key = pack m in
+  if key < 0 then Array.of_list (emit m)
+  else begin
+    let s = slot t.keys key in
+    if t.keys.(s) = key then t.vals.(s) else template_miss t key m
+  end
+
+(* Fields-at-a-time variant for the hot translation path: the [mem_op]
+   record is only built when the memo has never seen the key. *)
+let template_op t ~kind ~data ~base ~disp ~width ~signed =
+  let key = pack_fields ~kind ~data ~base ~disp ~width ~signed in
+  if key < 0 then Array.of_list (emit { kind; data; base; disp; width; signed })
+  else begin
+    let s = slot t.keys key in
+    if t.keys.(s) = key then Array.unsafe_get t.vals s
+    else template_miss t key { kind; data; base; disp; width; signed }
+  end

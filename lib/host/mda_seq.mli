@@ -40,3 +40,36 @@ val length : mem_op -> int
     [base] — and [data], for stores — must survive unchanged; the
     translation validator's clobber lint enforces this set. *)
 val clobbers : mem_op -> Isa.reg list
+
+(** {2 Fused templates}
+
+    Sequences are pure functions of their {!mem_op} and instruction
+    values are immutable, so fully-built sequences can be memoized as
+    arrays and blitted straight into an instruction buffer by the
+    single-pass emitter. The same template array may be shared by every
+    code-cache slot that needs it. *)
+
+(** A memo of fully-built sequences. Not thread-safe; owned by one
+    translator scratch arena. *)
+type templates
+
+(** [create_templates ()] makes an empty memo. [max_entries] bounds the
+    table: when full it is reset rather than grown without bound
+    (default 4096 — far above any realistic distinct-site count). *)
+val create_templates : ?max_entries:int -> unit -> templates
+
+(** [template t m] is [Array.of_list (emit m)], memoized. The returned
+    array is shared — callers must treat it as read-only. *)
+val template : templates -> mem_op -> Isa.insn array
+
+(** {!template} taking the {!mem_op} fields directly, so the hot
+    translation path builds no record on a memo hit. *)
+val template_op :
+  templates ->
+  kind:[ `Load | `Store ] ->
+  data:Isa.reg ->
+  base:Isa.reg ->
+  disp:int ->
+  width:int ->
+  signed:bool ->
+  Isa.insn array

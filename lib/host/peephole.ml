@@ -183,6 +183,14 @@ let find rules id = List.find_opt (fun r -> r.id = id) rules
 type active = {
   source : t; (* as loaded, original order *)
   by_len : rule array; (* longest pattern first, stable *)
+  first_key : int array;
+      (* {!Isa.pack} of each rule's first pattern instruction, indexed
+         like [by_len]. Patterns are matched verbatim and [pack] is
+         injective over its packable subset, so a rule can only match at
+         a position whose instruction has the same key — one int
+         comparison replaces a structural equality per rule per
+         position. A key of -1 (unpackable) falls back to the
+         structural match. *)
   hits : int array; (* applications, indexed like [by_len] *)
   file_digest : string;
 }
@@ -197,7 +205,9 @@ let activate (rules : t) =
          (fun a b -> compare (List.length b.pattern) (List.length a.pattern))
          rules)
   in
-  { source = rules; by_len; hits = Array.make (Array.length by_len) 0;
+  { source = rules; by_len;
+    first_key = Array.map (fun r -> H.pack (List.hd r.pattern)) by_len;
+    hits = Array.make (Array.length by_len) 0;
     file_digest = digest rules }
 
 let rules (a : active) = a.source
@@ -208,7 +218,12 @@ let file_digest (a : active) = a.file_digest
    tried longest-pattern-first; on a match the replacement is emitted
    verbatim and scanning resumes *after* it (replacement text is never
    re-matched, so the pass terminates and is insensitive to rule
-   interactions). *)
+   interactions).
+
+   A pre-scan finds the first matching position; runs with no match at
+   all — the overwhelmingly common case on real blocks — return the
+   input list physically unchanged, so no-hit runs cost zero
+   allocation. The rebuild starts exactly at the found position. *)
 let rewrite (a : active) (insns : H.insn list) =
   let rec matches pat xs =
     match (pat, xs) with
@@ -217,23 +232,89 @@ let rewrite (a : active) (insns : H.insn list) =
     | _ -> None
   in
   let n = Array.length a.by_len in
-  let rec first_match i xs =
+  (* [ck] is the packed key of the head of [xs] — the prefilter. *)
+  let rec first_match i ck xs =
     if i >= n then None
+    else if a.first_key.(i) <> ck then first_match (i + 1) ck xs
     else
       match matches a.by_len.(i).pattern xs with
       | Some rest -> Some (i, rest)
-      | None -> first_match (i + 1) xs
+      | None -> first_match (i + 1) ck xs
   in
   let rec go acc = function
     | [] -> List.rev acc
     | x :: rest as xs -> (
-      match first_match 0 xs with
+      match first_match 0 (H.pack x) xs with
       | Some (i, tail) ->
         a.hits.(i) <- a.hits.(i) + 1;
         go (List.rev_append a.by_len.(i).replacement acc) tail
       | None -> go (x :: acc) rest)
   in
-  if n = 0 then insns else go [] insns
+  (* Position of the first match anywhere in [insns], or None. The
+     scan itself allocates nothing, so the no-hit path is free. *)
+  let rec scan_pos k = function
+    | [] -> None
+    | x :: rest as xs ->
+      if first_match 0 (H.pack x) xs <> None then Some k else scan_pos (k + 1) rest
+  in
+  if n = 0 then insns
+  else
+    match scan_pos 0 insns with
+    | None -> insns (* no-hit short-circuit: input returned unchanged *)
+    | Some k ->
+      let rec split acc k xs =
+        if k = 0 then go acc xs
+        else
+          match xs with
+          | [] -> assert false
+          | x :: rest -> split (x :: acc) (k - 1) rest
+      in
+      split [] k insns
+
+(* Array variant for the single-pass emitter: rewrite [code] in place
+   over the half-open window [pos, stop), appending the (possibly
+   shorter) result at [write]. Requires [write <= pos]; returns the new
+   write position. In-place overlap is safe because the write pointer
+   never passes the read pointer (replacements are strictly shorter
+   than their patterns, checked by [rule_error]) and a pattern is fully
+   matched against the unmodified suffix before its replacement is
+   stored. Semantics match [rewrite] exactly: deterministic left to
+   right, longest pattern first, replacements never re-matched. *)
+let rewrite_in_place (a : active) (code : H.insn array) ~pos ~stop ~write =
+  assert (write <= pos && pos <= stop);
+  let n = Array.length a.by_len in
+  let match_at r i =
+    let rec loop pat j =
+      match pat with
+      | [] -> true
+      | p :: ps -> j < stop && p = code.(j) && loop ps (j + 1)
+    in
+    loop a.by_len.(r).pattern i
+  in
+  let rec first_match r i ck =
+    if r >= n then None
+    else if a.first_key.(r) = ck && match_at r i then Some r
+    else first_match (r + 1) i ck
+  in
+  let w = ref write in
+  let i = ref pos in
+  while !i < stop do
+    match first_match 0 !i (H.pack code.(!i)) with
+    | Some r ->
+      a.hits.(r) <- a.hits.(r) + 1;
+      let rule = a.by_len.(r) in
+      List.iter
+        (fun insn ->
+          code.(!w) <- insn;
+          incr w)
+        rule.replacement;
+      i := !i + List.length rule.pattern
+    | None ->
+      if !w <> !i then code.(!w) <- code.(!i);
+      incr w;
+      incr i
+  done;
+  !w
 
 let hits (a : active) =
   Array.to_list (Array.mapi (fun i n -> (a.by_len.(i), n)) a.hits)

@@ -58,8 +58,21 @@ val file_digest : active -> string
 
 (** One deterministic left-to-right pass over a register-only run.
     Replacements are emitted verbatim and never re-matched. Increments
-    the per-rule hit counters. *)
+    the per-rule hit counters. When no rule matches anywhere in the
+    run, the input list is returned physically unchanged (no
+    allocation, counters untouched). *)
 val rewrite : active -> Isa.insn list -> Isa.insn list
+
+(** [rewrite_in_place a code ~pos ~stop ~write] applies the same
+    deterministic pass to the window [pos, stop) of [code], storing the
+    (possibly shorter) result starting at [write] (which must be
+    [<= pos]) and returning the position just past it. In-place overlap
+    is safe because replacements are strictly shorter than their
+    patterns and each pattern is fully matched before its replacement
+    is stored. Semantics — match order, hit counters, output text —
+    are identical to {!rewrite} on the same run. *)
+val rewrite_in_place :
+  active -> Isa.insn array -> pos:int -> stop:int -> write:int -> int
 
 (** Per-rule application counts, in match order. *)
 val hits : active -> (rule * int) list

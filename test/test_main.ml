@@ -11,6 +11,7 @@ let () =
          Test_validator.suite;
          Test_peephole.suite;
          Test_bt_units.suite;
+         Test_fastpath.suite;
          Test_bt.suite;
          Test_asm.suite;
          Test_workloads.suite;

@@ -112,6 +112,24 @@ let test_rewrite_preserves_unmatched () =
   in
   Alcotest.(check bool) "no false match" true (P.rewrite active insns = insns)
 
+(* The no-hit path must return the input list itself (physical
+   identity), not an equal copy — the fast translator relies on this to
+   skip re-emission, and it keeps a rules-on no-match pass allocation
+   free. *)
+let test_rewrite_nohit_short_circuit () =
+  let active = P.activate [ flagship; copy_mask ] in
+  let insns =
+    [ H.Lda { ra = 3; rb = H.r31; disp = 7 };
+      H.Opr { op = H.Addq; ra = 2; rb = H.Lit 1; rc = 1 };
+      H.Ldq_u { ra = 13; rb = 22; disp = 0 } ]
+  in
+  Alcotest.(check bool) "input returned physically" true (P.rewrite active insns == insns);
+  Alcotest.(check int) "no hits counted" 0 (P.total_hits active);
+  (* the empty rule set short-circuits on anything, even a match *)
+  let none = P.activate [] in
+  Alcotest.(check bool) "empty rule set is identity" true
+    (P.rewrite none flagship_pattern == flagship_pattern)
+
 (* --- the equivalence prover --------------------------------------------- *)
 
 let test_check_rewrite_proves_flagship () =
@@ -268,6 +286,8 @@ let suite =
         Alcotest.test_case "rule well-formedness" `Quick test_rule_error;
         Alcotest.test_case "rewrite engine + hit counters" `Quick test_rewrite;
         Alcotest.test_case "no false match" `Quick test_rewrite_preserves_unmatched;
+        Alcotest.test_case "no-hit short-circuit is physical" `Quick
+          test_rewrite_nohit_short_circuit;
         Alcotest.test_case "prover accepts flagship" `Quick test_check_rewrite_proves_flagship;
         Alcotest.test_case "prover refutes wrong rules" `Quick test_check_rewrite_refutes_wrong;
         Alcotest.test_case "budget bail-out counting" `Quick test_budget_bailouts;

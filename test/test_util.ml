@@ -222,6 +222,68 @@ let test_popcount () =
   Alcotest.(check int) "-1" 64 (Bits.popcount (-1L));
   Alcotest.(check int) "0xF0" 4 (Bits.popcount 0xF0L)
 
+(* --- Timing ----------------------------------------------------------- *)
+
+(* A fake monotonic clock advancing [step] ns per reading keeps the
+   measurement logic deterministic under test. *)
+let fake_clock step =
+  let t = ref 0L in
+  fun () ->
+    t := Int64.add !t step;
+    !t
+
+let test_timing_median () =
+  check_float "odd" 2. (Timing.median [| 3.; 1.; 2. |]);
+  check_float "even" 2.5 (Timing.median [| 4.; 1.; 2.; 3. |]);
+  check_float "singleton" 7. (Timing.median [| 7. |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Timing.median: empty sample")
+    (fun () -> ignore (Timing.median [||]))
+
+let test_timing_measure () =
+  (* 1 ms per clock reading, zero quota: each round does exactly one
+     repetition and observes exactly 1 ms. *)
+  let calls = ref 0 in
+  let s = Timing.measure ~now:(fake_clock 1_000_000L) ~rounds:3 ~min_ns:0L (fun () -> incr calls) in
+  Alcotest.(check int) "rounds" 3 s.Timing.rounds;
+  Alcotest.(check int) "one rep per round under zero quota" 3 s.Timing.total_reps;
+  Alcotest.(check int) "thunk called once per rep" 3 !calls;
+  check_float "best" 1e6 s.Timing.best_ns;
+  check_float "median" 1e6 s.Timing.median_ns;
+  Alcotest.(check bool) "best <= median" true (s.Timing.best_ns <= s.Timing.median_ns);
+  check_float "per_sec at median" 1e3 (Timing.per_sec ~count:1 s)
+
+let test_timing_measure_quota () =
+  (* 1 ms per reading, 10 ms quota: each round repeats until the clock
+     shows >= 10 ms, i.e. exactly 10 repetitions of 1 ms each. *)
+  let s = Timing.measure ~now:(fake_clock 1_000_000L) ~rounds:4 ~min_ns:10_000_000L (fun () -> ()) in
+  Alcotest.(check int) "reps fill the quota" 40 s.Timing.total_reps;
+  check_float "per-rep average" 1e6 s.Timing.median_ns
+
+let test_timing_measure_args () =
+  let now = fake_clock 1L in
+  Alcotest.check_raises "rounds < 1"
+    (Invalid_argument "Timing.measure: rounds must be >= 1") (fun () ->
+      ignore (Timing.measure ~now ~rounds:0 (fun () -> ())));
+  Alcotest.check_raises "negative min_ns"
+    (Invalid_argument "Timing.measure: negative min_ns") (fun () ->
+      ignore (Timing.measure ~now ~min_ns:(-1L) (fun () -> ())))
+
+let test_timing_measure_pair () =
+  (* Zero quota: one rep per round, so the call order must strictly
+     alternate f,g,f,g,... — the whole point of paired measurement. *)
+  let order = ref [] in
+  let fs, gs =
+    Timing.measure_pair ~now:(fake_clock 1_000_000L) ~rounds:3 ~min_ns:0L
+      (fun () -> order := `F :: !order)
+      (fun () -> order := `G :: !order)
+  in
+  Alcotest.(check bool) "strict interleaving" true
+    (List.rev !order = [ `F; `G; `F; `G; `F; `G ]);
+  Alcotest.(check int) "f rounds" 3 fs.Timing.rounds;
+  Alcotest.(check int) "g rounds" 3 gs.Timing.rounds;
+  Alcotest.(check int) "f reps" 3 fs.Timing.total_reps;
+  Alcotest.(check int) "g reps" 3 gs.Timing.total_reps
+
 (* --- qcheck properties ------------------------------------------------ *)
 
 let prop_truncate_idempotent =
@@ -302,4 +364,11 @@ let suite =
         Alcotest.test_case "align up/down" `Quick test_align_up_down;
         Alcotest.test_case "byte roundtrip" `Quick test_byte_roundtrip;
         Alcotest.test_case "popcount" `Quick test_popcount ] );
+    ( "util.timing",
+      [ Alcotest.test_case "median" `Quick test_timing_median;
+        Alcotest.test_case "measure (fake clock)" `Quick test_timing_measure;
+        Alcotest.test_case "measure fills quota" `Quick test_timing_measure_quota;
+        Alcotest.test_case "argument validation" `Quick test_timing_measure_args;
+        Alcotest.test_case "measure_pair interleaves rounds" `Quick
+          test_timing_measure_pair ] );
     ("util.properties", qcheck_cases) ]
