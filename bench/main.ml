@@ -41,10 +41,11 @@
      MDA_BENCH_SCALE        workload scale for part 2 (default 1.0)
      MDA_BENCH_QUOTA_MS     Bechamel time quota per test (default 1000)
      MDA_BENCH_SKIP_MEASURE=1   skip part 1
-     MDA_BENCH_PART         run only this part: pr7 | pr8 | pr9 (default all)
+     MDA_BENCH_PART         run only this part: pr7 | pr8 | pr9 | pr10 (default all)
      MDA_BENCH_JSON         part-3/4 output path (default BENCH_pr7.json)
      MDA_BENCH_PR8_JSON     part-5 output path (default BENCH_pr8.json)
-     MDA_BENCH_PR9_JSON     part-6 output path (default BENCH_pr9.json) *)
+     MDA_BENCH_PR9_JSON     part-6 output path (default BENCH_pr9.json)
+     MDA_BENCH_PR10_JSON    part-7 output path (default BENCH_pr10.json) *)
 
 (* The raw clock stubs; aliased before the opens because
    [Bechamel.Toolkit] shadows [Monotonic_clock] with a MEASURE wrapper
@@ -57,6 +58,7 @@ module H = Mda_harness
 module W = Mda_workloads
 module A = Mda_analysis
 module Bt = Mda_bt
+module Srv = Mda_server
 
 let experiments :
     (string * (?opts:H.Experiment.options -> unit -> H.Experiment.rendered)) list =
@@ -630,6 +632,94 @@ let emit_translation_json () =
      %.2fx rules) ==\n\n%!"
     path seq_rate seq_speedup norm_speedup rules_speedup
 
+(* --- part 7: serve-layer scheduling throughput -> BENCH_pr10.json ------- *)
+
+let emit_serve_json () =
+  let path =
+    match Sys.getenv_opt "MDA_BENCH_PR10_JSON" with
+    | Some p -> p
+    | None -> "BENCH_pr10.json"
+  in
+  (* fixed population: three tenants (one noisy), two sessions each,
+     under EH — the serving layer's default mechanism and the one whose
+     trap/patch path the scheduler exercises most *)
+  let tenants = 3 in
+  let per_tenant = 2 in
+  let tspecs = Srv.Tenants.derive ~noisy:[ 1 ] ~seed:0x10aDL ~tenants () in
+  let specs ~crash =
+    List.concat_map
+      (fun (ts : Srv.Tenants.spec) ->
+        let entry, _ = Srv.Tenants.fresh_mem ts in
+        let config = Bt.Runtime.default_config (Srv.Tenants.mechanism_of ts "eh") in
+        List.init per_tenant (fun k ->
+            { Srv.Scheduler.tid = ts.Srv.Tenants.tid;
+              arrival = k;
+              entry;
+              fresh_mem = (fun () -> snd (Srv.Tenants.fresh_mem ts));
+              config;
+              crash_at = (if crash then Some (4 + k) else None);
+              first_fuel = None }))
+      tspecs
+  in
+  let cfg = Srv.Scheduler.default_config in
+  let plain = specs ~crash:false and crashy = specs ~crash:true in
+  let run specs = Srv.Scheduler.run ~tenants cfg specs in
+  let probe = run plain in
+  let sessions = List.length probe.Srv.Scheduler.report.Srv.Scheduler.sessions in
+  let steps =
+    List.fold_left
+      (fun a (s : Srv.Scheduler.session_report) -> a + s.Srv.Scheduler.dispatches)
+      0 probe.Srv.Scheduler.report.Srv.Scheduler.sessions
+  in
+  let restarts = (run crashy).Srv.Scheduler.report.Srv.Scheduler.restarts in
+  if restarts <> sessions then
+    failwith
+      (Printf.sprintf "BENCH serve: expected one restart per session, got %d/%d" restarts
+         sessions);
+  (* interleaved rounds: the restart-latency figure is a difference of
+     the two medians, so machine drift must land on both sides *)
+  let plain_s, crash_s =
+    time_pair (fun () -> ignore (run plain)) (fun () -> ignore (run crashy))
+  in
+  let sessions_per_sec = per_sec sessions plain_s in
+  let steps_per_sec = per_sec steps plain_s in
+  (* wall-clock cost of one supervised restart: the crashy run re-images
+     and re-executes every session once, on top of the plain run *)
+  let restart_ns =
+    Float.max 0.
+      ((crash_s.Mda_util.Timing.median_ns -. plain_s.Mda_util.Timing.median_ns)
+      /. float_of_int restarts)
+  in
+  Printf.printf
+    "== serve scheduling (%d tenants, %d sessions, %d steps/run) ==\n\
+    \  %10.0f sessions/s   %10.0f steps/s   restart %8.0f ns\n%!"
+    tenants sessions steps sessions_per_sec steps_per_sec restart_ns;
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "pr": 10,
+  "serve": {
+    "tenants": %d,
+    "sessions_per_run": %d,
+    "steps_per_run": %d,
+    "median_ns_per_run": %.1f,
+    "sessions_per_sec": %.1f,
+    "steps_per_sec": %.1f
+  },
+  "restart": {
+    "restarts_per_run": %d,
+    "median_ns_per_restart": %.1f,
+    "restarts_per_sec": %.1f
+  }
+}
+|}
+    tenants sessions steps plain_s.Mda_util.Timing.median_ns sessions_per_sec
+    steps_per_sec restarts restart_ns
+    (if restart_ns > 0. then 1e9 /. restart_ns else 0.);
+  close_out oc;
+  Printf.printf "== wrote %s (headline %.0f sessions/s, %.0f steps/s) ==\n\n%!" path
+    sessions_per_sec steps_per_sec
+
 let () =
   let scale =
     match Sys.getenv_opt "MDA_BENCH_SCALE" with
@@ -644,6 +734,7 @@ let () =
   if want "pr7" then emit_bench_json ();
   if want "pr8" then emit_peephole_json ();
   if want "pr9" then emit_translation_json ();
+  if want "pr10" then emit_serve_json ();
   if part = None then begin
     Printf.printf "== Regenerating all tables and figures (scale %.2f) ==\n\n%!" scale;
     let opts = { H.Experiment.default_options with H.Experiment.scale } in

@@ -14,6 +14,7 @@ module H = Mda_harness
 module Bt = Mda_bt
 module W = Mda_workloads
 module F = Mda_fault
+module Srv = Mda_server
 
 (* (name, one-line description, runner); [mdabench list] and each
    subcommand's --help show the descriptions *)
@@ -1275,21 +1276,91 @@ let chaos_cmd =
   let mechs_arg =
     let doc =
       "Comma-separated mechanism subset (default: all of direct, static-profiling, \
-       dynamic-profiling, eh, dpeh, sa, aot)."
+       dynamic-profiling, eh, dpeh, sa, aot; $(b,--serve) excludes aot)."
     in
     Arg.(value & opt (some string) None & info [ "m"; "mechanisms" ] ~docv:"MECHS" ~doc)
   in
-  let run seed plans mechs program jobs =
+  let serve_arg =
+    let doc =
+      "Multi-tenant serve battery instead of the single-run sweep: each plan is a tenant \
+       population with session churn, injected crashes, noisy-neighbour eviction pressure \
+       and trap storms, scheduled by the serving layer and checked against per-tenant \
+       pure-interpreter oracles."
+    in
+    Arg.(value & flag & info [ "serve" ] ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Force one synthetic cell failure after the sweep (exercises the failure-report \
+       path: FAIL lines, the reproducer command, the non-zero exit)."
+    in
+    Arg.(value & flag & info [ "inject-failure" ] ~doc)
+  in
+  (* satellite UX: a failing battery must end with a one-line command
+     that reproduces exactly the failing cells *)
+  let reproducer ~serve ~seed ~plans ~failed_mechs =
+    if failed_mechs <> [] then
+      Printf.printf "reproduce with: mdabench chaos%s --seed %d --plans %d -m %s\n"
+        (if serve then " --serve" else "")
+        seed plans
+        (String.concat "," failed_mechs)
+  in
+  let failed_mechs_of ~universe mechs_failed =
+    List.filter (fun m -> List.mem m mechs_failed) universe
+  in
+  let run seed plans mechs serve inject program jobs =
+    let universe = if serve then F.Mt_chaos.mechanism_names else F.Chaos.mechanism_names in
     let mechs =
       match mechs with
-      | None -> F.Chaos.mechanism_names
+      | None -> universe
       | Some s -> String.split_on_char ',' s |> List.map String.trim
     in
-    match List.filter (fun m -> not (List.mem m F.Chaos.mechanism_names)) mechs with
+    match List.filter (fun m -> not (List.mem m universe)) mechs with
     | bad :: _ ->
-      Printf.eprintf "unknown mechanism %s (chaos knows: %s)\n" bad
-        (String.concat ", " F.Chaos.mechanism_names);
+      Printf.eprintf "unknown mechanism %s (chaos%s knows: %s)\n" bad
+        (if serve then " --serve" else "")
+        (String.concat ", " universe);
       2
+    | [] when serve ->
+      let t0 = Unix.gettimeofday () in
+      let outcomes = F.Mt_chaos.run ~jobs ~mechs ~seed ~plans () in
+      let failed = List.filter (fun o -> not o.F.Mt_chaos.ok) outcomes in
+      List.iter
+        (fun (o : F.Mt_chaos.outcome) ->
+          Printf.printf "FAIL %s / %s\n"
+            (F.Mt_plan.describe o.F.Mt_chaos.plan)
+            o.F.Mt_chaos.mech;
+          List.iter (fun p -> Printf.printf "     %s\n" p) o.F.Mt_chaos.problems)
+        failed;
+      if inject then
+        Printf.printf "FAIL (synthetic) / %s\n     failure injected by --inject-failure\n"
+          (List.hd mechs);
+      Printf.printf "%-18s %7s %7s %9s %9s %9s %9s %7s\n" "mechanism" "cells" "failed"
+        "sessions" "demoted" "restarts" "evicted" "traps";
+      List.iter
+        (fun m ->
+          let mine = List.filter (fun o -> o.F.Mt_chaos.mech = m) outcomes in
+          let sum f = List.fold_left (fun a o -> a + f o) 0 mine in
+          Printf.printf "%-18s %7d %7d %9d %9d %9d %9d %7d\n" m (List.length mine)
+            (sum (fun o -> if o.F.Mt_chaos.ok then 0 else 1))
+            (sum (fun o -> o.F.Mt_chaos.sessions))
+            (sum (fun o -> o.F.Mt_chaos.demotions))
+            (sum (fun o -> o.F.Mt_chaos.restarts))
+            (sum (fun o -> o.F.Mt_chaos.evictions))
+            (sum (fun o -> o.F.Mt_chaos.traps)))
+        mechs;
+      Printf.printf "chaos --serve: %d plans x %d mechanisms = %d cells, %d failed\n"
+        plans (List.length mechs) (List.length outcomes)
+        (List.length failed + if inject then 1 else 0);
+      let failed_mechs =
+        failed_mechs_of ~universe:mechs
+          (List.map (fun o -> o.F.Mt_chaos.mech) failed
+          @ if inject then [ List.hd mechs ] else [])
+      in
+      reproducer ~serve:true ~seed ~plans ~failed_mechs;
+      Printf.eprintf "[mdabench] chaos --serve: %s\n%!"
+        (Mda_util.Stats.duration (Unix.gettimeofday () -. t0));
+      if failed = [] && not inject then 0 else 1
     | [] ->
       let t0 = Unix.gettimeofday () in
       let outcomes = F.Chaos.run ~jobs ~mechs ?program ~seed ~plans () in
@@ -1299,6 +1370,9 @@ let chaos_cmd =
           Printf.printf "FAIL %s / %s\n" (F.Plan.describe o.F.Chaos.plan) o.F.Chaos.mech;
           List.iter (fun p -> Printf.printf "     %s\n" p) o.F.Chaos.problems)
         failed;
+      if inject then
+        Printf.printf "FAIL (synthetic) / %s\n     failure injected by --inject-failure\n"
+          (List.hd mechs);
       Printf.printf "%-18s %7s %7s %9s %12s %9s %7s\n" "mechanism" "cells" "failed"
         "evictions" "patch-faults" "degraded" "traps";
       List.iter
@@ -1320,13 +1394,255 @@ let chaos_cmd =
         harness;
       let harness_bad = List.exists (fun (_, (ok, _)) -> not ok) harness in
       Printf.printf "chaos: %d plans x %d mechanisms = %d cells, %d failed\n" plans
-        (List.length mechs) (List.length outcomes) (List.length failed);
+        (List.length mechs) (List.length outcomes)
+        (List.length failed + if inject then 1 else 0);
+      let failed_mechs =
+        failed_mechs_of ~universe:mechs
+          (List.map (fun o -> o.F.Chaos.mech) failed
+          @ if inject then [ List.hd mechs ] else [])
+      in
+      reproducer ~serve:false ~seed ~plans ~failed_mechs;
       Printf.eprintf "[mdabench] chaos: %s\n%!"
         (Mda_util.Stats.duration (Unix.gettimeofday () -. t0));
-      if failed = [] && not harness_bad then 0 else 1
+      if failed = [] && (not harness_bad) && not inject then 0 else 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ seed_arg $ plans_arg $ mechs_arg $ program_arg $ jobs_arg)
+    Term.(
+      const run $ seed_arg $ plans_arg $ mechs_arg $ serve_arg $ inject_arg $ program_arg
+      $ jobs_arg)
+
+(* --- serve: multi-tenant serving front-end ----------------------------- *)
+
+let serve_cmd =
+  let doc =
+    "Multi-tenant serving: derive $(b,--tenants) deterministic tenant workloads from \
+     $(b,--seed), submit $(b,--sessions) sessions per tenant with staggered arrivals, and \
+     schedule them over one shared (optionally bounded) code cache with admission \
+     control, per-tenant trap-storm demotion and a restarting supervisor. Prints a \
+     deterministic aggregate report — throughput, p99 trap-cost proxy, cache hit share, \
+     per-tenant evictions/demotions/restarts, and each tenant's shared-vs-isolated cycle \
+     ratio — byte-identical across $(b,--jobs) levels."
+  in
+  let tenants_arg =
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc:"number of tenants")
+  in
+  let sessions_arg =
+    Arg.(value & opt int 2 & info [ "sessions" ] ~docv:"M" ~doc:"sessions per tenant")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"derives tenant workloads and the arrival schedule")
+  in
+  let mech_arg =
+    let doc = "Mechanism every tenant runs under (the serving layer excludes aot)." in
+    Arg.(value & opt string "eh" & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
+  in
+  let max_live_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-live" ] ~docv:"N" ~doc:"sessions running concurrently")
+  in
+  let slice_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "slice-fuel" ] ~docv:"N" ~doc:"dispatch steps per scheduler slice")
+  in
+  let quota_arg =
+    let doc = "Per-tenant translation quota per scheduler round (default: unlimited)." in
+    Arg.(value & opt (some int) None & info [ "quota" ] ~docv:"N" ~doc)
+  in
+  let noisy_arg =
+    let doc = "Comma-separated tenant ids given a bloat-heavy noisy-neighbour workload." in
+    Arg.(value & opt (some string) None & info [ "noisy" ] ~docv:"TIDS" ~doc)
+  in
+  let storm_arg =
+    let doc = "Tenant id given a misalignment-heavy trap-storm workload." in
+    Arg.(value & opt (some int) None & info [ "storm" ] ~docv:"TID" ~doc)
+  in
+  let trace_out_arg =
+    let doc = "Write the session-tagged serve trace as JSONL to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let status_string = function
+    | None -> "rejected"
+    | Some Srv.Session.Running -> "running"
+    | Some Srv.Session.Degraded -> "degraded"
+    | Some Srv.Session.Halted -> "halted"
+    | Some (Srv.Session.Faulted f) -> "faulted:" ^ Srv.Session.fault_to_string f
+  in
+  let pct num den = if den <= 0 then 0 else 100 * num / den in
+  let pct64 num den =
+    if Int64.compare den 0L <= 0 then 0L else Int64.div (Int64.mul 100L num) den
+  in
+  let run tenants sessions seed mech capacity max_live slice quota noisy storm trace_out
+      jobs =
+    if tenants < 1 || sessions < 1 then begin
+      Printf.eprintf "mdabench serve: --tenants and --sessions must be >= 1\n";
+      2
+    end
+    else if not (List.mem mech F.Mt_chaos.mechanism_names) then begin
+      Printf.eprintf "unknown serve mechanism %s (serve knows: %s)\n" mech
+        (String.concat ", " F.Mt_chaos.mechanism_names);
+      2
+    end
+    else begin
+      let noisy =
+        match noisy with
+        | None -> []
+        | Some s ->
+          String.split_on_char ',' s |> List.map String.trim |> List.map int_of_string
+      in
+      let storm_l = match storm with None -> [] | Some t -> [ t ] in
+      (match List.find_opt (fun t -> t < 0 || t >= tenants) (noisy @ storm_l) with
+      | Some t -> invalid_arg (Printf.sprintf "tenant id %d out of range (0..%d)" t (tenants - 1))
+      | None -> ());
+      let t0 = Unix.gettimeofday () in
+      let tspecs =
+        Srv.Tenants.derive ~noisy ~storm:storm_l ~seed:(Int64.of_int seed) ~tenants ()
+      in
+      let rng = Mda_util.Rng.create (Int64.of_int seed) in
+      let specs =
+        List.concat_map
+          (fun (ts : Srv.Tenants.spec) ->
+            let entry, _ = Srv.Tenants.fresh_mem ts in
+            let config =
+              Bt.Runtime.default_config (Srv.Tenants.mechanism_of ts mech)
+            in
+            List.init sessions (fun _ ->
+                { Srv.Scheduler.tid = ts.Srv.Tenants.tid;
+                  arrival = Mda_util.Rng.int_in rng 0 (2 * sessions);
+                  entry;
+                  fresh_mem = (fun () -> snd (Srv.Tenants.fresh_mem ts));
+                  config;
+                  crash_at = None;
+                  first_fuel = None }))
+          tspecs
+      in
+      let cfg =
+        { Srv.Scheduler.default_config with
+          Srv.Scheduler.capacity;
+          max_live;
+          queue_limit = List.length specs;
+          slice_fuel = slice;
+          translation_quota = quota }
+      in
+      let sink = Option.map (fun _ -> Obs.Trace.create ()) trace_out in
+      let o = Srv.Scheduler.run ?sink ~tenants cfg specs in
+      let r = o.Srv.Scheduler.report in
+      (* isolated per-tenant baselines (each tenant's sessions scheduled
+         alone, same knobs) fan out over the worker pool; results come
+         back in tenant order, so the report is jobs-invariant *)
+      let iso =
+        H.Pool.map ~jobs
+          ~f:(fun tid ->
+            let alone =
+              List.filter (fun (s : Srv.Scheduler.spec) -> s.Srv.Scheduler.tid = tid) specs
+            in
+            let io = Srv.Scheduler.run ~tenants cfg alone in
+            let tr = List.nth io.Srv.Scheduler.report.Srv.Scheduler.tenants tid in
+            tr.Srv.Scheduler.t_cycles)
+          (List.init tenants Fun.id)
+      in
+      Printf.printf
+        "serve: mechanism=%s tenants=%d sessions/tenant=%d seed=%d cache=%s max-live=%d \
+         slice=%d quota=%s\n"
+        mech tenants sessions seed
+        (match capacity with None -> "unbounded" | Some c -> string_of_int c)
+        max_live slice
+        (match quota with None -> "unlimited" | Some q -> string_of_int q);
+      Printf.printf
+        "rounds %d; admitted %d, deferred %d, rejected %d; restarts %d; demotions %d; \
+         max-backoff %d\n"
+        r.Srv.Scheduler.rounds
+        (List.length r.Srv.Scheduler.sessions - r.Srv.Scheduler.admission_rejects)
+        r.Srv.Scheduler.admission_defers r.Srv.Scheduler.admission_rejects
+        r.Srv.Scheduler.restarts r.Srv.Scheduler.demotions
+        r.Srv.Scheduler.max_backoff_used;
+      let dispatches =
+        List.fold_left
+          (fun a (s : Srv.Scheduler.session_report) -> a + s.Srv.Scheduler.dispatches)
+          0 r.Srv.Scheduler.sessions
+      in
+      let hits =
+        List.fold_left
+          (fun a (s : Srv.Scheduler.session_report) -> a + s.Srv.Scheduler.hits)
+          0 r.Srv.Scheduler.sessions
+      in
+      Printf.printf
+        "cycles %Ld; guest insns %Ld; throughput %Ld insns/kcycle; p99 trap cost %Ld \
+         cycles\n"
+        r.Srv.Scheduler.total_cycles r.Srv.Scheduler.total_guest_insns
+        (if Int64.compare r.Srv.Scheduler.total_cycles 0L <= 0 then 0L
+         else
+           Int64.div
+             (Int64.mul 1000L r.Srv.Scheduler.total_guest_insns)
+             r.Srv.Scheduler.total_cycles)
+        r.Srv.Scheduler.p99_trap_cycles;
+      Printf.printf "shared cache: %d blocks, %d live insns; hit share %d%% (%d/%d); \
+                     evictions %d\n\n"
+        r.Srv.Scheduler.cache_blocks r.Srv.Scheduler.cache_live_insns
+        (pct hits dispatches) hits dispatches r.Srv.Scheduler.evictions;
+      Printf.printf "%-4s %-7s %5s %12s %12s %5s %5s %7s %7s %6s %8s %8s %7s\n" "ten"
+        "kind" "sess" "guest-insns" "cycles" "ipk" "hit%" "traps" "transl" "evict"
+        "restarts" "demoted" "vs-iso";
+      List.iter
+        (fun (tr : Srv.Scheduler.tenant_report) ->
+          let tid = tr.Srv.Scheduler.t_tid in
+          let ts = List.nth tspecs tid in
+          let kind =
+            match ts.Srv.Tenants.kind with
+            | Srv.Tenants.Steady -> "steady"
+            | Srv.Tenants.Noisy -> "noisy"
+            | Srv.Tenants.Storm -> "storm"
+          in
+          let iso_cycles = match iso.(tid) with Ok c -> c | Error _ -> 0L in
+          Printf.printf "t%-3d %-7s %5d %12Ld %12Ld %5Ld %4d%% %7Ld %7d %6d %8d %8s %6Ld%%\n"
+            tid kind tr.Srv.Scheduler.submissions tr.Srv.Scheduler.t_guest_insns
+            tr.Srv.Scheduler.t_cycles
+            (if Int64.compare tr.Srv.Scheduler.t_cycles 0L <= 0 then 0L
+             else
+               Int64.div
+                 (Int64.mul 1000L tr.Srv.Scheduler.t_guest_insns)
+                 tr.Srv.Scheduler.t_cycles)
+            (pct tr.Srv.Scheduler.t_hits tr.Srv.Scheduler.t_dispatches)
+            tr.Srv.Scheduler.t_traps tr.Srv.Scheduler.t_translations
+            tr.Srv.Scheduler.evictions_suffered tr.Srv.Scheduler.t_restarts
+            (if tr.Srv.Scheduler.demoted then "yes" else "no")
+            (pct64 tr.Srv.Scheduler.t_cycles iso_cycles))
+        r.Srv.Scheduler.tenants;
+      Printf.printf "\n%4s %4s %-9s %-9s %8s %10s %12s %12s %6s\n" "sid" "ten" "decision"
+        "status" "restarts" "dispatches" "guest-insns" "cycles" "traps";
+      List.iter
+        (fun (s : Srv.Scheduler.session_report) ->
+          Printf.printf "%4d t%-3d %-9s %-9s %8d %10d %12Ld %12Ld %6Ld\n"
+            s.Srv.Scheduler.sid s.Srv.Scheduler.s_tid
+            (Srv.Scheduler.decision_to_string s.Srv.Scheduler.decision)
+            (status_string s.Srv.Scheduler.status)
+            s.Srv.Scheduler.restarts s.Srv.Scheduler.dispatches
+            s.Srv.Scheduler.guest_insns s.Srv.Scheduler.cycles s.Srv.Scheduler.traps)
+        r.Srv.Scheduler.sessions;
+      (match (trace_out, sink) with
+      | Some file, Some sink ->
+        let jsonl =
+          Obs.Trace.to_jsonl ~mechanism:mech ~bench:"serve" ~scale:1.0
+            ~stats:o.Srv.Scheduler.agg_stats sink
+        in
+        let oc = open_out file in
+        output_string oc jsonl;
+        close_out oc;
+        Printf.printf "\nwrote %s (%d events)\n" file (List.length (Obs.Trace.records sink))
+      | _ -> ());
+      Printf.eprintf "[mdabench] serve: %s\n%!"
+        (Mda_util.Stats.duration (Unix.gettimeofday () -. t0));
+      0
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ tenants_arg $ sessions_arg $ seed_arg $ mech_arg $ capacity_arg
+      $ max_live_arg $ slice_arg $ quota_arg $ noisy_arg $ storm_arg $ trace_out_arg
+      $ jobs_arg)
 
 let list_cmd =
   let doc = "List the experiments, utility commands and modelled benchmarks (Table I rows)." in
@@ -1344,7 +1660,8 @@ let list_cmd =
         ("aot", "statically translate a whole image and execute it (--census, --validate)");
         ("verify", "translation-validate the cache every mechanism builds (--rules)");
         ("mine", "mine validator-proved peephole rules (--replay, --explain, --kill-check)");
-        ("chaos", "every mechanism under seeded fault plans, checked against the oracle");
+        ("chaos", "every mechanism under seeded fault plans, checked against the oracle (--serve)");
+        ("serve", "multi-tenant session scheduling over a shared code cache (--tenants, --sessions)");
         ("trace", "cycle-stamped BT events; JSONL emit (--out) and replay (--replay)");
         ("hot", "hottest guest sites and blocks by trap/MDA cycle cost");
         ("info", "describe a benchmark's synthesized groups");
@@ -1654,8 +1971,8 @@ let () =
   let cmds =
     List.map experiment_cmd experiments
     @ [ all_cmd; run_cmd; analyze_cmd; aot_cmd; verify_cmd; mine_cmd; chaos_cmd;
-        trace_cmd; hot_cmd; list_cmd; info_cmd; asm_cmd; fuzz_asm_cmd; disasm_cmd;
-        disasm_host_cmd ]
+        serve_cmd; trace_cmd; hot_cmd; list_cmd; info_cmd; asm_cmd; fuzz_asm_cmd;
+        disasm_cmd; disasm_host_cmd ]
   in
   (* Typed failures from the translation layer surface as diagnostics,
      not backtraces: a guest instruction the code generator cannot lower

@@ -25,6 +25,10 @@ type id =
   | Peephole_hits
   | Peephole_saved
   | Validator_bailouts
+  | Restarts
+  | Demotions
+  | Admission_rejects
+  | Admission_defers
 
 (* Declared once; [index] mirrors the order. *)
 let all =
@@ -49,7 +53,13 @@ let all =
     (Peephole_saved, "peephole_saved",
      "modelled cycles shaved per translation by peephole rewrites (static)");
     (Validator_bailouts, "validator_bailouts",
-     "symbolic-validator budget bail-outs observed by verification consumers") ]
+     "symbolic-validator budget bail-outs observed by verification consumers");
+    (Restarts, "restarts", "sessions restarted by the serving supervisor");
+    (Demotions, "demotions", "tenants demoted to OS-fixup-only by the trap-storm detector");
+    (Admission_rejects, "admission_rejects",
+     "session submissions rejected by admission control (run queue full)");
+    (Admission_defers, "admission_defers",
+     "session submissions deferred to the bounded run queue") ]
 
 let index = function
   | Guest_insns -> 0
@@ -69,6 +79,10 @@ let index = function
   | Peephole_hits -> 14
   | Peephole_saved -> 15
   | Validator_bailouts -> 16
+  | Restarts -> 17
+  | Demotions -> 18
+  | Admission_rejects -> 19
+  | Admission_defers -> 20
 
 let size = List.length all
 

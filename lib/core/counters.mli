@@ -22,6 +22,10 @@ type id =
   | Peephole_hits
   | Peephole_saved
   | Validator_bailouts
+  | Restarts
+  | Demotions
+  | Admission_rejects
+  | Admission_defers
 
 (** The declared-once table: id, stable name, one-line description. *)
 val all : (id * string * string) list

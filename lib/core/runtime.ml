@@ -132,6 +132,9 @@ type t = {
   counters : Counters.t;
   mutable fuel_left : int; (* never negative; 0 = runaway guard fired *)
   mutable lru_tick : int; (* dispatch clock stamping block_rec.last_used *)
+  mutable os_fixup_only : bool;
+  (* tenant-granularity degradation (the serving layer's trap-storm
+     demotion): every trap is serviced by OS-style fixup, no patching *)
   degraded : (int, unit) Hashtbl.t;
   (* guest addrs permanently degraded to OS fixup; keyed outside the
      code cache so the verdict survives eviction and retranslation *)
@@ -162,6 +165,7 @@ let create ?(config = default_config (Mechanism.Exception_handling { rearrange =
       counters = Counters.create ();
       fuel_left = max 0 config.fuel;
       lru_tick = 0;
+      os_fixup_only = false;
       degraded = Hashtbl.create 8;
       patch_attempts = Hashtbl.create 8;
       scratch = Translate.create_scratch () }
@@ -186,6 +190,8 @@ let create ?(config = default_config (Mechanism.Exception_handling { rearrange =
   t
 
 let counters t = t.counters
+
+let set_os_fixup_only t v = t.os_fixup_only <- v
 
 exception Runtime_error of string
 
@@ -329,7 +335,7 @@ let enforce_capacity t ~(current : Code_cache.block_rec) =
 let install_handler t =
   Machine.Cpu.set_handler t.cpu (fun ~pc ~addr insn ->
       let _ = insn in
-      if not (Mechanism.patches_on_trap t.config.mechanism) then begin
+      if (not (Mechanism.patches_on_trap t.config.mechanism)) || t.os_fixup_only then begin
         let guest_addr =
           match Code_cache.find_site t.cache pc with
           | Some site -> site.Code_cache.guest_addr
@@ -665,37 +671,15 @@ let interpret_program ?(mode = Interp.Interpreted { profile = true })
   in
   (stats, profile)
 
-(* Run the guest program from [entry] to completion (guest Halt), the
-   guest-instruction bound, or fuel exhaustion. The runaway-code guard
-   ends the run gracefully — statistics are still reported, with the
-   [Fuel_exhausted] stop reason surfaced — instead of aborting the whole
-   simulation. *)
-let run t ~entry =
-  install_handler t;
-  let pc = ref entry in
-  let halted = ref false in
-  let out_of_fuel = ref false in
-  let aot_miss = ref None in
-  while
-    (not !halted) && (not !out_of_fuel) && !aot_miss = None
-    && total_guest_insns t < t.config.max_guest_insns
-  do
-    match step t !pc with
-    | `Continue next -> pc := next
-    | `Halt -> halted := true
-    | `Aot_miss g -> aot_miss := Some g
-    | exception Machine.Cpu.Out_of_fuel -> out_of_fuel := true
-  done;
+(* Snapshot the run's statistics at the current point, with the caller
+   naming why execution stopped. [run] calls this once at the end; a
+   step-resumable session (lib/server) may call it whenever its slice
+   loop parks the runtime at a dispatch boundary. *)
+let stats t ~(stop : Run_stats.stop_reason) =
   let c = t.counters in
   let stats : Run_stats.t =
     { mechanism = Mechanism.name t.config.mechanism;
-      stop =
-        (match !aot_miss with
-        | Some guest_addr -> Run_stats.Aot_miss { guest_addr }
-        | None ->
-          if !out_of_fuel then Run_stats.Fuel_exhausted
-          else if !halted then Run_stats.Halted
-          else Run_stats.Insn_limit);
+      stop;
       cycles = t.cpu.Machine.Cpu.cycles;
       guest_insns = total_guest_insns t;
       interp_insns = Counters.get c Counters.Interp_insns;
@@ -723,3 +707,34 @@ let run t ~entry =
         | _ -> 0) }
   in
   stats
+
+(* Run the guest program from [entry] to completion (guest Halt), the
+   guest-instruction bound, or fuel exhaustion. The runaway-code guard
+   ends the run gracefully — statistics are still reported, with the
+   [Fuel_exhausted] stop reason surfaced — instead of aborting the whole
+   simulation. A thin wrapper over {!install_handler}/{!step}/{!stats};
+   the serving layer drives the same three pieces slice by slice. *)
+let run t ~entry =
+  install_handler t;
+  let pc = ref entry in
+  let halted = ref false in
+  let out_of_fuel = ref false in
+  let aot_miss = ref None in
+  while
+    (not !halted) && (not !out_of_fuel) && !aot_miss = None
+    && total_guest_insns t < t.config.max_guest_insns
+  do
+    match step t !pc with
+    | `Continue next -> pc := next
+    | `Halt -> halted := true
+    | `Aot_miss g -> aot_miss := Some g
+    | exception Machine.Cpu.Out_of_fuel -> out_of_fuel := true
+  done;
+  stats t
+    ~stop:
+      (match !aot_miss with
+      | Some guest_addr -> Run_stats.Aot_miss { guest_addr }
+      | None ->
+        if !out_of_fuel then Run_stats.Fuel_exhausted
+        else if !halted then Run_stats.Halted
+        else Run_stats.Insn_limit)

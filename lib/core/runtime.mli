@@ -84,6 +84,10 @@ type t = {
           consumer — {!Run_stats}, the lib/obs sinks, the CLI — reads *)
   mutable fuel_left : int;  (** never negative; 0 = runaway guard fired *)
   mutable lru_tick : int;  (** dispatch clock stamping [block_rec.last_used] *)
+  mutable os_fixup_only : bool;
+      (** tenant-granularity degradation (the serving layer's trap-storm
+          demotion): every trap is serviced by OS-style fixup, never the
+          patching path; set via {!set_os_fixup_only} *)
   degraded : (int, unit) Hashtbl.t;
       (** guest addrs permanently degraded to OS fixup; keyed outside
           the code cache so the verdict survives eviction *)
@@ -121,5 +125,38 @@ val interpret_program :
   unit ->
   Run_stats.t * Profile.t
 
-(** Run the guest program from [entry] to completion (guest Halt). *)
+(** Run the guest program from [entry] to completion (guest Halt): a
+    thin wrapper over {!install_handler}, {!step} and {!stats}. *)
 val run : t -> entry:int -> Run_stats.t
+
+(** {2 Step-resumable execution}
+
+    The pieces {!run} is built from, exposed so one OS process can
+    interleave many runtimes (the lib/server session scheduler): install
+    the trap handler once, then drive dispatch steps from a caller-held
+    pc, snapshotting statistics at any dispatch boundary. *)
+
+(** Install the mechanism's misalignment trap handler on the runtime's
+    CPU. Must be called (once) before {!step}. *)
+val install_handler : t -> unit
+
+(** One dispatch step at guest [pc]: interpret / translate / enter
+    translated code, returning the next pc or why dispatch cannot
+    continue. May raise [Mda_machine.Cpu.Out_of_fuel] (the runaway
+    guard) or {!Runtime_error}. *)
+val step : t -> int -> [ `Continue of int | `Halt | `Aot_miss of int ]
+
+(** Exact interpreted guest instructions plus the expansion-ratio
+    estimate of instructions retired in translated code — what the
+    [max_guest_insns] bound is enforced against. *)
+val total_guest_insns : t -> int64
+
+(** Snapshot the run's statistics at the current dispatch boundary,
+    with the caller naming why execution stopped. *)
+val stats : t -> stop:Run_stats.stop_reason -> Run_stats.t
+
+(** Demote (or restore) this runtime to OS-fixup-only trap service —
+    the per-site [degrade_after] machinery at whole-runtime
+    granularity, used by the serving layer's per-tenant trap-storm
+    detector. *)
+val set_os_fixup_only : t -> bool -> unit

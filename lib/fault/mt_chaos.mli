@@ -1,0 +1,50 @@
+(** Serve-mode chaos: every non-AOT mechanism under every multi-tenant
+    fault plan, against the pure-interpreter oracle.
+
+    For each ({!Mt_plan.t}, mechanism) cell the battery runs the plan's
+    tenant population through {!Mda_server.Scheduler} — session churn,
+    injected mid-session crashes, fuel-stuck incarnations,
+    noisy-neighbour eviction pressure, trap storms — and asserts:
+
+    - {b admission}: nothing is rejected (plans size their queue to
+      defer, never drop) and every submitted session reaches [Halted];
+    - {b oracle}: each session's final guest registers and memory
+      digest equal its tenant's pure-interpreter oracle — crashes cost
+      restarts, never correctness;
+    - {b supervision}: per-session restarts never exceed the plan's
+      restart budget and no scheduled backoff exceeds the plan's cap;
+    - {b storm containment}: any demoted tenant is the plan's storm
+      tenant; under the mechanisms whose trap storms are analytically
+      certain (["static-profiling"], ["eh"]) the storm tenant
+      {e is} demoted, and every neighbour's aggregate cycle count stays
+      within 10% of its isolated baseline (that tenant's sessions
+      scheduled alone, same knobs);
+    - {b replay}: the session-tagged serve trace parses and replays to
+      the scheduler's aggregate statistics exactly. *)
+
+type outcome = {
+  plan : Mt_plan.t;
+  mech : string;
+  ok : bool;
+  problems : string list;  (** empty iff [ok]; one line per failed check *)
+  sessions : int;
+  demotions : int;
+  restarts : int;
+  evictions : int;
+  traps : int;
+}
+
+(** The serving layer's mechanism labels: {!Chaos.mechanism_names}
+    minus ["aot"] (an immutable cache cannot be shared and bounded). *)
+val mechanism_names : string list
+
+(** Run one (plan, mechanism) cell and check every invariant. *)
+val check : Mt_plan.t -> mech:string -> outcome
+
+(** [run ~seed ~plans ()] draws [plans] random multi-tenant plans from
+    [seed] and checks every requested mechanism under each, fanning
+    cells over [jobs] pool workers. Outcomes are ordered (plan 0 ×
+    mechs, plan 1 × mechs, …) and byte-identical across [jobs]
+    levels. *)
+val run :
+  ?jobs:int -> ?mechs:string list -> seed:int -> plans:int -> unit -> outcome list

@@ -126,12 +126,46 @@ let of_string cell text =
    rename is atomic, so [find] sees either the old entry or the new one,
    and any torn state degrades to a miss. The lock lives in a dedicated
    [.lock] file so locking never touches entry files themselves. *)
+
+let lock_attempts = 8
+let lock_backoff_cap = 0.05 (* seconds *)
+
+(* Contention and signal interruptions are transient: retry a
+   non-blocking acquisition with exponential backoff (1ms doubling,
+   capped at [lock_backoff_cap]) before falling back to one blocking
+   acquisition that out-waits any well-behaved sibling writer. A single
+   blocking [F_LOCK] used to be the whole story, and one EINTR — e.g. a
+   pool worker's SIGCHLD arriving while the parent stores — made the
+   writer silently proceed unlocked, able to interleave with the lock
+   holder. Only a non-transient failure (an unlockable filesystem)
+   still degrades to an unlocked write: a slow cache, not an error. *)
+let acquire_lock fd =
+  let sleep d = try ignore (Unix.select [] [] [] d) with Unix.Unix_error _ -> () in
+  let rec blocking retries =
+    match Unix.lockf fd Unix.F_LOCK 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) when retries > 0 ->
+      blocking (retries - 1)
+    | exception Unix.Unix_error _ -> false
+  in
+  let rec attempt n delay =
+    if n >= lock_attempts then blocking lock_attempts
+    else
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES | Unix.EINTR), _, _) ->
+        sleep delay;
+        attempt (n + 1) (Float.min (delay *. 2.) lock_backoff_cap)
+      | exception Unix.Unix_error _ -> false
+  in
+  attempt 0 0.001
+
 let with_write_lock t f =
   let lock_path = Filename.concat t.dir ".lock" in
   match Unix.openfile lock_path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 with
   | exception Unix.Unix_error _ -> f () (* unlockable dir: still try the write *)
   | fd ->
-    let locked = try Unix.lockf fd Unix.F_LOCK 0; true with Unix.Unix_error _ -> false in
+    let locked = acquire_lock fd in
     Fun.protect
       ~finally:(fun () ->
         (try if locked then Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());

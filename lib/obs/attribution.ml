@@ -72,7 +72,7 @@ let block t addr =
     Hashtbl.add t.blocks addr b;
     b
 
-let add (cost : Machine.Cost_model.t) t { Trace.cycles; ev } =
+let add (cost : Machine.Cost_model.t) t { Trace.cycles; ev; _ } =
   match ev with
   | Bt.Runtime.Ev_trap { guest_addr; _ } ->
     let s = site t guest_addr in

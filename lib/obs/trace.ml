@@ -21,12 +21,16 @@
 module Bt = Mda_bt
 module Machine = Mda_machine
 
-(* v2: adds the fault-injection event kinds (evict, patch-fault,
-   degrade) and the matching Run_stats footer fields. v1 traces are
-   rejected with a regenerate message, never half-read. *)
-let schema_version = 2
+(* v2 added the fault-injection event kinds (evict, patch-fault,
+   degrade) and the matching Run_stats footer fields. v3 adds the
+   optional session tag ("s") on event lines, stamped by the serving
+   layer's scheduler so one trace can interleave many sessions; the
+   cycle stamp of a tagged event reads that session's own simulated
+   clock. Older traces are rejected with a regenerate message, never
+   half-read. *)
+let schema_version = 3
 
-type record = { cycles : int64; ev : Bt.Runtime.event }
+type record = { cycles : int64; sid : int option; ev : Bt.Runtime.event }
 
 (* --- sink --------------------------------------------------------------- *)
 
@@ -35,15 +39,18 @@ type t = {
   q : record Queue.t;
   mutable dropped : int;
   mutable clock : unit -> int64;
+  mutable tag : int option; (* session id stamped on subsequent events *)
 }
 
 let create ?capacity () =
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
   | _ -> ());
-  { capacity; q = Queue.create (); dropped = 0; clock = (fun () -> 0L) }
+  { capacity; q = Queue.create (); dropped = 0; clock = (fun () -> 0L); tag = None }
 
 let set_clock t clock = t.clock <- clock
+
+let set_tag t sid = t.tag <- sid
 
 let attach t (rt : Bt.Runtime.t) = set_clock t (fun () -> Machine.Cpu.now rt.Bt.Runtime.cpu)
 
@@ -53,7 +60,7 @@ let push t ev =
     ignore (Queue.pop t.q);
     t.dropped <- t.dropped + 1
   | _ -> ());
-  Queue.push { cycles = t.clock (); ev } t.q
+  Queue.push { cycles = t.clock (); sid = t.tag; ev } t.q
 
 (* The [config.on_event] hook for this sink. *)
 let hook t = push t
@@ -218,11 +225,12 @@ let event_fields (ev : Bt.Runtime.event) =
   | Ev_degrade { guest_addr; attempts } ->
     [ ("guest_addr", guest_addr); ("attempts", attempts) ]
 
-let record_to_json { cycles; ev } =
+let record_to_json { cycles; sid; ev } =
   obj_to_string
     (("t", Jstr "ev") :: ("c", Jint cycles)
-    :: ("k", Jstr (Bt.Runtime.event_kind ev))
-    :: List.map (fun (k, v) -> (k, Jint (Int64.of_int v))) (event_fields ev))
+    :: ((match sid with Some s -> [ ("s", Jint (Int64.of_int s)) ] | None -> [])
+       @ ("k", Jstr (Bt.Runtime.event_kind ev))
+         :: List.map (fun (k, v) -> (k, Jint (Int64.of_int v))) (event_fields ev)))
 
 let event_of_fields fields : Bt.Runtime.event =
   let i = ifield fields in
@@ -247,6 +255,11 @@ let record_of_fields fields =
   { cycles = (match field fields "c" with
              | Jint v -> v
              | Jstr _ -> raise (Parse_error "field \"c\": expected integer"));
+    sid =
+      (match List.assoc_opt "s" fields with
+      | None -> None
+      | Some (Jint v) -> Some (Int64.to_int v)
+      | Some (Jstr _) -> raise (Parse_error "field \"s\": expected integer"));
     ev = event_of_fields fields }
 
 (* --- whole-trace serialization ------------------------------------------ *)
@@ -393,5 +406,7 @@ let kind_names =
 let filter kinds records =
   List.filter (fun r -> List.mem (Bt.Runtime.event_kind r.ev) kinds) records
 
-let pp_record fmt { cycles; ev } =
-  Format.fprintf fmt "%12Ld  %a" cycles Bt.Runtime.pp_event ev
+let pp_record fmt { cycles; sid; ev } =
+  match sid with
+  | None -> Format.fprintf fmt "%12Ld  %a" cycles Bt.Runtime.pp_event ev
+  | Some s -> Format.fprintf fmt "%12Ld  s%-4d %a" cycles s Bt.Runtime.pp_event ev

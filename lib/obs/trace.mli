@@ -11,7 +11,13 @@ val schema_version : int
 (** Version of the JSONL schema; written in every header, checked on
     parse. Bump when the line format or field names change. *)
 
-type record = { cycles : int64; ev : Mda_bt.Runtime.event }
+type record = {
+  cycles : int64;
+  sid : int option;
+      (** session tag (schema v3): which serving-layer session the event
+          belongs to; [None] for single-run traces *)
+  ev : Mda_bt.Runtime.event;
+}
 
 (** {1 Sinks} *)
 
@@ -28,6 +34,12 @@ val set_clock : t -> (unit -> int64) -> unit
 
 val attach : t -> Mda_bt.Runtime.t -> unit
 (** Point the sink's clock at the runtime's simulated cycle counter. *)
+
+val set_tag : t -> int option -> unit
+(** Session id stamped on subsequent events ([None] = untagged). The
+    serving layer's scheduler re-tags (and re-clocks) the sink before
+    each session slice, so a shared sink yields a session-attributed
+    interleaved trace. *)
 
 val hook : t -> Mda_bt.Runtime.event -> unit
 (** The function to install as [config.on_event]. *)

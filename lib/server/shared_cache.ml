@@ -1,0 +1,94 @@
+module Bt = Mda_bt
+module H = Mda_host.Isa
+
+type t = {
+  cache : Bt.Code_cache.t;
+  capacity : int option;
+  tenants : int;
+  owner_of : int -> int;
+  mutable evictions : int;
+}
+
+let create ?capacity ~tenants ~owner_of () =
+  if tenants < 1 then invalid_arg "Shared_cache.create: tenants must be >= 1";
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Shared_cache.create: capacity must be >= 1"
+  | _ -> ());
+  { cache = Bt.Code_cache.create (); capacity; tenants; owner_of; evictions = 0 }
+
+let cache t = t.cache
+
+let share t =
+  match t.capacity with None -> max_int | Some c -> c / t.tenants
+
+let tenant_live t tid =
+  let sum = ref 0 in
+  Bt.Code_cache.iter_blocks t.cache (fun b ->
+      if t.owner_of b.Bt.Code_cache.start = tid then
+        sum := !sum + Bt.Code_cache.block_live_insns b);
+  !sum
+
+let evict t (b : Bt.Code_cache.block_rec) =
+  let freed = Bt.Code_cache.block_live_insns b in
+  Bt.Code_cache.invalidate t.cache b ~repatch:(fun _ ->
+      H.Monitor (H.Next_guest b.Bt.Code_cache.start));
+  b.Bt.Code_cache.want_retrans <- false;
+  t.evictions <- t.evictions + 1;
+  freed
+
+let enforce t ~for_tenant ~on_evict () =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+    if Bt.Code_cache.live_insns t.cache > cap then begin
+      let guaranteed = share t in
+      (* live occupancy per tenant, maintained incrementally across the
+         eviction loop *)
+      let live = Array.make t.tenants 0 in
+      Bt.Code_cache.iter_blocks t.cache (fun b ->
+          let o = t.owner_of b.Bt.Code_cache.start in
+          if o >= 0 && o < t.tenants then
+            live.(o) <- live.(o) + Bt.Code_cache.block_live_insns b);
+      (* LRU victim among eligible blocks: the pressuring tenant's own
+         blocks always, a neighbour's only if evicting it leaves that
+         neighbour at or above its guaranteed share — eviction is
+         block-granular, so the post-state is what the guarantee is
+         about *)
+      let victim () =
+        let best = ref None in
+        Bt.Code_cache.iter_blocks t.cache (fun b ->
+            if b.Bt.Code_cache.entry <> None then begin
+              let o = t.owner_of b.Bt.Code_cache.start in
+              let eligible =
+                o = for_tenant
+                || o < 0 || o >= t.tenants
+                || live.(o) - Bt.Code_cache.block_live_insns b >= guaranteed
+              in
+              if eligible then
+                match !best with
+                | Some (v : Bt.Code_cache.block_rec)
+                  when (v.Bt.Code_cache.last_used, v.Bt.Code_cache.start)
+                       <= (b.Bt.Code_cache.last_used, b.Bt.Code_cache.start) ->
+                  ()
+                | _ -> best := Some b
+            end);
+        !best
+      in
+      let rec go () =
+        if Bt.Code_cache.live_insns t.cache > cap then
+          match victim () with
+          | Some b ->
+            let o = t.owner_of b.Bt.Code_cache.start in
+            let start = b.Bt.Code_cache.start in
+            let freed = evict t b in
+            if o >= 0 && o < t.tenants then live.(o) <- live.(o) - freed;
+            on_evict ~victim_tenant:o ~block:start ~freed;
+            go ()
+          | None -> () (* every remaining block is some under-share
+                          neighbour's: overshoot rather than break the
+                          fairness guarantee *)
+      in
+      go ()
+    end
+
+let evictions t = t.evictions

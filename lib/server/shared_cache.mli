@@ -1,0 +1,47 @@
+(** A bounded {!Mda_bt.Code_cache} shared by every session the
+    scheduler multiplexes, with tenant-fair eviction.
+
+    Fairness contract: every tenant is guaranteed [capacity / tenants]
+    live host instructions. When tenant A's translations push occupancy
+    over capacity, eviction may take A's own blocks freely, but may
+    victimize another tenant B's block only if evicting it leaves B at
+    or above its guaranteed share — A's eviction pressure can never
+    push B below it (eviction is block-granular, so the {e post-state}
+    is what the guarantee constrains). Victims are chosen LRU-first (by
+    the scheduler-maintained global dispatch tick), ties broken by
+    guest address, so eviction is deterministic. *)
+
+type t
+
+(** [create ~capacity ~tenants ~owner_of ()] bounds live occupancy at
+    [capacity] host instructions ([None] = unbounded: enforcement is a
+    no-op) across [tenants] tenants; [owner_of] maps a block's guest
+    start address to its owning tenant. *)
+val create :
+  ?capacity:int -> tenants:int -> owner_of:(int -> int) -> unit -> t
+
+(** The underlying code cache, to pass to {!Session.create}. *)
+val cache : t -> Mda_bt.Code_cache.t
+
+(** Guaranteed live-insn share of one tenant ([capacity / tenants];
+    [max_int] when unbounded). *)
+val share : t -> int
+
+(** Live host instructions currently owned by tenant [tid]. *)
+val tenant_live : t -> int -> int
+
+(** Enforce the capacity bound after tenant [for_tenant] ran a slice:
+    evict eligible blocks (LRU-first) until occupancy fits or no
+    eligible victim remains (a single oversized block may legally
+    overshoot). [on_evict] fires per victim with its owner, guest start
+    and freed live insns — the scheduler charges costs, counts
+    per-tenant evictions and emits trace events there. *)
+val enforce :
+  t ->
+  for_tenant:int ->
+  on_evict:(victim_tenant:int -> block:int -> freed:int -> unit) ->
+  unit ->
+  unit
+
+(** Total evictions performed so far. *)
+val evictions : t -> int

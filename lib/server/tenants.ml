@@ -1,0 +1,151 @@
+module Bt = Mda_bt
+module Machine = Mda_machine
+module W = Mda_workloads
+module A = Mda_analysis
+module Rng = Mda_util.Rng
+
+let spacing = 0x4000
+let base_of tid = Bt.Layout.guest_code_base + (tid * spacing)
+
+let owner_of addr =
+  if addr < Bt.Layout.guest_code_base then 0
+  else (addr - Bt.Layout.guest_code_base) / spacing
+
+type profile_kind = Steady | Noisy | Storm
+
+type spec = { tid : int; kind : profile_kind; groups : W.Gen.group list }
+
+(* Group synthesis per personality. Execution counts are kept modest so
+   a serve run multiplexing many sessions stays fast; what matters is
+   the *shape*: Steady is small and mostly aligned, Noisy is
+   bloat-heavy (code footprint => eviction pressure), Storm misaligns
+   on every execution or only on the Ref input (a trap storm under the
+   profiling and patching mechanisms). *)
+let groups_for rng tid kind =
+  let label i = Printf.sprintf "t%d.g%d" tid i in
+  match kind with
+  | Steady ->
+    let n = Rng.int_in rng 1 2 in
+    List.init n (fun i ->
+        let width = Rng.choice rng [| 2; 4; 8 |] in
+        let behavior =
+          match Rng.int rng 3 with
+          | 0 -> W.Gen.Aligned
+          | 1 -> W.Gen.Mixed { period = 2 }
+          | _ -> W.Gen.Rare { period = 8 }
+        in
+        {
+          W.Gen.label = label i;
+          sites = Rng.int_in rng 1 2;
+          execs = Rng.int_in rng 40 80;
+          width;
+          mix = W.Gen.Alternate;
+          behavior;
+          bloat = Rng.int_in rng 0 2;
+          lib = false;
+          via_call = false;
+        })
+  | Noisy ->
+    let n = Rng.int_in rng 3 4 in
+    List.init n (fun i ->
+        let behavior =
+          if Rng.bool rng 0.5 then W.Gen.Aligned else W.Gen.Mixed { period = 2 }
+        in
+        {
+          W.Gen.label = label i;
+          sites = Rng.int_in rng 2 4;
+          execs = Rng.int_in rng 30 60;
+          width = 4;
+          mix = W.Gen.Alternate;
+          behavior;
+          bloat = Rng.int_in rng 6 12;
+          lib = false;
+          via_call = Rng.bool rng 0.3;
+        })
+  | Storm ->
+    let n = 2 in
+    List.init n (fun i ->
+        let behavior = if i = 0 then W.Gen.Misaligned else W.Gen.Input_dep in
+        {
+          W.Gen.label = label i;
+          sites = Rng.int_in rng 2 3;
+          execs = Rng.int_in rng 120 200;
+          (* the generator misaligns via a +2 pointer offset, which only
+             affects widths wider than 2 — a width-2 draw would make the
+             storm silently aligned *)
+          width = Rng.choice rng [| 4; 8 |];
+          mix = (if Rng.bool rng 0.5 then W.Gen.Loads_only else W.Gen.Alternate);
+          behavior;
+          bloat = Rng.int_in rng 0 1;
+          lib = false;
+          via_call = false;
+        })
+
+let build spec ~input = W.Gen.build ~base:(base_of spec.tid) ~input spec.groups
+
+let check_fits spec (p : W.Gen.program) =
+  let len = Bytes.length p.W.Gen.asm_program.Mda_guest.Asm.image in
+  if len > spacing then
+    invalid_arg
+      (Printf.sprintf "Tenants: tenant %d program image (%d bytes) overflows its %d-byte window"
+         spec.tid len spacing)
+
+let derive ?(noisy = []) ?(storm = []) ~seed ~tenants () =
+  if tenants < 1 then invalid_arg "Tenants.derive: tenants must be >= 1";
+  if base_of (tenants - 1) + spacing > Bt.Layout.stack_top - 0x1000 then
+    invalid_arg "Tenants.derive: too many tenants for the guest code region";
+  List.init tenants (fun tid ->
+      let kind =
+        if List.mem tid storm then Storm
+        else if List.mem tid noisy then Noisy
+        else Steady
+      in
+      (* independent stream per (seed, tid): adding a tenant never
+         perturbs the others' workloads *)
+      let rng =
+        Rng.split
+          (Rng.create
+             (Int64.logxor seed (Int64.mul (Int64.of_int (tid + 1)) 0x9E3779B97F4A7C15L)))
+      in
+      let spec = { tid; kind; groups = groups_for rng tid kind } in
+      check_fits spec (build spec ~input:W.Gen.Ref);
+      spec)
+
+let program spec =
+  let p = build spec ~input:W.Gen.Ref in
+  check_fits spec p;
+  p
+
+let load (p : W.Gen.program) =
+  let mem = Machine.Memory.create ~size_bytes:Bt.Layout.mem_size in
+  Machine.Memory.load_image mem ~addr:p.W.Gen.asm_program.Mda_guest.Asm.base
+    p.W.Gen.asm_program.Mda_guest.Asm.image;
+  p.W.Gen.init mem;
+  (p.W.Gen.entry, mem)
+
+let fresh_mem spec = load (program spec)
+
+let train_summary spec =
+  let entry, mem = load (build spec ~input:W.Gen.Train) in
+  let _, profile =
+    Bt.Runtime.interpret_program
+      ~mode:(Bt.Interp.Interpreted { profile = true })
+      ~mem ~entry ()
+  in
+  Bt.Profile.summarize profile
+
+let sa_summary spec =
+  let entry, mem = fresh_mem spec in
+  A.Dataflow.summary (A.Dataflow.analyze mem ~entry)
+
+let mechanism_of spec = function
+  | "direct" -> Bt.Mechanism.Direct
+  | "static-profiling" -> Bt.Mechanism.Static_profiling (train_summary spec)
+  | "dynamic-profiling" -> Bt.Mechanism.Dynamic_profiling { threshold = 3 }
+  | "eh" -> Bt.Mechanism.Exception_handling { rearrange = true }
+  | "dpeh" ->
+    Bt.Mechanism.Dpeh { threshold = 2; retranslate = Some 2; multiversion = true }
+  | "sa" ->
+    Bt.Mechanism.Static_analysis
+      { summary = sa_summary spec; unknown = Bt.Mechanism.Sa_fallback }
+  | m -> invalid_arg ("Tenants.mechanism_of: unsupported mechanism " ^ m)

@@ -1,0 +1,53 @@
+(** Tenant identity and per-tenant workload synthesis for the serving
+    layer. Each tenant owns a disjoint window of guest-code address
+    space ([spacing] bytes starting at {!base_of}), so sessions from
+    different tenants can share one code cache without block-key
+    collisions, and cache residency is attributable to a tenant from a
+    block's guest start address alone ({!owner_of}). *)
+
+(** Guest-code window size per tenant, in bytes. *)
+val spacing : int
+
+(** Guest-code base address of tenant [tid]. *)
+val base_of : int -> int
+
+(** Which tenant owns guest-code address [addr] (total: addresses below
+    tenant 0's window map to tenant 0). *)
+val owner_of : int -> int
+
+(** Workload personality of a tenant. *)
+type profile_kind =
+  | Steady  (** small, mostly aligned: the well-behaved neighbour *)
+  | Noisy
+      (** big code footprint (bloat-heavy groups): eviction pressure on
+          a shared bounded cache *)
+  | Storm
+      (** misalignment-heavy (every-execution and input-dependent
+          sites): a trap storm under profiling/patching mechanisms *)
+
+type spec = { tid : int; kind : profile_kind; groups : Mda_workloads.Gen.group list }
+
+(** Derive [tenants] deterministic tenant specs from [seed]. Tenant
+    kinds default to [Steady]; [noisy]/[storm] name tenants overridden
+    to those kinds. Raises [Invalid_argument] if a generated program
+    image overflows the tenant's code window. *)
+val derive :
+  ?noisy:int list -> ?storm:int list -> seed:int64 -> tenants:int -> unit -> spec list
+
+(** Assemble the spec's program (Ref input) at the tenant's base. *)
+val program : spec -> Mda_workloads.Gen.program
+
+(** Entry point and freshly loaded+initialized guest memory. *)
+val fresh_mem : spec -> int * Mda_machine.Memory.t
+
+(** Static-profiling summary from an interpreted Train-input run. *)
+val train_summary : spec -> Mda_bt.Profile.summary
+
+(** Congruence-dataflow summary of the tenant's binary. *)
+val sa_summary : spec -> Mda_bt.Mechanism.sa_summary
+
+(** Mechanism by CLI name, with per-tenant preparation (training runs,
+    static analysis) exactly as the harness does it. The serving layer
+    excludes "aot" (immutable caches cannot be shared and bounded).
+    Raises [Invalid_argument] on unknown names. *)
+val mechanism_of : spec -> string -> Mda_bt.Mechanism.t

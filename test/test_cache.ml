@@ -234,6 +234,48 @@ let test_racing_writers () =
   in
   Alcotest.(check (list string)) "no stray files" [] strays
 
+let test_lock_contention_backoff () =
+  (* a sibling writer holding the advisory lock makes [store] wait it
+     out (non-blocking retries with backoff, then a blocking
+     acquisition) rather than proceed unlocked: the store must land
+     only after the holder releases, and the entry must read back
+     intact *)
+  let dir = fresh_dir () in
+  let hold = 0.15 in
+  let result = H.Cell.compute cell in
+  flush stdout;
+  flush stderr;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+      let fd =
+        Unix.openfile (Filename.concat dir ".lock") [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+      in
+      Unix.lockf fd Unix.F_LOCK 0;
+      ignore (Unix.select [] [] [] hold);
+      Unix.lockf fd Unix.F_ULOCK 0;
+      Unix.close fd;
+      Unix._exit 0
+    | pid -> pid
+  in
+  (* give the child time to take the lock before storing *)
+  ignore (Unix.select [] [] [] 0.03);
+  let t0 = Unix.gettimeofday () in
+  let cache = H.Result_cache.create ~dir () in
+  H.Result_cache.store cache cell result;
+  let waited = Unix.gettimeofday () -. t0 in
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "lock-holder child did not exit cleanly");
+  Alcotest.(check bool)
+    (Printf.sprintf "store out-waited the lock holder (%.0fms)" (waited *. 1000.))
+    true (waited > 0.05);
+  match H.Result_cache.find cache cell with
+  | Some r ->
+    Alcotest.(check bool) "entry intact after contention" true
+      (r.H.Cell.stats = result.H.Cell.stats)
+  | None -> Alcotest.fail "entry missing after contended store"
+
 let test_unwritable_dir_degrades () =
   (* a cache rooted somewhere unwritable is a slow cache, not a crash *)
   let cache = H.Result_cache.create ~dir:"/proc/nonexistent/cache" () in
@@ -253,4 +295,6 @@ let suite =
         Alcotest.test_case "exec cache flow" `Quick test_exec_cache_flow;
         Alcotest.test_case "--no-cache bypass" `Quick test_no_cache_bypass;
         Alcotest.test_case "racing writers do not tear" `Quick test_racing_writers;
+        Alcotest.test_case "contended lock is out-waited" `Quick
+          test_lock_contention_backoff;
         Alcotest.test_case "unwritable dir degrades" `Quick test_unwritable_dir_degrades ] ) ]

@@ -116,20 +116,86 @@ let test_trace_out_does_not_change_stdout () =
   Alcotest.(check string) "stdout byte-identical with --trace-out" (read out_a) (read out_b);
   Alcotest.(check bool) "trace artifact written" true (Sys.file_exists trace)
 
-(* --- the peephole tier on the command line ----------------------------- *)
+(* --- chaos failure UX and the serve front-end -------------------------- *)
 
-let rules_file = Test_util.committed_rules
-
-let read_all f =
-  let ic = open_in f in
-  let t = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  t
+let tmp_file suffix =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mda_cli_%s_%d" suffix (Unix.getpid ()))
 
 let contains ~needle hay =
   let nh = String.length needle and h = String.length hay in
   let rec go i = i + nh <= h && (String.sub hay i nh = needle || go (i + 1)) in
   go 0
+
+let slurp f =
+  let ic = open_in f in
+  let t = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  t
+
+(* a failing chaos run must end with a one-line command reproducing
+   exactly the failing cells, and exit non-zero; --inject-failure makes
+   the failing branch reachable without a real bug *)
+let test_chaos_failure_reproducer () =
+  let out = tmp_file "chaos_fail.txt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ()) @@ fun () ->
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s chaos --plans 1 -m direct --inject-failure > %s 2>/dev/null" exe
+         out)
+  in
+  Alcotest.(check int) "injected failure exits 1" 1 rc;
+  let text = slurp out in
+  Alcotest.(check bool) "reproducer line printed" true
+    (contains ~needle:"reproduce with: mdabench chaos --seed 42 --plans 1 -m direct" text);
+  Alcotest.(check bool) "FAIL line printed" true (contains ~needle:"FAIL (synthetic)" text);
+  (* serve mode carries the --serve flag through to the reproducer *)
+  let rc =
+    Sys.command
+      (Printf.sprintf
+         "%s chaos --serve --plans 1 -m direct --inject-failure > %s 2>/dev/null" exe out)
+  in
+  Alcotest.(check int) "injected serve failure exits 1" 1 rc;
+  Alcotest.(check bool) "serve reproducer line printed" true
+    (contains
+       ~needle:"reproduce with: mdabench chaos --serve --seed 42 --plans 1 -m direct"
+       (slurp out));
+  (* a clean run prints no reproducer and exits 0 *)
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s chaos --serve --plans 1 -m direct > %s 2>/dev/null" exe out)
+  in
+  Alcotest.(check int) "clean serve chaos exits 0" 0 rc;
+  Alcotest.(check bool) "no reproducer on success" false
+    (contains ~needle:"reproduce with:" (slurp out))
+
+let test_serve_command () =
+  (* the aggregate serve report is byte-identical across --jobs levels,
+     and argument validation refuses bad input *)
+  let out_a = tmp_file "serve_j1.txt" and out_b = tmp_file "serve_j2.txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ out_a; out_b ])
+  @@ fun () ->
+  let serve jobs out =
+    Sys.command
+      (Printf.sprintf
+         "%s serve --tenants 2 --sessions 2 --seed 5 --storm 1 --jobs %d > %s 2>/dev/null"
+         exe jobs out)
+  in
+  Alcotest.(check int) "serve --jobs 1 exits 0" 0 (serve 1 out_a);
+  Alcotest.(check int) "serve --jobs 2 exits 0" 0 (serve 2 out_b);
+  Alcotest.(check string) "report byte-identical across --jobs" (slurp out_a) (slurp out_b);
+  Alcotest.(check bool) "per-tenant table present" true
+    (contains ~needle:"storm" (slurp out_a));
+  check_rc "serve -m aot" 2;
+  check_rc "serve --tenants 0" 2
+
+(* --- the peephole tier on the command line ----------------------------- *)
+
+let rules_file = Test_util.committed_rules
+
+let read_all = slurp
 
 (* [mdabench verify] always prints the bail-out summary line, whether or
    not any proof bailed out — proof coverage must be visible, not only
@@ -215,6 +281,9 @@ let suite =
         test_trace_out_does_not_change_stdout;
       Alcotest.test_case "verify prints the bail-out summary" `Quick
         test_verify_bailout_summary;
+      Alcotest.test_case "chaos failures print a reproducer" `Quick
+        test_chaos_failure_reproducer;
+      Alcotest.test_case "serve report is jobs-invariant" `Quick test_serve_command;
       Alcotest.test_case "mine --replay and --explain" `Quick test_mine_replay_and_explain;
       Alcotest.test_case "mine --replay rejects unprovable rules" `Quick
         test_mine_replay_rejects_unprovable;

@@ -258,6 +258,27 @@ let test_chaos_smoke () =
           (String.concat "; " o.F.Chaos.problems))
     outcomes
 
+let test_serve_chaos_smoke () =
+  let outcomes = F.Mt_chaos.run ~jobs:1 ~seed:7 ~plans:3 () in
+  Alcotest.(check int) "3 plans x 6 mechanisms" 18 (List.length outcomes);
+  List.iter
+    (fun (o : F.Mt_chaos.outcome) ->
+      if not o.F.Mt_chaos.ok then
+        Alcotest.failf "serve chaos cell failed: %s / %s: %s"
+          (F.Mt_plan.describe o.F.Mt_chaos.plan)
+          o.F.Mt_chaos.mech
+          (String.concat "; " o.F.Mt_chaos.problems))
+    outcomes;
+  (* the battery is deterministic and parallelism-invariant *)
+  let again = F.Mt_chaos.run ~jobs:3 ~seed:7 ~plans:3 () in
+  Alcotest.(check bool) "byte-identical across jobs levels" true (outcomes = again);
+  (* the multi-tenant fault space is actually exercised over a few draws *)
+  let some f = List.exists f outcomes in
+  Alcotest.(check bool) "some cell restarted a session" true
+    (some (fun o -> o.F.Mt_chaos.restarts > 0));
+  Alcotest.(check bool) "some cell demoted a storm tenant" true
+    (some (fun o -> o.F.Mt_chaos.demotions > 0))
+
 let test_chaos_harness_faults () =
   List.iter
     (fun (name, (ok, detail)) ->
@@ -273,4 +294,5 @@ let suite =
         Alcotest.test_case "faulted trace replays" `Quick test_faulted_trace_replays;
         Alcotest.test_case "plans deterministic" `Quick test_plans_deterministic;
         Alcotest.test_case "chaos smoke" `Slow test_chaos_smoke;
+        Alcotest.test_case "serve chaos smoke" `Slow test_serve_chaos_smoke;
         Alcotest.test_case "chaos harness faults" `Quick test_chaos_harness_faults ] ) ]

@@ -281,7 +281,7 @@ let test_attribution_accounts_every_event () =
    per-site fixup counts always sum to the Run_stats footer. *)
 let test_attribution_unattributed_row () =
   let cost = Mda_machine.Cost_model.default in
-  let r ev = { Obs.Trace.cycles = 0L; ev } in
+  let r ev = { Obs.Trace.cycles = 0L; sid = None; ev } in
   let records =
     [ r (Bt.Runtime.Ev_trap { host_pc = 10; guest_addr = 0x100; ea = 0 });
       r (Bt.Runtime.Ev_trap { host_pc = 11; guest_addr = 0x200; ea = 0 });
